@@ -1,0 +1,50 @@
+#ifndef BREP_BENCH_BENCH_COMMON_H_
+#define BREP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep::bench {
+
+/// One evaluation dataset, mirroring the paper's Table 4: a stand-in
+/// generator at laptop scale, the paired divergence, and the page size.
+struct Workload {
+  std::string name;
+  Matrix data;
+  Matrix queries;
+  std::shared_ptr<BregmanDivergence> divergence;
+  size_t page_size = 32 * 1024;
+  std::string measure;  // "ED" or "ISD"
+};
+
+/// Scale factor from BREP_SCALE (small=0.4, default=1, large=2.5).
+double ScaleFactor();
+
+/// Number of query points per workload (paper: 50; scaled).
+size_t NumQueries();
+
+/// Build a workload by Table 4 name: "Audio", "Fonts", "Deep", "Sift",
+/// "Normal", "Uniform". `n_override`/`d_override` of 0 keep the scaled
+/// defaults (paper dimensionalities, laptop-scaled sizes).
+Workload MakeWorkload(const std::string& name, size_t n_override = 0,
+                      size_t d_override = 0);
+
+/// The four real-dataset stand-ins, in paper order.
+std::vector<std::string> RealWorkloadNames();
+
+/// Print a table header / row with aligned columns.
+void PrintHeader(const std::vector<std::string>& cols);
+void PrintRow(const std::vector<std::string>& cols);
+
+/// Format helpers.
+std::string FmtF(double v, int precision = 1);
+std::string FmtU(uint64_t v);
+
+}  // namespace brep::bench
+
+#endif  // BREP_BENCH_BENCH_COMMON_H_

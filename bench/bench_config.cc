@@ -1,0 +1,25 @@
+/// Reproduces Table 3: the evaluation's parameter grid, resolved against the
+/// current BREP_SCALE so every other bench's configuration is inspectable.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace brep::bench;
+  std::printf("Table 3: evaluation parameters (BREP_SCALE factor %.2f)\n\n",
+              ScaleFactor());
+  PrintHeader({"Parameter", "Range"});
+  PrintRow({"k", "20, 40, 60, 80, 100"});
+  PrintRow({"dims(Fonts)", "10, 50, 100, 200, 400"});
+  PrintRow({"size(Sift)", "2x, 4x, 6x, 8x, 10x base"});
+  PrintRow({"queries", FmtU(NumQueries())});
+  std::printf("\nScaled dataset sizes:\n");
+  PrintHeader({"Dataset", "n", "d", "Measure"});
+  for (const std::string name :
+       {"Audio", "Fonts", "Deep", "Sift", "Normal", "Uniform"}) {
+    const Workload w = MakeWorkload(name);
+    PrintRow({w.name, FmtU(w.data.rows()), FmtU(w.data.cols()), w.measure});
+  }
+  return 0;
+}

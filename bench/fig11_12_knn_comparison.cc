@@ -1,0 +1,84 @@
+/// Reproduces Figs. 11 and 12: I/O cost (Fig 11) and running time (Fig 12)
+/// of BP vs VAF vs BBT while k varies from 20 to 100, on the four
+/// real-dataset stand-ins. Paper shape: BP lowest on both metrics; BBT
+/// worst in high dimensions.
+
+#include <cstdio>
+
+#include "baselines/bbt_baseline.h"
+#include <algorithm>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/optimal_m.h"
+#include "common/timer.h"
+#include "core/brepartition.h"
+#include "storage/pager.h"
+#include "vafile/vafile.h"
+
+int main() {
+  using namespace brep;
+  using namespace brep::bench;
+
+  std::printf("Figs 11-12: kNN comparison (per query: I/O pages, time ms)\n\n");
+  for (const std::string& name : RealWorkloadNames()) {
+    const Workload w = MakeWorkload(name);
+    Pager pager(w.page_size);
+    BrePartitionConfig bp_config;
+    // Derived M, clamped away from the degenerate single-partition case the
+    // cost-model fit can produce on stand-ins whose fitted alpha ~ 1.
+    {
+      Rng rng(7);
+      const CostModelFit fit =
+          FitCostModel(w.data, *w.divergence, rng, 50, 2,
+                       std::min<size_t>(8, w.data.cols()));
+      bp_config.num_partitions = std::clamp<size_t>(
+          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 4, 64);
+    }
+    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
+    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
+    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+
+    // Warm every engine's node caches so rows report steady-state I/O.
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      bp.KnnSearch(w.queries.Row(q), 20);
+      vaf.KnnSearch(w.queries.Row(q), 20);
+      bbt.KnnSearch(w.queries.Row(q), 20);
+    }
+    std::printf("%s (n=%zu, d=%zu, M=%zu)\n", w.name.c_str(), w.data.rows(),
+                w.data.cols(), bp.num_partitions());
+    PrintHeader({"k", "io BP", "io VAF", "io BBT", "ms BP", "ms VAF",
+                 "ms BBT"});
+    for (size_t k : {20ul, 40ul, 60ul, 80ul, 100ul}) {
+      double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        {
+          QueryStats stats;
+          bp.KnnSearch(w.queries.Row(q), k, &stats);
+          io[0] += double(stats.io_reads);
+          ms[0] += stats.total_ms;
+        }
+        {
+          const IoStats before = pager.stats();
+          Timer t;
+          vaf.KnnSearch(w.queries.Row(q), k);
+          ms[1] += t.ElapsedMillis();
+          io[1] += double((pager.stats() - before).reads);
+        }
+        {
+          const IoStats before = pager.stats();
+          Timer t;
+          bbt.KnnSearch(w.queries.Row(q), k);
+          ms[2] += t.ElapsedMillis();
+          io[2] += double((pager.stats() - before).reads);
+        }
+      }
+      const double nq = double(w.queries.rows());
+      PrintRow({FmtU(k), FmtF(io[0] / nq, 1), FmtF(io[1] / nq, 1),
+                FmtF(io[2] / nq, 1), FmtF(ms[0] / nq, 2), FmtF(ms[1] / nq, 2),
+                FmtF(ms[2] / nq, 2)});
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// Reproduces Fig. 13: the impact of dimensionality on I/O cost and running
+/// time (Fonts-like workload regenerated at d in {10, 50, 100, 200, 400},
+/// k = 20, BP's M derived per dimensionality as in the paper: 3, 9, 13, 29,
+/// 50 on the full-size dataset). Paper shape: BP grows slowest with d; BBT
+/// degrades sharply beyond ~50 dimensions.
+
+#include <cstdio>
+
+#include "baselines/bbt_baseline.h"
+#include <algorithm>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/optimal_m.h"
+#include "common/timer.h"
+#include "core/brepartition.h"
+#include "storage/pager.h"
+#include "vafile/vafile.h"
+
+int main() {
+  using namespace brep;
+  using namespace brep::bench;
+
+  constexpr size_t kK = 20;
+  std::printf("Fig 13: impact of dimensionality (Fonts-like, k=%zu)\n\n", kK);
+  PrintHeader({"d", "M", "io BP", "io VAF", "io BBT", "ms BP", "ms VAF",
+               "ms BBT"});
+  for (size_t d : {10ul, 50ul, 100ul, 200ul, 400ul}) {
+    const Workload w = MakeWorkload("Fonts", 0, d);
+    Pager pager(w.page_size);
+    BrePartitionConfig bp_config;
+    // Derived M per dimensionality, clamped to at least 2 (see fig11_12).
+    {
+      Rng rng(7);
+      const CostModelFit fit =
+          FitCostModel(w.data, *w.divergence, rng, 50, 2,
+                       std::min<size_t>(8, w.data.cols()));
+      bp_config.num_partitions = std::clamp<size_t>(
+          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 2,
+          std::max<size_t>(2, d / 2));
+    }
+    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
+    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
+    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      bp.KnnSearch(w.queries.Row(q), kK);  // steady-state caches
+      vaf.KnnSearch(w.queries.Row(q), kK);
+      bbt.KnnSearch(w.queries.Row(q), kK);
+    }
+    double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      {
+        QueryStats stats;
+        bp.KnnSearch(w.queries.Row(q), kK, &stats);
+        io[0] += double(stats.io_reads);
+        ms[0] += stats.total_ms;
+      }
+      {
+        const IoStats before = pager.stats();
+        Timer t;
+        vaf.KnnSearch(w.queries.Row(q), kK);
+        ms[1] += t.ElapsedMillis();
+        io[1] += double((pager.stats() - before).reads);
+      }
+      {
+        const IoStats before = pager.stats();
+        Timer t;
+        bbt.KnnSearch(w.queries.Row(q), kK);
+        ms[2] += t.ElapsedMillis();
+        io[2] += double((pager.stats() - before).reads);
+      }
+    }
+    const double nq = double(w.queries.rows());
+    PrintRow({FmtU(d), FmtU(bp.num_partitions()), FmtF(io[0] / nq, 1),
+              FmtF(io[1] / nq, 1), FmtF(io[2] / nq, 1), FmtF(ms[0] / nq, 2),
+              FmtF(ms[1] / nq, 2), FmtF(ms[2] / nq, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Reproduces Fig. 14: the impact of data size on I/O cost and running time
+/// (Sift-like workload at 2x..10x the base size, k = 20). Following the
+/// paper, M is held fixed across sizes (data size barely moves Theorem 4's
+/// optimum). Paper shape: all methods roughly linear in n; BP lowest.
+
+#include <cstdio>
+
+#include "baselines/bbt_baseline.h"
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/brepartition.h"
+#include "storage/pager.h"
+#include "vafile/vafile.h"
+
+int main() {
+  using namespace brep;
+  using namespace brep::bench;
+
+  constexpr size_t kK = 20;
+  const size_t base = std::max<size_t>(500, size_t(2000 * ScaleFactor()));
+  std::printf("Fig 14: impact of data size (Sift-like, k=%zu, base=%zu)\n\n",
+              kK, base);
+  PrintHeader({"n", "M", "io BP", "io VAF", "io BBT", "ms BP", "ms VAF",
+               "ms BBT"});
+  for (size_t mult : {2ul, 4ul, 6ul, 8ul, 10ul}) {
+    const Workload w = MakeWorkload("Sift", base * mult);
+    Pager pager(w.page_size);
+    BrePartitionConfig bp_config;
+    bp_config.num_partitions = 8;  // fixed across the sweep, as in the paper
+    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
+    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
+    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      bp.KnnSearch(w.queries.Row(q), kK);  // steady-state caches
+      vaf.KnnSearch(w.queries.Row(q), kK);
+      bbt.KnnSearch(w.queries.Row(q), kK);
+    }
+    double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      {
+        QueryStats stats;
+        bp.KnnSearch(w.queries.Row(q), kK, &stats);
+        io[0] += double(stats.io_reads);
+        ms[0] += stats.total_ms;
+      }
+      {
+        const IoStats before = pager.stats();
+        Timer t;
+        vaf.KnnSearch(w.queries.Row(q), kK);
+        ms[1] += t.ElapsedMillis();
+        io[1] += double((pager.stats() - before).reads);
+      }
+      {
+        const IoStats before = pager.stats();
+        Timer t;
+        bbt.KnnSearch(w.queries.Row(q), kK);
+        ms[2] += t.ElapsedMillis();
+        io[2] += double((pager.stats() - before).reads);
+      }
+    }
+    const double nq = double(w.queries.rows());
+    PrintRow({FmtU(w.data.rows()), FmtU(bp.num_partitions()),
+              FmtF(io[0] / nq, 1), FmtF(io[1] / nq, 1), FmtF(io[2] / nq, 1),
+              FmtF(ms[0] / nq, 2), FmtF(ms[1] / nq, 2),
+              FmtF(ms[2] / nq, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+/// Reproduces Fig. 15 (and the supplement's Uniform variant): the
+/// approximate solution on the Normal and Uniform synthetic datasets --
+/// overall ratio (Fig 15a), I/O cost (Fig 15b) and running time (Fig 15c)
+/// of exact BP, ABP at p in {0.7, 0.8, 0.9}, and the Var baseline, with k
+/// from 20 to 100. Paper shapes: OR decreases as p increases; ABP costs
+/// less I/O/time than exact BP and beats Var at comparable accuracy.
+
+#include <cstdio>
+
+#include "baselines/linear_scan.h"
+#include "baselines/var_baseline.h"
+#include <algorithm>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/optimal_m.h"
+#include "common/timer.h"
+#include "core/approximate.h"
+#include "core/brepartition.h"
+#include "storage/pager.h"
+
+int main() {
+  using namespace brep;
+  using namespace brep::bench;
+
+  for (const std::string name : {"Normal", "Uniform"}) {
+    const Workload w = MakeWorkload(name);
+    Pager pager(w.page_size);
+    BrePartitionConfig bp_config;
+    // Derived M, clamped away from the degenerate M=1 (see fig11_12).
+    {
+      Rng rng(7);
+      const CostModelFit fit =
+          FitCostModel(w.data, *w.divergence, rng, 50, 2,
+                       std::min<size_t>(8, w.data.cols()));
+      bp_config.num_partitions = std::clamp<size_t>(
+          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 4, 64);
+    }
+    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
+    ApproximateConfig a7, a8, a9;
+    a7.probability = 0.7;
+    a8.probability = 0.8;
+    a9.probability = 0.9;
+    const ApproximateBrePartition abp7(&bp, a7);
+    const ApproximateBrePartition abp8(&bp, a8);
+    const ApproximateBrePartition abp9(&bp, a9);
+    const VarBaseline var(&pager, w.data, *w.divergence, VarBaselineConfig{});
+    const LinearScan truth(w.data, *w.divergence);
+
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      bp.KnnSearch(w.queries.Row(q), 20);  // steady-state caches
+      var.KnnSearch(w.queries.Row(q), 20);
+    }
+    std::printf("Fig 15 (%s, n=%zu, d=%zu, M=%zu)\n", w.name.c_str(),
+                w.data.rows(), w.data.cols(), bp.num_partitions());
+    PrintHeader({"k", "metric", "BP", "ABP p=.9", "ABP p=.8", "ABP p=.7",
+                 "Var"});
+    for (size_t k : {20ul, 60ul, 100ul}) {
+      // 5 engines x 3 metrics.
+      double or_[5] = {0, 0, 0, 0, 0};
+      double io[5] = {0, 0, 0, 0, 0};
+      double ms[5] = {0, 0, 0, 0, 0};
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        const auto y = w.queries.Row(q);
+        const auto exact = truth.KnnSearch(y, k);
+        auto record = [&](int idx, const std::vector<Neighbor>& res,
+                          double elapsed_ms, uint64_t reads) {
+          or_[idx] += OverallRatio(res, exact);
+          io[idx] += double(reads);
+          ms[idx] += elapsed_ms;
+        };
+        {
+          QueryStats st;
+          const auto res = bp.KnnSearch(y, k, &st);
+          record(0, res, st.total_ms, st.io_reads);
+        }
+        {
+          QueryStats st;
+          const auto res = abp9.KnnSearch(y, k, &st);
+          record(1, res, st.total_ms, st.io_reads);
+        }
+        {
+          QueryStats st;
+          const auto res = abp8.KnnSearch(y, k, &st);
+          record(2, res, st.total_ms, st.io_reads);
+        }
+        {
+          QueryStats st;
+          const auto res = abp7.KnnSearch(y, k, &st);
+          record(3, res, st.total_ms, st.io_reads);
+        }
+        {
+          const IoStats before = pager.stats();
+          Timer t;
+          const auto res = var.KnnSearch(y, k);
+          record(4, res, t.ElapsedMillis(),
+                 (pager.stats() - before).reads);
+        }
+      }
+      const double nq = double(w.queries.rows());
+      PrintRow({FmtU(k), "OR", FmtF(or_[0] / nq, 4), FmtF(or_[1] / nq, 4),
+                FmtF(or_[2] / nq, 4), FmtF(or_[3] / nq, 4),
+                FmtF(or_[4] / nq, 4)});
+      PrintRow({"", "io", FmtF(io[0] / nq, 1), FmtF(io[1] / nq, 1),
+                FmtF(io[2] / nq, 1), FmtF(io[3] / nq, 1),
+                FmtF(io[4] / nq, 1)});
+      PrintRow({"", "ms", FmtF(ms[0] / nq, 2), FmtF(ms[1] / nq, 2),
+                FmtF(ms[2] / nq, 2), FmtF(ms[3] / nq, 2),
+                FmtF(ms[4] / nq, 2)});
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// Microbenchmarks of the BB-tree substrate: Bregman k-means step cost,
+/// the theta-projection ball bound, and the pruned-vs-exhaustive kNN
+/// ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/linear_scan.h"
+#include "bbtree/bbtree.h"
+#include "bbtree/kmeans.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+
+namespace {
+
+using namespace brep;
+
+Matrix Data(size_t n, size_t d) {
+  Rng rng(5);
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  return MakeEnergyProfile(rng, spec);
+}
+
+void BM_BregmanKMeans(benchmark::State& state) {
+  const size_t n = 2000, d = 32;
+  const Matrix data = Data(n, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = uint32_t(i);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(BregmanKMeans(data, ids, div, 2, rng, 8));
+  }
+}
+
+void BM_BallLowerBound(benchmark::State& state) {
+  const size_t d = 32;
+  const Matrix data = Data(512, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  std::vector<uint32_t> ids(256);
+  for (size_t i = 0; i < 256; ++i) ids[i] = uint32_t(i);
+  BregmanBall ball;
+  ball.center = div.Mean(data, ids);
+  for (uint32_t id : ids) {
+    ball.radius =
+        std::max(ball.radius, div.Divergence(data.Row(id), ball.center));
+  }
+  std::vector<double> grad(d);
+  size_t q = 256;
+  for (auto _ : state) {
+    const auto y = data.Row(q % 512);
+    div.Gradient(y, std::span<double>(grad));
+    benchmark::DoNotOptimize(BallDistanceLowerBound(div, ball, y, grad));
+    ++q;
+  }
+}
+
+/// Ablation: branch-and-bound kNN vs exhaustive scan on the same data.
+void BM_BBTreeKnn(benchmark::State& state) {
+  const size_t n = 8000, d = 32;
+  const Matrix data = Data(n, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  const BBTree tree(data, div, BBTreeConfig{});
+  Rng qrng(9);
+  const Matrix queries = MakeQueries(qrng, data, 16, 0.1, true);
+  size_t q = 0;
+  size_t evaluated = 0;
+  for (auto _ : state) {
+    SearchStats stats;
+    benchmark::DoNotOptimize(tree.KnnSearch(queries.Row(q % 16), 10, &stats));
+    evaluated += stats.points_evaluated;
+    ++q;
+  }
+  state.counters["points_evaluated"] =
+      double(evaluated) / double(state.iterations());
+}
+
+void BM_LinearScanKnn(benchmark::State& state) {
+  const size_t n = 8000, d = 32;
+  const Matrix data = Data(n, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  const LinearScan scan(data, div);
+  Rng qrng(9);
+  const Matrix queries = MakeQueries(qrng, data, 16, 0.1, true);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.KnnSearch(queries.Row(q % 16), 10));
+    ++q;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BregmanKMeans)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BallLowerBound);
+BENCHMARK(BM_BBTreeKnn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LinearScanKnn)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

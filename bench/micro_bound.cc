@@ -1,0 +1,118 @@
+/// Microbenchmarks and ablation of the Cauchy-Schwarz bound machinery:
+/// cost of the O(1) UBCompute against a full divergence evaluation (the
+/// speedup that justifies the filter), plus the measured mean bound/distance
+/// tightness ratio per M (the DESIGN.md "bound tightness vs M" ablation,
+/// reported as a counter).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/bound.h"
+#include "core/partition.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+
+namespace {
+
+using namespace brep;
+
+Matrix IsdData(size_t n, size_t d) {
+  Rng rng(5);
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  return MakeEnergyProfile(rng, spec);
+}
+
+void BM_UBCompute(benchmark::State& state) {
+  PointTuple p{3.5, 12.0};
+  QueryTriple q{-2.0, 5.5, 7.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UBCompute(p, q));
+    p.gamma += 1e-9;  // defeat constant folding
+  }
+}
+
+void BM_FullDivergenceForComparison(benchmark::State& state) {
+  const size_t d = 256;
+  const Matrix data = IsdData(64, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        div.Divergence(data.Row(i % 64), data.Row((i + 9) % 64)));
+    ++i;
+  }
+}
+
+void BM_QBDetermine(benchmark::State& state) {
+  const size_t d = 128;
+  const size_t m = size_t(state.range(0));
+  const size_t n = 20000;
+  const Matrix data = IsdData(n, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  const Partitioning parts = EqualContiguousPartition(d, m);
+  std::vector<BregmanDivergence> subs;
+  for (const auto& cols : parts) subs.push_back(div.Restrict(cols));
+  const TransformedDataset transformed(data, parts, subs);
+  std::vector<QueryTriple> triples(m);
+  std::vector<double> sub;
+  for (size_t mi = 0; mi < m; ++mi) {
+    sub.clear();
+    for (size_t c : parts[mi]) sub.push_back(data.Row(0)[c]);
+    triples[mi] = TransformQuery(subs[mi], sub);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QBDetermine(transformed, triples, 20));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+
+/// Ablation: mean UB / D ratio per M (smaller is tighter). Reported via the
+/// "tightness" counter; wall time is irrelevant here.
+void BM_BoundTightness(benchmark::State& state) {
+  const size_t d = 128;
+  const size_t m = size_t(state.range(0));
+  const Matrix data = IsdData(256, d);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  const Partitioning parts = EqualContiguousPartition(d, m);
+  std::vector<BregmanDivergence> subs;
+  for (const auto& cols : parts) subs.push_back(div.Restrict(cols));
+
+  double ratio_sum = 0.0;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    pairs = 0;
+    std::vector<double> xs, ys;
+    for (size_t i = 0; i + 1 < 128; i += 2) {
+      double ub = 0.0;
+      for (size_t mi = 0; mi < m; ++mi) {
+        xs.clear();
+        ys.clear();
+        for (size_t c : parts[mi]) {
+          xs.push_back(data.Row(i)[c]);
+          ys.push_back(data.Row(i + 1)[c]);
+        }
+        ub += UBCompute(TransformPoint(subs[mi], xs),
+                        TransformQuery(subs[mi], ys));
+      }
+      const double exact = div.Divergence(data.Row(i), data.Row(i + 1));
+      if (exact > 1e-9) {
+        ratio_sum += ub / exact;
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(ratio_sum);
+  }
+  state.counters["tightness"] = ratio_sum / double(pairs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_UBCompute);
+BENCHMARK(BM_FullDivergenceForComparison);
+BENCHMARK(BM_QBDetermine)->Arg(4)->Arg(16);
+BENCHMARK(BM_BoundTightness)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

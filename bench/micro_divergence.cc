@@ -1,0 +1,85 @@
+/// Microbenchmarks of the divergence kernel: per-pair cost of D_f(x, y),
+/// gradients, and the extended-space affine evaluation, across generators
+/// and dimensionalities. Not a paper figure; supports the cost model's
+/// assumption that refinement cost is O(d) per candidate.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+#include "vafile/extended_space.h"
+
+namespace {
+
+using namespace brep;
+
+Matrix DataFor(const std::string& gen, size_t n, size_t d) {
+  Rng rng(5);
+  if (gen == "itakura_saito") {
+    EnergyProfileSpec spec;
+    spec.n = n;
+    spec.d = d;
+    return MakeEnergyProfile(rng, spec);
+  }
+  return MakeIidNormal(rng, n, d, -1.0, 0.5);
+}
+
+void BM_Divergence(benchmark::State& state, const std::string& gen) {
+  const size_t d = size_t(state.range(0));
+  const Matrix data = DataFor(gen, 64, d);
+  const BregmanDivergence div = MakeDivergence(gen, d);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto x = data.Row(i % 64);
+    const auto y = data.Row((i + 7) % 64);
+    benchmark::DoNotOptimize(div.Divergence(x, y));
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+void BM_Gradient(benchmark::State& state, const std::string& gen) {
+  const size_t d = size_t(state.range(0));
+  const Matrix data = DataFor(gen, 64, d);
+  const BregmanDivergence div = MakeDivergence(gen, d);
+  std::vector<double> grad(d);
+  size_t i = 0;
+  for (auto _ : state) {
+    div.Gradient(data.Row(i % 64), std::span<double>(grad));
+    benchmark::DoNotOptimize(grad.data());
+    ++i;
+  }
+}
+
+void BM_ExtendedSpaceAffine(benchmark::State& state) {
+  const size_t d = size_t(state.range(0));
+  const Matrix data = DataFor("squared_l2", 64, d);
+  const BregmanDivergence div = MakeDivergence("squared_l2", d);
+  const Matrix ext = ExtendMatrix(data, div);
+  const QueryPlane plane = MakeQueryPlane(data.Row(0), div);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto xe = ext.Row(i % 64);
+    double acc = plane.kappa;
+    for (size_t j = 0; j < xe.size(); ++j) acc += xe[j] * plane.w[j];
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Divergence, squared_l2, "squared_l2")
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_Divergence, itakura_saito, "itakura_saito")
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_Divergence, exponential, "exponential")
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_Gradient, itakura_saito, "itakura_saito")->Arg(256);
+BENCHMARK(BM_ExtendedSpaceAffine)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/// Engine comparison on one workload: BrePartition vs VA-file vs disk
+/// BB-tree vs linear scan, all exact, sharing one simulated disk -- a
+/// miniature of the paper's evaluation you can point at your own data
+/// (swap MakeAudioLike for ReadFvecs/ReadCsv).
+
+#include <cstdio>
+
+#include "baselines/bbt_baseline.h"
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/brepartition.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+#include "storage/pager.h"
+#include "vafile/vafile.h"
+
+int main() {
+  using namespace brep;
+
+  constexpr size_t kN = 6000;
+  constexpr size_t kDim = 192;
+  constexpr size_t kK = 20;
+
+  Rng rng(11);
+  const Matrix data = MakeAudioLike(rng, kN, kDim);
+  const BregmanDivergence ed = MakeDivergence("exponential", kDim);
+  Rng qrng(12);
+  const Matrix queries = MakeQueries(qrng, data, 10, 0.1);
+
+  Pager pager(32 * 1024);
+  BrePartitionConfig bp_config;
+  bp_config.num_partitions = 8;  // pinned; the fitted M* is degenerate here
+  const BrePartition bp(&pager, data, ed, bp_config);
+  const VAFile vaf(&pager, data, ed, VAFileConfig{});
+  const BBTBaseline bbt(&pager, data, ed, BBTBaselineConfig{});
+  const LinearScan scan(data, ed);
+
+  std::printf("exact %zu-NN over %zu x %zu audio-like frames (ED), M=%zu\n\n",
+              kK, kN, kDim, bp.num_partitions());
+  std::printf("%-12s%-12s%-12s%-10s\n", "engine", "io/query", "ms/query",
+              "exact?");
+
+  double io[4] = {0, 0, 0, 0}, ms[4] = {0, 0, 0, 0};
+  bool exact[4] = {true, true, true, true};
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto y = queries.Row(q);
+    const auto truth = scan.KnnSearch(y, kK);
+    auto check = [&](int idx, const std::vector<Neighbor>& res) {
+      for (size_t i = 0; i < res.size(); ++i) {
+        if (res[i].id != truth[i].id) exact[idx] = false;
+      }
+    };
+    {
+      QueryStats st;
+      check(0, bp.KnnSearch(y, kK, &st));
+      io[0] += double(st.io_reads);
+      ms[0] += st.total_ms;
+    }
+    {
+      const IoStats before = pager.stats();
+      Timer t;
+      check(1, vaf.KnnSearch(y, kK));
+      ms[1] += t.ElapsedMillis();
+      io[1] += double((pager.stats() - before).reads);
+    }
+    {
+      const IoStats before = pager.stats();
+      Timer t;
+      check(2, bbt.KnnSearch(y, kK));
+      ms[2] += t.ElapsedMillis();
+      io[2] += double((pager.stats() - before).reads);
+    }
+    {
+      Timer t;
+      check(3, scan.KnnSearch(y, kK));
+      ms[3] += t.ElapsedMillis();
+    }
+  }
+  const char* names[4] = {"BP", "VAF", "BBT", "scan"};
+  const double nq = double(queries.rows());
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-12s%-12.1f%-12.2f%-10s\n", names[i], io[i] / nq,
+                ms[i] / nq, exact[i] ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "baselines/linear_scan.h"
+
+#include "common/check.h"
+
+namespace brep {
+
+LinearScan::LinearScan(const Matrix& data, const BregmanDivergence& div)
+    : data_(&data), div_(div) {
+  BREP_CHECK(data.cols() == div_.dim());
+}
+
+std::vector<Neighbor> LinearScan::KnnSearch(std::span<const double> y,
+                                            size_t k) const {
+  TopK topk(k);
+  for (size_t i = 0; i < data_->rows(); ++i) {
+    topk.Push(div_.Divergence(data_->Row(i), y), static_cast<uint32_t>(i));
+  }
+  return topk.SortedResults();
+}
+
+std::vector<uint32_t> LinearScan::RangeSearch(std::span<const double> y,
+                                              double radius) const {
+  std::vector<uint32_t> result;
+  for (size_t i = 0; i < data_->rows(); ++i) {
+    if (div_.Divergence(data_->Row(i), y) <= radius) {
+      result.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<double> LinearScan::AllDistances(std::span<const double> y) const {
+  std::vector<double> out(data_->rows());
+  for (size_t i = 0; i < data_->rows(); ++i) {
+    out[i] = div_.Divergence(data_->Row(i), y);
+  }
+  return out;
+}
+
+}  // namespace brep

@@ -1,0 +1,38 @@
+#ifndef BREP_BASELINES_LINEAR_SCAN_H_
+#define BREP_BASELINES_LINEAR_SCAN_H_
+
+#include <span>
+#include <vector>
+
+#include "common/top_k.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// Brute-force exact search. Serves as the ground-truth oracle for tests and
+/// the overall-ratio metric, and as the "linear search" reference point the
+/// paper compares index degradation against.
+class LinearScan {
+ public:
+  /// `data` must outlive the scanner.
+  LinearScan(const Matrix& data, const BregmanDivergence& div);
+
+  /// Exact kNN: the k smallest D(x, y), ties broken by id.
+  std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k) const;
+
+  /// Exact range query: ids with D(x, y) <= radius (ascending id order).
+  std::vector<uint32_t> RangeSearch(std::span<const double> y,
+                                    double radius) const;
+
+  /// Distance from every point to y (used by parameter fitting).
+  std::vector<double> AllDistances(std::span<const double> y) const;
+
+ private:
+  const Matrix* data_;
+  BregmanDivergence div_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_BASELINES_LINEAR_SCAN_H_

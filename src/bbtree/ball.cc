@@ -1,0 +1,64 @@
+#include "bbtree/ball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace brep {
+
+double BallDistanceLowerBound(const BregmanDivergence& div,
+                              const BregmanBall& ball,
+                              std::span<const double> y,
+                              std::span<const double> grad_y, int max_iters) {
+  const size_t dim = div.dim();
+  BREP_DCHECK(ball.center.size() == dim);
+  BREP_DCHECK(y.size() == dim && grad_y.size() == dim);
+
+  // Query inside the ball: the minimum is 0.
+  const double d_yc = div.Divergence(y, ball.center);
+  if (d_yc <= ball.radius) return 0.0;
+
+  // Degenerate ball: single point.
+  if (ball.radius <= 0.0) return div.Divergence(ball.center, y);
+
+  std::vector<double> grad_c(dim);
+  div.Gradient(ball.center, std::span<double>(grad_c));
+
+  std::vector<double> mix(dim);
+  std::vector<double> x_theta(dim);
+  auto eval_point = [&](double theta) {
+    for (size_t j = 0; j < dim; ++j) {
+      mix[j] = (1.0 - theta) * grad_y[j] + theta * grad_c[j];
+    }
+    div.GradientInverse(mix, std::span<double>(x_theta));
+  };
+
+  // D(x_theta, c) runs from D(y, c) > R at theta=0 down to 0 at theta=1;
+  // bisect for D(x_theta, c) == R.
+  double lo = 0.0;    // D(x_lo, c) > R
+  double hi = 1.0;    // D(x_hi, c) <= R
+  for (int i = 0; i < max_iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    eval_point(mid);
+    const double d_c = div.Divergence(x_theta, ball.center);
+    if (d_c > ball.radius) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  // Evaluate the dual value at theta = hi (the feasible side, where
+  // D(x_theta, c) <= R makes the lambda term non-positive => the returned
+  // value can only under-estimate the true minimum, never over-estimate).
+  const double theta = hi;
+  eval_point(theta);
+  const double d_y = div.Divergence(x_theta, y);
+  if (theta >= 1.0) return d_y;  // numeric corner: projection hit the center
+  const double lambda = theta / (1.0 - theta);
+  const double slack = div.Divergence(x_theta, ball.center) - ball.radius;
+  return std::max(0.0, d_y + lambda * slack);
+}
+
+}  // namespace brep

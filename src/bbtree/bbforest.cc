@@ -1,0 +1,58 @@
+#include "bbtree/bbforest.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace brep {
+
+BBForest::BBForest(Pager* pager, const Matrix& data,
+                   const BregmanDivergence& div,
+                   std::vector<std::vector<size_t>> partitions,
+                   const BBForestConfig& config)
+    : filter_mode_(config.filter_mode), partitions_(std::move(partitions)) {
+  BREP_CHECK(pager != nullptr);
+  BREP_CHECK(!partitions_.empty());
+  BREP_CHECK(data.cols() == div.dim());
+
+  // Build the first subspace's tree in memory to obtain the leaf order that
+  // defines the on-disk point layout (paper Section 6).
+  const Matrix sub0 = data.GatherColumns(partitions_[0]);
+  const BregmanDivergence div0 = div.Restrict(partitions_[0]);
+  const BBTree tree0(sub0, div0, config.tree);
+  const std::vector<uint32_t> order = tree0.LeafOrder();
+  BREP_CHECK(order.size() == data.rows());
+
+  store_ = std::make_unique<PointStore>(pager, data, order);
+
+  trees_.reserve(partitions_.size());
+  trees_.push_back(
+      std::make_unique<DiskBBTree>(pager, tree0, config.pool_pages));
+  for (size_t m = 1; m < partitions_.size(); ++m) {
+    const Matrix sub = data.GatherColumns(partitions_[m]);
+    const BregmanDivergence sub_div = div.Restrict(partitions_[m]);
+    const BBTree tree(sub, sub_div, config.tree);
+    trees_.push_back(
+        std::make_unique<DiskBBTree>(pager, tree, config.pool_pages));
+  }
+}
+
+std::vector<uint32_t> BBForest::RangeCandidatesUnion(
+    std::span<const std::vector<double>> y_subs, std::span<const double> radii,
+    SearchStats* stats) const {
+  BREP_CHECK(y_subs.size() == trees_.size());
+  BREP_CHECK(radii.size() == trees_.size());
+  std::vector<uint32_t> all;
+  for (size_t m = 0; m < trees_.size(); ++m) {
+    std::vector<uint32_t> cand =
+        filter_mode_ == FilterMode::kExactRange
+            ? trees_[m]->RangeSearchExact(y_subs[m], radii[m], stats)
+            : trees_[m]->RangeCandidates(y_subs[m], radii[m], stats);
+    all.insert(all.end(), cand.begin(), cand.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace brep

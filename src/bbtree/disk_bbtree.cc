@@ -1,0 +1,307 @@
+#include "bbtree/disk_bbtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace brep {
+namespace {
+
+void AppendBytes(std::vector<uint8_t>* blob, const void* src, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  blob->insert(blob->end(), p, p + len);
+}
+
+template <typename T>
+void AppendValue(std::vector<uint8_t>* blob, T v) {
+  AppendBytes(blob, &v, sizeof(T));
+}
+
+template <typename T>
+T ReadValue(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages)
+    : pager_(pager),
+      div_(tree.divergence()),
+      bound_iters_(tree.config().bound_iters),
+      pool_(pager, pool_pages) {
+  BREP_CHECK(pager_ != nullptr);
+  const auto& nodes = tree.nodes();
+  num_nodes_ = nodes.size();
+  const size_t dim = div_.dim();
+  const size_t fixed = 1 + 4 + 3 * sizeof(double) + dim * sizeof(double);
+
+  // Subtree point counts (leaf ids roll up to interior nodes).
+  std::vector<uint32_t> count(nodes.size(), 0);
+  // nodes were appended children-before-parent during Build, so a forward
+  // scan sees children first.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    count[i] = nodes[i].is_leaf()
+                   ? static_cast<uint32_t>(nodes[i].ids.size())
+                   : count[nodes[i].left] + count[nodes[i].right];
+  }
+
+  // Leaves carry their subspace vectors so exact range search runs on index
+  // pages alone (Cayton'09 semantics).
+  auto node_size = [&](const BBTree::Node& n) {
+    return fixed +
+           (n.is_leaf() ? (4 + dim * sizeof(double)) * n.ids.size() : 16);
+  };
+
+  // Pre-order offset assignment.
+  std::vector<uint64_t> offset(nodes.size(), 0);
+  uint64_t cursor = 0;
+  std::vector<int32_t> stack{tree.root()};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    offset[idx] = cursor;
+    cursor += node_size(nodes[idx]);
+    if (!nodes[idx].is_leaf()) {
+      stack.push_back(nodes[idx].right);
+      stack.push_back(nodes[idx].left);
+    }
+  }
+  root_offset_ = offset[tree.root()];
+  BREP_CHECK(root_offset_ == 0);
+
+  // Serialize in the same order.
+  std::vector<uint8_t> blob;
+  blob.reserve(cursor);
+  stack.assign(1, tree.root());
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const BBTree::Node& n = nodes[idx];
+    BREP_CHECK(blob.size() == offset[idx]);
+    AppendValue<uint8_t>(&blob, n.is_leaf() ? 1 : 0);
+    AppendValue<uint32_t>(&blob, count[idx]);
+    AppendValue<double>(&blob, n.ball.radius);
+    AppendValue<double>(&blob, n.dist_mean);
+    AppendValue<double>(&blob, n.dist_std);
+    AppendBytes(&blob, n.ball.center.data(), dim * sizeof(double));
+    if (n.is_leaf()) {
+      AppendBytes(&blob, n.ids.data(), 4 * n.ids.size());
+      for (uint32_t id : n.ids) {
+        AppendBytes(&blob, tree.data().Row(id).data(), dim * sizeof(double));
+      }
+    } else {
+      AppendValue<uint64_t>(&blob, offset[n.left]);
+      AppendValue<uint64_t>(&blob, offset[n.right]);
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+  blob_size_ = blob.size();
+  pages_ = pager_->WriteBlob(blob);
+}
+
+DiskBBTree::DiskNode DiskBBTree::ReadNode(uint64_t off) const {
+  const size_t page_size = pager_->page_size();
+  auto read_bytes = [&](uint64_t start, size_t len, uint8_t* out) {
+    size_t done = 0;
+    while (done < len) {
+      const uint64_t pos = start + done;
+      const size_t page_idx = pos / page_size;
+      const size_t in_page = pos % page_size;
+      const size_t chunk = std::min(len - done, page_size - in_page);
+      const PageBuffer& buf = pool_.Read(pages_[page_idx]);
+      std::memcpy(out + done, buf.data() + in_page, chunk);
+      done += chunk;
+    }
+  };
+
+  const size_t dim = div_.dim();
+  const size_t fixed = 1 + 4 + 3 * sizeof(double) + dim * sizeof(double);
+  std::vector<uint8_t> head(fixed);
+  read_bytes(off, fixed, head.data());
+
+  DiskNode node;
+  size_t pos = 0;
+  node.is_leaf = head[pos] != 0;
+  pos += 1;
+  node.count = ReadValue<uint32_t>(&head[pos]);
+  pos += 4;
+  node.ball.radius = ReadValue<double>(&head[pos]);
+  pos += 8;
+  node.dist_mean = ReadValue<double>(&head[pos]);
+  pos += 8;
+  node.dist_std = ReadValue<double>(&head[pos]);
+  pos += 8;
+  node.ball.center.resize(dim);
+  std::memcpy(node.ball.center.data(), &head[pos], dim * sizeof(double));
+
+  if (node.is_leaf) {
+    node.ids.resize(node.count);
+    node.points.resize(size_t(node.count) * dim);
+    std::vector<uint8_t> tail(4 * node.count +
+                              node.points.size() * sizeof(double));
+    read_bytes(off + fixed, tail.size(), tail.data());
+    std::memcpy(node.ids.data(), tail.data(), 4 * node.count);
+    std::memcpy(node.points.data(), tail.data() + 4 * node.count,
+                node.points.size() * sizeof(double));
+  } else {
+    uint8_t tail[16];
+    read_bytes(off + fixed, 16, tail);
+    node.left_off = ReadValue<uint64_t>(&tail[0]);
+    node.right_off = ReadValue<uint64_t>(&tail[8]);
+  }
+  return node;
+}
+
+std::vector<uint32_t> DiskBBTree::RangeCandidates(std::span<const double> y,
+                                                  double radius,
+                                                  SearchStats* stats) const {
+  BREP_CHECK(y.size() == div_.dim());
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+
+  std::vector<double> grad_y(div_.dim());
+  div_.Gradient(y, std::span<double>(grad_y));
+
+  std::vector<uint32_t> result;
+  std::vector<uint64_t> stack{root_offset_};
+  while (!stack.empty()) {
+    const uint64_t off = stack.back();
+    stack.pop_back();
+    const DiskNode node = ReadNode(off);
+    ++st.nodes_visited;
+    if (BallDistanceLowerBound(div_, node.ball, y, grad_y, bound_iters_) >
+        radius) {
+      continue;
+    }
+    if (node.is_leaf) {
+      ++st.leaves_visited;
+      result.insert(result.end(), node.ids.begin(), node.ids.end());
+    } else {
+      stack.push_back(node.left_off);
+      stack.push_back(node.right_off);
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> DiskBBTree::RangeSearchExact(std::span<const double> y,
+                                                   double radius,
+                                                   SearchStats* stats) const {
+  BREP_CHECK(y.size() == div_.dim());
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+
+  const size_t dim = div_.dim();
+  std::vector<double> grad_y(dim);
+  div_.Gradient(y, std::span<double>(grad_y));
+
+  std::vector<uint32_t> result;
+  std::vector<uint64_t> stack{root_offset_};
+  while (!stack.empty()) {
+    const uint64_t off = stack.back();
+    stack.pop_back();
+    const DiskNode node = ReadNode(off);
+    ++st.nodes_visited;
+    if (BallDistanceLowerBound(div_, node.ball, y, grad_y, bound_iters_) >
+        radius) {
+      continue;
+    }
+    if (node.is_leaf) {
+      ++st.leaves_visited;
+      for (size_t i = 0; i < node.ids.size(); ++i) {
+        ++st.points_evaluated;
+        const std::span<const double> x(&node.points[i * dim], dim);
+        if (div_.Divergence(x, y) <= radius) result.push_back(node.ids[i]);
+      }
+    } else {
+      stack.push_back(node.left_off);
+      stack.push_back(node.right_off);
+    }
+  }
+  return result;
+}
+
+template <typename Gate>
+std::vector<Neighbor> DiskBBTree::KnnImpl(std::span<const double> y, size_t k,
+                                          const PointStore& store,
+                                          SearchStats* stats,
+                                          const Gate& gate) const {
+  BREP_CHECK(y.size() == div_.dim());
+  BREP_CHECK_MSG(store.dim() == div_.dim(),
+                 "disk kNN evaluates in the tree's own space");
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+
+  std::vector<double> grad_y(div_.dim());
+  div_.Gradient(y, std::span<double>(grad_y));
+
+  TopK topk(k);
+  struct Entry {
+    double lb;
+    uint64_t off;
+    bool operator>(const Entry& o) const { return lb > o.lb; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.push(Entry{0.0, root_offset_});
+
+  while (!frontier.empty()) {
+    const Entry e = frontier.top();
+    frontier.pop();
+    if (e.lb >= topk.Threshold()) continue;
+    const DiskNode node = ReadNode(e.off);
+    ++st.nodes_visited;
+    if (!gate(e.lb, node, topk.Threshold())) continue;
+    if (node.is_leaf) {
+      ++st.leaves_visited;
+      store.FetchMany(node.ids,
+                      [&](uint32_t id, std::span<const double> x) {
+                        topk.Push(div_.Divergence(x, y), id);
+                        ++st.points_evaluated;
+                      });
+    } else {
+      const DiskNode left = ReadNode(node.left_off);
+      const DiskNode right = ReadNode(node.right_off);
+      const double lb_l =
+          BallDistanceLowerBound(div_, left.ball, y, grad_y, bound_iters_);
+      const double lb_r =
+          BallDistanceLowerBound(div_, right.ball, y, grad_y, bound_iters_);
+      if (lb_l < topk.Threshold()) frontier.push(Entry{lb_l, node.left_off});
+      if (lb_r < topk.Threshold()) frontier.push(Entry{lb_r, node.right_off});
+    }
+  }
+  return topk.SortedResults();
+}
+
+std::vector<Neighbor> DiskBBTree::KnnSearch(std::span<const double> y,
+                                            size_t k, const PointStore& store,
+                                            SearchStats* stats) const {
+  return KnnImpl(y, k, store, stats,
+                 [](double, const DiskNode&, double) { return true; });
+}
+
+std::vector<Neighbor> DiskBBTree::KnnSearchVariational(
+    std::span<const double> y, size_t k, const PointStore& store,
+    double min_expected_hits, SearchStats* stats) const {
+  auto gate = [min_expected_hits](double lb, const DiskNode& node,
+                                  double threshold) {
+    if (threshold == std::numeric_limits<double>::infinity()) return true;
+    // Gaussian model of per-point distances within the node: centered at
+    // lb + dist_mean with spread dist_std (data-distribution heuristic in
+    // the spirit of Coviello et al.'s variational estimate).
+    const double sigma = node.dist_std + 1e-12;
+    const double z = (threshold - lb - node.dist_mean) / sigma;
+    const double p_improve = NormalCdf(z);
+    return static_cast<double>(node.count) * p_improve >= min_expected_hits;
+  };
+  return KnnImpl(y, k, store, stats, gate);
+}
+
+}  // namespace brep

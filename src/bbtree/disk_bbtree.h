@@ -1,0 +1,105 @@
+#ifndef BREP_BBTREE_DISK_BBTREE_H_
+#define BREP_BBTREE_DISK_BBTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bbtree/bbtree.h"
+#include "common/top_k.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/point_store.h"
+
+namespace brep {
+
+/// Disk-resident BB-tree: the node structure of an in-memory BBTree
+/// serialized onto the simulated disk (paper Section 6's extension of
+/// BB-trees to disks).
+///
+/// Interior and leaf nodes store the cluster center, radius, the per-node
+/// distance statistics, and either child offsets or the point ids of the
+/// cluster. Traversal reads node bytes through an LRU buffer pool (hot upper
+/// levels stay cached, like an OS page cache would); point payloads are
+/// fetched from the PointStore and charged against the pager directly.
+class DiskBBTree {
+ public:
+  /// Serialize `tree` into pages of `pager`. The tree object itself may be
+  /// discarded afterwards; `pool_pages` bounds the node cache.
+  DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages = 128);
+
+  DiskBBTree(const DiskBBTree&) = delete;
+  DiskBBTree& operator=(const DiskBBTree&) = delete;
+
+  size_t dim() const { return div_.dim(); }
+  const BregmanDivergence& divergence() const { return div_; }
+  size_t num_nodes() const { return num_nodes_; }
+  /// Total bytes of serialized index (for construction-cost reporting).
+  size_t index_bytes() const { return blob_size_; }
+
+  /// Cluster-granularity range filter, as in BBTree::RangeCandidates, with
+  /// node reads charged to the pager (via the pool).
+  std::vector<uint32_t> RangeCandidates(std::span<const double> y,
+                                        double radius,
+                                        SearchStats* stats = nullptr) const;
+
+  /// Exact range search (Cayton NIPS'09, the algorithm the paper adopts for
+  /// the filter step): leaves store the subspace vectors, so qualifying
+  /// points are identified on the index pages without touching the point
+  /// store. Returns exactly {x : D(x_sub, y) <= radius}.
+  std::vector<uint32_t> RangeSearchExact(std::span<const double> y,
+                                         double radius,
+                                         SearchStats* stats = nullptr) const;
+
+  /// Exact branch-and-bound kNN ("BBT" baseline): node pruning uses this
+  /// tree's balls, candidate points are fetched from `store` (which must
+  /// have this tree's dimensionality) and evaluated with the tree's own
+  /// divergence.
+  std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
+                                  const PointStore& store,
+                                  SearchStats* stats = nullptr) const;
+
+  /// "Var"-style approximate kNN (Coviello et al., ICML'13 behavioural
+  /// reimplementation): identical traversal, but a node is explored only if
+  /// the Gaussian model of its distance distribution predicts at least
+  /// `min_expected_hits` points improving on the current k-th distance.
+  std::vector<Neighbor> KnnSearchVariational(std::span<const double> y,
+                                             size_t k,
+                                             const PointStore& store,
+                                             double min_expected_hits,
+                                             SearchStats* stats = nullptr) const;
+
+ private:
+  struct DiskNode {
+    BregmanBall ball;
+    double dist_mean = 0.0;
+    double dist_std = 0.0;
+    uint32_t count = 0;
+    bool is_leaf = false;
+    uint64_t left_off = 0;
+    uint64_t right_off = 0;
+    std::vector<uint32_t> ids;
+    /// Leaf only: the subspace vectors of `ids`, row-major (ids.size() x dim).
+    std::vector<double> points;
+  };
+
+  DiskNode ReadNode(uint64_t offset) const;
+  template <typename Gate>
+  std::vector<Neighbor> KnnImpl(std::span<const double> y, size_t k,
+                                const PointStore& store, SearchStats* stats,
+                                const Gate& gate) const;
+
+  Pager* pager_;
+  BregmanDivergence div_;
+  int bound_iters_;
+  std::vector<PageId> pages_;
+  size_t blob_size_ = 0;
+  size_t num_nodes_ = 0;
+  uint64_t root_offset_ = 0;
+  mutable BufferPool pool_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_BBTREE_DISK_BBTREE_H_

@@ -1,0 +1,135 @@
+#include "bbtree/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace brep {
+namespace {
+
+/// k-means++ seeding with D_f(x, c) as the distance to the chosen seeds.
+Matrix SeedPlusPlus(const Matrix& data, std::span<const uint32_t> ids,
+                    const BregmanDivergence& div, size_t k, Rng& rng) {
+  const size_t dim = data.cols();
+  Matrix centers(k, dim);
+  std::vector<double> min_dist(ids.size(),
+                               std::numeric_limits<double>::infinity());
+
+  // First seed: uniform.
+  size_t first = static_cast<size_t>(rng.NextBelow(ids.size()));
+  auto dst0 = centers.MutableRow(0);
+  const auto src0 = data.Row(ids[first]);
+  std::copy(src0.begin(), src0.end(), dst0.begin());
+
+  for (size_t c = 1; c < k; ++c) {
+    // Update distances against the newly added center.
+    double total = 0.0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const double d = div.Divergence(data.Row(ids[i]), centers.Row(c - 1));
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(rng.NextBelow(ids.size()));
+    }
+    auto dst = centers.MutableRow(c);
+    const auto src = data.Row(ids[chosen]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult BregmanKMeans(const Matrix& data, std::span<const uint32_t> ids,
+                           const BregmanDivergence& div, size_t k, Rng& rng,
+                           int max_iters) {
+  BREP_CHECK(!ids.empty());
+  BREP_CHECK(data.cols() == div.dim());
+  k = std::min(k, ids.size());
+  BREP_CHECK(k > 0);
+
+  const size_t dim = data.cols();
+  KMeansResult result;
+  result.centers = SeedPlusPlus(data, ids, div, k, rng);
+  result.assignment.assign(ids.size(), 0);
+
+  std::vector<double> cluster_size(k);
+  Matrix sums(k, dim);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    result.objective = 0.0;
+
+    // Assignment step.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const auto x = data.Row(ids[i]);
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = div.Divergence(x, result.centers.Row(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+      result.objective += best;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Update step: arithmetic means.
+    std::fill(cluster_size.begin(), cluster_size.end(), 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      auto row = sums.MutableRow(c);
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const uint32_t c = result.assignment[i];
+      const auto x = data.Row(ids[i]);
+      auto sum = sums.MutableRow(c);
+      for (size_t j = 0; j < dim; ++j) sum[j] += x[j];
+      cluster_size[c] += 1.0;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (cluster_size[c] > 0.0) {
+        auto center = result.centers.MutableRow(c);
+        const auto sum = sums.Row(c);
+        for (size_t j = 0; j < dim; ++j) center[j] = sum[j] / cluster_size[c];
+      } else {
+        // Empty cluster: reseed to the point farthest from its own center.
+        size_t far_i = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const double d = div.Divergence(
+              data.Row(ids[i]), result.centers.Row(result.assignment[i]));
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        auto center = result.centers.MutableRow(c);
+        const auto src = data.Row(ids[far_i]);
+        std::copy(src.begin(), src.end(), center.begin());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace brep

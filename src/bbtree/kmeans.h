@@ -1,0 +1,40 @@
+#ifndef BREP_BBTREE_KMEANS_H_
+#define BREP_BBTREE_KMEANS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// Result of Bregman k-means clustering.
+struct KMeansResult {
+  /// k x dim cluster centers.
+  Matrix centers;
+  /// For each input id (in input order): index of its cluster in `centers`.
+  std::vector<uint32_t> assignment;
+  /// Final objective sum_i D(x_i, c_{a(i)}).
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+/// Bregman k-means (Banerjee et al. 2005): Lloyd iterations where points are
+/// assigned to the center minimizing D_f(x, c) and centers are updated to the
+/// arithmetic mean of their cluster (exact for every Bregman divergence).
+/// Seeding is k-means++ style with D_f as the distance. Empty clusters are
+/// reseeded to the point farthest from its current center. This is the space
+/// decomposition BB-trees are built from (Cayton 2008).
+///
+/// `ids` selects the rows of `data` to cluster (must be non-empty and
+/// contain no duplicates). k is clamped to ids.size().
+KMeansResult BregmanKMeans(const Matrix& data, std::span<const uint32_t> ids,
+                           const BregmanDivergence& div, size_t k, Rng& rng,
+                           int max_iters = 16);
+
+}  // namespace brep
+
+#endif  // BREP_BBTREE_KMEANS_H_

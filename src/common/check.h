@@ -1,0 +1,38 @@
+#ifndef BREP_COMMON_CHECK_H_
+#define BREP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. `BREP_CHECK` is always on (cheap predicates
+/// guarding programmer error); `BREP_DCHECK` compiles out in release builds
+/// and is used on hot paths.
+
+#define BREP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BREP_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define BREP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BREP_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define BREP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define BREP_DCHECK(cond) BREP_CHECK(cond)
+#endif
+
+#endif  // BREP_COMMON_CHECK_H_

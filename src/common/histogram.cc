@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace brep {
+
+Histogram::Histogram(std::span<const double> sample, size_t num_bins) {
+  BREP_CHECK(!sample.empty());
+  BREP_CHECK(num_bins > 0);
+  min_ = *std::min_element(sample.begin(), sample.end());
+  max_ = *std::max_element(sample.begin(), sample.end());
+  if (max_ <= min_) max_ = min_ + 1e-12;  // degenerate: all values equal
+  counts_.assign(num_bins, 0);
+  bin_width_ = (max_ - min_) / static_cast<double>(num_bins);
+  for (double v : sample) {
+    size_t bin = static_cast<size_t>((v - min_) / bin_width_);
+    bin = std::min(bin, num_bins - 1);
+    ++counts_[bin];
+  }
+  total_ = sample.size();
+  cum_.resize(num_bins);
+  size_t running = 0;
+  for (size_t i = 0; i < num_bins; ++i) {
+    running += counts_[i];
+    cum_[i] = static_cast<double>(running) / static_cast<double>(total_);
+  }
+  fit_.mean = Mean(sample);
+  fit_.stddev = std::sqrt(Variance(sample));
+}
+
+double Histogram::Cdf(double v) const {
+  if (v <= min_) return 0.0;
+  if (v >= max_) return 1.0;
+  const double pos = (v - min_) / bin_width_;
+  size_t bin = static_cast<size_t>(pos);
+  bin = std::min(bin, counts_.size() - 1);
+  const double below = bin == 0 ? 0.0 : cum_[bin - 1];
+  const double within = cum_[bin] - below;
+  const double frac = pos - static_cast<double>(bin);
+  return below + within * frac;
+}
+
+double Histogram::InverseCdf(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  // Find the first bin whose cumulative fraction reaches p.
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  const size_t bin = static_cast<size_t>(it - cum_.begin());
+  const double below = bin == 0 ? 0.0 : cum_[bin - 1];
+  const double within = cum_[bin] - below;
+  const double frac = within > 0.0 ? (p - below) / within : 1.0;
+  return min_ + (static_cast<double>(bin) + frac) * bin_width_;
+}
+
+}  // namespace brep

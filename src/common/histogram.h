@@ -1,0 +1,57 @@
+#ifndef BREP_COMMON_HISTOGRAM_H_
+#define BREP_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace brep {
+
+/// Equi-width histogram with an empirical CDF and inverse CDF.
+///
+/// The approximate-search extension (paper Section 8, Proposition 1) needs
+/// the cumulative distribution Psi of the bound slack `b_xy` and its inverse.
+/// The paper suggests histograms, optionally smoothed by fitting a known
+/// distribution with least squares; both are provided (`Cdf`/`InverseCdf` are
+/// empirical, `FitNormal` produces the smoothed parametric fit).
+class Histogram {
+ public:
+  /// Build over a sample with `num_bins` equi-width bins spanning
+  /// [min(sample), max(sample)]. Requires a non-empty sample.
+  Histogram(std::span<const double> sample, size_t num_bins);
+
+  /// Empirical CDF: fraction of mass at or below v (piecewise linear within
+  /// bins). Clamps to [0, 1] outside the observed range.
+  double Cdf(double v) const;
+
+  /// Smallest v with Cdf(v) >= p, by piecewise-linear inversion.
+  /// p is clamped into [0, 1].
+  double InverseCdf(double p) const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  size_t num_bins() const { return counts_.size(); }
+  size_t total_count() const { return total_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+
+  /// Moment-matched normal fit of the underlying sample, usable as the
+  /// "known distribution chosen to fit the histogram" from the paper.
+  struct NormalFit {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  NormalFit FitNormal() const { return fit_; }
+
+ private:
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double bin_width_ = 0.0;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;
+  std::vector<double> cum_;  // cum_[i] = fraction of mass in bins [0, i]
+  NormalFit fit_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,133 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace brep {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+double Covariance(std::span<const double> xs, std::span<const double> ys) {
+  BREP_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double acc = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) acc += (xs[i] - mx) * (ys[i] - my);
+  return acc / static_cast<double>(xs.size());
+}
+
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) {
+  const double cov = Covariance(xs, ys);
+  const double vx = Variance(xs);
+  const double vy = Variance(ys);
+  // Degenerate (constant) dimensions carry no correlation signal.
+  if (vx <= 1e-30 || vy <= 1e-30) return 0.0;
+  const double r = cov / std::sqrt(vx * vy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+LineFit FitLine(std::span<const double> xs, std::span<const double> ys) {
+  BREP_CHECK(xs.size() == ys.size() && xs.size() >= 2);
+  const double vx = Variance(xs);
+  BREP_CHECK_MSG(vx > 1e-30, "x values must not be constant");
+  LineFit fit;
+  fit.slope = Covariance(xs, ys) / vx;
+  fit.intercept = Mean(ys) - fit.slope * Mean(xs);
+  return fit;
+}
+
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iters) {
+  BREP_CHECK(lo <= hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  // If the bracket does not straddle zero the caller's assumption failed;
+  // return the endpoint closest to a root rather than aborting, since this
+  // is used inside numeric pruning where conservative answers are fine.
+  if ((flo < 0.0) == (fhi < 0.0)) {
+    return std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+  }
+  for (int i = 0; i < max_iters && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z * M_SQRT1_2); }
+
+double NormalQuantile(double p) {
+  BREP_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  BREP_CHECK(!values.empty());
+  BREP_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace brep

@@ -1,0 +1,57 @@
+#ifndef BREP_COMMON_MATH_UTILS_H_
+#define BREP_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace brep {
+
+/// \file
+/// Small numeric routines shared across modules: moments, Pearson
+/// correlation, root finding, and least-squares line fitting.
+
+/// Arithmetic mean. Returns 0 for empty input.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by n). Returns 0 for n < 2.
+double Variance(std::span<const double> values);
+
+/// Population covariance between two equally sized series.
+double Covariance(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either series
+/// is (numerically) constant, so degenerate dimensions never dominate PCCP.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Result of fitting y = slope * x + intercept by ordinary least squares.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+/// Ordinary least squares fit of y on x. Requires xs.size() == ys.size() >= 2.
+LineFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+/// Find x in [lo, hi] with f(x) ~= 0 by bisection, assuming f is monotone on
+/// the bracket and f(lo), f(hi) have opposite signs (either order). Runs
+/// `max_iters` halvings or until the bracket is narrower than `tol`.
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol = 1e-10, int max_iters = 100);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). Input must lie in (0, 1).
+double NormalQuantile(double p);
+
+/// Quantile (linear interpolation, type-7) of an unsorted sample.
+/// q in [0, 1]; q=0 -> min, q=1 -> max.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_MATH_UTILS_H_

@@ -1,0 +1,113 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace brep {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  BREP_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  BREP_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return v % n;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  BREP_CHECK(count <= n);
+  std::vector<size_t> result;
+  result.reserve(count);
+  if (count * 4 >= n) {
+    // Partial Fisher-Yates over the whole index range.
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < count; ++i) {
+      const size_t j = i + static_cast<size_t>(NextBelow(n - i));
+      std::swap(all[i], all[j]);
+    }
+    result.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(count));
+  } else {
+    // Floyd's algorithm: O(count) expected insertions.
+    std::unordered_set<size_t> chosen;
+    chosen.reserve(count * 2);
+    for (size_t j = n - count; j < n; ++j) {
+      const size_t t = static_cast<size_t>(NextBelow(j + 1));
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    result.assign(chosen.begin(), chosen.end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void Rng::Shuffle(std::vector<size_t>* items) {
+  auto& v = *items;
+  for (size_t i = v.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(NextBelow(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace brep

@@ -1,0 +1,52 @@
+#ifndef BREP_COMMON_RNG_H_
+#define BREP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace brep {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library (synthetic data, k-means seeding,
+/// sampling for parameter fitting) takes an explicit `Rng&` so whole runs are
+/// reproducible from a single seed. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform on the full 64-bit range.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double NextGaussian();
+
+  /// Gaussian with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Sample `count` distinct indices from [0, n) (Floyd's algorithm when
+  /// count << n, otherwise a partial Fisher-Yates). Result is sorted.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Shuffle a vector of indices in place (Fisher-Yates).
+  void Shuffle(std::vector<size_t>* items);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_RNG_H_

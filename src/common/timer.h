@@ -1,0 +1,32 @@
+#ifndef BREP_COMMON_TIMER_H_
+#define BREP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace brep {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// per-query statistics in search engines.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_TIMER_H_

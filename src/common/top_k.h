@@ -1,0 +1,76 @@
+#ifndef BREP_COMMON_TOP_K_H_
+#define BREP_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace brep {
+
+/// A (distance, id) result pair. Ordered by distance, ties broken by id so
+/// results are deterministic across methods and platforms.
+struct Neighbor {
+  double distance = 0.0;
+  uint32_t id = 0;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// Bounded max-heap keeping the k smallest Neighbors seen so far.
+///
+/// The classic kNN accumulator: `Push` is O(log k), `Threshold` is O(1) and
+/// returns the current k-th smallest distance (+inf until the heap is full),
+/// which search engines use as their pruning bound.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { BREP_CHECK(k > 0); }
+
+  /// Offer a candidate; keeps it only if it beats the current k-th best.
+  void Push(double distance, uint32_t id) {
+    const Neighbor cand{distance, id};
+    if (heap_.size() < k_) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (cand < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Current pruning threshold: the k-th smallest distance seen, or +inf
+  /// while fewer than k candidates have been pushed.
+  double Threshold() const {
+    if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+    return heap_.front().distance;
+  }
+
+  bool Full() const { return heap_.size() == k_; }
+  size_t Size() const { return heap_.size(); }
+  size_t K() const { return k_; }
+
+  /// Extract results sorted ascending by (distance, id).
+  std::vector<Neighbor> SortedResults() const {
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on Neighbor ordering
+};
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_TOP_K_H_

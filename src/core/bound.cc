@@ -1,0 +1,97 @@
+#include "core/bound.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace brep {
+
+PointTuple TransformPoint(const BregmanDivergence& sub_div,
+                          std::span<const double> x_sub) {
+  BREP_DCHECK(x_sub.size() == sub_div.dim());
+  PointTuple t;
+  t.alpha = sub_div.F(x_sub);
+  for (double v : x_sub) t.gamma += v * v;
+  return t;
+}
+
+QueryTriple TransformQuery(const BregmanDivergence& sub_div,
+                           std::span<const double> y_sub) {
+  BREP_DCHECK(y_sub.size() == sub_div.dim());
+  QueryTriple t;
+  t.alpha = -sub_div.F(y_sub);
+  std::vector<double> grad(y_sub.size());
+  sub_div.Gradient(y_sub, std::span<double>(grad));
+  for (size_t j = 0; j < y_sub.size(); ++j) {
+    t.beta_yy += y_sub[j] * grad[j];
+    t.delta += grad[j] * grad[j];
+  }
+  return t;
+}
+
+double BetaXY(const BregmanDivergence& sub_div, std::span<const double> x_sub,
+              std::span<const double> y_sub) {
+  BREP_DCHECK(x_sub.size() == sub_div.dim());
+  BREP_DCHECK(y_sub.size() == sub_div.dim());
+  std::vector<double> grad(y_sub.size());
+  sub_div.Gradient(y_sub, std::span<double>(grad));
+  double acc = 0.0;
+  for (size_t j = 0; j < x_sub.size(); ++j) acc -= x_sub[j] * grad[j];
+  return acc;
+}
+
+TransformedDataset::TransformedDataset(
+    const Matrix& data, std::span<const std::vector<size_t>> partitions,
+    std::span<const BregmanDivergence> sub_divs)
+    : n_(data.rows()), m_(partitions.size()) {
+  BREP_CHECK(sub_divs.size() == m_);
+  tuples_.resize(n_ * m_);
+  std::vector<double> sub;
+  for (size_t m = 0; m < m_; ++m) {
+    const auto& cols = partitions[m];
+    BREP_CHECK(sub_divs[m].dim() == cols.size());
+    sub.resize(cols.size());
+    for (size_t i = 0; i < n_; ++i) {
+      const auto row = data.Row(i);
+      for (size_t c = 0; c < cols.size(); ++c) sub[c] = row[cols[c]];
+      tuples_[i * m_ + m] = TransformPoint(sub_divs[m], sub);
+    }
+  }
+}
+
+QueryBounds QBDetermine(const TransformedDataset& st,
+                        std::span<const QueryTriple> q, size_t k) {
+  const size_t n = st.num_points();
+  const size_t m = st.num_partitions();
+  BREP_CHECK(q.size() == m);
+  BREP_CHECK(k >= 1 && k <= n);
+
+  // Total upper bound per point (Algorithm 4, lines 2-9).
+  std::vector<double> totals(n);
+  for (size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < m; ++j) total += UBCompute(st.At(i, j), q[j]);
+    totals[i] = total;
+  }
+
+  // k-th smallest via selection (line 10).
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  std::nth_element(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k - 1),
+                   ids.end(), [&](uint32_t a, uint32_t b) {
+                     if (totals[a] != totals[b]) return totals[a] < totals[b];
+                     return a < b;
+                   });
+  const uint32_t anchor = ids[k - 1];
+
+  QueryBounds qb;
+  qb.anchor_id = anchor;
+  qb.total = totals[anchor];
+  qb.radii.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    qb.radii[j] = UBCompute(st.At(anchor, j), q[j]);
+  }
+  return qb;
+}
+
+}  // namespace brep

@@ -1,0 +1,104 @@
+#ifndef BREP_CORE_BOUND_H_
+#define BREP_CORE_BOUND_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// \file
+/// The paper's Cauchy-Schwarz upper bound machinery (Section 4,
+/// Algorithms 1-4). Within one subspace, with phi the scalar generator and
+/// w_j the optional weights:
+///
+///   D(x, y) = a_x + a_y + b_yy + b_xy            (exact identity)
+///          <= a_x + a_y + b_yy + sqrt(g_x * d_y) (bound; b_xy <= sqrt(g_x d_y))
+///
+///   a_x  =  sum_j w_j phi(x_j)        g_x =  sum_j x_j^2
+///   a_y  = -sum_j w_j phi(y_j)        d_y =  sum_j (w_j phi'(y_j))^2
+///   b_yy =  sum_j y_j w_j phi'(y_j)   b_xy = -sum_j x_j w_j phi'(y_j)
+///
+/// Point tuples (a_x, g_x) are precomputed offline; query triples
+/// (a_y, b_yy, d_y) cost O(d) once per query, after which every bound
+/// evaluation is O(1).
+
+/// P(x) of Algorithm 2: per-subspace precomputed tuple.
+struct PointTuple {
+  double alpha = 0.0;  // a_x
+  double gamma = 0.0;  // g_x
+};
+
+/// Q(y) of Algorithm 3: per-subspace query triple.
+struct QueryTriple {
+  double alpha = 0.0;    // a_y
+  double beta_yy = 0.0;  // b_yy
+  double delta = 0.0;    // d_y
+};
+
+/// Algorithm 1 (UBCompute): upper bound on D(x_sub, y_sub) from the
+/// transformed representations.
+inline double UBCompute(const PointTuple& p, const QueryTriple& q) {
+  return p.alpha + q.alpha + q.beta_yy + std::sqrt(p.gamma * q.delta);
+}
+
+/// Transform one subvector of a data point (one iteration of Algorithm 2).
+/// `sub_div` is the divergence restricted to the subspace.
+PointTuple TransformPoint(const BregmanDivergence& sub_div,
+                          std::span<const double> x_sub);
+
+/// Transform one subvector of the query (one iteration of Algorithm 3).
+QueryTriple TransformQuery(const BregmanDivergence& sub_div,
+                           std::span<const double> y_sub);
+
+/// The exact cross term b_xy = -sum_j x_j w_j phi'(y_j) that the bound
+/// relaxes; the approximate extension (Section 8) models its distribution.
+double BetaXY(const BregmanDivergence& sub_div, std::span<const double> x_sub,
+              std::span<const double> y_sub);
+
+/// All point tuples for a partitioned dataset: n x M tuples, row-major.
+class TransformedDataset {
+ public:
+  TransformedDataset() = default;
+
+  /// Algorithm 2 over the whole dataset: gather each partition's columns and
+  /// transform every point. `sub_divs[m]` must be `div.Restrict(partition m)`.
+  TransformedDataset(const Matrix& data,
+                     std::span<const std::vector<size_t>> partitions,
+                     std::span<const BregmanDivergence> sub_divs);
+
+  size_t num_points() const { return n_; }
+  size_t num_partitions() const { return m_; }
+
+  const PointTuple& At(size_t i, size_t m) const { return tuples_[i * m_ + m]; }
+
+ private:
+  size_t n_ = 0;
+  size_t m_ = 0;
+  std::vector<PointTuple> tuples_;
+};
+
+/// Output of Algorithm 4 (QBDetermine): per-subspace searching bounds, i.e.
+/// the components of the k-th smallest total upper bound.
+struct QueryBounds {
+  /// Range-query radius per subspace.
+  std::vector<double> radii;
+  /// The k-th smallest total bound (sum of radii).
+  double total = 0.0;
+  /// Id of the point attaining it (the "anchor"; used by the approximate
+  /// extension to pick kappa and mu).
+  uint32_t anchor_id = 0;
+};
+
+/// Algorithm 4: compute every point's total upper bound, select the k-th
+/// smallest, and return its per-subspace components as the searching bounds.
+QueryBounds QBDetermine(const TransformedDataset& st,
+                        std::span<const QueryTriple> q, size_t k);
+
+}  // namespace brep
+
+#endif  // BREP_CORE_BOUND_H_

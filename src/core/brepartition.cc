@@ -1,0 +1,136 @@
+#include "core/brepartition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/pccp.h"
+
+namespace brep {
+
+BrePartition::BrePartition(Pager* pager, const Matrix& data,
+                           const BregmanDivergence& div,
+                           const BrePartitionConfig& config)
+    : pager_(pager), data_(&data), div_(div), config_(config) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(!data.empty());
+  BREP_CHECK(data.cols() == div_.dim());
+  BREP_CHECK_MSG(div_.generator().PartitionSafe(),
+                 "divergence is not cumulative under dimensionality "
+                 "partitioning (see paper Section 3.1; e.g. KL)");
+
+  Rng rng(config_.seed);
+
+  // 1. Number of partitions (Theorem 4), unless pinned by the caller.
+  size_t m = config_.num_partitions;
+  fit_ = FitCostModel(data, div_, rng, config_.fit_samples, 2,
+                      std::min<size_t>(8, data.cols()),
+                      config_.fit_eval_limit);
+  if (m == 0) {
+    m = OptimalNumPartitions(fit_, data.rows(), data.cols(), /*k=*/1,
+                             config_.max_partitions);
+  }
+  BREP_CHECK(m >= 1 && m <= data.cols());
+
+  // 2. Dimension assignment.
+  switch (config_.strategy) {
+    case PartitionStrategy::kPccp:
+      partitions_ = PccpPartition(data, m, rng, config_.pccp_sample_rows);
+      break;
+    case PartitionStrategy::kEqualContiguous:
+      partitions_ = EqualContiguousPartition(data.cols(), m);
+      break;
+    case PartitionStrategy::kRandom:
+      partitions_ = RandomPartition(data.cols(), m, rng);
+      break;
+  }
+  BREP_CHECK(IsValidPartitioning(partitions_, data.cols()));
+
+  sub_divs_.reserve(partitions_.size());
+  for (const auto& cols : partitions_) {
+    sub_divs_.push_back(div_.Restrict(cols));
+  }
+
+  // 3. Offline point transform (Algorithm 2 over the dataset).
+  transformed_ = TransformedDataset(data, partitions_, sub_divs_);
+
+  // 4. Disk-resident BB-forest.
+  forest_ = std::make_unique<BBForest>(pager_, data, div_, partitions_,
+                                       config_.forest);
+}
+
+std::vector<std::vector<double>> BrePartition::GatherQuery(
+    std::span<const double> y) const {
+  BREP_CHECK(y.size() == div_.dim());
+  std::vector<std::vector<double>> subs(partitions_.size());
+  for (size_t mi = 0; mi < partitions_.size(); ++mi) {
+    const auto& cols = partitions_[mi];
+    subs[mi].resize(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) subs[mi][c] = y[cols[c]];
+  }
+  return subs;
+}
+
+std::vector<QueryTriple> BrePartition::TransformQueryAll(
+    std::span<const std::vector<double>> y_subs) const {
+  std::vector<QueryTriple> triples(y_subs.size());
+  for (size_t mi = 0; mi < y_subs.size(); ++mi) {
+    triples[mi] = TransformQuery(sub_divs_[mi], y_subs[mi]);
+  }
+  return triples;
+}
+
+std::vector<Neighbor> BrePartition::FilterAndRefine(
+    std::span<const double> y, std::span<const std::vector<double>> y_subs,
+    std::span<const double> radii, size_t k, QueryStats* stats) const {
+  QueryStats local;
+  QueryStats& st = stats != nullptr ? *stats : local;
+
+  // Filter: cluster-granularity range queries over every subspace tree.
+  Timer filter_timer;
+  SearchStats tree_stats;
+  const std::vector<uint32_t> candidates =
+      forest_->RangeCandidatesUnion(y_subs, radii, &tree_stats);
+  st.filter_ms += filter_timer.ElapsedMillis();
+  st.nodes_visited += tree_stats.nodes_visited;
+  st.candidates += candidates.size();
+
+  // Refine: fetch candidates (page-batched) and evaluate exactly.
+  Timer refine_timer;
+  TopK topk(k);
+  forest_->point_store().FetchMany(
+      candidates, [&](uint32_t id, std::span<const double> x) {
+        topk.Push(div_.Divergence(x, y), id);
+      });
+  st.refine_ms += refine_timer.ElapsedMillis();
+  return topk.SortedResults();
+}
+
+std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
+                                              size_t k,
+                                              QueryStats* stats) const {
+  BREP_CHECK(y.size() == div_.dim());
+  BREP_CHECK(k >= 1 && k <= data_->rows());
+  QueryStats local;
+  QueryStats& st = stats != nullptr ? *stats : local;
+  st = QueryStats{};
+
+  Timer total_timer;
+  const IoStats io_before = pager_->stats();
+
+  // Bound phase: Algorithms 3 + 4.
+  Timer bound_timer;
+  const auto y_subs = GatherQuery(y);
+  const auto triples = TransformQueryAll(y_subs);
+  const QueryBounds qb = QBDetermine(transformed_, triples, k);
+  st.bound_ms = bound_timer.ElapsedMillis();
+  st.radius_total = qb.total;
+
+  auto result = FilterAndRefine(y, y_subs, qb.radii, k, &st);
+
+  st.io_reads = (pager_->stats() - io_before).reads;
+  st.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace brep

@@ -1,0 +1,91 @@
+#ifndef BREP_CORE_BREPARTITION_H_
+#define BREP_CORE_BREPARTITION_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bbtree/bbforest.h"
+#include "common/top_k.h"
+#include "core/bound.h"
+#include "core/config.h"
+#include "core/optimal_m.h"
+#include "core/partition.h"
+#include "core/stats.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+#include "storage/pager.h"
+
+namespace brep {
+
+/// The paper's contribution: exact high-dimensional kNN search with Bregman
+/// distances via the partition-filter-refinement framework.
+///
+/// Construction (Algorithm 5):
+///  1. derive the optimized number of partitions M from the fitted cost
+///     model (Theorem 4), unless the caller pinned one;
+///  2. assign dimensions to subspaces with PCCP (Section 5.2);
+///  3. precompute every point's per-subspace tuple P(x) (Algorithm 2);
+///  4. build the disk-resident BB-forest over the subspaces (Section 6).
+///
+/// Search (Algorithm 6): transform the query into per-subspace triples Q(y)
+/// (Algorithm 3), take the k-th smallest total upper bound's components as
+/// per-subspace range radii (Algorithm 4), run the cluster-granularity range
+/// queries over the forest, union the candidates, fetch them from disk and
+/// refine exactly. Theorem 3 guarantees the exact kNN is returned.
+///
+/// The divergence's generator must be PartitionSafe() (everything but KL).
+/// `data` must outlive the index (it is referenced by the approximate
+/// extension's distribution sampling, not by the exact search path).
+class BrePartition {
+ public:
+  BrePartition(Pager* pager, const Matrix& data, const BregmanDivergence& div,
+               const BrePartitionConfig& config);
+
+  BrePartition(const BrePartition&) = delete;
+  BrePartition& operator=(const BrePartition&) = delete;
+
+  /// Exact kNN of `y` (minimizing D(x, y)).
+  std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
+                                  QueryStats* stats = nullptr) const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+  const Partitioning& partitioning() const { return partitions_; }
+  const CostModelFit& cost_model() const { return fit_; }
+  const BBForest& forest() const { return *forest_; }
+  const BregmanDivergence& divergence() const { return div_; }
+  const Matrix& data() const { return *data_; }
+  const TransformedDataset& transformed() const { return transformed_; }
+  Pager* pager() const { return pager_; }
+
+  /// Internals shared with the approximate extension -------------------
+
+  /// Per-subspace query subvectors (Algorithm 6 line 2: "rearrange").
+  std::vector<std::vector<double>> GatherQuery(std::span<const double> y) const;
+
+  /// Per-subspace query triples (Algorithm 3).
+  std::vector<QueryTriple> TransformQueryAll(
+      std::span<const std::vector<double>> y_subs) const;
+
+  /// Filter + refine with externally supplied radii (the approximate
+  /// extension shrinks the exact radii before calling this).
+  std::vector<Neighbor> FilterAndRefine(
+      std::span<const double> y,
+      std::span<const std::vector<double>> y_subs,
+      std::span<const double> radii, size_t k, QueryStats* stats) const;
+
+ private:
+  Pager* pager_;
+  const Matrix* data_;
+  BregmanDivergence div_;
+  BrePartitionConfig config_;
+  CostModelFit fit_;
+  Partitioning partitions_;
+  std::vector<BregmanDivergence> sub_divs_;
+  TransformedDataset transformed_;
+  std::unique_ptr<BBForest> forest_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_CORE_BREPARTITION_H_

@@ -1,0 +1,41 @@
+#ifndef BREP_CORE_CONFIG_H_
+#define BREP_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bbtree/bbforest.h"
+
+namespace brep {
+
+/// Which dimension-to-subspace assignment to use.
+enum class PartitionStrategy {
+  /// Pearson Correlation Coefficient-based Partitioning (the paper's PCCP).
+  kPccp,
+  /// The naive equal, contiguous chunks (the paper's "without PCCP" arm).
+  kEqualContiguous,
+  /// Random balanced assignment (extra ablation arm).
+  kRandom,
+};
+
+/// Construction-time configuration of the BrePartition index.
+struct BrePartitionConfig {
+  /// Number of partitions M. 0 means: derive the optimized value from the
+  /// fitted cost model (Theorem 4).
+  size_t num_partitions = 0;
+  PartitionStrategy strategy = PartitionStrategy::kPccp;
+  BBForestConfig forest;
+  /// Samples used to fit A, alpha, beta (the paper uses 50).
+  size_t fit_samples = 50;
+  /// Points scanned per fit sample when estimating the pruning fraction.
+  size_t fit_eval_limit = 2000;
+  /// Row sample for the PCCP correlation matrix.
+  size_t pccp_sample_rows = 2000;
+  /// Upper clamp for the derived M.
+  size_t max_partitions = 64;
+  uint64_t seed = 42;
+};
+
+}  // namespace brep
+
+#endif  // BREP_CORE_CONFIG_H_

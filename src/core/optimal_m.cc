@@ -1,0 +1,147 @@
+#include "core/optimal_m.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "core/bound.h"
+#include "core/partition.h"
+
+namespace brep {
+namespace {
+
+/// Total upper bound between rows x_id and y_id under equal-contiguous
+/// partitioning into `m` subspaces.
+double TotalBoundAt(const Matrix& data, const BregmanDivergence& div,
+                    size_t x_id, size_t y_id, size_t m) {
+  const Partitioning parts = EqualContiguousPartition(data.cols(), m);
+  double total = 0.0;
+  std::vector<double> xs, ys;
+  for (const auto& cols : parts) {
+    const BregmanDivergence sub = div.Restrict(cols);
+    xs.resize(cols.size());
+    ys.resize(cols.size());
+    const auto xrow = data.Row(x_id);
+    const auto yrow = data.Row(y_id);
+    for (size_t c = 0; c < cols.size(); ++c) {
+      xs[c] = xrow[cols[c]];
+      ys[c] = yrow[cols[c]];
+    }
+    total += UBCompute(TransformPoint(sub, xs), TransformQuery(sub, ys));
+  }
+  return total;
+}
+
+double Log2k(size_t k) { return std::log2(static_cast<double>(std::max<size_t>(k, 2))); }
+
+}  // namespace
+
+CostModelFit FitCostModel(const Matrix& data, const BregmanDivergence& div,
+                          Rng& rng, size_t num_samples, size_t m1, size_t m2,
+                          size_t eval_limit) {
+  BREP_CHECK(!data.empty());
+  BREP_CHECK(m1 >= 1 && m2 > m1);
+  const size_t d = data.cols();
+  const size_t n = data.rows();
+  m2 = std::min(m2, d);
+  if (m1 >= m2) m1 = std::max<size_t>(1, m2 / 2);
+  BREP_CHECK(m1 < m2);
+
+  CostModelFit fit;
+  double sum_log_alpha = 0.0;
+  double sum_log_a = 0.0;
+  double sum_beta = 0.0;
+  size_t used = 0;
+
+  const size_t eval_n = eval_limit > 0 ? std::min(eval_limit, n) : n;
+
+  for (size_t s = 0; s < num_samples; ++s) {
+    const size_t x_id = static_cast<size_t>(rng.NextBelow(n));
+    const size_t y_id = static_cast<size_t>(rng.NextBelow(n));
+    const double ub1 = TotalBoundAt(data, div, x_id, y_id, m1);
+    const double ub2 = TotalBoundAt(data, div, x_id, y_id, m2);
+    if (!(ub1 > 0.0) || !(ub2 > 0.0) || ub2 >= ub1) continue;
+
+    // UB = A alpha^M through the two evaluations.
+    const double log_alpha =
+        (std::log(ub2) - std::log(ub1)) / static_cast<double>(m2 - m1);
+    const double log_a = std::log(ub1) - log_alpha * static_cast<double>(m1);
+
+    // Pruning fraction within this sample's bound, on a point subsample.
+    size_t within = 0;
+    const auto y = data.Row(y_id);
+    for (size_t i = 0; i < eval_n; ++i) {
+      const size_t id = eval_n == n ? i : static_cast<size_t>(rng.NextBelow(n));
+      if (div.Divergence(data.Row(id), y) <= ub1) ++within;
+    }
+    const double lambda =
+        static_cast<double>(within) / static_cast<double>(eval_n);
+
+    sum_log_alpha += log_alpha;
+    sum_log_a += log_a;
+    sum_beta += lambda / ub1;
+    ++used;
+  }
+
+  if (used == 0) {
+    // Degenerate data (e.g. all points identical): fall back to a neutral
+    // fit; OptimalNumPartitions will clamp sensibly.
+    fit.A = 1.0;
+    fit.alpha = 0.5;
+    fit.beta = 1.0 / static_cast<double>(n);
+    return fit;
+  }
+  const double inv = 1.0 / static_cast<double>(used);
+  fit.alpha = std::clamp(std::exp(sum_log_alpha * inv), 1e-6, 1.0 - 1e-6);
+  fit.A = std::exp(sum_log_a * inv);
+  fit.beta = sum_beta * inv;
+  fit.fit_samples = used;
+  return fit;
+}
+
+double EstimatedQueryCost(const CostModelFit& fit, size_t n, size_t d,
+                          size_t k, size_t num_partitions) {
+  const double nn = static_cast<double>(n);
+  const double dd = static_cast<double>(d);
+  const double logk = Log2k(k);
+  const double candidates =
+      fit.beta * fit.A *
+      std::pow(fit.alpha, static_cast<double>(num_partitions)) * nn;
+  return dd + static_cast<double>(num_partitions) * nn + nn * logk +
+         candidates * (dd + logk);
+}
+
+size_t OptimalNumPartitions(const CostModelFit& fit, size_t n, size_t d,
+                            size_t k, size_t max_partitions) {
+  const size_t hi = std::min(d, max_partitions);
+  const double mu = fit.beta * fit.A * static_cast<double>(n);
+  const double ln_alpha = std::log(fit.alpha);  // < 0
+  const double denom = -mu * ln_alpha * (static_cast<double>(d) + Log2k(k));
+
+  size_t m_star = 1;
+  if (denom > 0.0) {
+    const double arg = 2.0 * static_cast<double>(n) / denom;
+    if (arg > 0.0) {
+      // log_alpha(arg) with alpha < 1.
+      const double m_real = std::log(arg) / ln_alpha;
+      if (std::isfinite(m_real)) {
+        const double lo_d = 1.0;
+        const double hi_d = static_cast<double>(hi);
+        const double clamped = std::clamp(m_real, lo_d, hi_d);
+        // Round to the neighbour with the lower modelled cost (the paper
+        // computes both cases).
+        const size_t floor_m = static_cast<size_t>(std::floor(clamped));
+        const size_t ceil_m =
+            std::min(hi, static_cast<size_t>(std::ceil(clamped)));
+        m_star = EstimatedQueryCost(fit, n, d, k, floor_m) <=
+                         EstimatedQueryCost(fit, n, d, k, ceil_m)
+                     ? floor_m
+                     : ceil_m;
+      }
+    }
+  }
+  return std::clamp<size_t>(m_star, 1, hi);
+}
+
+}  // namespace brep

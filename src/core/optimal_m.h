@@ -1,0 +1,47 @@
+#ifndef BREP_CORE_OPTIMAL_M_H_
+#define BREP_CORE_OPTIMAL_M_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// Fitted constants of the paper's cost model (Section 5.1):
+///   UB(M)  ~ A * alpha^M   (0 < alpha < 1; bound tightens with partitions)
+///   lambda ~ beta * UB     (pruning fraction proportional to the bound)
+struct CostModelFit {
+  double A = 1.0;
+  double alpha = 0.5;
+  double beta = 0.0;
+  size_t fit_samples = 0;
+};
+
+/// Fit A, alpha, beta from random (point, pseudo-query) sample pairs, as the
+/// paper prescribes: UB is evaluated at two partition counts (m1 < m2) under
+/// equal-contiguous partitioning and the exponential is fitted through them;
+/// beta is the sample-average of (fraction of points within the sample's UB)
+/// divided by the UB. `eval_limit` caps the points scanned per sample when
+/// estimating that fraction.
+CostModelFit FitCostModel(const Matrix& data, const BregmanDivergence& div,
+                          Rng& rng, size_t num_samples = 50, size_t m1 = 2,
+                          size_t m2 = 8, size_t eval_limit = 2000);
+
+/// The cost model's estimate of the online time (arbitrary units):
+///   cost(M) = d + M n + n log2 k + beta A alpha^M n (d + log2 k).
+double EstimatedQueryCost(const CostModelFit& fit, size_t n, size_t d,
+                          size_t k, size_t num_partitions);
+
+/// Theorem 4: the optimizing number of partitions
+///   M* = log_alpha( 2 n / (-mu ln alpha (d + log2 k)) ),  mu = beta A n,
+/// evaluated at k = 1 as the paper does offline, then rounded to whichever
+/// neighbour has the lower modelled cost and clamped into
+/// [1, min(d, max_partitions)].
+size_t OptimalNumPartitions(const CostModelFit& fit, size_t n, size_t d,
+                            size_t k = 1, size_t max_partitions = 64);
+
+}  // namespace brep
+
+#endif  // BREP_CORE_OPTIMAL_M_H_

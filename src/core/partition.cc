@@ -1,0 +1,51 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace brep {
+
+Partitioning EqualContiguousPartition(size_t d, size_t num_partitions) {
+  BREP_CHECK(num_partitions >= 1 && num_partitions <= d);
+  Partitioning parts(num_partitions);
+  // Chunk sizes differ by at most one: the first (d mod M) chunks get the
+  // extra dimension, matching ceil(d/M) for the leading chunks.
+  const size_t base = d / num_partitions;
+  const size_t extra = d % num_partitions;
+  size_t next = 0;
+  for (size_t m = 0; m < num_partitions; ++m) {
+    const size_t size = base + (m < extra ? 1 : 0);
+    for (size_t j = 0; j < size; ++j) parts[m].push_back(next++);
+  }
+  BREP_CHECK(next == d);
+  return parts;
+}
+
+Partitioning RandomPartition(size_t d, size_t num_partitions, Rng& rng) {
+  BREP_CHECK(num_partitions >= 1 && num_partitions <= d);
+  std::vector<size_t> dims(d);
+  for (size_t j = 0; j < d; ++j) dims[j] = j;
+  rng.Shuffle(&dims);
+  Partitioning parts(num_partitions);
+  for (size_t j = 0; j < d; ++j) {
+    parts[j % num_partitions].push_back(dims[j]);
+  }
+  return parts;
+}
+
+bool IsValidPartitioning(const Partitioning& partitioning, size_t d) {
+  std::vector<bool> seen(d, false);
+  size_t count = 0;
+  for (const auto& part : partitioning) {
+    if (part.empty()) return false;
+    for (size_t col : part) {
+      if (col >= d || seen[col]) return false;
+      seen[col] = true;
+      ++count;
+    }
+  }
+  return count == d;
+}
+
+}  // namespace brep

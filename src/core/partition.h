@@ -1,0 +1,28 @@
+#ifndef BREP_CORE_PARTITION_H_
+#define BREP_CORE_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace brep {
+
+/// A dimensionality partitioning: partitions[m] lists the original column
+/// indices assigned to subspace m. Every column appears in exactly one
+/// partition and every partition is non-empty.
+using Partitioning = std::vector<std::vector<size_t>>;
+
+/// The paper's initial strategy: split [0, d) into M contiguous chunks of
+/// (as close as possible to) ceil(d / M) dimensions.
+Partitioning EqualContiguousPartition(size_t d, size_t num_partitions);
+
+/// Random balanced assignment (ablation arm for PCCP).
+Partitioning RandomPartition(size_t d, size_t num_partitions, Rng& rng);
+
+/// Validate structure: a permutation of [0, d) split into non-empty parts.
+bool IsValidPartitioning(const Partitioning& partitioning, size_t d);
+
+}  // namespace brep
+
+#endif  // BREP_CORE_PARTITION_H_

@@ -1,0 +1,133 @@
+#include "core/pccp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace brep {
+
+Matrix AbsCorrelationMatrix(const Matrix& data, size_t sample_limit,
+                            Rng& rng) {
+  BREP_CHECK(!data.empty());
+  const size_t d = data.cols();
+
+  // Row sample (correlations stabilize quickly; d x d over all rows is the
+  // expensive part of construction otherwise).
+  Matrix sample = data;
+  if (sample_limit > 0 && data.rows() > sample_limit) {
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(data.rows(),
+                                                            sample_limit);
+    sample = data.GatherRows(rows);
+  }
+
+  // Column means and stddevs in one pass each.
+  const size_t n = sample.rows();
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = sample.Row(i);
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = sample.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      var[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) var[j] /= static_cast<double>(n);
+
+  Matrix corr(d, d);
+  // Accumulate covariances: O(n d^2) but vectorizable and sample-bounded.
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = sample.Row(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      auto out = corr.MutableRow(a);
+      for (size_t b = a + 1; b < d; ++b) {
+        out[b] += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    corr.At(a, a) = 1.0;
+    for (size_t b = a + 1; b < d; ++b) {
+      double r = 0.0;
+      if (var[a] > 1e-30 && var[b] > 1e-30) {
+        r = (corr.At(a, b) / static_cast<double>(n)) /
+            std::sqrt(var[a] * var[b]);
+        r = std::clamp(std::fabs(r), 0.0, 1.0);
+      }
+      corr.At(a, b) = r;
+      corr.At(b, a) = r;
+    }
+  }
+  return corr;
+}
+
+Partitioning PccpPartitionFromCorrelation(const Matrix& abs_corr,
+                                          size_t num_partitions, Rng& rng) {
+  const size_t d = abs_corr.rows();
+  BREP_CHECK(abs_corr.cols() == d);
+  BREP_CHECK(num_partitions >= 1 && num_partitions <= d);
+  const size_t m = num_partitions;
+
+  // --- Assignment: groups of up to M mutually correlated dimensions. ---
+  std::vector<std::vector<size_t>> groups;
+  std::vector<bool> assigned(d, false);
+  size_t remaining = d;
+  while (remaining > 0) {
+    std::vector<size_t> group;
+    // Random unassigned starting dimension.
+    size_t start_rank = static_cast<size_t>(rng.NextBelow(remaining));
+    size_t start = 0;
+    for (size_t j = 0; j < d; ++j) {
+      if (!assigned[j] && start_rank-- == 0) {
+        start = j;
+        break;
+      }
+    }
+    group.push_back(start);
+    assigned[start] = true;
+    --remaining;
+    // Absorb the unassigned dimension with the largest |r| to any member.
+    while (group.size() < m && remaining > 0) {
+      double best_r = -1.0;
+      size_t best_j = 0;
+      for (size_t j = 0; j < d; ++j) {
+        if (assigned[j]) continue;
+        double r = 0.0;
+        for (size_t g : group) r = std::max(r, abs_corr.At(g, j));
+        if (r > best_r) {
+          best_r = r;
+          best_j = j;
+        }
+      }
+      group.push_back(best_j);
+      assigned[best_j] = true;
+      --remaining;
+    }
+    groups.push_back(std::move(group));
+  }
+
+  // --- Partitioning: partition j takes the j-th member of every group. ---
+  Partitioning parts(m);
+  for (const auto& group : groups) {
+    for (size_t j = 0; j < group.size(); ++j) {
+      parts[j % m].push_back(group[j]);
+    }
+  }
+  // Guard against empty partitions when d is just above M and groups are
+  // ragged (cannot happen for d >= M, but keep the invariant explicit).
+  for (const auto& part : parts) BREP_CHECK(!part.empty());
+  return parts;
+}
+
+Partitioning PccpPartition(const Matrix& data, size_t num_partitions,
+                           Rng& rng, size_t sample_limit) {
+  const Matrix corr = AbsCorrelationMatrix(data, sample_limit, rng);
+  return PccpPartitionFromCorrelation(corr, num_partitions, rng);
+}
+
+}  // namespace brep

@@ -1,0 +1,40 @@
+#ifndef BREP_CORE_PCCP_H_
+#define BREP_CORE_PCCP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/partition.h"
+#include "dataset/matrix.h"
+
+namespace brep {
+
+/// Absolute Pearson correlation matrix of the columns of `data`, estimated
+/// on a row sample of at most `sample_limit` rows (0 = all rows).
+/// Returned as a dense d x d matrix with 1s on the diagonal.
+Matrix AbsCorrelationMatrix(const Matrix& data, size_t sample_limit, Rng& rng);
+
+/// Pearson Correlation Coefficient-based Partitioning (paper Section 5.2).
+///
+/// Two phases over the |r| matrix:
+///  * Assignment: greedily grow ceil(d/M) groups of (up to) M dimensions
+///    each; a group starts from a random unassigned dimension and repeatedly
+///    absorbs the unassigned dimension with the largest |r| to any of its
+///    members -- so each group collects strongly correlated dimensions.
+///  * Partitioning: partition j takes the j-th member of every group, so
+///    correlated dimensions land in *different* subspaces and each
+///    subspace's candidate clusters overlap heavily across subspaces,
+///    shrinking the union candidate set (and, via the shared point-store
+///    layout, the I/O).
+Partitioning PccpPartition(const Matrix& data, size_t num_partitions,
+                           Rng& rng, size_t sample_limit = 2000);
+
+/// Same algorithm, but starting from a precomputed |r| matrix (exposed for
+/// tests and for the ablation that reuses one matrix across M values).
+Partitioning PccpPartitionFromCorrelation(const Matrix& abs_corr,
+                                          size_t num_partitions, Rng& rng);
+
+}  // namespace brep
+
+#endif  // BREP_CORE_PCCP_H_

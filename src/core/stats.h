@@ -1,0 +1,33 @@
+#ifndef BREP_CORE_STATS_H_
+#define BREP_CORE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brep {
+
+/// Per-query measurements reported by the search engines and consumed by the
+/// benchmark harness (the evaluation's two headline metrics are `io_reads`
+/// and wall-clock time).
+struct QueryStats {
+  /// Pager page reads issued during the query (index + data).
+  uint64_t io_reads = 0;
+  /// Candidate points refined.
+  size_t candidates = 0;
+  /// Index nodes visited across all subspace trees.
+  size_t nodes_visited = 0;
+  /// Total searching bound (sum of per-subspace radii; diagnostic).
+  double radius_total = 0.0;
+  /// Tightening coefficient c applied by the approximate extension
+  /// (1.0 for exact searches).
+  double approx_coefficient = 1.0;
+  /// Wall-clock breakdown in milliseconds.
+  double bound_ms = 0.0;   // query transform + QBDetermine
+  double filter_ms = 0.0;  // range queries over the BB-forest
+  double refine_ms = 0.0;  // candidate fetch + exact evaluation
+  double total_ms = 0.0;
+};
+
+}  // namespace brep
+
+#endif  // BREP_CORE_STATS_H_

@@ -1,0 +1,133 @@
+#include "dataset/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace brep {
+namespace {
+
+constexpr char kDmatMagic[8] = {'B', 'R', 'E', 'P', 'D', 'M', 'A', 'T'};
+
+}  // namespace
+
+bool WriteDmat(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kDmatMagic, sizeof(kDmatMagic));
+  const uint64_t rows = m.rows();
+  const uint64_t cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.data().size() * sizeof(double)));
+  return static_cast<bool>(out);
+}
+
+std::optional<Matrix> ReadDmat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kDmatMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+  uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows == 0 || cols == 0) return std::nullopt;
+  std::vector<double> data(rows * cols);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!in) return std::nullopt;
+  return Matrix(rows, cols, std::move(data));
+}
+
+std::optional<Matrix> ReadFvecs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<double> data;
+  int32_t dim = -1;
+  size_t rows = 0;
+  while (true) {
+    int32_t row_dim = 0;
+    in.read(reinterpret_cast<char*>(&row_dim), sizeof(row_dim));
+    if (!in) break;  // clean EOF
+    if (row_dim <= 0) return std::nullopt;
+    if (dim < 0) dim = row_dim;
+    if (row_dim != dim) return std::nullopt;
+    std::vector<float> row(static_cast<size_t>(row_dim));
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+    if (!in) return std::nullopt;  // truncated row
+    for (float v : row) data.push_back(static_cast<double>(v));
+    ++rows;
+  }
+  if (rows == 0) return std::nullopt;
+  return Matrix(rows, static_cast<size_t>(dim), std::move(data));
+}
+
+bool WriteFvecs(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const int32_t dim = static_cast<int32_t>(m.cols());
+  std::vector<float> row(m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    const auto src = m.Row(i);
+    for (size_t j = 0; j < m.cols(); ++j) row[j] = static_cast<float>(src[j]);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Matrix> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<double> data;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    size_t row_cols = 0;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) return std::nullopt;
+      data.push_back(v);
+      ++row_cols;
+    }
+    if (rows == 0) {
+      cols = row_cols;
+    } else if (row_cols != cols) {
+      return std::nullopt;  // ragged rows
+    }
+    ++rows;
+  }
+  if (rows == 0 || cols == 0) return std::nullopt;
+  return Matrix(rows, cols, std::move(data));
+}
+
+bool WriteCsv(const Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.Row(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace brep

@@ -1,0 +1,39 @@
+#ifndef BREP_DATASET_IO_H_
+#define BREP_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "dataset/matrix.h"
+
+namespace brep {
+
+/// \file
+/// Dataset (de)serialization. Three formats:
+///   * `.dmat`  — this library's native binary (magic + u64 rows/cols + f64s);
+///   * `.fvecs` — the standard ANN-benchmark format (i32 dim + f32s per row),
+///                so users can load the paper's public datasets directly;
+///   * `.csv`   — comma-separated doubles, one point per line.
+/// Loaders return std::nullopt on malformed input instead of aborting, since
+/// files are external input rather than programmer error.
+
+/// Write/read the native binary format.
+bool WriteDmat(const Matrix& m, const std::string& path);
+std::optional<Matrix> ReadDmat(const std::string& path);
+
+/// Read an .fvecs file (float32 rows are widened to double). All rows must
+/// share one dimensionality.
+std::optional<Matrix> ReadFvecs(const std::string& path);
+
+/// Write a matrix as .fvecs (doubles narrowed to float32).
+bool WriteFvecs(const Matrix& m, const std::string& path);
+
+/// Read a headerless CSV of doubles.
+std::optional<Matrix> ReadCsv(const std::string& path);
+
+/// Write a headerless CSV of doubles.
+bool WriteCsv(const Matrix& m, const std::string& path);
+
+}  // namespace brep
+
+#endif  // BREP_DATASET_IO_H_

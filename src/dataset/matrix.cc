@@ -1,0 +1,53 @@
+#include "dataset/matrix.h"
+
+#include "common/check.h"
+
+namespace brep {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  BREP_CHECK(data_.size() == rows_ * cols_);
+}
+
+std::vector<double> Matrix::Column(size_t j) const {
+  BREP_CHECK(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = At(i, j);
+  return out;
+}
+
+Matrix Matrix::GatherColumns(std::span<const size_t> column_indices) const {
+  Matrix out(rows_, column_indices.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    const auto src = Row(i);
+    auto dst = out.MutableRow(i);
+    for (size_t c = 0; c < column_indices.size(); ++c) {
+      BREP_DCHECK(column_indices[c] < cols_);
+      dst[c] = src[column_indices[c]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::GatherRows(std::span<const size_t> row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    BREP_DCHECK(row_indices[i] < rows_);
+    const auto src = Row(row_indices[i]);
+    auto dst = out.MutableRow(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Truncated(size_t new_rows) const {
+  BREP_CHECK(new_rows <= rows_);
+  std::vector<double> data(data_.begin(),
+                           data_.begin() + static_cast<ptrdiff_t>(new_rows * cols_));
+  return Matrix(new_rows, cols_, std::move(data));
+}
+
+}  // namespace brep

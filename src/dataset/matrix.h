@@ -1,0 +1,65 @@
+#ifndef BREP_DATASET_MATRIX_H_
+#define BREP_DATASET_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace brep {
+
+/// Dense row-major matrix of doubles: `rows` points of dimensionality `cols`.
+///
+/// This is the dataset container used throughout the library. Points are
+/// identified by their row index (a stable 32-bit id everywhere else).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Allocate a rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols);
+
+  /// Wrap existing data (copied). `data.size()` must equal rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Immutable view of row i.
+  std::span<const double> Row(size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Mutable view of row i.
+  std::span<double> MutableRow(size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  double At(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+  double& At(size_t i, size_t j) { return data_[i * cols_ + j]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copy of column j as a contiguous vector (used by correlation analysis).
+  std::vector<double> Column(size_t j) const;
+
+  /// New matrix whose columns are `column_indices` of this matrix, in order.
+  /// This is how per-subspace data is materialized after partitioning.
+  Matrix GatherColumns(std::span<const size_t> column_indices) const;
+
+  /// New matrix whose rows are `row_indices` of this matrix, in order.
+  Matrix GatherRows(std::span<const size_t> row_indices) const;
+
+  /// Keep only the first `new_rows` rows (cheap truncation for size sweeps).
+  Matrix Truncated(size_t new_rows) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_DATASET_MATRIX_H_

@@ -1,0 +1,233 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace brep {
+
+Matrix MakeMixture(Rng& rng, const MixtureSpec& spec) {
+  BREP_CHECK(spec.n > 0 && spec.d > 0 && spec.num_clusters > 0);
+  const size_t k = spec.num_clusters;
+  const size_t r = spec.latent_factors;
+
+  // Cluster centers.
+  Matrix centers(k, spec.d);
+  for (size_t c = 0; c < k; ++c) {
+    auto row = centers.MutableRow(c);
+    for (size_t j = 0; j < spec.d; ++j) {
+      row[j] = rng.Uniform(spec.center_lo, spec.center_hi);
+    }
+  }
+
+  // Per-cluster loading matrices (d x r), fixed so that within a cluster the
+  // same dimensions co-vary -- this is the correlation signal PCCP uses.
+  std::vector<Matrix> loadings;
+  if (r > 0) {
+    loadings.reserve(k);
+    for (size_t c = 0; c < k; ++c) {
+      Matrix load(spec.d, r);
+      for (size_t j = 0; j < spec.d; ++j) {
+        auto row = load.MutableRow(j);
+        for (size_t f = 0; f < r; ++f) {
+          row[f] = rng.Gaussian(0.0, spec.factor_scale / std::sqrt(double(r)));
+        }
+      }
+      loadings.push_back(std::move(load));
+    }
+  }
+
+  Matrix out(spec.n, spec.d);
+  std::vector<double> z(r);
+  for (size_t i = 0; i < spec.n; ++i) {
+    const size_t c = static_cast<size_t>(rng.NextBelow(k));
+    auto row = out.MutableRow(i);
+    const auto center = centers.Row(c);
+    for (size_t f = 0; f < r; ++f) z[f] = rng.NextGaussian();
+    for (size_t j = 0; j < spec.d; ++j) {
+      double v = center[j] + rng.Gaussian(0.0, spec.cluster_std);
+      if (r > 0) {
+        const auto lj = loadings[c].Row(j);
+        for (size_t f = 0; f < r; ++f) v += lj[f] * z[f];
+      }
+      row[j] = v;
+    }
+    if (spec.positive) {
+      for (size_t j = 0; j < spec.d; ++j) {
+        row[j] = spec.positive_scale * std::exp(row[j]);
+      }
+    } else if (spec.clamp_nonnegative) {
+      for (size_t j = 0; j < spec.d; ++j) row[j] = std::max(row[j], 0.0);
+    }
+  }
+  return out;
+}
+
+Matrix MakeEnergyProfile(Rng& rng, const EnergyProfileSpec& spec) {
+  BREP_CHECK(spec.n > 0 && spec.d > 0);
+  BREP_CHECK(spec.num_groups >= 1 && spec.num_groups <= spec.d);
+  BREP_CHECK(spec.profile_lo > 0.0 && spec.profile_hi >= spec.profile_lo);
+  const size_t k = spec.num_clusters;
+  const size_t g_count = spec.num_groups;
+
+  // Per-cluster, per-group log-profiles.
+  Matrix log_profiles(k, g_count);
+  for (size_t c = 0; c < k; ++c) {
+    auto row = log_profiles.MutableRow(c);
+    for (size_t g = 0; g < g_count; ++g) {
+      row[g] = std::log(rng.Uniform(spec.profile_lo, spec.profile_hi));
+    }
+  }
+
+  Matrix out(spec.n, spec.d);
+  const size_t dims_per_group = (spec.d + g_count - 1) / g_count;
+  for (size_t i = 0; i < spec.n; ++i) {
+    const size_t c = static_cast<size_t>(rng.NextBelow(k));
+    const double level = rng.Gaussian(spec.level_mean, spec.level_std);
+    auto row = out.MutableRow(i);
+    for (size_t g = 0; g < g_count; ++g) {
+      const double group_level = level + log_profiles.At(c, g) +
+                                 rng.Gaussian(0.0, spec.group_noise);
+      const size_t lo = g * dims_per_group;
+      const size_t hi = std::min(spec.d, lo + dims_per_group);
+      for (size_t j = lo; j < hi; ++j) {
+        const double v = group_level + rng.Gaussian(0.0, spec.dim_noise);
+        row[j] = spec.log_domain ? v : std::exp(v);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MakeIidNormal(Rng& rng, size_t n, size_t d, double mean,
+                     double stddev) {
+  Matrix out(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = out.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = rng.Gaussian(mean, stddev);
+  }
+  return out;
+}
+
+Matrix MakeIidUniform(Rng& rng, size_t n, size_t d, double lo, double hi) {
+  Matrix out(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = out.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = rng.Uniform(lo, hi);
+  }
+  return out;
+}
+
+Matrix MakeAudioLike(Rng& rng, size_t n, size_t d) {
+  // Audio spectral frames (paired with the exponential distance): log-energy
+  // features with a strong per-frame loudness level and correlated frequency
+  // bands.
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 24;
+  spec.num_groups = std::max<size_t>(2, d / 16);
+  spec.level_mean = -2.2;
+  spec.level_std = 0.45;
+  spec.profile_lo = 0.85;
+  spec.profile_hi = 1.2;
+  spec.group_noise = 0.05;
+  spec.log_domain = true;
+  return MakeEnergyProfile(rng, spec);
+}
+
+Matrix MakeFontsLike(Rng& rng, size_t n, size_t d) {
+  // Font glyph statistics (paired with Itakura-Saito): strictly positive
+  // energies with per-glyph ink level and strongly correlated pixel groups.
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 32;
+  spec.num_groups = std::max<size_t>(2, d / 25);
+  spec.level_mean = 1.2;
+  spec.level_std = 0.5;
+  spec.profile_lo = 0.78;
+  spec.profile_hi = 1.3;
+  spec.log_domain = false;
+  return MakeEnergyProfile(rng, spec);
+}
+
+Matrix MakeDeepLike(Rng& rng, size_t n, size_t d) {
+  // CNN descriptors (exponential distance): tighter clusters, moderate
+  // activation scale spread.
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 40;
+  spec.num_groups = std::max<size_t>(2, d / 16);
+  spec.level_mean = -1.8;
+  spec.level_std = 0.4;
+  spec.profile_lo = 0.88;
+  spec.profile_hi = 1.15;
+  spec.dim_noise = 0.04;
+  spec.log_domain = true;
+  return MakeEnergyProfile(rng, spec);
+}
+
+Matrix MakeSiftLike(Rng& rng, size_t n, size_t d) {
+  // SIFT gradient histograms (exponential distance): log-energies scaled
+  // down from the 0..218 integer range, many visual-word clusters.
+  EnergyProfileSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 48;
+  spec.num_groups = std::max<size_t>(2, d / 16);
+  spec.level_mean = -2.0;
+  spec.level_std = 0.45;
+  spec.profile_lo = 0.85;
+  spec.profile_hi = 1.2;
+  spec.group_noise = 0.06;
+  spec.dim_noise = 0.05;
+  spec.log_domain = true;
+  return MakeEnergyProfile(rng, spec);
+}
+
+Matrix MakeQueries(Rng& rng, const Matrix& data, size_t count,
+                   double noise_std, bool keep_positive) {
+  BREP_CHECK(!data.empty());
+  // Per-dimension stddev so perturbations respect each dimension's scale.
+  const size_t d = data.cols();
+  std::vector<double> dim_std(d, 0.0);
+  {
+    std::vector<double> mean(d, 0.0);
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const auto row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (size_t j = 0; j < d; ++j) mean[j] /= double(data.rows());
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const auto row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        dim_std[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      dim_std[j] = std::sqrt(dim_std[j] / double(data.rows()));
+    }
+  }
+
+  Matrix queries(count, d);
+  for (size_t q = 0; q < count; ++q) {
+    const size_t src = static_cast<size_t>(rng.NextBelow(data.rows()));
+    const auto row = data.Row(src);
+    auto dst = queries.MutableRow(q);
+    for (size_t j = 0; j < d; ++j) {
+      double v = row[j] + rng.Gaussian(0.0, noise_std * dim_std[j]);
+      if (keep_positive) {
+        // Stay strictly inside the positive orthant for Itakura-Saito.
+        v = std::max(v, 0.05 * (std::fabs(row[j]) + 1e-6));
+      }
+      dst[j] = v;
+    }
+  }
+  return queries;
+}
+
+}  // namespace brep

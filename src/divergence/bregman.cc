@@ -1,0 +1,120 @@
+#include "divergence/bregman.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace brep {
+
+BregmanDivergence::BregmanDivergence(
+    std::shared_ptr<const ScalarGenerator> generator, size_t dim)
+    : generator_(std::move(generator)), dim_(dim) {
+  BREP_CHECK(generator_ != nullptr);
+  BREP_CHECK(dim_ > 0);
+}
+
+BregmanDivergence::BregmanDivergence(
+    std::shared_ptr<const ScalarGenerator> generator,
+    std::vector<double> weights)
+    : generator_(std::move(generator)),
+      dim_(weights.size()),
+      weights_(std::move(weights)) {
+  BREP_CHECK(generator_ != nullptr);
+  BREP_CHECK(dim_ > 0);
+  for (double w : weights_) BREP_CHECK_MSG(w > 0.0, "weights must be positive");
+}
+
+double BregmanDivergence::Divergence(std::span<const double> x,
+                                     std::span<const double> y) const {
+  BREP_DCHECK(x.size() == dim_ && y.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  double acc = 0.0;
+  if (weights_.empty()) {
+    for (size_t j = 0; j < dim_; ++j) {
+      acc += g.Phi(x[j]) - g.Phi(y[j]) - g.PhiPrime(y[j]) * (x[j] - y[j]);
+    }
+  } else {
+    for (size_t j = 0; j < dim_; ++j) {
+      acc += weights_[j] *
+             (g.Phi(x[j]) - g.Phi(y[j]) - g.PhiPrime(y[j]) * (x[j] - y[j]));
+    }
+  }
+  return std::max(acc, 0.0);
+}
+
+double BregmanDivergence::F(std::span<const double> x) const {
+  BREP_DCHECK(x.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  double acc = 0.0;
+  if (weights_.empty()) {
+    for (size_t j = 0; j < dim_; ++j) acc += g.Phi(x[j]);
+  } else {
+    for (size_t j = 0; j < dim_; ++j) acc += weights_[j] * g.Phi(x[j]);
+  }
+  return acc;
+}
+
+void BregmanDivergence::Gradient(std::span<const double> x,
+                                 std::span<double> out) const {
+  BREP_DCHECK(x.size() == dim_ && out.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  for (size_t j = 0; j < dim_; ++j) {
+    out[j] = weight(j) * g.PhiPrime(x[j]);
+  }
+}
+
+void BregmanDivergence::GradientInverse(std::span<const double> s,
+                                        std::span<double> out) const {
+  BREP_DCHECK(s.size() == dim_ && out.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  for (size_t j = 0; j < dim_; ++j) {
+    out[j] = g.PhiPrimeInverse(s[j] / weight(j));
+  }
+}
+
+bool BregmanDivergence::InDomain(std::span<const double> x) const {
+  BREP_DCHECK(x.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  for (size_t j = 0; j < dim_; ++j) {
+    if (!g.InDomain(x[j])) return false;
+  }
+  return true;
+}
+
+std::vector<double> BregmanDivergence::Mean(
+    const Matrix& points, std::span<const uint32_t> ids) const {
+  BREP_CHECK(points.cols() == dim_);
+  std::vector<double> mean(dim_, 0.0);
+  if (ids.empty()) {
+    BREP_CHECK(points.rows() > 0);
+    for (size_t i = 0; i < points.rows(); ++i) {
+      const auto row = points.Row(i);
+      for (size_t j = 0; j < dim_; ++j) mean[j] += row[j];
+    }
+    for (double& v : mean) v /= static_cast<double>(points.rows());
+  } else {
+    for (uint32_t id : ids) {
+      const auto row = points.Row(id);
+      for (size_t j = 0; j < dim_; ++j) mean[j] += row[j];
+    }
+    for (double& v : mean) v /= static_cast<double>(ids.size());
+  }
+  return mean;
+}
+
+BregmanDivergence BregmanDivergence::Restrict(
+    std::span<const size_t> columns) const {
+  BREP_CHECK(!columns.empty());
+  if (weights_.empty()) {
+    return BregmanDivergence(generator_, columns.size());
+  }
+  std::vector<double> sub;
+  sub.reserve(columns.size());
+  for (size_t c : columns) {
+    BREP_CHECK(c < dim_);
+    sub.push_back(weights_[c]);
+  }
+  return BregmanDivergence(generator_, std::move(sub));
+}
+
+}  // namespace brep

@@ -1,0 +1,40 @@
+#include "divergence/factory.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "divergence/generators.h"
+
+namespace brep {
+
+std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name) {
+  if (name == "squared_l2" || name == "sq_l2" || name == "euclidean") {
+    return std::make_shared<SquaredL2Generator>();
+  }
+  if (name == "itakura_saito" || name == "isd") {
+    return std::make_shared<ItakuraSaitoGenerator>();
+  }
+  if (name == "exponential" || name == "ed") {
+    return std::make_shared<ExponentialGenerator>();
+  }
+  if (name == "kl" || name == "generalized_i") {
+    return std::make_shared<KLGenerator>();
+  }
+  if (name.rfind("lp:", 0) == 0) {
+    const double p = std::strtod(name.c_str() + 3, nullptr);
+    return std::make_shared<LpNormGenerator>(p);
+  }
+  BREP_CHECK_MSG(false, ("unknown generator: " + name).c_str());
+  return nullptr;
+}
+
+BregmanDivergence MakeDivergence(const std::string& name, size_t dim) {
+  return BregmanDivergence(MakeGenerator(name), dim);
+}
+
+BregmanDivergence MakeDiagonalMahalanobis(std::vector<double> q) {
+  return BregmanDivergence(std::make_shared<SquaredL2Generator>(),
+                           std::move(q));
+}
+
+}  // namespace brep

@@ -1,0 +1,28 @@
+#ifndef BREP_DIVERGENCE_FACTORY_H_
+#define BREP_DIVERGENCE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// Create a scalar generator by stable name. Accepted names:
+/// "squared_l2" (alias "sq_l2", "euclidean"), "itakura_saito" (alias "isd"),
+/// "exponential" (alias "ed"), "kl" (alias "generalized_i"), and
+/// "lp:<p>" e.g. "lp:3". Aborts on unknown names (configuration error).
+std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name);
+
+/// Convenience: an unweighted divergence of the named family over `dim`
+/// dimensions.
+BregmanDivergence MakeDivergence(const std::string& name, size_t dim);
+
+/// The paper's squared Mahalanobis distance with diagonal Q: f(x) =
+/// sum_j q_j x_j^2 (all q_j > 0).
+BregmanDivergence MakeDiagonalMahalanobis(std::vector<double> q);
+
+}  // namespace brep
+
+#endif  // BREP_DIVERGENCE_FACTORY_H_

@@ -1,0 +1,44 @@
+#ifndef BREP_DIVERGENCE_GENERATOR_H_
+#define BREP_DIVERGENCE_GENERATOR_H_
+
+#include <string>
+
+namespace brep {
+
+/// A strictly convex scalar generator `phi`, applied coordinate-wise to form
+/// the decomposable convex function f(x) = sum_j w_j * phi(x_j) that defines
+/// a Bregman divergence D_f (see BregmanDivergence).
+///
+/// BrePartition's dimensionality partitioning requires f to decompose over
+/// dimensions; every generator here satisfies that by construction. The
+/// inverse derivative is needed by the Bregman-ball theta-projection search
+/// (Cayton '08), which walks the dual-space segment between two gradients.
+class ScalarGenerator {
+ public:
+  virtual ~ScalarGenerator() = default;
+
+  /// phi(t). Caller must ensure InDomain(t).
+  virtual double Phi(double t) const = 0;
+
+  /// phi'(t), strictly increasing on the domain.
+  virtual double PhiPrime(double t) const = 0;
+
+  /// The inverse of phi': returns t with phi'(t) == s. `s` must lie in the
+  /// image of phi' over the domain.
+  virtual double PhiPrimeInverse(double s) const = 0;
+
+  /// Whether t lies in the (open) domain of phi.
+  virtual bool InDomain(double t) const = 0;
+
+  /// True when D_f decomposes into a sum of per-partition divergences that
+  /// are individually valid Bregman divergences -- the property Theorems 1-3
+  /// rely on. KL over the probability simplex is the paper's named exception.
+  virtual bool PartitionSafe() const { return true; }
+
+  /// Stable identifier, e.g. "itakura_saito".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace brep
+
+#endif  // BREP_DIVERGENCE_GENERATOR_H_

@@ -1,0 +1,53 @@
+#include "divergence/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace brep {
+
+double ItakuraSaitoGenerator::Phi(double t) const {
+  BREP_DCHECK(t > 0.0);
+  return -std::log(t);
+}
+
+double ExponentialGenerator::Phi(double t) const { return std::exp(t); }
+double ExponentialGenerator::PhiPrime(double t) const { return std::exp(t); }
+double ExponentialGenerator::PhiPrimeInverse(double s) const {
+  BREP_DCHECK(s > 0.0);
+  return std::log(s);
+}
+
+double KLGenerator::Phi(double t) const {
+  BREP_DCHECK(t > 0.0);
+  return t * std::log(t) - t;
+}
+double KLGenerator::PhiPrime(double t) const {
+  BREP_DCHECK(t > 0.0);
+  return std::log(t);
+}
+double KLGenerator::PhiPrimeInverse(double s) const { return std::exp(s); }
+
+LpNormGenerator::LpNormGenerator(double p) : p_(p) {
+  BREP_CHECK_MSG(p > 1.0, "lp generator requires p > 1 for strict convexity");
+}
+
+double LpNormGenerator::Phi(double t) const {
+  return std::pow(std::fabs(t), p_) / p_;
+}
+
+double LpNormGenerator::PhiPrime(double t) const {
+  const double mag = std::pow(std::fabs(t), p_ - 1.0);
+  return t >= 0.0 ? mag : -mag;
+}
+
+double LpNormGenerator::PhiPrimeInverse(double s) const {
+  const double mag = std::pow(std::fabs(s), 1.0 / (p_ - 1.0));
+  return s >= 0.0 ? mag : -mag;
+}
+
+std::string LpNormGenerator::Name() const {
+  return "lp_norm(p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace brep

@@ -1,0 +1,80 @@
+#ifndef BREP_DIVERGENCE_GENERATORS_H_
+#define BREP_DIVERGENCE_GENERATORS_H_
+
+#include <string>
+
+#include "divergence/generator.h"
+
+namespace brep {
+
+/// phi(t) = t^2. Yields the squared Euclidean distance; with per-dimension
+/// weights this is the (diagonal) squared Mahalanobis distance of the paper.
+class SquaredL2Generator final : public ScalarGenerator {
+ public:
+  double Phi(double t) const override { return t * t; }
+  double PhiPrime(double t) const override { return 2.0 * t; }
+  double PhiPrimeInverse(double s) const override { return 0.5 * s; }
+  bool InDomain(double) const override { return true; }
+  std::string Name() const override { return "squared_l2"; }
+};
+
+/// phi(t) = -log t on t > 0. Yields the Itakura-Saito distance
+/// D(x, y) = sum_j (x_j / y_j - log(x_j / y_j) - 1), the paper's "ISD".
+class ItakuraSaitoGenerator final : public ScalarGenerator {
+ public:
+  double Phi(double t) const override;
+  double PhiPrime(double t) const override { return -1.0 / t; }
+  double PhiPrimeInverse(double s) const override { return -1.0 / s; }
+  bool InDomain(double t) const override { return t > 0.0; }
+  std::string Name() const override { return "itakura_saito"; }
+};
+
+/// phi(t) = e^t. Yields the paper's "exponential distance" ("ED"):
+/// D(x, y) = sum_j e^{x_j} - (x_j - y_j + 1) e^{y_j}.
+class ExponentialGenerator final : public ScalarGenerator {
+ public:
+  double Phi(double t) const override;
+  double PhiPrime(double t) const override;
+  double PhiPrimeInverse(double s) const override;
+  bool InDomain(double) const override { return true; }
+  std::string Name() const override { return "exponential"; }
+};
+
+/// phi(t) = t log t - t on t > 0 (Shannon-entropy family). Yields the
+/// generalized I-divergence D(x, y) = sum_j x_j log(x_j/y_j) - x_j + y_j,
+/// which restricted to the probability simplex is the KL divergence.
+///
+/// PartitionSafe() is false: the paper excludes KL from the partitioning
+/// framework ("it's not cumulative after the dimensionality partitioning"),
+/// because on the simplex the dimensions are coupled by the sum-to-one
+/// constraint. The generator is still available for whole-space engines
+/// (linear scan, BB-tree, VA-file).
+class KLGenerator final : public ScalarGenerator {
+ public:
+  double Phi(double t) const override;
+  double PhiPrime(double t) const override;
+  double PhiPrimeInverse(double s) const override;
+  bool InDomain(double t) const override { return t > 0.0; }
+  bool PartitionSafe() const override { return false; }
+  std::string Name() const override { return "kl"; }
+};
+
+/// phi(t) = |t|^p / p for p > 1 (the paper's lp-norm family member).
+/// p = 2 reduces to squared L2 up to a constant factor.
+class LpNormGenerator final : public ScalarGenerator {
+ public:
+  explicit LpNormGenerator(double p);
+  double Phi(double t) const override;
+  double PhiPrime(double t) const override;
+  double PhiPrimeInverse(double s) const override;
+  bool InDomain(double) const override { return true; }
+  std::string Name() const override;
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_DIVERGENCE_GENERATORS_H_

@@ -1,0 +1,38 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace brep {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(capacity_ > 0);
+}
+
+const PageBuffer& BufferPool::Read(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++hits_;
+    // Move to front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->buffer;
+  }
+  ++misses_;
+  if (entries_.size() == capacity_) {
+    // Evict the least recently used page.
+    entries_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{id, PageBuffer{}});
+  pager_->Read(id, &lru_.front().buffer);
+  entries_[id] = lru_.begin();
+  return lru_.front().buffer;
+}
+
+void BufferPool::InvalidateAll() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace brep

@@ -1,0 +1,56 @@
+#ifndef BREP_STORAGE_BUFFER_POOL_H_
+#define BREP_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace brep {
+
+/// LRU read cache over a Pager.
+///
+/// Index traversal (BB-forest interior nodes, VA-file headers) goes through a
+/// pool so hot metadata is not re-charged on every visit, mirroring an OS
+/// page cache; candidate data fetches bypass it (the paper's I/O metric
+/// counts those raw). Hit/miss counters expose both views for ablations.
+class BufferPool {
+ public:
+  /// `capacity_pages` is the number of resident pages; must be > 0.
+  BufferPool(Pager* pager, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Read through the cache. Returns a reference valid until the next call.
+  /// A miss costs one pager read; a hit costs none.
+  const PageBuffer& Read(PageId id);
+
+  /// Drop all cached pages (e.g. after out-of-band writes).
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    PageId id;
+    PageBuffer buffer;
+  };
+
+  Pager* pager_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<Entry>::iterator> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_BUFFER_POOL_H_

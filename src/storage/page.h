@@ -1,0 +1,32 @@
+#ifndef BREP_STORAGE_PAGE_H_
+#define BREP_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace brep {
+
+/// Identifier of a fixed-size page on the (simulated) disk.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Raw page contents.
+using PageBuffer = std::vector<uint8_t>;
+
+/// Counters the evaluation uses as its "I/O cost" metric: number of page
+/// reads/writes issued against the simulated disk (see DESIGN.md section 3
+/// for why counting pages reproduces the paper's metric exactly).
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    return {reads - other.reads, writes - other.writes};
+  }
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_PAGE_H_

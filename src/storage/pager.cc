@@ -1,0 +1,66 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace brep {
+
+Pager::Pager(size_t page_size_bytes) : page_size_(page_size_bytes) {
+  BREP_CHECK(page_size_ >= 64);
+}
+
+PageId Pager::Allocate() {
+  pages_.emplace_back(page_size_, 0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void Pager::Write(PageId id, std::span<const uint8_t> data) {
+  BREP_CHECK(id < pages_.size());
+  BREP_CHECK(data.size() <= page_size_);
+  PageBuffer& page = pages_[id];
+  std::memcpy(page.data(), data.data(), data.size());
+  if (data.size() < page_size_) {
+    std::memset(page.data() + data.size(), 0, page_size_ - data.size());
+  }
+  ++stats_.writes;
+}
+
+void Pager::Read(PageId id, PageBuffer* out) const {
+  BREP_CHECK(id < pages_.size());
+  *out = pages_[id];
+  ++stats_.reads;
+}
+
+std::vector<PageId> Pager::WriteBlob(std::span<const uint8_t> bytes) {
+  std::vector<PageId> ids;
+  size_t offset = 0;
+  while (offset < bytes.size() || ids.empty()) {
+    const size_t chunk = std::min(page_size_, bytes.size() - offset);
+    const PageId id = Allocate();
+    Write(id, bytes.subspan(offset, chunk));
+    ids.push_back(id);
+    offset += chunk;
+    if (chunk == 0) break;  // empty blob still gets one page
+  }
+  return ids;
+}
+
+std::vector<uint8_t> Pager::ReadBlob(std::span<const PageId> ids,
+                                     size_t size) const {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(size);
+  PageBuffer buf;
+  for (PageId id : ids) {
+    Read(id, &buf);
+    const size_t want = std::min(page_size_, size - bytes.size());
+    bytes.insert(bytes.end(), buf.begin(),
+                 buf.begin() + static_cast<ptrdiff_t>(want));
+    if (bytes.size() == size) break;
+  }
+  BREP_CHECK(bytes.size() == size);
+  return bytes;
+}
+
+}  // namespace brep

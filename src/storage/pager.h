@@ -1,0 +1,58 @@
+#ifndef BREP_STORAGE_PAGER_H_
+#define BREP_STORAGE_PAGER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace brep {
+
+/// A simulated page-granular disk.
+///
+/// All disk-resident structures (point store, BB-forest nodes, VA-file
+/// approximation array) allocate pages here and perform reads/writes through
+/// it, so `stats()` yields exactly the paper's I/O-cost metric. Page size is
+/// configurable per dataset (Table 4 uses 32-128 KB).
+class Pager {
+ public:
+  explicit Pager(size_t page_size_bytes);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Allocate a new zeroed page and return its id.
+  PageId Allocate();
+
+  /// Overwrite a page. `data.size()` must not exceed the page size; shorter
+  /// writes zero-fill the remainder. Counts one write.
+  void Write(PageId id, std::span<const uint8_t> data);
+
+  /// Read a page into `out` (resized to page size). Counts one read.
+  void Read(PageId id, PageBuffer* out) const;
+
+  /// Store an arbitrary-length blob across freshly allocated pages; returns
+  /// the page ids in order. Counts one write per page.
+  std::vector<PageId> WriteBlob(std::span<const uint8_t> bytes);
+
+  /// Read back a blob of `size` bytes spanning `ids`. Counts one read per
+  /// page.
+  std::vector<uint8_t> ReadBlob(std::span<const PageId> ids,
+                                size_t size) const;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+ private:
+  size_t page_size_;
+  std::vector<PageBuffer> pages_;
+  mutable IoStats stats_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_PAGER_H_

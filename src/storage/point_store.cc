@@ -1,0 +1,113 @@
+#include "storage/point_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace brep {
+
+PointStore::PointStore(Pager* pager, const Matrix& data,
+                       std::span<const uint32_t> order)
+    : pager_(pager), dim_(data.cols()) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(!data.empty());
+  const size_t point_bytes = dim_ * sizeof(double);
+  BREP_CHECK_MSG(point_bytes <= pager_->page_size(),
+                 "page size too small for one point");
+  points_per_page_ = pager_->page_size() / point_bytes;
+
+  const size_t n = data.rows();
+  std::vector<uint32_t> layout;
+  if (order.empty()) {
+    layout.resize(n);
+    for (size_t i = 0; i < n; ++i) layout[i] = static_cast<uint32_t>(i);
+  } else {
+    BREP_CHECK(order.size() == n);
+    layout.assign(order.begin(), order.end());
+  }
+
+  address_of_.resize(n);
+  std::vector<uint8_t> page_bytes(pager_->page_size(), 0);
+  size_t slot = 0;
+  PageId current = kInvalidPageId;
+  auto flush = [&]() {
+    if (current != kInvalidPageId && slot > 0) {
+      pager_->Write(current, page_bytes);
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (slot == 0) {
+      current = pager_->Allocate();
+      data_pages_.push_back(current);
+      page_ids_.emplace_back();
+      std::fill(page_bytes.begin(), page_bytes.end(), 0);
+    }
+    const uint32_t id = layout[i];
+    const auto row = data.Row(id);
+    std::memcpy(page_bytes.data() + slot * point_bytes, row.data(),
+                point_bytes);
+    address_of_[id] = PointAddress{current, static_cast<uint16_t>(slot)};
+    page_ids_.back().push_back(id);
+    if (++slot == points_per_page_) {
+      pager_->Write(current, page_bytes);
+      slot = 0;
+    }
+  }
+  flush();
+
+  // PageId -> dense page index for FetchMany.
+  page_index_of_.assign(pager_->num_pages(), UINT32_MAX);
+  for (size_t p = 0; p < data_pages_.size(); ++p) {
+    page_index_of_[data_pages_[p]] = static_cast<uint32_t>(p);
+  }
+}
+
+void PointStore::Fetch(uint32_t id, std::span<double> out) const {
+  BREP_CHECK(id < address_of_.size());
+  BREP_CHECK(out.size() == dim_);
+  const PointAddress addr = address_of_[id];
+  PageBuffer buf;
+  pager_->Read(addr.page, &buf);
+  std::memcpy(out.data(), buf.data() + addr.slot * dim_ * sizeof(double),
+              dim_ * sizeof(double));
+}
+
+void PointStore::FetchMany(
+    std::span<const uint32_t> ids,
+    const std::function<void(uint32_t, std::span<const double>)>& cb) const {
+  // Group requested ids by page, then read each page once in ascending
+  // order (a real engine would sort candidate addresses the same way).
+  std::vector<uint32_t> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
+    const PointAddress pa = address_of_[a];
+    const PointAddress pb = address_of_[b];
+    if (pa.page != pb.page) return pa.page < pb.page;
+    return pa.slot < pb.slot;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  PageBuffer buf;
+  PageId loaded = kInvalidPageId;
+  for (uint32_t id : sorted) {
+    const PointAddress addr = address_of_[id];
+    if (addr.page != loaded) {
+      pager_->Read(addr.page, &buf);
+      loaded = addr.page;
+    }
+    const auto* doubles = reinterpret_cast<const double*>(
+        buf.data() + addr.slot * dim_ * sizeof(double));
+    cb(id, std::span<const double>(doubles, dim_));
+  }
+}
+
+size_t PointStore::CountDistinctPages(std::span<const uint32_t> ids) const {
+  std::vector<PageId> pages;
+  pages.reserve(ids.size());
+  for (uint32_t id : ids) pages.push_back(address_of_[id].page);
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return pages.size();
+}
+
+}  // namespace brep

@@ -1,0 +1,74 @@
+#ifndef BREP_STORAGE_POINT_STORE_H_
+#define BREP_STORAGE_POINT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace brep {
+
+/// Disk location of one point: page + slot within the page.
+struct PointAddress {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(const PointAddress& a, const PointAddress& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+/// Stores the full-dimensional data points on the simulated disk, packed in a
+/// caller-chosen order.
+///
+/// The order is the paper's key I/O lever (Section 6): the BB-forest stores
+/// points in the leaf order of one of the trees, so PCCP-similar clusters in
+/// other subspaces index mostly the same pages, and candidate refinement
+/// touches few distinct pages. `FetchMany` reads each distinct page exactly
+/// once, which is what a real engine would do after sorting candidate
+/// addresses.
+class PointStore {
+ public:
+  /// Lay out `data` on `pager` with row `order[i]` placed in the i-th slot.
+  /// `order` must be a permutation of [0, data.rows()); empty means identity.
+  PointStore(Pager* pager, const Matrix& data,
+             std::span<const uint32_t> order);
+
+  size_t dim() const { return dim_; }
+  size_t num_points() const { return address_of_.size(); }
+  size_t points_per_page() const { return points_per_page_; }
+  size_t num_data_pages() const { return data_pages_.size(); }
+
+  PointAddress AddressOf(uint32_t id) const { return address_of_[id]; }
+
+  /// Read one point (charges a read of its page).
+  void Fetch(uint32_t id, std::span<double> out) const;
+
+  /// Fetch a batch: distinct pages are read once each, in ascending page
+  /// order; `cb` is invoked once per requested id (duplicates in `ids` are
+  /// collapsed). This is the refinement step's I/O pattern.
+  void FetchMany(std::span<const uint32_t> ids,
+                 const std::function<void(uint32_t, std::span<const double>)>&
+                     cb) const;
+
+  /// Number of distinct pages a batch would touch (the per-query I/O cost of
+  /// refinement, without actually fetching).
+  size_t CountDistinctPages(std::span<const uint32_t> ids) const;
+
+ private:
+  Pager* pager_;
+  size_t dim_;
+  size_t points_per_page_;
+  std::vector<PointAddress> address_of_;        // by point id
+  std::vector<PageId> data_pages_;              // in layout order
+  std::vector<std::vector<uint32_t>> page_ids_;  // page index -> ids by slot
+  std::vector<uint32_t> page_index_of_;          // PageId -> index
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_POINT_STORE_H_

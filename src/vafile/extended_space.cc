@@ -1,0 +1,46 @@
+#include "vafile/extended_space.h"
+
+#include "common/check.h"
+
+namespace brep {
+
+Matrix ExtendMatrix(const Matrix& data, const BregmanDivergence& div) {
+  BREP_CHECK(data.cols() == div.dim());
+  const size_t d = data.cols();
+  Matrix out(data.rows(), d + 1);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const auto src = data.Row(i);
+    auto dst = out.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+    dst[d] = div.F(src);
+  }
+  return out;
+}
+
+std::vector<double> ExtendPoint(std::span<const double> x,
+                                const BregmanDivergence& div) {
+  BREP_CHECK(x.size() == div.dim());
+  std::vector<double> out(x.begin(), x.end());
+  out.push_back(div.F(x));
+  return out;
+}
+
+QueryPlane MakeQueryPlane(std::span<const double> y,
+                          const BregmanDivergence& div) {
+  BREP_CHECK(y.size() == div.dim());
+  const size_t d = y.size();
+  QueryPlane plane;
+  plane.w.resize(d + 1);
+  std::vector<double> grad(d);
+  div.Gradient(y, std::span<double>(grad));
+  double dot_gy = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    plane.w[j] = -grad[j];
+    dot_gy += grad[j] * y[j];
+  }
+  plane.w[d] = 1.0;
+  plane.kappa = dot_gy - div.F(y);
+  return plane;
+}
+
+}  // namespace brep

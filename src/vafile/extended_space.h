@@ -1,0 +1,46 @@
+#ifndef BREP_VAFILE_EXTENDED_SPACE_H_
+#define BREP_VAFILE_EXTENDED_SPACE_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+namespace brep {
+
+/// \file
+/// Zhang et al. (PVLDB'09) extended-space linearization of Bregman
+/// divergences, the substrate of the "VAF" baseline.
+///
+/// Writing D_f(x, y) = f(x) - <grad f(y), x> + (<grad f(y), y> - f(y)),
+/// the divergence is an *affine* function of the lifted point
+/// x~ = (x_1, ..., x_d, f(x)):
+///
+///   D_f(x, y) = <x~, w(y)> + kappa(y)
+///   w(y)      = (-grad f(y), 1),    kappa(y) = <grad f(y), y> - f(y).
+///
+/// kNN under D_f therefore reduces to a minimum-inner-product query over the
+/// (d+1)-dimensional extended space, which classic metric machinery (here a
+/// VA-file) can filter.
+
+/// Query-derived hyperplane: D_f(x, y) = dot(extended(x), w) + kappa.
+struct QueryPlane {
+  std::vector<double> w;  // size d+1
+  double kappa = 0.0;
+};
+
+/// Lift every row of `data` into the extended space (appends f(x)).
+Matrix ExtendMatrix(const Matrix& data, const BregmanDivergence& div);
+
+/// Lift a single point.
+std::vector<double> ExtendPoint(std::span<const double> x,
+                                const BregmanDivergence& div);
+
+/// Build the query plane for y.
+QueryPlane MakeQueryPlane(std::span<const double> y,
+                          const BregmanDivergence& div);
+
+}  // namespace brep
+
+#endif  // BREP_VAFILE_EXTENDED_SPACE_H_

@@ -1,0 +1,173 @@
+#include "vafile/vafile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "vafile/extended_space.h"
+
+namespace brep {
+namespace {
+
+/// Append `bits` low bits of `value` to a byte-aligned bitstream.
+void PackBits(std::vector<uint8_t>* out, size_t* bit_pos, uint32_t value,
+              size_t bits) {
+  for (size_t b = 0; b < bits; ++b) {
+    const size_t byte = *bit_pos / 8;
+    if (byte >= out->size()) out->push_back(0);
+    const size_t in_byte = *bit_pos % 8;
+    if ((value >> b) & 1u) (*out)[byte] |= static_cast<uint8_t>(1u << in_byte);
+    ++*bit_pos;
+  }
+}
+
+uint32_t UnpackBits(const uint8_t* bytes, size_t bit_pos, size_t bits) {
+  uint32_t value = 0;
+  for (size_t b = 0; b < bits; ++b) {
+    const size_t byte = (bit_pos + b) / 8;
+    const size_t in_byte = (bit_pos + b) % 8;
+    if ((bytes[byte] >> in_byte) & 1u) value |= (1u << b);
+  }
+  return value;
+}
+
+}  // namespace
+
+VAFile::VAFile(Pager* pager, const Matrix& data, const BregmanDivergence& div,
+               const VAFileConfig& config)
+    : pager_(pager), div_(div), bits_(config.bits_per_dim) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(bits_ >= 1 && bits_ <= 16);
+  BREP_CHECK(data.cols() == div_.dim());
+
+  const Matrix ext = ExtendMatrix(data, div_);
+  n_ = ext.rows();
+  ext_dim_ = ext.cols();
+
+  // Equi-width grid per extended dimension.
+  lo_.assign(ext_dim_, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(ext_dim_, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n_; ++i) {
+    const auto row = ext.Row(i);
+    for (size_t j = 0; j < ext_dim_; ++j) {
+      lo_[j] = std::min(lo_[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  const uint32_t cells = 1u << bits_;
+  width_.resize(ext_dim_);
+  for (size_t j = 0; j < ext_dim_; ++j) {
+    const double span = hi[j] - lo_[j];
+    width_[j] = span > 0.0 ? span / cells : 1.0;
+  }
+
+  // Quantize and pack all approximations, then lay them out on VA pages.
+  approx_bytes_ = (ext_dim_ * bits_ + 7) / 8;
+  approx_per_page_ = pager_->page_size() / approx_bytes_;
+  BREP_CHECK_MSG(approx_per_page_ > 0, "page too small for one approximation");
+
+  std::vector<uint8_t> page(pager_->page_size(), 0);
+  size_t in_page = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    std::vector<uint8_t> record;
+    record.reserve(approx_bytes_);
+    size_t bit_pos = 0;
+    const auto row = ext.Row(i);
+    for (size_t j = 0; j < ext_dim_; ++j) {
+      double cell_f = (row[j] - lo_[j]) / width_[j];
+      uint32_t cell = cell_f <= 0.0
+                          ? 0u
+                          : std::min<uint32_t>(static_cast<uint32_t>(cell_f),
+                                               cells - 1);
+      PackBits(&record, &bit_pos, cell, bits_);
+    }
+    record.resize(approx_bytes_, 0);
+    std::memcpy(page.data() + in_page * approx_bytes_, record.data(),
+                approx_bytes_);
+    if (++in_page == approx_per_page_ || i + 1 == n_) {
+      const PageId id = pager_->Allocate();
+      pager_->Write(id, page);
+      va_pages_.push_back(id);
+      std::fill(page.begin(), page.end(), 0);
+      in_page = 0;
+    }
+  }
+
+  // Data points in insertion order (the VA-file has no clustering to exploit).
+  store_ = std::make_unique<PointStore>(pager_, data, std::span<const uint32_t>{});
+}
+
+void VAFile::DecodeCells(const uint8_t* bytes,
+                         std::span<uint32_t> cells) const {
+  for (size_t j = 0; j < ext_dim_; ++j) {
+    cells[j] = UnpackBits(bytes, j * bits_, bits_);
+  }
+}
+
+std::vector<Neighbor> VAFile::KnnSearch(std::span<const double> y, size_t k,
+                                        VAFileStats* stats) const {
+  BREP_CHECK(y.size() == div_.dim());
+  VAFileStats local;
+  VAFileStats& st = stats != nullptr ? *stats : local;
+
+  const QueryPlane plane = MakeQueryPlane(y, div_);
+
+  // Phase 1: scan every approximation, computing [lb, ub] of the affine form
+  // over the cell box; track the k-th smallest ub as the filter threshold.
+  struct Approx {
+    double lb;
+    uint32_t id;
+  };
+  std::vector<Approx> lower_bounds;
+  lower_bounds.reserve(n_);
+  TopK ub_topk(k);  // k-th smallest upper bound
+
+  std::vector<uint32_t> cells(ext_dim_);
+  PageBuffer buf;
+  uint32_t id = 0;
+  for (const PageId page : va_pages_) {
+    pager_->Read(page, &buf);
+    const size_t records =
+        std::min(approx_per_page_, n_ - static_cast<size_t>(id));
+    for (size_t r = 0; r < records; ++r, ++id) {
+      DecodeCells(buf.data() + r * approx_bytes_, cells);
+      double lb = plane.kappa;
+      double ub = plane.kappa;
+      for (size_t j = 0; j < ext_dim_; ++j) {
+        const double cell_lo = lo_[j] + cells[j] * width_[j];
+        const double cell_hi = cell_lo + width_[j];
+        const double w = plane.w[j];
+        if (w >= 0.0) {
+          lb += w * cell_lo;
+          ub += w * cell_hi;
+        } else {
+          lb += w * cell_hi;
+          ub += w * cell_lo;
+        }
+      }
+      lb = std::max(lb, 0.0);  // divergences are non-negative
+      lower_bounds.push_back(Approx{lb, id});
+      ub_topk.Push(ub, id);
+      ++st.approximations_scanned;
+    }
+  }
+
+  // Phase 2: candidates are points whose lb does not exceed the k-th
+  // smallest ub; fetch them (page-batched) and refine exactly.
+  const double threshold = ub_topk.Threshold();
+  std::vector<uint32_t> candidates;
+  for (const Approx& a : lower_bounds) {
+    if (a.lb <= threshold) candidates.push_back(a.id);
+  }
+  st.candidates = candidates.size();
+
+  TopK topk(k);
+  store_->FetchMany(candidates, [&](uint32_t pid, std::span<const double> x) {
+    topk.Push(div_.Divergence(x, y), pid);
+  });
+  return topk.SortedResults();
+}
+
+}  // namespace brep

@@ -1,0 +1,74 @@
+#ifndef BREP_VAFILE_VAFILE_H_
+#define BREP_VAFILE_VAFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/top_k.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+#include "storage/pager.h"
+#include "storage/point_store.h"
+
+namespace brep {
+
+/// VA-file configuration.
+struct VAFileConfig {
+  /// Quantization bits per extended dimension (cells = 2^bits).
+  size_t bits_per_dim = 8;
+};
+
+/// Per-query work counters for the VA-file.
+struct VAFileStats {
+  size_t approximations_scanned = 0;
+  size_t candidates = 0;
+};
+
+/// The "VAF" exact baseline (Zhang et al., PVLDB'09): a vector-approximation
+/// file over the extended space (see extended_space.h).
+///
+/// Each point's extended vector is quantized to `bits_per_dim` bits per
+/// dimension on an equi-width grid. A kNN query scans the whole (disk
+/// resident) approximation array -- computing a lower and an upper bound of
+/// the affine form <x~, w(y)> + kappa(y) per cell -- keeps the k-th smallest
+/// upper bound as the filter threshold, then fetches the surviving
+/// candidates from the point store and refines exactly. Results are exact.
+class VAFile {
+ public:
+  VAFile(Pager* pager, const Matrix& data, const BregmanDivergence& div,
+         const VAFileConfig& config);
+
+  VAFile(const VAFile&) = delete;
+  VAFile& operator=(const VAFile&) = delete;
+
+  /// Exact kNN of y under the divergence.
+  std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
+                                  VAFileStats* stats = nullptr) const;
+
+  size_t num_points() const { return n_; }
+  size_t approximation_bytes_per_point() const { return approx_bytes_; }
+  size_t num_va_pages() const { return va_pages_.size(); }
+  const PointStore& point_store() const { return *store_; }
+
+ private:
+  /// Decode one packed approximation into per-dimension cell indices.
+  void DecodeCells(const uint8_t* bytes, std::span<uint32_t> cells) const;
+
+  Pager* pager_;
+  BregmanDivergence div_;
+  size_t bits_;
+  size_t n_ = 0;
+  size_t ext_dim_ = 0;
+  size_t approx_bytes_ = 0;     // packed bytes per point
+  size_t approx_per_page_ = 0;  // records per VA page
+  std::vector<double> lo_;      // per-extended-dim grid minimum
+  std::vector<double> width_;   // per-extended-dim cell width
+  std::vector<PageId> va_pages_;
+  std::unique_ptr<PointStore> store_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_VAFILE_VAFILE_H_

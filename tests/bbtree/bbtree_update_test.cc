@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "bbtree/bbtree.h"
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+/// Incremental insert/delete (the paper's future-work extension): the tree
+/// must stay exact after arbitrary update sequences.
+class BBTreeUpdateTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 8;
+  std::string gen_ = GetParam();
+  Matrix data_ = testing::MakeDataFor(gen_, 800, kDim);
+  BregmanDivergence div_ = MakeDivergence(gen_, kDim);
+  BBTreeConfig config_ = [] {
+    BBTreeConfig c;
+    c.max_leaf_size = 16;
+    return c;
+  }();
+};
+
+TEST_P(BBTreeUpdateTest, InsertThenSearchIsExact) {
+  // Build on the first half, insert the second half, compare against a
+  // brute-force scan over everything.
+  const Matrix head = data_.Truncated(400);
+  BBTree tree(data_, div_, config_);  // note: balls from the full build
+  // Rebuild semantics: construct from the head only.
+  BBTree incremental(head, div_, config_);
+  // The incremental tree references `head`, whose rows 0..399 equal data_'s.
+  // Insert is defined on the tree's own matrix, so grow via a full-matrix
+  // tree instead: construct from data_ but delete the tail first.
+  BBTree grown(data_, div_, config_);
+  for (uint32_t id = 400; id < 800; ++id) ASSERT_TRUE(grown.Delete(id));
+  EXPECT_EQ(grown.size(), 400u);
+  for (uint32_t id = 400; id < 800; ++id) grown.Insert(id);
+  EXPECT_EQ(grown.size(), 800u);
+
+  const LinearScan scan(data_, div_);
+  const Matrix queries = testing::MakeQueriesFor(gen_, data_, 8);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected = scan.KnnSearch(queries.Row(q), 10);
+    const auto got = grown.KnnSearch(queries.Row(q), 10);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance,
+                  1e-9 * std::max(1.0, expected[i].distance))
+          << gen_ << " q=" << q;
+    }
+  }
+}
+
+TEST_P(BBTreeUpdateTest, DeleteRemovesFromResults) {
+  BBTree tree(data_, div_, config_);
+  // The nearest neighbor of data point 5 is itself; delete it.
+  const auto before = tree.KnnSearch(data_.Row(5), 1);
+  ASSERT_EQ(before[0].id, 5u);
+  ASSERT_TRUE(tree.Delete(5));
+  EXPECT_EQ(tree.size(), data_.rows() - 1);
+  const auto after = tree.KnnSearch(data_.Row(5), 1);
+  EXPECT_NE(after[0].id, 5u);
+  // Deleting again fails.
+  EXPECT_FALSE(tree.Delete(5));
+}
+
+TEST_P(BBTreeUpdateTest, BallsContainPointsAfterUpdates) {
+  BBTree tree(data_, div_, config_);
+  for (uint32_t id = 0; id < 200; ++id) ASSERT_TRUE(tree.Delete(id));
+  for (uint32_t id = 0; id < 200; ++id) tree.Insert(id);
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) continue;
+    for (uint32_t id : node.ids) {
+      EXPECT_LE(div_.Divergence(data_.Row(id), node.ball.center),
+                node.ball.radius + 1e-9);
+    }
+  }
+}
+
+TEST_P(BBTreeUpdateTest, RangeSearchStaysExactAfterUpdates) {
+  BBTree tree(data_, div_, config_);
+  for (uint32_t id = 100; id < 300; ++id) ASSERT_TRUE(tree.Delete(id));
+  for (uint32_t id = 100; id < 300; ++id) tree.Insert(id);
+
+  const LinearScan scan(data_, div_);
+  const Matrix queries = testing::MakeQueriesFor(gen_, data_, 5);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    auto dists = scan.AllDistances(queries.Row(q));
+    std::nth_element(dists.begin(), dists.begin() + 20, dists.end());
+    const double radius = dists[20];
+    auto got = tree.RangeSearch(queries.Row(q), radius);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, scan.RangeSearch(queries.Row(q), radius));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, BBTreeUpdateTest,
+                         ::testing::Values("squared_l2", "itakura_saito",
+                                           "exponential"),
+                         [](const auto& info) { return info.param; });
+
+TEST(BBTreeUpdateTest, InsertSplitsOverflowingLeaves) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 600, 6);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 6);
+  BBTreeConfig config;
+  config.max_leaf_size = 8;
+  BBTree tree(data, div, config);
+  const size_t nodes_before = tree.nodes().size();
+  // Reinserting a deleted chunk into (now smaller) leaves forces splits.
+  for (uint32_t id = 0; id < 300; ++id) ASSERT_TRUE(tree.Delete(id));
+  for (uint32_t id = 0; id < 300; ++id) tree.Insert(id);
+  size_t oversized = 0;
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf() && node.ids.size() > config.max_leaf_size &&
+        node.ball.radius > 0.0) {
+      ++oversized;
+    }
+  }
+  EXPECT_EQ(oversized, 0u);
+  EXPECT_GE(tree.nodes().size(), nodes_before);
+}
+
+}  // namespace
+}  // namespace brep

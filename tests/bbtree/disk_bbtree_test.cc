@@ -1,0 +1,158 @@
+#include "bbtree/disk_bbtree.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "common/math_utils.h"
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+class DiskBBTreeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 8;
+  std::string gen_ = GetParam();
+  Matrix data_ = testing::MakeDataFor(gen_, 500, kDim);
+  Matrix queries_ = testing::MakeQueriesFor(gen_, data_, 8);
+  BregmanDivergence div_ = MakeDivergence(gen_, kDim);
+  BBTreeConfig tree_config_ = [] {
+    BBTreeConfig c;
+    c.max_leaf_size = 16;
+    return c;
+  }();
+};
+
+TEST_P(DiskBBTreeTest, KnnMatchesInMemoryTree) {
+  Pager pager(4096);
+  const BBTree mem_tree(data_, div_, tree_config_);
+  const PointStore store(&pager, data_, mem_tree.LeafOrder());
+  const DiskBBTree disk_tree(&pager, mem_tree);
+
+  for (size_t q = 0; q < queries_.rows(); ++q) {
+    const auto expected = mem_tree.KnnSearch(queries_.Row(q), 10);
+    const auto got = disk_tree.KnnSearch(queries_.Row(q), 10, store);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance,
+                  1e-9 * std::max(1.0, expected[i].distance));
+    }
+  }
+}
+
+TEST_P(DiskBBTreeTest, RangeCandidatesMatchInMemoryTree) {
+  Pager pager(4096);
+  const BBTree mem_tree(data_, div_, tree_config_);
+  const DiskBBTree disk_tree(&pager, mem_tree);
+  const LinearScan scan(data_, div_);
+
+  for (size_t q = 0; q < queries_.rows(); ++q) {
+    auto dists = scan.AllDistances(queries_.Row(q));
+    const double radius = Quantile(dists, 0.1);
+    auto expected = mem_tree.RangeCandidates(queries_.Row(q), radius);
+    auto got = disk_tree.RangeCandidates(queries_.Row(q), radius);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, DiskBBTreeTest,
+                         ::testing::Values("squared_l2", "itakura_saito",
+                                           "exponential"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DiskBBTreeIoTest, SearchChargesPageReads) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 600, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  BBTreeConfig config;
+  config.max_leaf_size = 16;
+
+  Pager pager(2048);
+  const BBTree mem_tree(data, div, config);
+  const PointStore store(&pager, data, mem_tree.LeafOrder());
+  const DiskBBTree disk_tree(&pager, mem_tree, /*pool_pages=*/4);
+
+  pager.ResetStats();
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 1);
+  disk_tree.KnnSearch(queries.Row(0), 5, store);
+  EXPECT_GT(pager.stats().reads, 0u);
+  EXPECT_EQ(pager.stats().writes, 0u);  // search never writes
+}
+
+TEST(DiskBBTreeIoTest, LargerPoolReducesNodeReads) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 800, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  BBTreeConfig config;
+  config.max_leaf_size = 8;
+  const BBTree mem_tree(data, div, config);
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 10);
+
+  auto reads_with_pool = [&](size_t pool_pages) {
+    Pager pager(1024);
+    const PointStore store(&pager, data, mem_tree.LeafOrder());
+    const DiskBBTree disk_tree(&pager, mem_tree, pool_pages);
+    pager.ResetStats();
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      disk_tree.KnnSearch(queries.Row(q), 5, store);
+    }
+    return pager.stats().reads;
+  };
+  EXPECT_LT(reads_with_pool(256), reads_with_pool(1));
+}
+
+TEST(DiskBBTreeIoTest, VariationalSearchVisitsNoMoreThanExact) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 800, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  BBTreeConfig config;
+  config.max_leaf_size = 16;
+  Pager pager(2048);
+  const BBTree mem_tree(data, div, config);
+  const PointStore store(&pager, data, mem_tree.LeafOrder());
+  const DiskBBTree disk_tree(&pager, mem_tree);
+
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 10);
+  size_t exact_points = 0, var_points = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    SearchStats exact_stats, var_stats;
+    disk_tree.KnnSearch(queries.Row(q), 10, store, &exact_stats);
+    disk_tree.KnnSearchVariational(queries.Row(q), 10, store, 2.0,
+                                   &var_stats);
+    exact_points += exact_stats.points_evaluated;
+    var_points += var_stats.points_evaluated;
+  }
+  EXPECT_LE(var_points, exact_points);
+}
+
+TEST(DiskBBTreeIoTest, VariationalResultsAreReasonablyAccurate) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 1000, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  BBTreeConfig config;
+  config.max_leaf_size = 16;
+  Pager pager(2048);
+  const BBTree mem_tree(data, div, config);
+  const PointStore store(&pager, data, mem_tree.LeafOrder());
+  const DiskBBTree disk_tree(&pager, mem_tree);
+  const LinearScan scan(data, div);
+
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 20);
+  double ratio_sum = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto exact = scan.KnnSearch(queries.Row(q), 10);
+    const auto approx =
+        disk_tree.KnnSearchVariational(queries.Row(q), 10, store, 0.5);
+    ASSERT_EQ(approx.size(), 10u);
+    // Compare k-th distances (scale-free accuracy check).
+    const double e = exact.back().distance;
+    const double a = approx.back().distance;
+    ratio_sum += e > 0 ? a / e : 1.0;
+  }
+  EXPECT_LT(ratio_sum / queries.rows(), 1.5);
+}
+
+}  // namespace
+}  // namespace brep

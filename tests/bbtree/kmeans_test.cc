@@ -1,0 +1,117 @@
+#include "bbtree/kmeans.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+std::vector<uint32_t> AllIds(size_t n) {
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  return ids;
+}
+
+class KMeansPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 8;
+  Matrix data_ = testing::MakeDataFor(GetParam(), 300, kDim);
+  BregmanDivergence div_ = MakeDivergence(GetParam(), kDim);
+};
+
+TEST_P(KMeansPropertyTest, AssignmentPicksNearestCenter) {
+  Rng rng(1);
+  const auto ids = AllIds(data_.rows());
+  const KMeansResult r = BregmanKMeans(data_, ids, div_, 4, rng);
+  ASSERT_EQ(r.assignment.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const double assigned =
+        div_.Divergence(data_.Row(ids[i]), r.centers.Row(r.assignment[i]));
+    for (size_t c = 0; c < r.centers.rows(); ++c) {
+      EXPECT_GE(div_.Divergence(data_.Row(ids[i]), r.centers.Row(c)) + 1e-9,
+                assigned);
+    }
+  }
+}
+
+TEST_P(KMeansPropertyTest, ObjectiveBeatsSingleCluster) {
+  Rng rng(2);
+  const auto ids = AllIds(data_.rows());
+  const KMeansResult one = BregmanKMeans(data_, ids, div_, 1, rng);
+  const KMeansResult four = BregmanKMeans(data_, ids, div_, 4, rng);
+  EXPECT_LE(four.objective, one.objective + 1e-9);
+}
+
+TEST_P(KMeansPropertyTest, CentersStayInDomain) {
+  Rng rng(3);
+  const auto ids = AllIds(data_.rows());
+  const KMeansResult r = BregmanKMeans(data_, ids, div_, 5, rng);
+  for (size_t c = 0; c < r.centers.rows(); ++c) {
+    EXPECT_TRUE(div_.InDomain(r.centers.Row(c)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, KMeansPropertyTest,
+    ::testing::Values("squared_l2", "itakura_saito", "exponential"),
+    [](const auto& info) { return info.param == "lp:3" ? "lp3" : info.param; });
+
+TEST(KMeansTest, KClampedToPointCount) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 3, 4);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 4);
+  Rng rng(4);
+  const auto ids = AllIds(3);
+  const KMeansResult r = BregmanKMeans(data, ids, div, 10, rng);
+  EXPECT_EQ(r.centers.rows(), 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 100, 6);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 6);
+  const auto ids = AllIds(100);
+  Rng r1(5), r2(5);
+  const KMeansResult a = BregmanKMeans(data, ids, div, 3, r1);
+  const KMeansResult b = BregmanKMeans(data, ids, div, 3, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(KMeansTest, SeparatedClustersAreRecovered) {
+  // Two tight, far-apart blobs must be split perfectly by 2-means.
+  Matrix data(40, 2);
+  Rng rng(6);
+  for (size_t i = 0; i < 20; ++i) {
+    data.At(i, 0) = rng.Gaussian(0.0, 0.01);
+    data.At(i, 1) = rng.Gaussian(0.0, 0.01);
+    data.At(i + 20, 0) = rng.Gaussian(100.0, 0.01);
+    data.At(i + 20, 1) = rng.Gaussian(100.0, 0.01);
+  }
+  const BregmanDivergence div = MakeDivergence("squared_l2", 2);
+  Rng seed_rng(7);
+  const KMeansResult r = BregmanKMeans(data, AllIds(40), div, 2, seed_rng);
+  std::set<uint32_t> first_half, second_half;
+  for (size_t i = 0; i < 20; ++i) {
+    first_half.insert(r.assignment[i]);
+    second_half.insert(r.assignment[i + 20]);
+  }
+  EXPECT_EQ(first_half.size(), 1u);
+  EXPECT_EQ(second_half.size(), 1u);
+  EXPECT_NE(*first_half.begin(), *second_half.begin());
+}
+
+TEST(KMeansTest, SubsetOfIdsOnly) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 100, 4);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 4);
+  const std::vector<uint32_t> ids{2, 30, 55, 80, 99};
+  Rng rng(8);
+  const KMeansResult r = BregmanKMeans(data, ids, div, 2, rng);
+  EXPECT_EQ(r.assignment.size(), 5u);
+}
+
+}  // namespace
+}  // namespace brep

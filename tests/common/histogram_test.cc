@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace brep {
+namespace {
+
+TEST(HistogramTest, CdfBoundsAndMonotonicity) {
+  Rng rng(1);
+  std::vector<double> sample(5000);
+  for (double& v : sample) v = rng.NextGaussian();
+  const Histogram h(sample, 32);
+
+  EXPECT_DOUBLE_EQ(h.Cdf(h.min() - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(h.max() + 1.0), 1.0);
+  double prev = -1.0;
+  for (double v = h.min(); v <= h.max(); v += (h.max() - h.min()) / 100.0) {
+    const double c = h.Cdf(v);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(HistogramTest, CdfMatchesEmpiricalFraction) {
+  Rng rng(2);
+  std::vector<double> sample(20000);
+  for (double& v : sample) v = rng.NextGaussian();
+  const Histogram h(sample, 128);
+  // Median of a standard normal sample is ~0.
+  EXPECT_NEAR(h.Cdf(0.0), 0.5, 0.02);
+  EXPECT_NEAR(h.Cdf(1.0), 0.841, 0.02);
+}
+
+TEST(HistogramTest, InverseCdfRoundTrips) {
+  Rng rng(3);
+  std::vector<double> sample(10000);
+  for (double& v : sample) v = rng.Uniform(-5.0, 5.0);
+  const Histogram h(sample, 64);
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(h.Cdf(h.InverseCdf(p)), p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, InverseCdfClampsToRange) {
+  const std::vector<double> sample{1.0, 2.0, 3.0};
+  const Histogram h(sample, 4);
+  EXPECT_DOUBLE_EQ(h.InverseCdf(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.InverseCdf(1.0), h.max());
+  EXPECT_DOUBLE_EQ(h.InverseCdf(-0.5), h.min());
+  EXPECT_DOUBLE_EQ(h.InverseCdf(1.5), h.max());
+}
+
+TEST(HistogramTest, DegenerateConstantSample) {
+  const std::vector<double> sample{7.0, 7.0, 7.0, 7.0};
+  const Histogram h(sample, 8);
+  EXPECT_DOUBLE_EQ(h.Cdf(6.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(8.0), 1.0);
+}
+
+TEST(HistogramTest, NormalFitMatchesMoments) {
+  Rng rng(4);
+  std::vector<double> sample(50000);
+  for (double& v : sample) v = rng.Gaussian(3.0, 2.0);
+  const Histogram h(sample, 64);
+  const auto fit = h.FitNormal();
+  EXPECT_NEAR(fit.mean, 3.0, 0.05);
+  EXPECT_NEAR(fit.stddev, 2.0, 0.05);
+}
+
+TEST(HistogramTest, CountsSumToTotal) {
+  Rng rng(5);
+  std::vector<double> sample(1234);
+  for (double& v : sample) v = rng.NextDouble();
+  const Histogram h(sample, 10);
+  size_t total = 0;
+  for (size_t c : h.counts()) total += c;
+  EXPECT_EQ(total, sample.size());
+  EXPECT_EQ(h.total_count(), sample.size());
+}
+
+}  // namespace
+}  // namespace brep

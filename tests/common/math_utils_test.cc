@@ -1,0 +1,103 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace brep {
+namespace {
+
+TEST(MathUtilsTest, MeanAndVariance) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(MathUtilsTest, CovarianceOfPerfectlyLinkedSeries) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.0 * v + 1.0);
+  EXPECT_DOUBLE_EQ(Covariance(x, y), 2.0 * Variance(x));
+}
+
+TEST(MathUtilsTest, PearsonPerfectPositiveAndNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> pos, neg;
+  for (double v : x) {
+    pos.push_back(3.0 * v - 2.0);
+    neg.push_back(-0.5 * v + 10.0);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(MathUtilsTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(MathUtilsTest, PearsonIndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> x(20000), y(20000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(MathUtilsTest, FitLineRecoversCoefficients) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(-1.5 * i + 4.0);
+  }
+  const LineFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, -1.5, 1e-10);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+}
+
+TEST(MathUtilsTest, BisectFindsRoot) {
+  const double root =
+      Bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(MathUtilsTest, BisectDecreasingFunction) {
+  const double root =
+      Bisect([](double x) { return 1.0 - x; }, 0.0, 5.0, 1e-12);
+  EXPECT_NEAR(root, 1.0, 1e-9);
+}
+
+TEST(MathUtilsTest, BisectNoSignChangeReturnsClosestEndpoint) {
+  const double r = Bisect([](double x) { return x + 10.0; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r, 0.0);  // |f(0)| = 10 < |f(1)| = 11
+}
+
+TEST(MathUtilsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(MathUtilsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(MathUtilsTest, QuantileInterpolates) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace brep

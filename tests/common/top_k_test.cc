@@ -1,0 +1,83 @@
+#include "common/top_k.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace brep {
+namespace {
+
+TEST(TopKTest, ThresholdInfiniteUntilFull) {
+  TopK topk(3);
+  EXPECT_EQ(topk.Threshold(), std::numeric_limits<double>::infinity());
+  topk.Push(1.0, 0);
+  topk.Push(2.0, 1);
+  EXPECT_EQ(topk.Threshold(), std::numeric_limits<double>::infinity());
+  topk.Push(3.0, 2);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 3.0);
+}
+
+TEST(TopKTest, KeepsSmallestK) {
+  TopK topk(2);
+  topk.Push(5.0, 0);
+  topk.Push(1.0, 1);
+  topk.Push(3.0, 2);
+  topk.Push(0.5, 3);
+  const auto results = topk.SortedResults();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 3u);
+  EXPECT_DOUBLE_EQ(results[0].distance, 0.5);
+  EXPECT_EQ(results[1].id, 1u);
+}
+
+TEST(TopKTest, TieBreaksById) {
+  TopK topk(2);
+  topk.Push(1.0, 9);
+  topk.Push(1.0, 3);
+  topk.Push(1.0, 7);
+  const auto results = topk.SortedResults();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 3u);
+  EXPECT_EQ(results[1].id, 7u);
+}
+
+TEST(TopKTest, MatchesFullSort) {
+  Rng rng(42);
+  TopK topk(10);
+  std::vector<Neighbor> all;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    topk.Push(d, i);
+    all.push_back({d, i});
+  }
+  std::sort(all.begin(), all.end());
+  const auto results = topk.SortedResults();
+  ASSERT_EQ(results.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(results[i], all[i]);
+}
+
+TEST(TopKTest, FewerThanKItems) {
+  TopK topk(5);
+  topk.Push(2.0, 0);
+  topk.Push(1.0, 1);
+  const auto results = topk.SortedResults();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_FALSE(topk.Full());
+}
+
+TEST(TopKTest, ThresholdShrinksAsBetterCandidatesArrive) {
+  TopK topk(2);
+  topk.Push(10.0, 0);
+  topk.Push(9.0, 1);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 10.0);
+  topk.Push(1.0, 2);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 9.0);
+  topk.Push(0.5, 3);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 1.0);
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,174 @@
+#include "core/bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+/// (generator, M) sweep over the Theorem 1/2 bound properties.
+class BoundTheoremTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {
+ protected:
+  static constexpr size_t kDim = 12;
+  std::string gen_ = std::get<0>(GetParam());
+  size_t m_ = std::get<1>(GetParam());
+  Matrix data_ = testing::MakeDataFor(gen_, 250, kDim);
+  BregmanDivergence div_ = MakeDivergence(gen_, kDim);
+  Partitioning parts_ = EqualContiguousPartition(kDim, m_);
+
+  std::vector<BregmanDivergence> SubDivs() {
+    std::vector<BregmanDivergence> out;
+    for (const auto& cols : parts_) out.push_back(div_.Restrict(cols));
+    return out;
+  }
+
+  std::vector<double> Gather(std::span<const double> v, size_t m) {
+    std::vector<double> out;
+    for (size_t c : parts_[m]) out.push_back(v[c]);
+    return out;
+  }
+};
+
+TEST_P(BoundTheoremTest, Theorem1SubspaceUpperBound) {
+  const auto sub_divs = SubDivs();
+  for (size_t i = 0; i + 1 < 60; i += 2) {
+    const auto x = data_.Row(i);
+    const auto y = data_.Row(i + 1);
+    for (size_t m = 0; m < parts_.size(); ++m) {
+      const auto xs = Gather(x, m);
+      const auto ys = Gather(y, m);
+      const double ub = UBCompute(TransformPoint(sub_divs[m], xs),
+                                  TransformQuery(sub_divs[m], ys));
+      const double exact = sub_divs[m].Divergence(xs, ys);
+      EXPECT_GE(ub + 1e-9 * std::max(1.0, std::fabs(ub)), exact)
+          << gen_ << " M=" << m_ << " subspace " << m;
+    }
+  }
+}
+
+TEST_P(BoundTheoremTest, Theorem2TotalUpperBound) {
+  const auto sub_divs = SubDivs();
+  for (size_t i = 0; i + 1 < 60; i += 2) {
+    const auto x = data_.Row(i);
+    const auto y = data_.Row(i + 1);
+    double total_ub = 0.0;
+    for (size_t m = 0; m < parts_.size(); ++m) {
+      total_ub += UBCompute(TransformPoint(sub_divs[m], Gather(x, m)),
+                            TransformQuery(sub_divs[m], Gather(y, m)));
+    }
+    const double exact = div_.Divergence(x, y);
+    EXPECT_GE(total_ub + 1e-9 * std::max(1.0, total_ub), exact);
+  }
+}
+
+TEST_P(BoundTheoremTest, BoundDecomposesAsIdentityPlusCauchySlack) {
+  // Per-subspace: UB - D(x, y) == sqrt(g_x d_y) - b_xy >= 0, i.e. the bound
+  // is exactly the identity with b_xy relaxed by Cauchy-Schwarz.
+  const auto sub_divs = SubDivs();
+  const auto x = data_.Row(0);
+  const auto y = data_.Row(1);
+  for (size_t m = 0; m < parts_.size(); ++m) {
+    const auto xs = Gather(x, m);
+    const auto ys = Gather(y, m);
+    const PointTuple p = TransformPoint(sub_divs[m], xs);
+    const QueryTriple q = TransformQuery(sub_divs[m], ys);
+    const double b_xy = BetaXY(sub_divs[m], xs, ys);
+    const double identity = p.alpha + q.alpha + q.beta_yy + b_xy;
+    const double exact = sub_divs[m].Divergence(xs, ys);
+    EXPECT_NEAR(identity, exact, 1e-8 * std::max(1.0, std::fabs(exact)));
+    EXPECT_LE(b_xy, std::sqrt(p.gamma * q.delta) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundTheoremTest,
+    ::testing::Combine(::testing::Values("squared_l2", "itakura_saito",
+                                         "exponential", "lp:3"),
+                       ::testing::Values(1, 2, 4, 12)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_M" + std::to_string(std::get<1>(info.param));
+    });
+
+class QBDetermineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 8;
+  static constexpr size_t kM = 2;
+  Matrix data_ = testing::MakeDataFor("squared_l2", 150, kDim);
+  BregmanDivergence div_ = MakeDivergence("squared_l2", kDim);
+  Partitioning parts_ = EqualContiguousPartition(kDim, kM);
+  std::vector<BregmanDivergence> sub_divs_ = {div_.Restrict(parts_[0]),
+                                              div_.Restrict(parts_[1])};
+  TransformedDataset transformed_{data_, parts_, sub_divs_};
+
+  std::vector<QueryTriple> Triples(std::span<const double> y) {
+    std::vector<QueryTriple> out(kM);
+    for (size_t m = 0; m < kM; ++m) {
+      std::vector<double> sub;
+      for (size_t c : parts_[m]) sub.push_back(y[c]);
+      out[m] = TransformQuery(sub_divs_[m], sub);
+    }
+    return out;
+  }
+};
+
+TEST_F(QBDetermineTest, SelectsKthSmallestTotal) {
+  const auto y = data_.Row(0);
+  const auto triples = Triples(y);
+  // All totals, brute force.
+  std::vector<double> totals(data_.rows());
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    totals[i] = UBCompute(transformed_.At(i, 0), triples[0]) +
+                UBCompute(transformed_.At(i, 1), triples[1]);
+  }
+  auto sorted = totals;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t k : {1ul, 5ul, 20ul, 150ul}) {
+    const QueryBounds qb = QBDetermine(transformed_, triples, k);
+    EXPECT_NEAR(qb.total, sorted[k - 1], 1e-9);
+    // Radii are the anchor's per-subspace components and sum to the total.
+    EXPECT_NEAR(qb.radii[0] + qb.radii[1], qb.total, 1e-9);
+    EXPECT_NEAR(totals[qb.anchor_id], qb.total, 1e-9);
+  }
+}
+
+TEST_F(QBDetermineTest, TransformedDatasetMatchesDirectTransform) {
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t m = 0; m < kM; ++m) {
+      std::vector<double> sub;
+      for (size_t c : parts_[m]) sub.push_back(data_.Row(i)[c]);
+      const PointTuple direct = TransformPoint(sub_divs_[m], sub);
+      EXPECT_DOUBLE_EQ(transformed_.At(i, m).alpha, direct.alpha);
+      EXPECT_DOUBLE_EQ(transformed_.At(i, m).gamma, direct.gamma);
+    }
+  }
+}
+
+TEST_F(QBDetermineTest, SelfQueryAnchorsAtK1OnItself) {
+  // For a query equal to data point i, the total bound of i is the smallest
+  // for squared L2 when i is far from everyone else... not guaranteed in
+  // general; instead check k=1 yields the minimum total.
+  const auto y = data_.Row(3);
+  const auto triples = Triples(y);
+  const QueryBounds qb = QBDetermine(transformed_, triples, 1);
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    const double total = UBCompute(transformed_.At(i, 0), triples[0]) +
+                         UBCompute(transformed_.At(i, 1), triples[1]);
+    EXPECT_GE(total + 1e-12, qb.total);
+  }
+}
+
+}  // namespace
+}  // namespace brep

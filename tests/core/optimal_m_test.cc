@@ -1,0 +1,108 @@
+#include "core/optimal_m.h"
+
+#include <gtest/gtest.h>
+
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+class OptimalMTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 16;
+  Matrix data_ = testing::MakeDataFor("squared_l2", 800, kDim);
+  BregmanDivergence div_ = MakeDivergence("squared_l2", kDim);
+};
+
+TEST_F(OptimalMTest, FitProducesContractingExponential) {
+  Rng rng(1);
+  const CostModelFit fit = FitCostModel(data_, div_, rng, 50);
+  EXPECT_GT(fit.alpha, 0.0);
+  EXPECT_LT(fit.alpha, 1.0);  // more partitions => tighter bound
+  EXPECT_GT(fit.A, 0.0);
+  EXPECT_GE(fit.beta, 0.0);
+  EXPECT_GT(fit.fit_samples, 25u);  // most samples usable
+}
+
+TEST_F(OptimalMTest, FittedBoundShrinksWithM) {
+  // Direct property behind the fit: the average total bound at M=8 is below
+  // the average at M=2 (Cauchy-Schwarz on finer partitions is tighter).
+  Rng rng(2);
+  const CostModelFit fit = FitCostModel(data_, div_, rng, 50, 2, 8);
+  // alpha < 1 encodes exactly this.
+  EXPECT_LT(fit.alpha, 1.0);
+}
+
+TEST_F(OptimalMTest, OptimalMWithinRange) {
+  Rng rng(3);
+  const CostModelFit fit = FitCostModel(data_, div_, rng);
+  for (size_t k : {1ul, 20ul, 100ul}) {
+    const size_t m = OptimalNumPartitions(fit, data_.rows(), kDim, k);
+    EXPECT_GE(m, 1u);
+    EXPECT_LE(m, kDim);
+  }
+}
+
+TEST_F(OptimalMTest, OptimalMMinimizesModelCost) {
+  Rng rng(4);
+  const CostModelFit fit = FitCostModel(data_, div_, rng);
+  const size_t m = OptimalNumPartitions(fit, data_.rows(), kDim, 1);
+  const double at_m = EstimatedQueryCost(fit, data_.rows(), kDim, 1, m);
+  for (size_t other = 1; other <= kDim; ++other) {
+    EXPECT_LE(at_m, EstimatedQueryCost(fit, data_.rows(), kDim, 1, other) +
+                        1e-6 * at_m)
+        << "m*=" << m << " beaten by " << other;
+  }
+}
+
+TEST_F(OptimalMTest, CostModelHasFilterRefineTradeoff) {
+  // The model must charge more filter work as M grows and more refinement
+  // work as M shrinks: cost(M) - M*n term rises with M, candidate term
+  // falls with M.
+  CostModelFit fit;
+  fit.A = 100.0;
+  fit.alpha = 0.5;
+  fit.beta = 0.01;
+  const size_t n = 10000, d = 64, k = 10;
+  // Candidate term dominance at M=1 vs M=32.
+  const double c1 = EstimatedQueryCost(fit, n, d, k, 1);
+  const double c32 = EstimatedQueryCost(fit, n, d, k, 32);
+  const double c_mid =
+      EstimatedQueryCost(fit, n, d, k, OptimalNumPartitions(fit, n, d, k));
+  EXPECT_LE(c_mid, c1);
+  EXPECT_LE(c_mid, c32);
+}
+
+TEST_F(OptimalMTest, DegenerateDataFallsBackGracefully) {
+  Matrix constant(50, 8);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 8; ++j) constant.At(i, j) = 2.0;
+  }
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  Rng rng(5);
+  const CostModelFit fit = FitCostModel(constant, div, rng, 20);
+  const size_t m = OptimalNumPartitions(fit, 50, 8, 1);
+  EXPECT_GE(m, 1u);
+  EXPECT_LE(m, 8u);
+}
+
+TEST_F(OptimalMTest, MaxPartitionsClampRespected) {
+  Rng rng(6);
+  const CostModelFit fit = FitCostModel(data_, div_, rng);
+  const size_t m =
+      OptimalNumPartitions(fit, data_.rows(), kDim, 1, /*max_partitions=*/3);
+  EXPECT_LE(m, 3u);
+}
+
+TEST_F(OptimalMTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const CostModelFit fa = FitCostModel(data_, div_, a);
+  const CostModelFit fb = FitCostModel(data_, div_, b);
+  EXPECT_DOUBLE_EQ(fa.A, fb.A);
+  EXPECT_DOUBLE_EQ(fa.alpha, fb.alpha);
+  EXPECT_DOUBLE_EQ(fa.beta, fb.beta);
+}
+
+}  // namespace
+}  // namespace brep

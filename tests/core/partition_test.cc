@@ -1,0 +1,77 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+TEST(PartitionTest, EqualContiguousCoversAllDimensions) {
+  for (size_t d : {5ul, 12ul, 100ul}) {
+    for (size_t m = 1; m <= d; m = m * 2 + 1) {
+      const Partitioning p = EqualContiguousPartition(d, m);
+      EXPECT_EQ(p.size(), m);
+      EXPECT_TRUE(IsValidPartitioning(p, d)) << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+TEST(PartitionTest, EqualContiguousIsContiguousAndBalanced) {
+  const Partitioning p = EqualContiguousPartition(10, 3);
+  ASSERT_EQ(p.size(), 3u);
+  // Sizes differ by at most one, ceil first.
+  EXPECT_EQ(p[0].size(), 4u);
+  EXPECT_EQ(p[1].size(), 3u);
+  EXPECT_EQ(p[2].size(), 3u);
+  // Contiguity.
+  size_t expected = 0;
+  for (const auto& part : p) {
+    for (size_t c : part) EXPECT_EQ(c, expected++);
+  }
+}
+
+TEST(PartitionTest, SinglePartitionIsWholeSpace) {
+  const Partitioning p = EqualContiguousPartition(7, 1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].size(), 7u);
+}
+
+TEST(PartitionTest, OnePartitionPerDimension) {
+  const Partitioning p = EqualContiguousPartition(5, 5);
+  ASSERT_EQ(p.size(), 5u);
+  for (const auto& part : p) EXPECT_EQ(part.size(), 1u);
+}
+
+TEST(PartitionTest, RandomPartitionIsValidAndBalanced) {
+  Rng rng(42);
+  const Partitioning p = RandomPartition(20, 6, rng);
+  EXPECT_TRUE(IsValidPartitioning(p, 20));
+  for (const auto& part : p) {
+    EXPECT_GE(part.size(), 3u);
+    EXPECT_LE(part.size(), 4u);
+  }
+}
+
+TEST(PartitionTest, RandomPartitionsDifferAcrossSeeds) {
+  Rng a(1), b(2);
+  EXPECT_NE(RandomPartition(30, 5, a), RandomPartition(30, 5, b));
+}
+
+TEST(PartitionTest, ValidityCheckerRejectsBadInputs) {
+  // Missing dimension.
+  EXPECT_FALSE(IsValidPartitioning({{0, 1}, {3}}, 4));
+  // Duplicate dimension.
+  EXPECT_FALSE(IsValidPartitioning({{0, 1}, {1, 2}}, 3));
+  // Out-of-range dimension.
+  EXPECT_FALSE(IsValidPartitioning({{0, 5}}, 2));
+  // Empty part.
+  EXPECT_FALSE(IsValidPartitioning({{0, 1}, {}}, 2));
+  // Good one.
+  EXPECT_TRUE(IsValidPartitioning({{2, 0}, {1}}, 3));
+}
+
+TEST(PartitionDeathTest, RejectsMoreParitionsThanDimensions) {
+  EXPECT_DEATH(EqualContiguousPartition(3, 4), "num_partitions");
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,115 @@
+#include "core/pccp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace brep {
+namespace {
+
+/// Dataset with known correlation structure: dimensions 2j and 2j+1 are
+/// near-copies of each other, pairs are mutually independent.
+Matrix PairedDims(size_t n, size_t pairs, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, pairs * 2);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = m.MutableRow(i);
+    for (size_t p = 0; p < pairs; ++p) {
+      const double base = rng.NextGaussian();
+      row[2 * p] = base;
+      row[2 * p + 1] = base + rng.Gaussian(0.0, 0.05);
+    }
+  }
+  return m;
+}
+
+TEST(PccpTest, CorrelationMatrixRecoversPairs) {
+  const Matrix data = PairedDims(2000, 4, 1);
+  Rng rng(2);
+  const Matrix corr = AbsCorrelationMatrix(data, 0, rng);
+  ASSERT_EQ(corr.rows(), 8u);
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_GT(corr.At(2 * p, 2 * p + 1), 0.95);
+  }
+  // Cross-pair correlations are near zero.
+  EXPECT_LT(corr.At(0, 2), 0.2);
+  EXPECT_LT(corr.At(1, 5), 0.2);
+  // Diagonal is 1, matrix is symmetric.
+  for (size_t a = 0; a < 8; ++a) {
+    EXPECT_DOUBLE_EQ(corr.At(a, a), 1.0);
+    for (size_t b = 0; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(corr.At(a, b), corr.At(b, a));
+    }
+  }
+}
+
+TEST(PccpTest, SampledCorrelationCloseToFull) {
+  const Matrix data = PairedDims(5000, 3, 3);
+  Rng r1(4), r2(4);
+  const Matrix full = AbsCorrelationMatrix(data, 0, r1);
+  const Matrix sampled = AbsCorrelationMatrix(data, 500, r2);
+  for (size_t a = 0; a < 6; ++a) {
+    for (size_t b = 0; b < 6; ++b) {
+      EXPECT_NEAR(full.At(a, b), sampled.At(a, b), 0.15);
+    }
+  }
+}
+
+TEST(PccpTest, ProducesValidPartitioning) {
+  const Matrix data = PairedDims(500, 6, 5);
+  for (size_t m : {2ul, 3ul, 4ul, 12ul}) {
+    Rng rng(6);
+    const Partitioning p = PccpPartition(data, m, rng, 0);
+    EXPECT_EQ(p.size(), m);
+    EXPECT_TRUE(IsValidPartitioning(p, 12)) << "m=" << m;
+  }
+}
+
+TEST(PccpTest, SeparatesCorrelatedPairsAcrossPartitions) {
+  // With M=2, each highly correlated pair must be split between the two
+  // partitions: that is PCCP's entire purpose.
+  const Matrix data = PairedDims(3000, 5, 7);
+  Rng rng(8);
+  const Partitioning p = PccpPartition(data, 2, rng, 0);
+  ASSERT_TRUE(IsValidPartitioning(p, 10));
+  std::vector<int> part_of(10, -1);
+  for (size_t m = 0; m < p.size(); ++m) {
+    for (size_t c : p[m]) part_of[c] = static_cast<int>(m);
+  }
+  size_t split_pairs = 0;
+  for (size_t pair = 0; pair < 5; ++pair) {
+    if (part_of[2 * pair] != part_of[2 * pair + 1]) ++split_pairs;
+  }
+  EXPECT_GE(split_pairs, 4u);  // allow one miss from greedy tie-breaks
+}
+
+TEST(PccpTest, DeterministicGivenSeed) {
+  const Matrix data = PairedDims(400, 4, 9);
+  Rng a(10), b(10);
+  EXPECT_EQ(PccpPartition(data, 4, a, 0), PccpPartition(data, 4, b, 0));
+}
+
+TEST(PccpTest, UnevenDimensionCount) {
+  // d = 7, M = 3: groups of 3 with a ragged tail; partitions stay valid.
+  const Matrix data = PairedDims(300, 4, 11).GatherColumns(
+      std::vector<size_t>{0, 1, 2, 3, 4, 5, 6});
+  Rng rng(12);
+  const Partitioning p = PccpPartition(data, 3, rng, 0);
+  EXPECT_TRUE(IsValidPartitioning(p, 7));
+}
+
+TEST(PccpTest, FromPrecomputedCorrelationMatchesDirect) {
+  const Matrix data = PairedDims(1000, 4, 13);
+  Rng r1(14);
+  const Matrix corr = AbsCorrelationMatrix(data, 0, r1);
+  Rng r2(15), r3(15);
+  const Partitioning direct = PccpPartitionFromCorrelation(corr, 2, r2);
+  const Partitioning again = PccpPartitionFromCorrelation(corr, 2, r3);
+  EXPECT_EQ(direct, again);
+}
+
+}  // namespace
+}  // namespace brep

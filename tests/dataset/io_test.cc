@@ -1,0 +1,114 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace brep {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  Matrix RandomMatrix(size_t n, size_t d) {
+    Rng rng(99);
+    return MakeIidNormal(rng, n, d);
+  }
+
+  void ExpectMatricesEqual(const Matrix& a, const Matrix& b, double tol) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < a.cols(); ++j) {
+        EXPECT_NEAR(a.At(i, j), b.At(i, j), tol);
+      }
+    }
+  }
+};
+
+TEST_F(IoTest, DmatRoundTripIsExact) {
+  const Matrix m = RandomMatrix(17, 5);
+  const std::string path = TempPath("round.dmat");
+  ASSERT_TRUE(WriteDmat(m, path));
+  const auto back = ReadDmat(path);
+  ASSERT_TRUE(back.has_value());
+  ExpectMatricesEqual(m, *back, 0.0);
+}
+
+TEST_F(IoTest, DmatRejectsMissingFile) {
+  EXPECT_FALSE(ReadDmat(TempPath("nope.dmat")).has_value());
+}
+
+TEST_F(IoTest, DmatRejectsBadMagic) {
+  const std::string path = TempPath("bad.dmat");
+  std::ofstream(path) << "this is not a dmat file at all";
+  EXPECT_FALSE(ReadDmat(path).has_value());
+}
+
+TEST_F(IoTest, FvecsRoundTripWithinFloatPrecision) {
+  const Matrix m = RandomMatrix(9, 7);
+  const std::string path = TempPath("round.fvecs");
+  ASSERT_TRUE(WriteFvecs(m, path));
+  const auto back = ReadFvecs(path);
+  ASSERT_TRUE(back.has_value());
+  ExpectMatricesEqual(m, *back, 1e-5);
+}
+
+TEST_F(IoTest, FvecsRejectsTruncatedRow) {
+  const std::string path = TempPath("trunc.fvecs");
+  std::ofstream out(path, std::ios::binary);
+  const int32_t dim = 8;
+  out.write(reinterpret_cast<const char*>(&dim), 4);
+  const float v = 1.0f;
+  out.write(reinterpret_cast<const char*>(&v), 4);  // only 1 of 8 values
+  out.close();
+  EXPECT_FALSE(ReadFvecs(path).has_value());
+}
+
+TEST_F(IoTest, FvecsRejectsInconsistentDims) {
+  const std::string path = TempPath("ragged.fvecs");
+  std::ofstream out(path, std::ios::binary);
+  auto write_row = [&](int32_t dim) {
+    out.write(reinterpret_cast<const char*>(&dim), 4);
+    for (int32_t i = 0; i < dim; ++i) {
+      const float v = 0.0f;
+      out.write(reinterpret_cast<const char*>(&v), 4);
+    }
+  };
+  write_row(3);
+  write_row(4);
+  out.close();
+  EXPECT_FALSE(ReadFvecs(path).has_value());
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const Matrix m = RandomMatrix(6, 3);
+  const std::string path = TempPath("round.csv");
+  ASSERT_TRUE(WriteCsv(m, path));
+  const auto back = ReadCsv(path);
+  ASSERT_TRUE(back.has_value());
+  ExpectMatricesEqual(m, *back, 1e-12);
+}
+
+TEST_F(IoTest, CsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  EXPECT_FALSE(ReadCsv(path).has_value());
+}
+
+TEST_F(IoTest, CsvRejectsNonNumeric) {
+  const std::string path = TempPath("alpha.csv");
+  std::ofstream(path) << "1,2\nfoo,3\n";
+  EXPECT_FALSE(ReadCsv(path).has_value());
+}
+
+}  // namespace
+}  // namespace brep

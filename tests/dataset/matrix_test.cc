@@ -1,0 +1,75 @@
+#include "dataset/matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+Matrix Iota(size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.At(i, j) = double(i * cols + j);
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 0.0);
+  m.At(1, 2) = 5.5;
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 5.5);
+}
+
+TEST(MatrixTest, WrapExistingData) {
+  const Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, ColumnExtraction) {
+  const Matrix m = Iota(3, 2);
+  const auto col = m.Column(1);
+  EXPECT_EQ(col, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(MatrixTest, GatherColumnsReordersAndSubsets) {
+  const Matrix m = Iota(2, 4);
+  const std::vector<size_t> cols{3, 1};
+  const Matrix g = m.GatherColumns(cols);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), 7.0);
+}
+
+TEST(MatrixTest, GatherRowsReordersAndDuplicates) {
+  const Matrix m = Iota(3, 2);
+  const std::vector<size_t> rows{2, 0, 2};
+  const Matrix g = m.GatherRows(rows);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.At(2, 1), 5.0);
+}
+
+TEST(MatrixTest, TruncatedKeepsPrefix) {
+  const Matrix m = Iota(5, 3);
+  const Matrix t = m.Truncated(2);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t.At(1, 2), 5.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  const Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace brep

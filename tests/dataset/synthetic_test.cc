@@ -1,0 +1,163 @@
+#include "dataset/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace brep {
+namespace {
+
+TEST(SyntheticTest, MixtureShapeAndDeterminism) {
+  MixtureSpec spec;
+  spec.n = 100;
+  spec.d = 8;
+  Rng a(5), b(5);
+  const Matrix ma = MakeMixture(a, spec);
+  const Matrix mb = MakeMixture(b, spec);
+  ASSERT_EQ(ma.rows(), 100u);
+  ASSERT_EQ(ma.cols(), 8u);
+  EXPECT_EQ(ma.data(), mb.data());
+}
+
+TEST(SyntheticTest, PositiveMixtureIsStrictlyPositive) {
+  MixtureSpec spec;
+  spec.n = 500;
+  spec.d = 16;
+  spec.positive = true;
+  Rng rng(6);
+  const Matrix m = MakeMixture(rng, spec);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(SyntheticTest, ClampNonnegative) {
+  MixtureSpec spec;
+  spec.n = 500;
+  spec.d = 8;
+  spec.center_lo = -3.0;
+  spec.center_hi = 0.0;
+  spec.clamp_nonnegative = true;
+  Rng rng(7);
+  const Matrix m = MakeMixture(rng, spec);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SyntheticTest, FactorModelInducesCorrelation) {
+  MixtureSpec base;
+  base.n = 4000;
+  base.d = 12;
+  base.num_clusters = 1;  // isolate the factor structure
+  base.latent_factors = 0;
+
+  MixtureSpec correlated = base;
+  correlated.latent_factors = 2;
+  correlated.factor_scale = 1.5;
+
+  Rng r1(8), r2(8);
+  const Matrix iso = MakeMixture(r1, base);
+  const Matrix cor = MakeMixture(r2, correlated);
+
+  auto max_abs_corr = [](const Matrix& m) {
+    double best = 0.0;
+    for (size_t a = 0; a < m.cols(); ++a) {
+      const auto ca = m.Column(a);
+      for (size_t b = a + 1; b < m.cols(); ++b) {
+        const auto cb = m.Column(b);
+        best = std::max(best, std::fabs(PearsonCorrelation(ca, cb)));
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(max_abs_corr(iso), 0.15);
+  EXPECT_GT(max_abs_corr(cor), 0.4);
+}
+
+TEST(SyntheticTest, IidNormalMoments) {
+  Rng rng(9);
+  const Matrix m = MakeIidNormal(rng, 2000, 10, 1.0, 3.0);
+  const auto col = m.Column(4);
+  EXPECT_NEAR(Mean(col), 1.0, 0.3);
+  EXPECT_NEAR(std::sqrt(Variance(col)), 3.0, 0.3);
+}
+
+TEST(SyntheticTest, IidUniformBounds) {
+  Rng rng(10);
+  const Matrix m = MakeIidUniform(rng, 500, 6, 2.0, 8.0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) {
+      EXPECT_GE(v, 2.0);
+      EXPECT_LT(v, 8.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, StandInsHaveMatchedDimensions) {
+  Rng rng(11);
+  EXPECT_EQ(MakeAudioLike(rng, 50).cols(), 192u);
+  EXPECT_EQ(MakeFontsLike(rng, 50).cols(), 400u);
+  EXPECT_EQ(MakeDeepLike(rng, 50).cols(), 256u);
+  EXPECT_EQ(MakeSiftLike(rng, 50).cols(), 128u);
+}
+
+TEST(SyntheticTest, FontsLikePositiveForItakuraSaito) {
+  Rng rng(12);
+  const Matrix m = MakeFontsLike(rng, 200, 64);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(SyntheticTest, AudioLikeSafeForExponentialDistance) {
+  Rng rng(13);
+  const Matrix m = MakeAudioLike(rng, 500, 64);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) {
+      EXPECT_TRUE(std::isfinite(std::exp(v)));
+      EXPECT_LT(std::fabs(v), 50.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, QueriesStayPositiveWhenRequested) {
+  Rng data_rng(14);
+  MixtureSpec spec;
+  spec.n = 300;
+  spec.d = 10;
+  spec.positive = true;
+  const Matrix data = MakeMixture(data_rng, spec);
+  Rng q_rng(15);
+  const Matrix q = MakeQueries(q_rng, data, 40, 0.5, /*keep_positive=*/true);
+  ASSERT_EQ(q.rows(), 40u);
+  for (size_t i = 0; i < q.rows(); ++i) {
+    for (double v : q.Row(i)) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(SyntheticTest, QueriesPerturbDataRows) {
+  Rng data_rng(16);
+  const Matrix data = MakeIidNormal(data_rng, 100, 5);
+  Rng q_rng(17);
+  const Matrix q = MakeQueries(q_rng, data, 10, 0.05);
+  // Every query should be close to (but typically not equal to) some row.
+  for (size_t qi = 0; qi < q.rows(); ++qi) {
+    double best = 1e300;
+    for (size_t i = 0; i < data.rows(); ++i) {
+      double d2 = 0.0;
+      for (size_t j = 0; j < data.cols(); ++j) {
+        const double diff = q.At(qi, j) - data.At(i, j);
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,190 @@
+#include "divergence/bregman.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+class BregmanPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 12;
+  BregmanDivergence div_ = MakeDivergence(GetParam(), kDim);
+  Matrix data_ = testing::MakeDataFor(GetParam(), 200, kDim);
+};
+
+TEST_P(BregmanPropertyTest, NonNegativeAndZeroOnSelf) {
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(div_.Divergence(data_.Row(i), data_.Row(i)), 0.0);
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_GE(div_.Divergence(data_.Row(i), data_.Row((i + j + 1) %
+                                                        data_.rows())),
+                0.0);
+    }
+  }
+}
+
+TEST_P(BregmanPropertyTest, MatchesDefinitionFromFAndGradient) {
+  // D(x, y) must equal f(x) - f(y) - <grad f(y), x - y> for random pairs.
+  std::vector<double> grad(kDim);
+  for (size_t i = 0; i + 1 < 40; i += 2) {
+    const auto x = data_.Row(i);
+    const auto y = data_.Row(i + 1);
+    div_.Gradient(y, std::span<double>(grad));
+    double expected = div_.F(x) - div_.F(y);
+    for (size_t j = 0; j < kDim; ++j) expected -= grad[j] * (x[j] - y[j]);
+    EXPECT_NEAR(div_.Divergence(x, y), std::max(expected, 0.0),
+                1e-9 * std::max(1.0, std::fabs(expected)));
+  }
+}
+
+TEST_P(BregmanPropertyTest, GradientInverseRoundTrips) {
+  std::vector<double> grad(kDim), back(kDim);
+  for (size_t i = 0; i < 20; ++i) {
+    const auto x = data_.Row(i);
+    div_.Gradient(x, std::span<double>(grad));
+    div_.GradientInverse(grad, std::span<double>(back));
+    for (size_t j = 0; j < kDim; ++j) {
+      EXPECT_NEAR(back[j], x[j], 1e-7 * std::max(1.0, std::fabs(x[j])));
+    }
+  }
+}
+
+TEST_P(BregmanPropertyTest, DecomposesAcrossPartitions) {
+  // Sum of per-subspace divergences equals the whole-space divergence
+  // (the property Theorems 1-3 rest on). KL's generator also satisfies this
+  // identity without the simplex constraint; the paper's exclusion is about
+  // constrained KL, which we flag via PartitionSafe instead.
+  const std::vector<size_t> part_a{0, 3, 7, 9};
+  const std::vector<size_t> part_b{1, 2, 4, 5, 6, 8, 10, 11};
+  const BregmanDivergence da = div_.Restrict(part_a);
+  const BregmanDivergence db = div_.Restrict(part_b);
+  auto gather = [&](std::span<const double> v,
+                    const std::vector<size_t>& cols) {
+    std::vector<double> out;
+    for (size_t c : cols) out.push_back(v[c]);
+    return out;
+  };
+  for (size_t i = 0; i + 1 < 40; i += 2) {
+    const auto x = data_.Row(i);
+    const auto y = data_.Row(i + 1);
+    const double whole = div_.Divergence(x, y);
+    const double sum = da.Divergence(gather(x, part_a), gather(y, part_a)) +
+                       db.Divergence(gather(x, part_b), gather(y, part_b));
+    EXPECT_NEAR(whole, sum, 1e-9 * std::max(1.0, whole));
+  }
+}
+
+TEST_P(BregmanPropertyTest, MeanMinimizesRightArgument) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 50; ++i) ids.push_back(i);
+  const std::vector<double> mean = div_.Mean(data_, ids);
+
+  auto objective = [&](std::span<const double> c) {
+    double acc = 0.0;
+    for (uint32_t id : ids) acc += div_.Divergence(data_.Row(id), c);
+    return acc;
+  };
+  const double at_mean = objective(mean);
+  // Perturbing the center in any of a few directions must not improve it.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> other = mean;
+    for (double& v : other) v *= 1.0 + 0.05 * rng.NextGaussian();
+    if (!div_.InDomain(other)) continue;
+    EXPECT_GE(objective(other), at_mean - 1e-9 * std::max(1.0, at_mean));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, BregmanPropertyTest,
+    ::testing::Values("squared_l2", "itakura_saito", "exponential", "kl",
+                      "lp:3"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(BregmanTest, SquaredL2ClosedForm) {
+  const BregmanDivergence div = MakeDivergence("squared_l2", 3);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{0.0, 0.0, 1.0};
+  // D(x,y) = sum (x-y)^2 with phi = t^2.
+  EXPECT_NEAR(div.Divergence(x, y), 1.0 + 4.0 + 4.0, 1e-12);
+}
+
+TEST(BregmanTest, ItakuraSaitoClosedForm) {
+  const BregmanDivergence div = MakeDivergence("itakura_saito", 2);
+  const std::vector<double> x{2.0, 1.0};
+  const std::vector<double> y{1.0, 4.0};
+  const double expected = (2.0 / 1.0 - std::log(2.0 / 1.0) - 1.0) +
+                          (1.0 / 4.0 - std::log(1.0 / 4.0) - 1.0);
+  EXPECT_NEAR(div.Divergence(x, y), expected, 1e-12);
+}
+
+TEST(BregmanTest, ExponentialClosedForm) {
+  const BregmanDivergence div = MakeDivergence("exponential", 1);
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{0.5};
+  const double expected =
+      std::exp(1.0) - (1.0 - 0.5 + 1.0) * std::exp(0.5);
+  EXPECT_NEAR(div.Divergence(x, y), expected, 1e-12);
+}
+
+TEST(BregmanTest, GeneralizedIClosedForm) {
+  const BregmanDivergence div = MakeDivergence("kl", 2);
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{2.0, 1.0};
+  const double expected = (1.0 * std::log(0.5) - 1.0 + 2.0) +
+                          (2.0 * std::log(2.0) - 2.0 + 1.0);
+  EXPECT_NEAR(div.Divergence(x, y), expected, 1e-12);
+}
+
+TEST(BregmanTest, DiagonalMahalanobisWeights) {
+  const BregmanDivergence div = MakeDiagonalMahalanobis({1.0, 10.0});
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{0.0, 0.0};
+  EXPECT_NEAR(div.Divergence(x, y), 1.0 + 10.0, 1e-12);
+  EXPECT_TRUE(div.weighted());
+}
+
+TEST(BregmanTest, WeightedGradientRoundTrip) {
+  const BregmanDivergence div = MakeDiagonalMahalanobis({2.0, 0.5, 3.0});
+  const std::vector<double> x{1.5, -2.0, 0.25};
+  std::vector<double> grad(3), back(3);
+  div.Gradient(x, std::span<double>(grad));
+  div.GradientInverse(grad, std::span<double>(back));
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(back[j], x[j], 1e-12);
+}
+
+TEST(BregmanTest, RestrictKeepsWeights) {
+  const BregmanDivergence div = MakeDiagonalMahalanobis({1.0, 2.0, 3.0, 4.0});
+  const std::vector<size_t> cols{3, 1};
+  const BregmanDivergence sub = div.Restrict(cols);
+  EXPECT_EQ(sub.dim(), 2u);
+  EXPECT_DOUBLE_EQ(sub.weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.weight(1), 2.0);
+}
+
+TEST(BregmanTest, InDomainChecksEveryCoordinate) {
+  const BregmanDivergence div = MakeDivergence("itakura_saito", 3);
+  EXPECT_TRUE(div.InDomain(std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_FALSE(div.InDomain(std::vector<double>{1.0, -2.0, 3.0}));
+}
+
+TEST(BregmanDeathTest, WeightsMustBePositive) {
+  EXPECT_DEATH(MakeDiagonalMahalanobis({1.0, 0.0}), "positive");
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,132 @@
+#include "divergence/generators.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "divergence/factory.h"
+
+namespace brep {
+namespace {
+
+/// Parameterized over generator name; checks the analytic relations every
+/// ScalarGenerator must satisfy on a grid of in-domain points.
+class GeneratorPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::shared_ptr<const ScalarGenerator> gen_ = MakeGenerator(GetParam());
+
+  std::vector<double> DomainGrid() const {
+    std::vector<double> grid;
+    for (double t = 0.05; t <= 5.0; t += 0.17) grid.push_back(t);
+    if (gen_->InDomain(-1.0)) {
+      for (double t = -5.0; t < 0.0; t += 0.31) grid.push_back(t);
+    }
+    return grid;
+  }
+};
+
+TEST_P(GeneratorPropertyTest, DerivativeMatchesFiniteDifference) {
+  for (double t : DomainGrid()) {
+    const double h = 1e-6 * std::max(1.0, std::fabs(t));
+    if (!gen_->InDomain(t - h) || !gen_->InDomain(t + h)) continue;
+    const double fd = (gen_->Phi(t + h) - gen_->Phi(t - h)) / (2.0 * h);
+    EXPECT_NEAR(gen_->PhiPrime(t), fd,
+                1e-4 * std::max(1.0, std::fabs(fd)))
+        << GetParam() << " at t=" << t;
+  }
+}
+
+TEST_P(GeneratorPropertyTest, PhiPrimeInverseRoundTrips) {
+  for (double t : DomainGrid()) {
+    const double s = gen_->PhiPrime(t);
+    EXPECT_NEAR(gen_->PhiPrimeInverse(s), t, 1e-8 * std::max(1.0, std::fabs(t)))
+        << GetParam() << " at t=" << t;
+  }
+}
+
+TEST_P(GeneratorPropertyTest, PhiPrimeStrictlyIncreasing) {
+  const auto grid = DomainGrid();
+  for (size_t i = 0; i + 1 < grid.size(); ++i) {
+    for (size_t j = i + 1; j < grid.size(); ++j) {
+      const double a = std::min(grid[i], grid[j]);
+      const double b = std::max(grid[i], grid[j]);
+      if (a == b) continue;
+      EXPECT_LT(gen_->PhiPrime(a), gen_->PhiPrime(b))
+          << GetParam() << " on [" << a << "," << b << "]";
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, ConvexityViaMidpoint) {
+  const auto grid = DomainGrid();
+  for (size_t i = 0; i + 2 < grid.size(); i += 3) {
+    const double a = grid[i];
+    const double b = grid[i + 2];
+    const double mid = 0.5 * (a + b);
+    if (!gen_->InDomain(mid)) continue;
+    EXPECT_LE(gen_->Phi(mid), 0.5 * gen_->Phi(a) + 0.5 * gen_->Phi(b) + 1e-9)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorPropertyTest,
+    ::testing::Values("squared_l2", "itakura_saito", "exponential", "kl",
+                      "lp:1.5", "lp:3", "lp:4"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(GeneratorTest, SquaredL2KnownValues) {
+  SquaredL2Generator g;
+  EXPECT_DOUBLE_EQ(g.Phi(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(g.PhiPrime(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(g.PhiPrimeInverse(6.0), 3.0);
+}
+
+TEST(GeneratorTest, ItakuraSaitoDomainIsPositiveReals) {
+  ItakuraSaitoGenerator g;
+  EXPECT_TRUE(g.InDomain(0.5));
+  EXPECT_FALSE(g.InDomain(0.0));
+  EXPECT_FALSE(g.InDomain(-1.0));
+}
+
+TEST(GeneratorTest, KLDomainAndPartitionSafety) {
+  KLGenerator g;
+  EXPECT_FALSE(g.InDomain(0.0));
+  EXPECT_TRUE(g.InDomain(1e-9));
+  EXPECT_FALSE(g.PartitionSafe());
+}
+
+TEST(GeneratorTest, NonKLGeneratorsArePartitionSafe) {
+  EXPECT_TRUE(SquaredL2Generator().PartitionSafe());
+  EXPECT_TRUE(ItakuraSaitoGenerator().PartitionSafe());
+  EXPECT_TRUE(ExponentialGenerator().PartitionSafe());
+  EXPECT_TRUE(LpNormGenerator(3.0).PartitionSafe());
+}
+
+TEST(GeneratorTest, FactoryAliases) {
+  EXPECT_EQ(MakeGenerator("sq_l2")->Name(), "squared_l2");
+  EXPECT_EQ(MakeGenerator("euclidean")->Name(), "squared_l2");
+  EXPECT_EQ(MakeGenerator("isd")->Name(), "itakura_saito");
+  EXPECT_EQ(MakeGenerator("ed")->Name(), "exponential");
+  EXPECT_EQ(MakeGenerator("generalized_i")->Name(), "kl");
+}
+
+TEST(GeneratorDeathTest, FactoryRejectsUnknownName) {
+  EXPECT_DEATH(MakeGenerator("no_such_divergence"), "unknown generator");
+}
+
+TEST(GeneratorDeathTest, LpRequiresPGreaterThanOne) {
+  EXPECT_DEATH(LpNormGenerator(1.0), "p > 1");
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,73 @@
+#include "storage/buffer_pool.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : pager_(64) {
+    for (int i = 0; i < 10; ++i) {
+      const PageId id = pager_.Allocate();
+      pager_.Write(id, std::vector<uint8_t>{static_cast<uint8_t>(i)});
+    }
+    pager_.ResetStats();
+  }
+  Pager pager_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(&pager_, 4);
+  const PageBuffer& a = pool.Read(3);
+  EXPECT_EQ(a[0], 3);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  pool.Read(3);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pager_.stats().reads, 1u);  // hit did not touch the pager
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&pager_, 2);
+  pool.Read(0);
+  pool.Read(1);
+  pool.Read(0);      // refresh page 0; page 1 is now LRU
+  pool.Read(2);      // evicts page 1
+  pool.ResetStats();
+  pool.Read(0);      // still cached
+  pool.Read(2);      // still cached
+  EXPECT_EQ(pool.hits(), 2u);
+  pool.Read(1);      // was evicted
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityNeverExceeded) {
+  BufferPool pool(&pager_, 3);
+  for (PageId id = 0; id < 10; ++id) pool.Read(id);
+  EXPECT_LE(pool.size(), 3u);
+}
+
+TEST_F(BufferPoolTest, InvalidateForcesReload) {
+  BufferPool pool(&pager_, 4);
+  pool.Read(5);
+  pool.InvalidateAll();
+  pool.Read(5);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST_F(BufferPoolTest, SequentialScanLargerThanPoolAlwaysMisses) {
+  BufferPool pool(&pager_, 2);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id = 0; id < 5; ++id) pool.Read(id);
+  }
+  // Cyclic scan of 5 pages through a 2-page pool: every access misses.
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 15u);
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,106 @@
+#include "storage/pager.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace brep {
+namespace {
+
+TEST(PagerTest, AllocateGrowsAndZeroFills) {
+  Pager pager(256);
+  const PageId a = pager.Allocate();
+  const PageId b = pager.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pager.num_pages(), 2u);
+  PageBuffer buf;
+  pager.Read(a, &buf);
+  ASSERT_EQ(buf.size(), 256u);
+  for (uint8_t byte : buf) EXPECT_EQ(byte, 0);
+}
+
+TEST(PagerTest, WriteReadRoundTrip) {
+  Pager pager(128);
+  const PageId id = pager.Allocate();
+  std::vector<uint8_t> data(128);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = uint8_t(i);
+  pager.Write(id, data);
+  PageBuffer buf;
+  pager.Read(id, &buf);
+  EXPECT_EQ(buf, data);
+}
+
+TEST(PagerTest, ShortWriteZeroFillsRemainder) {
+  Pager pager(128);
+  const PageId id = pager.Allocate();
+  pager.Write(id, std::vector<uint8_t>(128, 0xFF));
+  pager.Write(id, std::vector<uint8_t>{1, 2, 3});
+  PageBuffer buf;
+  pager.Read(id, &buf);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 0);
+  EXPECT_EQ(buf[127], 0);
+}
+
+TEST(PagerTest, StatsCountReadsAndWrites) {
+  Pager pager(64);
+  const PageId id = pager.Allocate();
+  EXPECT_EQ(pager.stats().reads, 0u);
+  EXPECT_EQ(pager.stats().writes, 0u);
+  pager.Write(id, std::vector<uint8_t>{1});
+  PageBuffer buf;
+  pager.Read(id, &buf);
+  pager.Read(id, &buf);
+  EXPECT_EQ(pager.stats().writes, 1u);
+  EXPECT_EQ(pager.stats().reads, 2u);
+  pager.ResetStats();
+  EXPECT_EQ(pager.stats().reads, 0u);
+}
+
+TEST(PagerTest, IoStatsDelta) {
+  Pager pager(64);
+  const PageId id = pager.Allocate();
+  PageBuffer buf;
+  pager.Read(id, &buf);
+  const IoStats before = pager.stats();
+  pager.Read(id, &buf);
+  pager.Read(id, &buf);
+  const IoStats delta = pager.stats() - before;
+  EXPECT_EQ(delta.reads, 2u);
+}
+
+TEST(PagerTest, BlobRoundTripMultiplePages) {
+  Pager pager(100);
+  Rng rng(1);
+  std::vector<uint8_t> blob(100 * 3 + 37);
+  for (auto& b : blob) b = uint8_t(rng.NextU64());
+  const auto ids = pager.WriteBlob(blob);
+  EXPECT_EQ(ids.size(), 4u);
+  const auto back = pager.ReadBlob(ids, blob.size());
+  EXPECT_EQ(back, blob);
+}
+
+TEST(PagerTest, BlobExactPageMultiple) {
+  Pager pager(64);
+  std::vector<uint8_t> blob(128, 7);
+  const auto ids = pager.WriteBlob(blob);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(pager.ReadBlob(ids, 128), blob);
+}
+
+TEST(PagerDeathTest, RejectsTinyPageSize) {
+  EXPECT_DEATH(Pager(8), "page_size");
+}
+
+TEST(PagerDeathTest, RejectsOutOfRangePage) {
+  Pager pager(64);
+  PageBuffer buf;
+  EXPECT_DEATH(pager.Read(5, &buf), "id <");
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,93 @@
+#include "storage/point_store.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+
+namespace brep {
+namespace {
+
+Matrix TestData(size_t n, size_t d) {
+  Rng rng(77);
+  return MakeIidNormal(rng, n, d);
+}
+
+TEST(PointStoreTest, IdentityLayoutFetchesExactRows) {
+  Pager pager(256);  // 256 / (4 * 8) = 8 points per page
+  const Matrix data = TestData(20, 4);
+  const PointStore store(&pager, data, {});
+  EXPECT_EQ(store.points_per_page(), 8u);
+  EXPECT_EQ(store.num_data_pages(), 3u);  // ceil(20 / 8)
+
+  std::vector<double> buf(4);
+  for (uint32_t id = 0; id < 20; ++id) {
+    store.Fetch(id, buf);
+    for (size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(buf[j], data.At(id, j));
+  }
+}
+
+TEST(PointStoreTest, CustomOrderChangesAddressesNotContent) {
+  Pager pager(256);
+  const Matrix data = TestData(16, 4);
+  std::vector<uint32_t> order(16);
+  for (uint32_t i = 0; i < 16; ++i) order[i] = 15 - i;  // reversed
+  const PointStore store(&pager, data, order);
+
+  // Point 15 is laid out first -> page 0 slot 0.
+  EXPECT_EQ(store.AddressOf(15).page, store.AddressOf(8).page);
+  EXPECT_EQ(store.AddressOf(15).slot, 0);
+  std::vector<double> buf(4);
+  store.Fetch(3, buf);
+  for (size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(buf[j], data.At(3, j));
+}
+
+TEST(PointStoreTest, FetchManyVisitsEachIdOnce) {
+  Pager pager(256);
+  const Matrix data = TestData(30, 4);
+  const PointStore store(&pager, data, {});
+  const std::vector<uint32_t> ids{5, 17, 5, 2, 29, 17};
+  std::set<uint32_t> seen;
+  store.FetchMany(ids, [&](uint32_t id, std::span<const double> x) {
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate callback for " << id;
+    for (size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(x[j], data.At(id, j));
+  });
+  EXPECT_EQ(seen, (std::set<uint32_t>{2, 5, 17, 29}));
+}
+
+TEST(PointStoreTest, FetchManyReadsEachPageOnce) {
+  Pager pager(256);  // 8 points per page
+  const Matrix data = TestData(64, 4);
+  const PointStore store(&pager, data, {});
+  pager.ResetStats();
+  // Ids spanning pages 0, 0, 1, 7.
+  const std::vector<uint32_t> ids{0, 7, 8, 63};
+  store.FetchMany(ids, [](uint32_t, std::span<const double>) {});
+  EXPECT_EQ(pager.stats().reads, 3u);
+  EXPECT_EQ(store.CountDistinctPages(ids), 3u);
+}
+
+TEST(PointStoreTest, ClusteredIdsCostFewerPagesThanScattered) {
+  Pager pager(512);  // 16 points per page
+  const Matrix data = TestData(160, 4);
+  const PointStore store(&pager, data, {});
+  std::vector<uint32_t> clustered, scattered;
+  for (uint32_t i = 0; i < 10; ++i) {
+    clustered.push_back(i);        // one page
+    scattered.push_back(i * 16);   // one page each
+  }
+  EXPECT_EQ(store.CountDistinctPages(clustered), 1u);
+  EXPECT_EQ(store.CountDistinctPages(scattered), 10u);
+}
+
+TEST(PointStoreDeathTest, PageMustHoldOnePoint) {
+  Pager pager(64);  // 8 doubles
+  const Matrix data = TestData(4, 16);  // 128-byte points
+  EXPECT_DEATH(PointStore(&pager, data, {}), "page size too small");
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,60 @@
+#ifndef BREP_TESTS_TEST_UTIL_H_
+#define BREP_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/matrix.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+
+namespace brep::testing {
+
+/// Data whose domain/scale suits the named generator: strictly positive for
+/// itakura_saito / kl, modest magnitude for exponential, unconstrained
+/// otherwise.
+inline Matrix MakeDataFor(const std::string& generator, size_t n, size_t d,
+                          uint64_t seed = 7) {
+  Rng rng(seed);
+  if (generator == "itakura_saito" || generator == "kl") {
+    MixtureSpec spec;
+    spec.n = n;
+    spec.d = d;
+    spec.num_clusters = 6;
+    spec.positive = true;
+    spec.positive_scale = 1.5;
+    spec.cluster_std = 0.4;
+    return MakeMixture(rng, spec);
+  }
+  MixtureSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 6;
+  spec.center_lo = -1.5;
+  spec.center_hi = 1.5;
+  spec.cluster_std = 0.5;
+  return MakeMixture(rng, spec);
+}
+
+/// Queries suited to the generator (kept in-domain).
+inline Matrix MakeQueriesFor(const std::string& generator, const Matrix& data,
+                             size_t count, uint64_t seed = 11) {
+  Rng rng(seed);
+  const bool positive = generator == "itakura_saito" || generator == "kl";
+  return MakeQueries(rng, data, count, 0.1, positive);
+}
+
+/// Generators exercised by parameterized suites (partition-safe set).
+inline std::vector<std::string> PartitionSafeGenerators() {
+  return {"squared_l2", "itakura_saito", "exponential", "lp:3"};
+}
+
+/// All generators including KL (whole-space engines only).
+inline std::vector<std::string> AllGenerators() {
+  return {"squared_l2", "itakura_saito", "exponential", "kl", "lp:3"};
+}
+
+}  // namespace brep::testing
+
+#endif  // BREP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,61 @@
+#include "vafile/extended_space.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+/// The linchpin of the VAF baseline: the affine identity
+/// D(x, y) == <extended(x), w(y)> + kappa(y) must hold exactly for every
+/// divergence family.
+class ExtendedSpaceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 9;
+  std::string gen_ = GetParam();
+  BregmanDivergence div_ = MakeDivergence(gen_, kDim);
+  Matrix data_ = testing::MakeDataFor(gen_, 120, kDim);
+};
+
+TEST_P(ExtendedSpaceTest, AffineIdentityHolds) {
+  const Matrix ext = ExtendMatrix(data_, div_);
+  ASSERT_EQ(ext.cols(), kDim + 1);
+  for (size_t q = 0; q < 20; ++q) {
+    const auto y = data_.Row(q);
+    const QueryPlane plane = MakeQueryPlane(y, div_);
+    for (size_t i = 0; i < data_.rows(); i += 7) {
+      double affine = plane.kappa;
+      const auto xe = ext.Row(i);
+      for (size_t j = 0; j <= kDim; ++j) affine += xe[j] * plane.w[j];
+      const double exact = div_.Divergence(data_.Row(i), y);
+      EXPECT_NEAR(affine, exact, 1e-8 * std::max(1.0, exact))
+          << gen_ << " i=" << i << " q=" << q;
+    }
+  }
+}
+
+TEST_P(ExtendedSpaceTest, ExtendPointAppendsF) {
+  const auto x = data_.Row(0);
+  const auto ext = ExtendPoint(x, div_);
+  ASSERT_EQ(ext.size(), kDim + 1);
+  for (size_t j = 0; j < kDim; ++j) EXPECT_DOUBLE_EQ(ext[j], x[j]);
+  EXPECT_DOUBLE_EQ(ext[kDim], div_.F(x));
+}
+
+TEST_P(ExtendedSpaceTest, LastPlaneCoordinateIsOne) {
+  const QueryPlane plane = MakeQueryPlane(data_.Row(0), div_);
+  EXPECT_DOUBLE_EQ(plane.w[kDim], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, ExtendedSpaceTest,
+                         ::testing::Values("squared_l2", "itakura_saito",
+                                           "exponential", "kl"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,114 @@
+#include "vafile/vafile.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "divergence/factory.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+class VAFileExactnessTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {
+ protected:
+  static constexpr size_t kDim = 10;
+  std::string gen_ = std::get<0>(GetParam());
+  size_t bits_ = std::get<1>(GetParam());
+  Matrix data_ = testing::MakeDataFor(gen_, 500, kDim);
+  Matrix queries_ = testing::MakeQueriesFor(gen_, data_, 10);
+  BregmanDivergence div_ = MakeDivergence(gen_, kDim);
+};
+
+TEST_P(VAFileExactnessTest, KnnMatchesLinearScan) {
+  Pager pager(4096);
+  VAFileConfig config;
+  config.bits_per_dim = bits_;
+  const VAFile vafile(&pager, data_, div_, config);
+  const LinearScan scan(data_, div_);
+
+  for (size_t q = 0; q < queries_.rows(); ++q) {
+    const auto expected = scan.KnnSearch(queries_.Row(q), 10);
+    const auto got = vafile.KnnSearch(queries_.Row(q), 10);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance,
+                  1e-9 * std::max(1.0, expected[i].distance))
+          << gen_ << " bits=" << bits_ << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VAFileExactnessTest,
+    ::testing::Combine(::testing::Values("squared_l2", "itakura_saito",
+                                         "exponential", "kl"),
+                       ::testing::Values(4, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VAFileTest, MoreBitsMeanFewerCandidates) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 1500, 12);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 12);
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 10);
+
+  auto mean_candidates = [&](size_t bits) {
+    Pager pager(4096);
+    VAFileConfig config;
+    config.bits_per_dim = bits;
+    const VAFile vafile(&pager, data, div, config);
+    size_t total = 0;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      VAFileStats stats;
+      vafile.KnnSearch(queries.Row(q), 10, &stats);
+      total += stats.candidates;
+    }
+    return total;
+  };
+  EXPECT_LT(mean_candidates(8), mean_candidates(2));
+}
+
+TEST(VAFileTest, ScanTouchesEveryApproximation) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 300, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  Pager pager(2048);
+  const VAFile vafile(&pager, data, div, VAFileConfig{});
+  VAFileStats stats;
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 1);
+  vafile.KnnSearch(queries.Row(0), 5, &stats);
+  EXPECT_EQ(stats.approximations_scanned, data.rows());
+  EXPECT_GE(stats.candidates, 5u);
+}
+
+TEST(VAFileTest, QueryChargesVaPagesPlusCandidatePages) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 400, 8);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  Pager pager(2048);
+  const VAFile vafile(&pager, data, div, VAFileConfig{});
+  pager.ResetStats();
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 1);
+  vafile.KnnSearch(queries.Row(0), 5);
+  // At least the whole approximation array must have been read.
+  EXPECT_GE(pager.stats().reads, vafile.num_va_pages());
+  EXPECT_EQ(pager.stats().writes, 0u);
+}
+
+TEST(VAFileTest, PackedApproximationSizeIsTight) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 100, 10);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 10);
+  Pager pager(2048);
+  VAFileConfig config;
+  config.bits_per_dim = 6;
+  const VAFile vafile(&pager, data, div, config);
+  // 11 extended dims * 6 bits = 66 bits -> 9 bytes.
+  EXPECT_EQ(vafile.approximation_bytes_per_point(), 9u);
+}
+
+}  // namespace
+}  // namespace brep
