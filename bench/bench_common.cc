@@ -22,6 +22,24 @@ size_t NumQueries() {
   return ScaleFactor() < 1.0 ? 10 : 20;
 }
 
+size_t ThreadsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      BREP_CHECK_MSG(i + 1 < argc, "--threads expects a value");
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      BREP_CHECK_MSG(v > 0, "--threads expects a positive integer");
+      return static_cast<size_t>(v);
+    }
+  }
+  const char* env = std::getenv("BREP_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    BREP_CHECK_MSG(v > 0, "BREP_THREADS expects a positive integer");
+    return static_cast<size_t>(v);
+  }
+  return 0;
+}
+
 Workload MakeWorkload(const std::string& name, size_t n_override,
                       size_t d_override) {
   const double s = ScaleFactor();

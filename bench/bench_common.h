@@ -28,6 +28,12 @@ double ScaleFactor();
 /// Number of query points per workload (paper: 50; scaled).
 size_t NumQueries();
 
+/// Threads requested via `--threads N` on the command line (the BREP_THREADS
+/// env var is the fallback). Returns 0 when unset: benches then keep their
+/// default single-threaded measurement; a positive value opts the bench into
+/// the concurrent QueryEngine path with that many threads.
+size_t ThreadsArg(int argc, char** argv);
+
 /// Build a workload by Table 4 name: "Audio", "Fonts", "Deep", "Sift",
 /// "Normal", "Uniform". `n_override`/`d_override` of 0 keep the scaled
 /// defaults (paper dimensionalities, laptop-scaled sizes).

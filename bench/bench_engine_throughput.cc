@@ -1,0 +1,123 @@
+/// Concurrent serving throughput: QPS of the QueryEngine's batched kNN as
+/// the thread count grows, against the single-threaded engine as baseline.
+///
+///   $ ./bench_engine_throughput [--threads N]
+///
+/// Dataset: synthetic 50k x 100-d positive mixture under the Itakura-Saito
+/// divergence (the paper's ISD; plain KL is rejected by the framework
+/// because it is not cumulative under dimensionality partitioning, so ISD
+/// is the KL-family measure the index actually serves). BREP_SCALE=small
+/// shrinks the dataset for smoke runs.
+///
+/// Every thread count's results are checked byte-for-byte against the
+/// sequential engine AND the plain BrePartition::KnnSearch loop, so the
+/// speedup column never trades correctness.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/brepartition.h"
+#include "core/optimal_m.h"
+#include "dataset/synthetic.h"
+#include "divergence/factory.h"
+#include "engine/query_engine.h"
+#include "storage/pager.h"
+
+int main(int argc, char** argv) {
+  using namespace brep;
+  using namespace brep::bench;
+
+  const double scale = ScaleFactor();
+  const size_t n = std::max<size_t>(2000, size_t(50000 * scale));
+  const size_t d = 100;
+  const size_t k = 20;
+  const size_t num_queries = std::max<size_t>(32, size_t(160 * scale));
+
+  Rng rng(101);
+  MixtureSpec spec;
+  spec.n = n;
+  spec.d = d;
+  spec.num_clusters = 24;
+  spec.positive = true;
+  spec.positive_scale = 1.5;
+  spec.cluster_std = 0.4;
+  const Matrix data = MakeMixture(rng, spec);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
+  Rng qrng(102);
+  const Matrix queries = MakeQueries(qrng, data, num_queries, 0.1, true);
+
+  Pager pager(32 * 1024);
+  BrePartitionConfig config;
+  {
+    Rng fit_rng(7);
+    const CostModelFit fit = FitCostModel(data, div, fit_rng, 50, 2,
+                                          std::min<size_t>(8, d));
+    config.num_partitions =
+        std::clamp<size_t>(OptimalNumPartitions(fit, n, d), 4, 64);
+  }
+  std::printf("building BrePartition index: n=%zu d=%zu (ISD) ...\n", n, d);
+  const BrePartition index(&pager, data, div, config);
+  std::printf("built, M=%zu; batch of %zu queries, k=%zu\n\n",
+              index.num_partitions(), num_queries, k);
+
+  // Reference results + reference wall time: the sequential engine.
+  QueryEngineOptions seq_options;
+  seq_options.num_threads = 1;
+  const QueryEngine sequential(index, seq_options);
+  EngineStats warm;  // one warm-up pass so node caches reach steady state
+  sequential.KnnSearchBatch(queries, k, &warm);
+  EngineStats seq_stats;
+  const auto reference = sequential.KnnSearchBatch(queries, k, &seq_stats);
+
+  // Sanity: identical to the plain BrePartition query loop.
+  bool exact_vs_index = true;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    if (!(reference[q] == index.KnnSearch(queries.Row(q), k))) {
+      exact_vs_index = false;
+    }
+  }
+
+  std::vector<size_t> thread_counts;
+  const size_t pinned = ThreadsArg(argc, argv);
+  if (pinned > 0) {
+    thread_counts = {1, pinned};
+  } else {
+    thread_counts = {1, 2, 4};
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (hw > 4) thread_counts.push_back(hw);
+  }
+
+  PrintHeader({"threads", "wall ms", "QPS", "speedup", "io reads",
+               "identical"});
+  for (const size_t t : thread_counts) {
+    EngineStats stats;
+    std::vector<std::vector<Neighbor>> results;
+    if (t == 1) {
+      stats = seq_stats;
+      results = reference;
+    } else {
+      QueryEngineOptions options;
+      options.num_threads = t;
+      const QueryEngine engine(index, options);
+      engine.KnnSearchBatch(queries, k, &stats);  // warm-up
+      results = engine.KnnSearchBatch(queries, k, &stats);
+    }
+    const bool identical =
+        results == reference &&
+        stats.candidates == seq_stats.candidates &&
+        stats.nodes_visited == seq_stats.nodes_visited;
+    PrintRow({FmtU(t), FmtF(stats.wall_ms, 1), FmtF(stats.Qps(), 1),
+              FmtF(stats.wall_ms > 0 ? seq_stats.wall_ms / stats.wall_ms : 0,
+                   2),
+              FmtU(stats.io_reads), identical ? "yes" : "NO"});
+  }
+  std::printf("\nresults vs plain BrePartition::KnnSearch loop: %s\n",
+              exact_vs_index ? "identical" : "MISMATCH");
+  std::printf("(hardware threads available: %u)\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

@@ -13,13 +13,15 @@
 #include "core/optimal_m.h"
 #include "common/timer.h"
 #include "core/brepartition.h"
+#include "engine/query_engine.h"
 #include "storage/pager.h"
 #include "vafile/vafile.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace brep;
   using namespace brep::bench;
 
+  const size_t engine_threads = ThreadsArg(argc, argv);
   std::printf("Figs 11-12: kNN comparison (per query: I/O pages, time ms)\n\n");
   for (const std::string& name : RealWorkloadNames()) {
     const Workload w = MakeWorkload(name);
@@ -77,6 +79,28 @@ int main() {
       PrintRow({FmtU(k), FmtF(io[0] / nq, 1), FmtF(io[1] / nq, 1),
                 FmtF(io[2] / nq, 1), FmtF(ms[0] / nq, 2), FmtF(ms[1] / nq, 2),
                 FmtF(ms[2] / nq, 2)});
+    }
+    // Opt-in (--threads N / BREP_THREADS): serve the same queries through
+    // the concurrent engine and report batched-BP throughput next to the
+    // per-query table above.
+    if (engine_threads > 0) {
+      QueryEngineOptions options;
+      options.num_threads = engine_threads;
+      const QueryEngine engine(bp, options);
+      EngineStats stats;
+      engine.KnnSearchBatch(w.queries, 20, &stats);  // warm-up
+      const auto batch = engine.KnnSearchBatch(w.queries, 20, &stats);
+      bool identical = true;
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        if (!(batch[q] == bp.KnnSearch(w.queries.Row(q), 20))) {
+          identical = false;
+        }
+      }
+      std::printf("engine k=20, %zu threads: %.1f QPS (%.2f ms/query), "
+                  "results %s\n",
+                  engine_threads, stats.Qps(),
+                  stats.wall_ms / double(w.queries.rows()),
+                  identical ? "identical" : "MISMATCH");
     }
     std::printf("\n");
   }

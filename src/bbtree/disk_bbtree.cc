@@ -116,8 +116,8 @@ DiskBBTree::DiskNode DiskBBTree::ReadNode(uint64_t off) const {
       const size_t page_idx = pos / page_size;
       const size_t in_page = pos % page_size;
       const size_t chunk = std::min(len - done, page_size - in_page);
-      const PageBuffer& buf = pool_.Read(pages_[page_idx]);
-      std::memcpy(out + done, buf.data() + in_page, chunk);
+      const PagePin buf = pool_.ReadPinned(pages_[page_idx]);
+      std::memcpy(out + done, buf->data() + in_page, chunk);
       done += chunk;
     }
   };

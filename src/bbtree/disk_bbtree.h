@@ -23,6 +23,11 @@ namespace brep {
 /// cluster. Traversal reads node bytes through an LRU buffer pool (hot upper
 /// levels stay cached, like an OS page cache would); point payloads are
 /// fetched from the PointStore and charged against the pager directly.
+///
+/// All search methods are const and re-entrant: node reads go through the
+/// pool's pinned-page API, so any number of threads (the query engine's
+/// per-subspace filter tasks, or whole queries of a batch) may search one
+/// tree concurrently.
 class DiskBBTree {
  public:
   /// Serialize `tree` into pages of `pager`. The tree object itself may be

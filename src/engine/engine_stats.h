@@ -1,0 +1,78 @@
+#ifndef BREP_ENGINE_ENGINE_STATS_H_
+#define BREP_ENGINE_ENGINE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bbtree/bbtree.h"
+
+namespace brep {
+
+/// Aggregate measurements over a batch served by the QueryEngine: the
+/// logical work counters summed across every query plus the batch-level
+/// I/O and wall-clock numbers. The logical counters (candidates, nodes,
+/// leaves, points) are deterministic -- identical for every thread count --
+/// because each query performs exactly the sequential algorithm's work;
+/// `io_reads` is not, because concurrent queries share the per-tree node
+/// caches and evict each other in schedule-dependent order.
+struct EngineStats {
+  uint64_t queries = 0;
+  uint64_t io_reads = 0;
+  uint64_t candidates = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t leaves_visited = 0;
+  uint64_t points_evaluated = 0;
+  double wall_ms = 0.0;
+
+  double Qps() const { return wall_ms > 0.0 ? queries * 1e3 / wall_ms : 0.0; }
+};
+
+/// One execution lane's private counters, padded to a cache line so two
+/// lanes never write the same line (no locks, no false sharing on the hot
+/// path).
+struct alignas(64) EngineLaneStats {
+  uint64_t queries = 0;
+  uint64_t candidates = 0;
+  SearchStats search;
+
+  void AddSearch(const SearchStats& s) {
+    search.nodes_visited += s.nodes_visited;
+    search.leaves_visited += s.leaves_visited;
+    search.points_evaluated += s.points_evaluated;
+  }
+};
+
+/// Per-lane stats slots for a ThreadPool's lanes. Each lane mutates only
+/// its own slot during a parallel region; Merge() sums them once the
+/// region has joined, so the hot path never takes a lock.
+class EngineStatsAggregator {
+ public:
+  explicit EngineStatsAggregator(size_t num_lanes) : slots_(num_lanes) {}
+
+  EngineLaneStats& slot(size_t lane) { return slots_[lane]; }
+
+  void Reset() {
+    for (EngineLaneStats& s : slots_) s = EngineLaneStats{};
+  }
+
+  /// Sum of every lane's counters. Only valid between parallel regions.
+  EngineStats Merge() const {
+    EngineStats out;
+    for (const EngineLaneStats& s : slots_) {
+      out.queries += s.queries;
+      out.candidates += s.candidates;
+      out.nodes_visited += s.search.nodes_visited;
+      out.leaves_visited += s.search.leaves_visited;
+      out.points_evaluated += s.search.points_evaluated;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<EngineLaneStats> slots_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_ENGINE_ENGINE_STATS_H_

@@ -1,0 +1,253 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/bound.h"
+
+namespace brep {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const BrePartition& index,
+                         const QueryEngineOptions& options)
+    : index_(&index),
+      options_(options),
+      pool_(ResolveThreads(options.num_threads) - 1),
+      agg_(pool_.num_lanes()) {}
+
+std::vector<std::vector<uint32_t>> QueryEngine::FilterAllTrees(
+    std::span<const std::vector<double>> y_subs, std::span<const double> radii,
+    bool parallel, bool sorted, SearchStats* agg) const {
+  const BBForest& forest = index_->forest();
+  const size_t m_trees = forest.num_partitions();
+  std::vector<std::vector<uint32_t>> per_tree(m_trees);
+  std::vector<SearchStats> per_stats(m_trees);
+
+  auto run_tree = [&](size_t m) {
+    const DiskBBTree& tree = forest.tree(m);
+    per_tree[m] = forest.filter_mode() == FilterMode::kExactRange
+                      ? tree.RangeSearchExact(y_subs[m], radii[m],
+                                              &per_stats[m])
+                      : tree.RangeCandidates(y_subs[m], radii[m],
+                                             &per_stats[m]);
+    if (sorted) std::sort(per_tree[m].begin(), per_tree[m].end());
+  };
+
+  if (parallel && m_trees > 1 && pool_.num_workers() > 0) {
+    pool_.ParallelFor(m_trees, [&](size_t m, size_t) { run_tree(m); });
+  } else {
+    for (size_t m = 0; m < m_trees; ++m) run_tree(m);
+  }
+
+  for (const SearchStats& s : per_stats) {
+    agg->nodes_visited += s.nodes_visited;
+    agg->leaves_visited += s.leaves_visited;
+    agg->points_evaluated += s.points_evaluated;
+  }
+  return per_tree;
+}
+
+std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
+                                          size_t lane, bool parallel_filter,
+                                          QueryStats* qstats) const {
+  // Bound phase (Algorithms 3 + 4).
+  Timer bound_timer;
+  const auto y_subs = index_->GatherQuery(y);
+  const auto triples = index_->TransformQueryAll(y_subs);
+  const QueryBounds qb = QBDetermine(index_->transformed(), triples, k);
+  if (qstats != nullptr) {
+    qstats->bound_ms += bound_timer.ElapsedMillis();
+    qstats->radius_total = qb.total;
+  }
+
+  // Filter: per-subspace range queries, union of candidates (Theorem 3:
+  // a true neighbor's subspace divergences cannot all exceed the radii).
+  Timer filter_timer;
+  SearchStats fstats;
+  const auto per_tree = FilterAllTrees(y_subs, qb.radii, parallel_filter,
+                                       /*sorted=*/false, &fstats);
+  std::vector<uint32_t> candidates;
+  {
+    size_t total = 0;
+    for (const auto& v : per_tree) total += v.size();
+    candidates.reserve(total);
+    for (const auto& v : per_tree) {
+      candidates.insert(candidates.end(), v.begin(), v.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  if (qstats != nullptr) {
+    qstats->filter_ms += filter_timer.ElapsedMillis();
+    qstats->nodes_visited += fstats.nodes_visited;
+    qstats->candidates += candidates.size();
+  }
+
+  // Refine: fetch candidates page-batched and evaluate exactly.
+  Timer refine_timer;
+  TopK topk(k);
+  const BregmanDivergence& div = index_->divergence();
+  index_->forest().point_store().FetchMany(
+      candidates, [&](uint32_t id, std::span<const double> x) {
+        topk.Push(div.Divergence(x, y), id);
+      });
+  if (qstats != nullptr) qstats->refine_ms += refine_timer.ElapsedMillis();
+
+  EngineLaneStats& slot = agg_.slot(lane);
+  ++slot.queries;
+  slot.candidates += candidates.size();
+  slot.AddSearch(fstats);
+  return topk.SortedResults();
+}
+
+std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
+                                            double radius, size_t lane,
+                                            bool parallel_filter,
+                                            QueryStats* qstats) const {
+  const size_t m_trees = index_->forest().num_partitions();
+  const auto y_subs = index_->GatherQuery(y);
+  const std::vector<double> radii(m_trees, radius);
+
+  Timer filter_timer;
+  SearchStats fstats;
+  const auto per_tree = FilterAllTrees(y_subs, radii, parallel_filter,
+                                       /*sorted=*/true, &fstats);
+  // Intersection across subspaces: D decomposes into non-negative terms,
+  // so D(x, y) <= radius forces D_m(x_m, y_m) <= radius for every m.
+  std::vector<uint32_t> candidates = per_tree[0];
+  std::vector<uint32_t> next;
+  for (size_t m = 1; m < m_trees && !candidates.empty(); ++m) {
+    next.clear();
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          per_tree[m].begin(), per_tree[m].end(),
+                          std::back_inserter(next));
+    candidates.swap(next);
+  }
+  if (qstats != nullptr) {
+    qstats->filter_ms += filter_timer.ElapsedMillis();
+    qstats->nodes_visited += fstats.nodes_visited;
+    qstats->candidates += candidates.size();
+    qstats->radius_total = radius;
+  }
+
+  Timer refine_timer;
+  std::vector<uint32_t> result;
+  const BregmanDivergence& div = index_->divergence();
+  index_->forest().point_store().FetchMany(
+      candidates, [&](uint32_t id, std::span<const double> x) {
+        if (div.Divergence(x, y) <= radius) result.push_back(id);
+      });
+  std::sort(result.begin(), result.end());
+  if (qstats != nullptr) qstats->refine_ms += refine_timer.ElapsedMillis();
+
+  EngineLaneStats& slot = agg_.slot(lane);
+  ++slot.queries;
+  slot.candidates += candidates.size();
+  slot.AddSearch(fstats);
+  return result;
+}
+
+std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
+                                             size_t k,
+                                             QueryStats* stats) const {
+  BREP_CHECK(y.size() == index_->divergence().dim());
+  BREP_CHECK(k >= 1 && k <= index_->data().rows());
+  QueryStats local;
+  QueryStats& st = stats != nullptr ? *stats : local;
+  st = QueryStats{};
+
+  Timer total_timer;
+  const IoStats io_before = index_->pager()->stats();
+  auto result = KnnOne(y, k, pool_.num_workers(), options_.parallel_filter,
+                       &st);
+  st.io_reads = (index_->pager()->stats() - io_before).reads;
+  st.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
+                                               double radius,
+                                               QueryStats* stats) const {
+  BREP_CHECK(y.size() == index_->divergence().dim());
+  BREP_CHECK(radius >= 0.0);
+  QueryStats local;
+  QueryStats& st = stats != nullptr ? *stats : local;
+  st = QueryStats{};
+
+  Timer total_timer;
+  const IoStats io_before = index_->pager()->stats();
+  auto result = RangeOne(y, radius, pool_.num_workers(),
+                         options_.parallel_filter, &st);
+  st.io_reads = (index_->pager()->stats() - io_before).reads;
+  st.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
+    const Matrix& queries, size_t k, EngineStats* stats) const {
+  BREP_CHECK(queries.cols() == index_->divergence().dim());
+  BREP_CHECK(k >= 1 && k <= index_->data().rows());
+  const size_t n = queries.rows();
+  std::vector<std::vector<Neighbor>> results(n);
+
+  agg_.Reset();
+  const IoStats io_before = index_->pager()->stats();
+  Timer wall;
+  if (n == 1) {
+    // A lone query still benefits from per-subspace fan-out.
+    results[0] = KnnOne(queries.Row(0), k, pool_.num_workers(),
+                        options_.parallel_filter, nullptr);
+  } else {
+    pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
+      results[qi] = KnnOne(queries.Row(qi), k, lane,
+                           /*parallel_filter=*/false, nullptr);
+    });
+  }
+  if (stats != nullptr) {
+    *stats = agg_.Merge();
+    stats->io_reads = (index_->pager()->stats() - io_before).reads;
+    stats->wall_ms = wall.ElapsedMillis();
+  }
+  return results;
+}
+
+std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
+    const Matrix& queries, double radius, EngineStats* stats) const {
+  BREP_CHECK(queries.cols() == index_->divergence().dim());
+  BREP_CHECK(radius >= 0.0);
+  const size_t n = queries.rows();
+  std::vector<std::vector<uint32_t>> results(n);
+
+  agg_.Reset();
+  const IoStats io_before = index_->pager()->stats();
+  Timer wall;
+  if (n == 1) {
+    results[0] = RangeOne(queries.Row(0), radius, pool_.num_workers(),
+                          options_.parallel_filter, nullptr);
+  } else {
+    pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
+      results[qi] = RangeOne(queries.Row(qi), radius, lane,
+                             /*parallel_filter=*/false, nullptr);
+    });
+  }
+  if (stats != nullptr) {
+    *stats = agg_.Merge();
+    stats->io_reads = (index_->pager()->stats() - io_before).reads;
+    stats->wall_ms = wall.ElapsedMillis();
+  }
+  return results;
+}
+
+}  // namespace brep

@@ -1,0 +1,105 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/check.h"
+
+namespace brep {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void(size_t)> task) {
+  BREP_CHECK(!workers_.empty());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t lane) {
+  for (;;) {
+    std::function<void(size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(lane);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  const size_t caller_lane = workers_.size();
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) body(i, caller_lane);
+    return;
+  }
+
+  // Shared between the caller and the helper tasks. A shared_ptr keeps the
+  // state alive for a helper that is still between its last claimed item
+  // and its return when the caller has already been released.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t count;
+    const std::function<void(size_t, size_t)>* body;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure; guarded by mu
+  };
+  auto state = std::make_shared<State>();
+  state->count = count;
+  state->body = &body;
+
+  auto drain = [](const std::shared_ptr<State>& st, size_t lane) {
+    for (;;) {
+      const size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->count) return;
+      try {
+        (*st->body)(i, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (!st->error) st->error = std::current_exception();
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->count) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), count - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain](size_t lane) { drain(state, lane); });
+  }
+  drain(state, caller_lane);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace brep

@@ -10,27 +10,49 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
   BREP_CHECK(capacity_ > 0);
 }
 
-const PageBuffer& BufferPool::Read(PageId id) {
+PagePin BufferPool::ReadPinned(PageId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Move to front (most recently used).
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->buffer;
+    }
+  }
+
+  // Miss: fetch outside the lock so concurrent misses on distinct pages
+  // overlap their pager reads instead of serializing on the pool.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto page = std::make_shared<PageBuffer>();
+  pager_->Read(id, page.get());
+
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it != entries_.end()) {
-    ++hits_;
-    // Move to front (most recently used).
+    // Another thread cached the page while we were reading; adopt the
+    // cached copy (our read was charged to the pager regardless).
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->buffer;
   }
-  ++misses_;
   if (entries_.size() == capacity_) {
-    // Evict the least recently used page.
+    // Evict the least recently used page; outstanding pins keep its bytes.
     entries_.erase(lru_.back().id);
     lru_.pop_back();
   }
-  lru_.push_front(Entry{id, PageBuffer{}});
-  pager_->Read(id, &lru_.front().buffer);
+  lru_.push_front(Entry{id, page});
   entries_[id] = lru_.begin();
-  return lru_.front().buffer;
+  return page;
+}
+
+const PageBuffer& BufferPool::Read(PageId id) {
+  last_read_ = ReadPinned(id);
+  return *last_read_;
 }
 
 void BufferPool::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }

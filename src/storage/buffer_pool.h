@@ -1,8 +1,11 @@
 #ifndef BREP_STORAGE_BUFFER_POOL_H_
 #define BREP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
@@ -10,12 +13,23 @@
 
 namespace brep {
 
+/// A pinned page: shared ownership of an immutable page image. A pin keeps
+/// its bytes alive even after the pool evicts the page, so references into
+/// the buffer stay valid for as long as the caller holds the pin.
+using PagePin = std::shared_ptr<const PageBuffer>;
+
 /// LRU read cache over a Pager.
 ///
 /// Index traversal (BB-forest interior nodes, VA-file headers) goes through a
 /// pool so hot metadata is not re-charged on every visit, mirroring an OS
 /// page cache; candidate data fetches bypass it (the paper's I/O metric
 /// counts those raw). Hit/miss counters expose both views for ablations.
+///
+/// The pool is thread-safe: ReadPinned() may be called from any number of
+/// threads concurrently (the query engine runs one filter task per subspace
+/// tree, and batched queries share each tree's pool). Cached pages are held
+/// by shared_ptr, so eviction by one thread never invalidates bytes another
+/// thread is still reading through its pin.
 class BufferPool {
  public:
   /// `capacity_pages` is the number of resident pages; must be > 0.
@@ -24,31 +38,49 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Read through the cache. Returns a reference valid until the next call.
-  /// A miss costs one pager read; a hit costs none.
+  /// Read through the cache and pin the result. A miss costs one pager
+  /// read; a hit costs none. Safe to call concurrently.
+  PagePin ReadPinned(PageId id);
+
+  /// Single-threaded convenience: read through the cache and return a
+  /// reference that is only guaranteed valid until the next call on this
+  /// pool (the next miss may evict the page and, with no pin held, free
+  /// its bytes). Concurrent callers must use ReadPinned() instead.
   const PageBuffer& Read(PageId id);
 
-  /// Drop all cached pages (e.g. after out-of-band writes).
+  /// Drop all cached pages (e.g. after out-of-band writes). Outstanding
+  /// pins keep their bytes.
   void InvalidateAll();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetStats() { hits_ = misses_ = 0; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
   size_t capacity() const { return capacity_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
     PageId id;
-    PageBuffer buffer;
+    PagePin buffer;
   };
 
   Pager* pager_;
   size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used; guarded by mu_
   std::unordered_map<PageId, std::list<Entry>::iterator> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  // Keeps the most recent Read() result alive so the legacy reference
+  // contract ("valid until the next call") holds even if that page is
+  // evicted by the very next miss.
+  PagePin last_read_;
 };
 
 }  // namespace brep

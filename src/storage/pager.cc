@@ -24,13 +24,13 @@ void Pager::Write(PageId id, std::span<const uint8_t> data) {
   if (data.size() < page_size_) {
     std::memset(page.data() + data.size(), 0, page_size_ - data.size());
   }
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Pager::Read(PageId id, PageBuffer* out) const {
   BREP_CHECK(id < pages_.size());
   *out = pages_[id];
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<PageId> Pager::WriteBlob(std::span<const uint8_t> bytes) {

@@ -1,6 +1,7 @@
 #ifndef BREP_STORAGE_PAGER_H_
 #define BREP_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -15,6 +16,12 @@ namespace brep {
 /// approximation array) allocate pages here and perform reads/writes through
 /// it, so `stats()` yields exactly the paper's I/O-cost metric. Page size is
 /// configurable per dataset (Table 4 uses 32-128 KB).
+///
+/// Thread-safety: concurrent Read()s are safe (the I/O counters are atomic
+/// and page contents are immutable while queries run); Allocate()/Write()
+/// mutate the page table and must not race with readers. That split matches
+/// the engine's life cycle -- build single-threaded, then serve reads from
+/// many threads.
 class Pager {
  public:
   explicit Pager(size_t page_size_bytes);
@@ -44,13 +51,21 @@ class Pager {
   std::vector<uint8_t> ReadBlob(std::span<const PageId> ids,
                                 size_t size) const;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Snapshot of the counters (reads may be concurrent with queries).
+  IoStats stats() const {
+    return IoStats{reads_.load(std::memory_order_relaxed),
+                   writes_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   size_t page_size_;
   std::vector<PageBuffer> pages_;
-  mutable IoStats stats_;
+  mutable std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace brep

@@ -1,0 +1,101 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryItemExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kItems = 1000;
+  std::vector<std::atomic<int>> counts(kItems);
+  std::atomic<bool> lane_ok{true};
+  pool.ParallelFor(kItems, [&](size_t i, size_t lane) {
+    if (lane >= pool.num_lanes()) lane_ok = false;
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(lane_ok.load());
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  EXPECT_EQ(pool.num_lanes(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t ran = 0;
+  pool.ParallelFor(17, [&](size_t, size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;  // single-threaded by construction, no atomics needed
+  });
+  EXPECT_EQ(ran, 17u);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(2);
+  pool.ParallelFor(2, [&](size_t i, size_t) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(counts[0].load(), 1);
+  EXPECT_EQ(counts[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitExecutesEnqueuedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&](size_t lane) {
+      EXPECT_LT(lane, 2u);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 20 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i, size_t) {
+                         ran.fetch_add(1, std::memory_order_relaxed);
+                         if (i == 5) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing region and stays usable.
+  std::atomic<int> after{0};
+  pool.ParallelFor(8, [&](size_t, size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPoolTest, UnevenItemCostsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(32, [&](size_t i, size_t) {
+    if (i % 7 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+}  // namespace
+}  // namespace brep

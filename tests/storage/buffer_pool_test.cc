@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +59,57 @@ TEST_F(BufferPoolTest, InvalidateForcesReload) {
   pool.Read(5);
   EXPECT_EQ(pool.misses(), 2u);
   EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPageSurvivesEviction) {
+  // Regression: Read()'s reference dies when the page is evicted, which a
+  // concurrent reader (or any caller holding the reference across another
+  // Read) would hit. ReadPinned keeps the bytes alive past eviction.
+  BufferPool pool(&pager_, 1);
+  const PagePin pin = pool.ReadPinned(3);
+  EXPECT_EQ((*pin)[0], 3);
+  pool.ReadPinned(7);  // capacity 1: evicts page 3
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ((*pin)[0], 3);  // the pinned bytes are still intact
+  // Re-reading the evicted page is a fresh miss.
+  pool.ResetStats();
+  pool.ReadPinned(3);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedHitSharesTheCachedCopy) {
+  BufferPool pool(&pager_, 4);
+  const PagePin a = pool.ReadPinned(2);
+  const PagePin b = pool.ReadPinned(2);
+  EXPECT_EQ(a.get(), b.get());  // one resident copy, shared ownership
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pager_.stats().reads, 1u);
+}
+
+TEST_F(BufferPoolTest, ConcurrentPinnedReadsAreConsistent) {
+  // Hammer a 2-page pool from several threads; every pin must observe the
+  // correct page contents even while other threads force evictions.
+  BufferPool pool(&pager_, 2);
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 3000;
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x9E3779B97F4A7C15ull * (t + 1);
+      for (int i = 0; i < kItersPerThread && ok.load(); ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const PageId id = static_cast<PageId>((state >> 33) % 10);
+        const PagePin pin = pool.ReadPinned(id);
+        if ((*pin)[0] != id) ok.store(false);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            uint64_t(kThreads) * kItersPerThread);
+  EXPECT_LE(pool.size(), 2u);
 }
 
 TEST_F(BufferPoolTest, SequentialScanLargerThanPoolAlwaysMisses) {
