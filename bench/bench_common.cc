@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "common/rng.h"
 #include "dataset/synthetic.h"
 #include "divergence/factory.h"
@@ -25,17 +26,24 @@ size_t NumQueries() {
 size_t ThreadsArg(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
-      BREP_CHECK_MSG(i + 1 < argc, "--threads expects a value");
-      const long v = std::strtol(argv[i + 1], nullptr, 10);
-      BREP_CHECK_MSG(v > 0, "--threads expects a positive integer");
-      return static_cast<size_t>(v);
+      BREP_CHECK_MSG(i + 1 < argc,
+                     "--threads expects a value, e.g. --threads 4");
+      size_t v = 0;
+      BREP_CHECK_MSG(
+          ParsePositiveSize(argv[i + 1], &v),
+          "--threads expects a positive whole number (got a value with "
+          "non-digit characters, empty, zero, or out of range)");
+      return v;
     }
   }
   const char* env = std::getenv("BREP_THREADS");
   if (env != nullptr && env[0] != '\0') {
-    const long v = std::strtol(env, nullptr, 10);
-    BREP_CHECK_MSG(v > 0, "BREP_THREADS expects a positive integer");
-    return static_cast<size_t>(v);
+    size_t v = 0;
+    BREP_CHECK_MSG(
+        ParsePositiveSize(env, &v),
+        "BREP_THREADS expects a positive whole number (got a value with "
+        "non-digit characters, zero, or out of range)");
+    return v;
   }
   return 0;
 }

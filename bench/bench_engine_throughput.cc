@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   Rng qrng(102);
   const Matrix queries = MakeQueries(qrng, data, num_queries, 0.1, true);
 
-  Pager pager(32 * 1024);
+  MemPager pager(32 * 1024);
   BrePartitionConfig config;
   {
     Rng fit_rng(7);

@@ -39,7 +39,7 @@ int main() {
     }
     for (size_t m : ms) {
       if (m > w.data.cols()) continue;
-      Pager pager(w.page_size);
+      MemPager pager(w.page_size);
       BrePartitionConfig config;
       config.num_partitions = m;
       const BrePartition bp(&pager, w.data, *w.divergence, config);

@@ -25,7 +25,7 @@ int main() {
         PartitionStrategy::kEqualContiguous, PartitionStrategy::kRandom,
         PartitionStrategy::kPccp};
     for (int s = 0; s < 3; ++s) {
-      Pager pager(w.page_size);
+      MemPager pager(w.page_size);
       BrePartitionConfig config;
       // Pin M: the strategy comparison needs an actual partitioning (the
       // cost model derives M=1 on some stand-ins, where PCCP is a no-op).

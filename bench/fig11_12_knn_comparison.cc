@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("Figs 11-12: kNN comparison (per query: I/O pages, time ms)\n\n");
   for (const std::string& name : RealWorkloadNames()) {
     const Workload w = MakeWorkload(name);
-    Pager pager(w.page_size);
+    MemPager pager(w.page_size);
     BrePartitionConfig bp_config;
     // Derived M, clamped away from the degenerate single-partition case the
     // cost-model fit can produce on stand-ins whose fitted alpha ~ 1.

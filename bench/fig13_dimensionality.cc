@@ -27,7 +27,7 @@ int main() {
                "ms BBT"});
   for (size_t d : {10ul, 50ul, 100ul, 200ul, 400ul}) {
     const Workload w = MakeWorkload("Fonts", 0, d);
-    Pager pager(w.page_size);
+    MemPager pager(w.page_size);
     BrePartitionConfig bp_config;
     // Derived M per dimensionality, clamped to at least 2 (see fig11_12).
     {

@@ -24,7 +24,7 @@ int main() {
                "ms BBT"});
   for (size_t mult : {2ul, 4ul, 6ul, 8ul, 10ul}) {
     const Workload w = MakeWorkload("Sift", base * mult);
-    Pager pager(w.page_size);
+    MemPager pager(w.page_size);
     BrePartitionConfig bp_config;
     bp_config.num_partitions = 8;  // fixed across the sweep, as in the paper
     const BrePartition bp(&pager, w.data, *w.divergence, bp_config);

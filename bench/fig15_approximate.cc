@@ -25,7 +25,7 @@ int main() {
 
   for (const std::string name : {"Normal", "Uniform"}) {
     const Workload w = MakeWorkload(name);
-    Pager pager(w.page_size);
+    MemPager pager(w.page_size);
     BrePartitionConfig bp_config;
     // Derived M, clamped away from the degenerate M=1 (see fig11_12).
     {

@@ -23,7 +23,7 @@ int main() {
   Rng rng(42);
   const Matrix data = MakeFontsLike(rng, 8000, 64);
   const BregmanDivergence divergence = MakeDivergence("itakura_saito", 64);
-  Pager pager(32 * 1024);
+  MemPager pager(32 * 1024);
   BrePartitionConfig config;
   config.num_partitions = 8;
   const BrePartition index(&pager, data, divergence, config);

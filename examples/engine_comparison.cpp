@@ -28,7 +28,7 @@ int main() {
   Rng qrng(12);
   const Matrix queries = MakeQueries(qrng, data, 10, 0.1);
 
-  Pager pager(32 * 1024);
+  MemPager pager(32 * 1024);
   BrePartitionConfig bp_config;
   bp_config.num_partitions = 8;  // pinned; the fitted M* is degenerate here
   const BrePartition bp(&pager, data, ed, bp_config);

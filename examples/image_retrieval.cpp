@@ -24,7 +24,7 @@ int main() {
   const Matrix gallery = MakeDeepLike(rng, kN, kDim);
   const BregmanDivergence distance = MakeDivergence("exponential", kDim);
 
-  Pager pager(64 * 1024);
+  MemPager pager(64 * 1024);
   BrePartitionConfig config;  // derived M, PCCP
   Timer build_timer;
   const BrePartition index(&pager, gallery, distance, config);

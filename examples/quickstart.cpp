@@ -30,7 +30,7 @@ int main() {
 
   // 3. A simulated disk with 32 KB pages; every page read during a query is
   //    counted, which is the I/O metric reported in QueryStats.
-  Pager pager(32 * 1024);
+  MemPager pager(32 * 1024);
 
   // 4. Build the index. With num_partitions = 0 (the default), the optimal
   //    number of partitions M is derived from the fitted cost model

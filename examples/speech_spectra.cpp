@@ -25,7 +25,7 @@ int main() {
   const Matrix spectra = MakeFontsLike(rng, kN, kDim);  // positive energies
   const BregmanDivergence isd = MakeDivergence("itakura_saito", kDim);
 
-  Pager pager(32 * 1024);
+  MemPager pager(32 * 1024);
   BrePartitionConfig config;
   const BrePartition exact_index(&pager, spectra, isd, config);
   const LinearScan truth(spectra, isd);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/build_counters.h"
 #include "common/check.h"
 
 namespace brep {
@@ -10,10 +11,14 @@ BBForest::BBForest(Pager* pager, const Matrix& data,
                    const BregmanDivergence& div,
                    std::vector<std::vector<size_t>> partitions,
                    const BBForestConfig& config)
-    : filter_mode_(config.filter_mode), partitions_(std::move(partitions)) {
+    : filter_mode_(config.filter_mode),
+      pool_pages_(config.pool_pages),
+      partitions_(std::move(partitions)) {
   BREP_CHECK(pager != nullptr);
   BREP_CHECK(!partitions_.empty());
   BREP_CHECK(data.cols() == div.dim());
+  internal::GetBuildCounters().forest_builds.fetch_add(
+      1, std::memory_order_relaxed);
 
   // Build the first subspace's tree in memory to obtain the leaf order that
   // defines the on-disk point layout (paper Section 6).
@@ -34,6 +39,28 @@ BBForest::BBForest(Pager* pager, const Matrix& data,
     const BBTree tree(sub, sub_div, config.tree);
     trees_.push_back(
         std::make_unique<DiskBBTree>(pager, tree, config.pool_pages));
+  }
+}
+
+BBForest::BBForest(Pager* pager, const BregmanDivergence& div,
+                   std::vector<std::vector<size_t>> partitions,
+                   FilterMode filter_mode, size_t pool_pages,
+                   const PointStoreLayout& store_layout,
+                   std::span<const DiskBBTreeLayout> tree_layouts)
+    : filter_mode_(filter_mode),
+      pool_pages_(pool_pages),
+      partitions_(std::move(partitions)) {
+  BREP_CHECK(pager != nullptr);
+  BREP_CHECK(!partitions_.empty());
+  BREP_CHECK(tree_layouts.size() == partitions_.size());
+
+  store_ = std::make_unique<PointStore>(pager, store_layout);
+  trees_.reserve(partitions_.size());
+  for (size_t m = 0; m < partitions_.size(); ++m) {
+    BregmanDivergence sub_div = div.Restrict(partitions_[m]);
+    BREP_CHECK(sub_div.dim() == partitions_[m].size());
+    trees_.push_back(std::make_unique<DiskBBTree>(
+        pager, std::move(sub_div), tree_layouts[m], pool_pages_));
   }
 }
 

@@ -50,6 +50,15 @@ class BBForest {
            std::vector<std::vector<size_t>> partitions,
            const BBForestConfig& config);
 
+  /// Re-attach to a forest previously written on `pager`: the point-store
+  /// placement and the per-tree page lists come from a saved catalog, so no
+  /// clustering, serialization or pager write happens here (the open path
+  /// of a persistent index).
+  BBForest(Pager* pager, const BregmanDivergence& div,
+           std::vector<std::vector<size_t>> partitions, FilterMode filter_mode,
+           size_t pool_pages, const PointStoreLayout& store_layout,
+           std::span<const DiskBBTreeLayout> tree_layouts);
+
   BBForest(const BBForest&) = delete;
   BBForest& operator=(const BBForest&) = delete;
 
@@ -74,9 +83,13 @@ class BBForest {
       std::span<const double> radii, SearchStats* stats = nullptr) const;
 
   FilterMode filter_mode() const { return filter_mode_; }
+  /// Buffer-pool pages per disk tree (persisted so Open restores the same
+  /// caching behaviour).
+  size_t pool_pages() const { return pool_pages_; }
 
  private:
   FilterMode filter_mode_;
+  size_t pool_pages_ = 128;
   std::vector<std::vector<size_t>> partitions_;
   std::unique_ptr<PointStore> store_;
   std::vector<std::unique_ptr<DiskBBTree>> trees_;

@@ -31,10 +31,12 @@ T ReadValue(const uint8_t* p) {
 
 }  // namespace
 
-DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages)
+DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
+                       bool header_child_bounds)
     : pager_(pager),
       div_(tree.divergence()),
       bound_iters_(tree.config().bound_iters),
+      header_child_bounds_(header_child_bounds),
       pool_(pager, pool_pages) {
   BREP_CHECK(pager_ != nullptr);
   const auto& nodes = tree.nodes();
@@ -107,25 +109,58 @@ DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages)
   pages_ = pager_->WriteBlob(blob);
 }
 
-DiskBBTree::DiskNode DiskBBTree::ReadNode(uint64_t off) const {
-  const size_t page_size = pager_->page_size();
-  auto read_bytes = [&](uint64_t start, size_t len, uint8_t* out) {
-    size_t done = 0;
-    while (done < len) {
-      const uint64_t pos = start + done;
-      const size_t page_idx = pos / page_size;
-      const size_t in_page = pos % page_size;
-      const size_t chunk = std::min(len - done, page_size - in_page);
-      const PagePin buf = pool_.ReadPinned(pages_[page_idx]);
-      std::memcpy(out + done, buf->data() + in_page, chunk);
-      done += chunk;
-    }
-  };
+DiskBBTree::DiskBBTree(Pager* pager, BregmanDivergence div,
+                       const DiskBBTreeLayout& layout, size_t pool_pages)
+    : pager_(pager),
+      div_(std::move(div)),
+      bound_iters_(layout.bound_iters),
+      pages_(layout.pages),
+      blob_size_(layout.blob_size),
+      num_nodes_(layout.num_nodes),
+      root_offset_(layout.root_offset),
+      pool_(pager, pool_pages) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(!pages_.empty());
+  BREP_CHECK(blob_size_ <= pages_.size() * pager_->page_size());
+  for (PageId id : pages_) BREP_CHECK(id < pager_->num_pages());
+}
 
+DiskBBTreeLayout DiskBBTree::layout() const {
+  DiskBBTreeLayout layout;
+  layout.pages = pages_;
+  layout.blob_size = blob_size_;
+  layout.num_nodes = num_nodes_;
+  layout.root_offset = root_offset_;
+  layout.bound_iters = bound_iters_;
+  return layout;
+}
+
+void DiskBBTree::ReadBytes(uint64_t start, size_t len, uint8_t* out) const {
+  // Node pages carry no checksum (the paper's I/O metric would be distorted
+  // by verifying every page on every read), so offsets and counts decoded
+  // from them are bounds-checked before they can index past the page list
+  // or drive a huge allocation: a corrupted page aborts with a message
+  // instead of undefined behaviour.
+  BREP_CHECK_MSG(uint64_t{len} <= blob_size_ && start <= blob_size_ - len,
+                 "corrupted tree page (node range out of bounds)");
+  const size_t page_size = pager_->page_size();
+  size_t done = 0;
+  while (done < len) {
+    const uint64_t pos = start + done;
+    const size_t page_idx = pos / page_size;
+    const size_t in_page = pos % page_size;
+    const size_t chunk = std::min(len - done, page_size - in_page);
+    const PagePin buf = pool_.ReadPinned(pages_[page_idx]);
+    std::memcpy(out + done, buf->data() + in_page, chunk);
+    done += chunk;
+  }
+}
+
+DiskBBTree::DiskNode DiskBBTree::ReadNodeHeader(uint64_t off) const {
   const size_t dim = div_.dim();
   const size_t fixed = 1 + 4 + 3 * sizeof(double) + dim * sizeof(double);
   std::vector<uint8_t> head(fixed);
-  read_bytes(off, fixed, head.data());
+  ReadBytes(off, fixed, head.data());
 
   DiskNode node;
   size_t pos = 0;
@@ -141,22 +176,37 @@ DiskBBTree::DiskNode DiskBBTree::ReadNode(uint64_t off) const {
   pos += 8;
   node.ball.center.resize(dim);
   std::memcpy(node.ball.center.data(), &head[pos], dim * sizeof(double));
+  return node;
+}
 
-  if (node.is_leaf) {
-    node.ids.resize(node.count);
-    node.points.resize(size_t(node.count) * dim);
-    std::vector<uint8_t> tail(4 * node.count +
-                              node.points.size() * sizeof(double));
-    read_bytes(off + fixed, tail.size(), tail.data());
-    std::memcpy(node.ids.data(), tail.data(), 4 * node.count);
-    std::memcpy(node.points.data(), tail.data() + 4 * node.count,
-                node.points.size() * sizeof(double));
+void DiskBBTree::ReadNodeTail(uint64_t off, DiskNode* node) const {
+  const size_t dim = div_.dim();
+  const size_t fixed = 1 + 4 + 3 * sizeof(double) + dim * sizeof(double);
+  full_node_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (node->is_leaf) {
+    const uint64_t tail_bytes =
+        uint64_t{node->count} * (4 + dim * sizeof(double));
+    BREP_CHECK_MSG(  // before any count-driven allocation
+        tail_bytes <= blob_size_ && off + fixed <= blob_size_ - tail_bytes,
+        "corrupted tree page (leaf payload out of bounds)");
+    node->ids.resize(node->count);
+    node->points.resize(size_t(node->count) * dim);
+    std::vector<uint8_t> tail(static_cast<size_t>(tail_bytes));
+    ReadBytes(off + fixed, tail.size(), tail.data());
+    std::memcpy(node->ids.data(), tail.data(), 4 * node->count);
+    std::memcpy(node->points.data(), tail.data() + 4 * node->count,
+                node->points.size() * sizeof(double));
   } else {
     uint8_t tail[16];
-    read_bytes(off + fixed, 16, tail);
-    node.left_off = ReadValue<uint64_t>(&tail[0]);
-    node.right_off = ReadValue<uint64_t>(&tail[8]);
+    ReadBytes(off + fixed, 16, tail);
+    node->left_off = ReadValue<uint64_t>(&tail[0]);
+    node->right_off = ReadValue<uint64_t>(&tail[8]);
   }
+}
+
+DiskBBTree::DiskNode DiskBBTree::ReadNode(uint64_t off) const {
+  DiskNode node = ReadNodeHeader(off);
+  ReadNodeTail(off, &node);
   return node;
 }
 
@@ -175,12 +225,15 @@ std::vector<uint32_t> DiskBBTree::RangeCandidates(std::span<const double> y,
   while (!stack.empty()) {
     const uint64_t off = stack.back();
     stack.pop_back();
-    const DiskNode node = ReadNode(off);
+    // Header first: a pruned node never pays for its payload (same I/O fix
+    // as the kNN descent); a surviving node continues with just the tail.
+    DiskNode node = ReadNodeHeader(off);
     ++st.nodes_visited;
     if (BallDistanceLowerBound(div_, node.ball, y, grad_y, bound_iters_) >
         radius) {
       continue;
     }
+    ReadNodeTail(off, &node);
     if (node.is_leaf) {
       ++st.leaves_visited;
       result.insert(result.end(), node.ids.begin(), node.ids.end());
@@ -208,12 +261,13 @@ std::vector<uint32_t> DiskBBTree::RangeSearchExact(std::span<const double> y,
   while (!stack.empty()) {
     const uint64_t off = stack.back();
     stack.pop_back();
-    const DiskNode node = ReadNode(off);
+    DiskNode node = ReadNodeHeader(off);
     ++st.nodes_visited;
     if (BallDistanceLowerBound(div_, node.ball, y, grad_y, bound_iters_) >
         radius) {
       continue;
     }
+    ReadNodeTail(off, &node);
     if (node.is_leaf) {
       ++st.leaves_visited;
       for (size_t i = 0; i < node.ids.size(); ++i) {
@@ -244,19 +298,38 @@ std::vector<Neighbor> DiskBBTree::KnnImpl(std::span<const double> y, size_t k,
   div_.Gradient(y, std::span<double>(grad_y));
 
   TopK topk(k);
+  // In header-child-bounds mode the frontier carries each node's decoded
+  // header (read once, at push time, to compute its bound), so a popped
+  // node fetches only its tail -- no byte is read or decoded twice on the
+  // descent. The legacy mode reproduces the old double-read behaviour for
+  // the I/O regression test: full child reads at expansion (counted in
+  // nodes_visited as the materializations they are) and a fresh full read
+  // on pop.
   struct Entry {
     double lb;
     uint64_t off;
+    DiskNode header;  // populated in header-child-bounds mode only
     bool operator>(const Entry& o) const { return lb > o.lb; }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
-  frontier.push(Entry{0.0, root_offset_});
+  frontier.push(Entry{0.0, root_offset_,
+                      header_child_bounds_ ? ReadNodeHeader(root_offset_)
+                                           : DiskNode{}});
 
   while (!frontier.empty()) {
-    const Entry e = frontier.top();
+    // Move rather than copy: the entry carries the node's center vector and
+    // is discarded by the pop() on the next line, so stealing its buffers
+    // is safe and keeps the pop allocation-free.
+    Entry e = std::move(const_cast<Entry&>(frontier.top()));
     frontier.pop();
     if (e.lb >= topk.Threshold()) continue;
-    const DiskNode node = ReadNode(e.off);
+    DiskNode node;
+    if (header_child_bounds_) {
+      node = std::move(e.header);
+      ReadNodeTail(e.off, &node);
+    } else {
+      node = ReadNode(e.off);
+    }
     ++st.nodes_visited;
     if (!gate(e.lb, node, topk.Threshold())) continue;
     if (node.is_leaf) {
@@ -267,14 +340,25 @@ std::vector<Neighbor> DiskBBTree::KnnImpl(std::span<const double> y, size_t k,
                         ++st.points_evaluated;
                       });
     } else {
-      const DiskNode left = ReadNode(node.left_off);
-      const DiskNode right = ReadNode(node.right_off);
+      DiskNode left = header_child_bounds_ ? ReadNodeHeader(node.left_off)
+                                           : ReadNode(node.left_off);
+      DiskNode right = header_child_bounds_ ? ReadNodeHeader(node.right_off)
+                                            : ReadNode(node.right_off);
+      if (!header_child_bounds_) st.nodes_visited += 2;
       const double lb_l =
           BallDistanceLowerBound(div_, left.ball, y, grad_y, bound_iters_);
       const double lb_r =
           BallDistanceLowerBound(div_, right.ball, y, grad_y, bound_iters_);
-      if (lb_l < topk.Threshold()) frontier.push(Entry{lb_l, node.left_off});
-      if (lb_r < topk.Threshold()) frontier.push(Entry{lb_r, node.right_off});
+      if (lb_l < topk.Threshold()) {
+        frontier.push(Entry{lb_l, node.left_off,
+                            header_child_bounds_ ? std::move(left)
+                                                 : DiskNode{}});
+      }
+      if (lb_r < topk.Threshold()) {
+        frontier.push(Entry{lb_r, node.right_off,
+                            header_child_bounds_ ? std::move(right)
+                                                 : DiskNode{}});
+      }
     }
   }
   return topk.SortedResults();

@@ -1,6 +1,7 @@
 #ifndef BREP_BBTREE_DISK_BBTREE_H_
 #define BREP_BBTREE_DISK_BBTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -13,6 +14,16 @@
 #include "storage/point_store.h"
 
 namespace brep {
+
+/// Serializable description of a disk tree's pages: enough to re-attach to
+/// an already-written tree with zero writes (see the attach constructor).
+struct DiskBBTreeLayout {
+  std::vector<PageId> pages;
+  uint64_t blob_size = 0;
+  uint64_t num_nodes = 0;
+  uint64_t root_offset = 0;
+  int32_t bound_iters = 0;
+};
 
 /// Disk-resident BB-tree: the node structure of an in-memory BBTree
 /// serialized onto the simulated disk (paper Section 6's extension of
@@ -32,7 +43,19 @@ class DiskBBTree {
  public:
   /// Serialize `tree` into pages of `pager`. The tree object itself may be
   /// discarded afterwards; `pool_pages` bounds the node cache.
-  DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages = 128);
+  /// `header_child_bounds` selects the descent I/O fix (see KnnSearch): the
+  /// legacy full-read mode exists only so the regression test can measure
+  /// the fix against the old behaviour.
+  DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages = 128,
+             bool header_child_bounds = true);
+
+  /// Re-attach to a tree previously serialized on `pager` (described by
+  /// `layout()` of the original). Performs no pager writes.
+  DiskBBTree(Pager* pager, BregmanDivergence div,
+             const DiskBBTreeLayout& layout, size_t pool_pages = 128);
+
+  /// The page placement to persist for a later re-attach.
+  DiskBBTreeLayout layout() const;
 
   DiskBBTree(const DiskBBTree&) = delete;
   DiskBBTree& operator=(const DiskBBTree&) = delete;
@@ -42,6 +65,13 @@ class DiskBBTree {
   size_t num_nodes() const { return num_nodes_; }
   /// Total bytes of serialized index (for construction-cost reporting).
   size_t index_bytes() const { return blob_size_; }
+  /// Full node materializations (payload/child-offset deserializations)
+  /// since construction. Counted inside the read path itself -- not in the
+  /// search algorithms -- so the descent I/O regression test measures what
+  /// actually happened, whatever the traversal code claims.
+  uint64_t full_node_reads() const {
+    return full_node_reads_.load(std::memory_order_relaxed);
+  }
 
   /// Cluster-granularity range filter, as in BBTree::RangeCandidates, with
   /// node reads charged to the pager (via the pool).
@@ -61,6 +91,12 @@ class DiskBBTree {
   /// tree's balls, candidate points are fetched from `store` (which must
   /// have this tree's dimensionality) and evaluated with the tree's own
   /// divergence.
+  ///
+  /// Child lower bounds during the descent are computed from header-only
+  /// node reads (the fixed-size prefix holding the ball), so a child's
+  /// payload -- count*(4 + 8*dim) bytes for a leaf -- is deserialized once,
+  /// when the node is popped from the frontier, not twice. SearchStats::
+  /// nodes_visited counts full node materializations.
   std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
                                   const PointStore& store,
                                   SearchStats* stats = nullptr) const;
@@ -90,6 +126,16 @@ class DiskBBTree {
   };
 
   DiskNode ReadNode(uint64_t offset) const;
+  /// Header-only read: the fixed-size prefix (flags, count, radius,
+  /// distance stats, center) -- everything a ball lower bound needs,
+  /// without the leaf payload or child offsets.
+  DiskNode ReadNodeHeader(uint64_t offset) const;
+  /// Complete a header-read node in place: fetch the leaf payload or the
+  /// child offsets. Counts one full node materialization.
+  void ReadNodeTail(uint64_t offset, DiskNode* node) const;
+  /// Page-spanning byte fetch through the pool, bounds-checked against the
+  /// serialized blob.
+  void ReadBytes(uint64_t start, size_t len, uint8_t* out) const;
   template <typename Gate>
   std::vector<Neighbor> KnnImpl(std::span<const double> y, size_t k,
                                 const PointStore& store, SearchStats* stats,
@@ -98,6 +144,8 @@ class DiskBBTree {
   Pager* pager_;
   BregmanDivergence div_;
   int bound_iters_;
+  bool header_child_bounds_ = true;
+  mutable std::atomic<uint64_t> full_node_reads_{0};
   std::vector<PageId> pages_;
   size_t blob_size_ = 0;
   size_t num_nodes_ = 0;

@@ -1,0 +1,28 @@
+#ifndef BREP_COMMON_BUILD_COUNTERS_H_
+#define BREP_COMMON_BUILD_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace brep::internal {
+
+/// Process-wide invocation counters of the expensive offline construction
+/// stages (cost-model fit, PCCP, dataset transform, forest build). The
+/// persistence tests snapshot them around BrePartition::Open to prove the
+/// open path does zero rebuild work; they are diagnostics, not part of the
+/// public API.
+struct BuildCounters {
+  std::atomic<uint64_t> fit_cost_model{0};
+  std::atomic<uint64_t> pccp{0};
+  std::atomic<uint64_t> dataset_transform{0};
+  std::atomic<uint64_t> forest_builds{0};
+};
+
+inline BuildCounters& GetBuildCounters() {
+  static BuildCounters counters;
+  return counters;
+}
+
+}  // namespace brep::internal
+
+#endif  // BREP_COMMON_BUILD_COUNTERS_H_

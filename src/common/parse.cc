@@ -1,0 +1,23 @@
+#include "common/parse.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace brep {
+
+bool ParsePositiveSize(const char* token, size_t* out) {
+  if (token == nullptr || token[0] == '\0') return false;
+  for (const char* p = token; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;  // rejects sign, space, suffix
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token, &end, 10);
+  if (errno == ERANGE || end == token || *end != '\0') return false;
+  if (v == 0 || v > static_cast<unsigned long long>(SIZE_MAX)) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace brep

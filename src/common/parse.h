@@ -1,0 +1,17 @@
+#ifndef BREP_COMMON_PARSE_H_
+#define BREP_COMMON_PARSE_H_
+
+#include <cstddef>
+
+namespace brep {
+
+/// Strict whole-token parse of a positive decimal integer: the token must be
+/// non-empty, all digits, and in range. "4" parses; "", "4x", " 4", "-1",
+/// "0x4" and overflowing values are rejected (returns false, `*out`
+/// untouched). Command-line and environment knobs use this so a typo like
+/// `--threads 4x` is an error instead of silently running with 4.
+bool ParsePositiveSize(const char* token, size_t* out);
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_PARSE_H_

@@ -14,6 +14,9 @@ ApproximateBrePartition::ApproximateBrePartition(
     const BrePartition* exact, const ApproximateConfig& config)
     : exact_(exact), config_(config) {
   BREP_CHECK(exact_ != nullptr);
+  BREP_CHECK_MSG(exact_->has_data(),
+                 "the approximate extension samples raw data rows; build the "
+                 "exact index from data (an Open()ed index has none)");
   BREP_CHECK(config_.probability > 0.0 && config_.probability <= 1.0);
   BREP_CHECK(config_.distribution_sample >= 10);
   Rng rng(config_.seed);

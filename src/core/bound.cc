@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/build_counters.h"
 #include "common/check.h"
 
 namespace brep {
@@ -45,6 +46,8 @@ TransformedDataset::TransformedDataset(
     std::span<const BregmanDivergence> sub_divs)
     : n_(data.rows()), m_(partitions.size()) {
   BREP_CHECK(sub_divs.size() == m_);
+  internal::GetBuildCounters().dataset_transform.fetch_add(
+      1, std::memory_order_relaxed);
   tuples_.resize(n_ * m_);
   std::vector<double> sub;
   for (size_t m = 0; m < m_; ++m) {
@@ -57,6 +60,12 @@ TransformedDataset::TransformedDataset(
       tuples_[i * m_ + m] = TransformPoint(sub_divs[m], sub);
     }
   }
+}
+
+TransformedDataset::TransformedDataset(size_t n, size_t m,
+                                       std::vector<PointTuple> tuples)
+    : n_(n), m_(m), tuples_(std::move(tuples)) {
+  BREP_CHECK(tuples_.size() == n_ * m_);
 }
 
 QueryBounds QBDetermine(const TransformedDataset& st,

@@ -71,10 +71,17 @@ class TransformedDataset {
                      std::span<const std::vector<size_t>> partitions,
                      std::span<const BregmanDivergence> sub_divs);
 
+  /// Adopt precomputed tuples (n x m, row-major) -- the persistence open
+  /// path, which must not redo the transform.
+  TransformedDataset(size_t n, size_t m, std::vector<PointTuple> tuples);
+
   size_t num_points() const { return n_; }
   size_t num_partitions() const { return m_; }
 
   const PointTuple& At(size_t i, size_t m) const { return tuples_[i * m_ + m]; }
+
+  /// Raw tuple array (row-major), for serialization.
+  const std::vector<PointTuple>& tuples() const { return tuples_; }
 
  private:
   size_t n_ = 0;

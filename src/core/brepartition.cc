@@ -1,12 +1,27 @@
 #include "core/brepartition.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/pccp.h"
+#include "divergence/factory.h"
+#include "divergence/generators.h"
+#include "storage/serial.h"
 
 namespace brep {
+namespace {
+
+// "BREPCAT1" as a little-endian u64; distinct from the FilePager superblock
+// magic so a catalog page mistaken for a superblock (or vice versa) is
+// rejected immediately.
+constexpr uint64_t kCatalogMagic = 0x3154414350455242ull;
+constexpr uint32_t kCatalogVersion = 1;
+
+}  // namespace
 
 BrePartition::BrePartition(Pager* pager, const Matrix& data,
                            const BregmanDivergence& div,
@@ -57,6 +72,286 @@ BrePartition::BrePartition(Pager* pager, const Matrix& data,
   // 4. Disk-resident BB-forest.
   forest_ = std::make_unique<BBForest>(pager_, data, div_, partitions_,
                                        config_.forest);
+}
+
+const Matrix& BrePartition::data() const {
+  BREP_CHECK_MSG(data_ != nullptr,
+                 "no data matrix attached (index reopened via Open); only "
+                 "construction from data provides one");
+  return *data_;
+}
+
+void BrePartition::Save() const {
+  ByteWriter w;
+  w.Value<uint64_t>(kCatalogMagic);
+  w.Value<uint32_t>(kCatalogVersion);
+
+  // Divergence spec: generator name round-trips through the factory. The
+  // lp family additionally stores p as a binary double -- its Name() prints
+  // only six decimals, which would silently reopen with a different
+  // divergence than the one the tree geometry was built under.
+  w.Str(div_.Name());
+  const auto* lp = dynamic_cast<const LpNormGenerator*>(&div_.generator());
+  w.Value<double>(lp != nullptr ? lp->p() : 0.0);
+  w.Value<uint64_t>(div_.dim());
+  std::vector<double> weights;
+  if (div_.weighted()) {
+    weights.resize(div_.dim());
+    for (size_t j = 0; j < div_.dim(); ++j) weights[j] = div_.weight(j);
+  }
+  w.Vec(weights);
+
+  // Cost-model fit (so a reopened index reports the same model).
+  w.Value<double>(fit_.A);
+  w.Value<double>(fit_.alpha);
+  w.Value<double>(fit_.beta);
+  w.Value<uint64_t>(fit_.fit_samples);
+
+  // Partitioning.
+  w.Value<uint64_t>(partitions_.size());
+  for (const auto& cols : partitions_) {
+    std::vector<uint64_t> c(cols.begin(), cols.end());
+    w.Vec(c);
+  }
+
+  // Forest configuration needed at serve time.
+  w.Value<uint8_t>(forest_->filter_mode() == FilterMode::kExactRange ? 0 : 1);
+  w.Value<uint64_t>(forest_->pool_pages());
+
+  // Transformed dataset (Algorithm 2 output; the open path must not redo
+  // the transform).
+  w.Value<uint64_t>(transformed_.num_points());
+  w.Value<uint64_t>(transformed_.num_partitions());
+  w.Vec(transformed_.tuples());
+
+  // Point-store placement.
+  const PointStoreLayout store_layout = forest_->point_store().layout();
+  w.Value<uint64_t>(store_layout.dim);
+  w.Vec(store_layout.data_pages);
+  w.Vec(store_layout.order);
+
+  // Per-tree page lists.
+  w.Value<uint64_t>(partitions_.size());
+  for (size_t m = 0; m < partitions_.size(); ++m) {
+    const DiskBBTreeLayout t = forest_->tree(m).layout();
+    w.Vec(t.pages);
+    w.Value<uint64_t>(t.blob_size);
+    w.Value<uint64_t>(t.num_nodes);
+    w.Value<uint64_t>(t.root_offset);
+    w.Value<int32_t>(t.bound_iters);
+  }
+
+  // Trailing checksum over everything above.
+  w.Value<uint64_t>(Fnv1a64(std::span<const uint8_t>(
+      w.bytes().data(), w.size())));
+
+  const std::vector<uint8_t> blob = w.Take();
+  const std::vector<PageId> ids = pager_->WriteBlob(blob);
+  for (size_t i = 1; i < ids.size(); ++i) {
+    BREP_CHECK(ids[i] == ids[i - 1] + 1);  // WriteBlob allocates a run
+  }
+  CatalogRef ref;
+  ref.first_page = ids.front();
+  ref.num_pages = static_cast<uint32_t>(ids.size());
+  ref.num_bytes = blob.size();
+  pager_->CommitCatalog(ref);
+}
+
+std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
+                                                 std::string* error) {
+  BREP_CHECK(pager != nullptr);
+  auto fail = [error](const std::string& msg) -> std::unique_ptr<BrePartition> {
+    if (error != nullptr) *error = msg;
+    return nullptr;
+  };
+
+  const CatalogRef& ref = pager->catalog();
+  if (!ref.valid() || ref.num_pages == 0) {
+    return fail("no committed index catalog (was BrePartition::Save called?)");
+  }
+  if (static_cast<uint64_t>(ref.first_page) + ref.num_pages >
+          pager->num_pages() ||
+      ref.num_bytes > static_cast<uint64_t>(ref.num_pages) *
+                          pager->page_size() ||
+      ref.num_bytes < sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return fail("index catalog reference out of range (corrupted file)");
+  }
+
+  std::vector<PageId> ids(ref.num_pages);
+  std::iota(ids.begin(), ids.end(), ref.first_page);
+  const std::vector<uint8_t> blob = pager->ReadBlob(ids, ref.num_bytes);
+
+  const size_t body_size = blob.size() - sizeof(uint64_t);
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, blob.data() + body_size, sizeof(uint64_t));
+  if (stored_sum !=
+      Fnv1a64(std::span<const uint8_t>(blob.data(), body_size))) {
+    return fail("index catalog checksum mismatch (corrupted file)");
+  }
+
+  ByteReader r(std::span<const uint8_t>(blob.data(), body_size));
+  if (r.Value<uint64_t>() != kCatalogMagic) {
+    return fail("bad index catalog magic (corrupted file)");
+  }
+  const uint32_t version = r.Value<uint32_t>();
+  if (version != kCatalogVersion) {
+    return fail("unsupported index catalog version " +
+                std::to_string(version));
+  }
+
+  const std::string generator_name = r.Str();
+  const double lp_p = r.Value<double>();
+  const uint64_t dim = r.Value<uint64_t>();
+  // Bound dim before any dim-derived allocation below: the point store
+  // packs at least one point per page, so a valid catalog always satisfies
+  // this -- and it caps num_parts (<= dim), keeping a checksum-colliding
+  // catalog from forcing a huge vector allocation (std::bad_alloc would
+  // escape the clean-error contract).
+  if (!r.ok() || dim == 0 || dim > pager->page_size() / sizeof(double)) {
+    return fail("malformed index catalog (dimensionality)");
+  }
+  const std::vector<double> weights = r.Vec<double>();
+
+  CostModelFit fit;
+  fit.A = r.Value<double>();
+  fit.alpha = r.Value<double>();
+  fit.beta = r.Value<double>();
+  fit.fit_samples = r.Value<uint64_t>();
+
+  const uint64_t num_parts = r.Value<uint64_t>();
+  // Each partition costs at least its 8-byte length prefix, so bounding
+  // num_parts by the bytes actually present keeps a tiny crafted catalog
+  // from forcing a huge vector allocation before any partition is read.
+  if (!r.ok() || num_parts == 0 || num_parts > dim ||
+      num_parts > r.remaining() / sizeof(uint64_t)) {
+    return fail("malformed index catalog (partitioning)");
+  }
+  Partitioning partitions(num_parts);
+  for (auto& cols : partitions) {
+    const std::vector<uint64_t> c = r.Vec<uint64_t>();
+    cols.assign(c.begin(), c.end());
+  }
+
+  const FilterMode filter_mode =
+      r.Value<uint8_t>() == 0 ? FilterMode::kExactRange : FilterMode::kCluster;
+  const uint64_t pool_pages = r.Value<uint64_t>();
+
+  const uint64_t n = r.Value<uint64_t>();
+  const uint64_t m = r.Value<uint64_t>();
+  std::vector<PointTuple> tuples = r.Vec<PointTuple>();
+
+  PointStoreLayout store_layout;
+  store_layout.dim = r.Value<uint64_t>();
+  store_layout.data_pages = r.Vec<PageId>();
+  store_layout.order = r.Vec<uint32_t>();
+
+  const uint64_t num_trees = r.Value<uint64_t>();
+  if (!r.ok() || num_trees != num_parts) {
+    return fail("malformed index catalog (tree count)");
+  }
+  std::vector<DiskBBTreeLayout> tree_layouts(num_trees);
+  for (auto& t : tree_layouts) {
+    t.pages = r.Vec<PageId>();
+    t.blob_size = r.Value<uint64_t>();
+    t.num_nodes = r.Value<uint64_t>();
+    t.root_offset = r.Value<uint64_t>();
+    t.bound_iters = r.Value<int32_t>();
+  }
+
+  if (!r.ok() || r.remaining() != 0) {
+    return fail("malformed index catalog (truncated or trailing bytes)");
+  }
+  if (m != num_parts || tuples.size() != n * m || n == 0 ||
+      store_layout.order.size() != n || store_layout.dim != dim ||
+      !IsValidPartitioning(partitions, dim) || pool_pages == 0) {
+    return fail("inconsistent index catalog (corrupted file)");
+  }
+
+  // Deep-validate the page placements before handing them to the attach
+  // constructors, whose BREP_CHECKs abort: FNV-1a is not cryptographic, so
+  // file input must never be able to reach an abort path.
+  // dim was bounded to (0, page_size/8] at decode time, so at least one
+  // point fits per page.
+  const size_t per_page = PointStore::PointsPerPage(pager->page_size(), dim);
+  if (store_layout.data_pages.size() != (n + per_page - 1) / per_page) {
+    return fail("inconsistent point-store pages in catalog (corrupted file)");
+  }
+  for (PageId id : store_layout.data_pages) {
+    if (id >= pager->num_pages()) {
+      return fail("point-store page out of range in catalog (corrupted file)");
+    }
+  }
+  std::vector<bool> seen(n, false);
+  for (uint32_t id : store_layout.order) {
+    if (id >= n || seen[id]) {
+      return fail("point layout is not a permutation (corrupted file)");
+    }
+    seen[id] = true;
+  }
+  for (size_t ti = 0; ti < tree_layouts.size(); ++ti) {
+    const DiskBBTreeLayout& t = tree_layouts[ti];
+    // The root's fixed-size header must fit inside the blob, or the first
+    // query would hit the read path's corruption abort instead of this
+    // clean error.
+    const uint64_t root_header_bytes =
+        1 + 4 + 3 * sizeof(double) + partitions[ti].size() * sizeof(double);
+    if (t.pages.empty() || t.num_nodes == 0 || t.bound_iters <= 0 ||
+        t.blob_size > t.pages.size() * pager->page_size() ||
+        root_header_bytes > t.blob_size ||
+        t.root_offset > t.blob_size - root_header_bytes) {
+      return fail("inconsistent tree layout in catalog (corrupted file)");
+    }
+    for (PageId id : t.pages) {
+      if (id >= pager->num_pages()) {
+        return fail("tree page out of range in catalog (corrupted file)");
+      }
+    }
+  }
+
+  std::shared_ptr<const ScalarGenerator> generator;
+  if (lp_p != 0.0) {
+    // Exact binary p, not the six-decimal rendering in the name.
+    if (!(lp_p > 1.0)) return fail("invalid lp parameter in catalog");
+    generator = std::make_shared<LpNormGenerator>(lp_p);
+  } else {
+    generator = TryMakeGenerator(generator_name);
+  }
+  if (generator == nullptr) {
+    return fail("unknown divergence generator in catalog: " + generator_name);
+  }
+  if (!weights.empty() && weights.size() != dim) {
+    return fail("inconsistent divergence weights in catalog");
+  }
+  for (double w : weights) {
+    // BregmanDivergence aborts on non-positive weights; corrupted file
+    // input must be rejected here instead.
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      return fail("invalid divergence weight in catalog (corrupted file)");
+    }
+  }
+  BregmanDivergence div =
+      weights.empty() ? BregmanDivergence(std::move(generator), dim)
+                      : BregmanDivergence(std::move(generator), weights);
+
+  // Re-attach: every member below comes straight from the catalog; none of
+  // the construction stages (FitCostModel / PCCP / transform / forest
+  // build) runs on this path.
+  std::unique_ptr<BrePartition> index(new BrePartition(std::move(div)));
+  index->pager_ = pager;
+  index->fit_ = fit;
+  index->partitions_ = std::move(partitions);
+  index->config_.num_partitions = index->partitions_.size();
+  index->config_.forest.filter_mode = filter_mode;
+  index->config_.forest.pool_pages = pool_pages;
+  index->sub_divs_.reserve(index->partitions_.size());
+  for (const auto& cols : index->partitions_) {
+    index->sub_divs_.push_back(index->div_.Restrict(cols));
+  }
+  index->transformed_ = TransformedDataset(n, m, std::move(tuples));
+  index->forest_ = std::make_unique<BBForest>(
+      pager, index->div_, index->partitions_, filter_mode, pool_pages,
+      store_layout, tree_layouts);
+  return index;
 }
 
 std::vector<std::vector<double>> BrePartition::GatherQuery(
@@ -110,7 +405,7 @@ std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
                                               size_t k,
                                               QueryStats* stats) const {
   BREP_CHECK(y.size() == div_.dim());
-  BREP_CHECK(k >= 1 && k <= data_->rows());
+  BREP_CHECK(k >= 1 && k <= num_points());
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bbtree/bbforest.h"
@@ -45,6 +46,32 @@ class BrePartition {
   BrePartition(const BrePartition&) = delete;
   BrePartition& operator=(const BrePartition&) = delete;
 
+  /// Persist the index superstructure -- partitioning, divergence spec,
+  /// cost-model fit, transformed tuples, point-store placement, per-tree
+  /// page lists -- into catalog pages on the pager and commit it. On a
+  /// FilePager this is the durability point: a later process can Open()
+  /// the file and serve immediately; on a MemPager it enables a
+  /// same-process Open() (used by tests).
+  ///
+  /// Save appends a fresh catalog run and repoints the superblock at it;
+  /// a previous run is not reclaimed. The intended life cycle is
+  /// build-once / save-once / serve-many -- call it once per build, not as
+  /// a periodic checkpoint.
+  void Save() const;
+
+  /// Re-attach to an index previously Save()d on `pager` with ZERO rebuild
+  /// work: no cost-model fit, no PCCP, no point transform, no forest
+  /// construction or serialization -- only the catalog pages are read.
+  /// Returns nullptr and sets `*error` if the pager has no committed
+  /// catalog or the catalog fails validation (corruption).
+  ///
+  /// The reopened index has no raw data matrix attached (has_data() is
+  /// false): exact kNN/range serving works entirely from the point store.
+  /// Only the approximate extension, which samples raw rows, requires an
+  /// index constructed from data.
+  static std::unique_ptr<BrePartition> Open(Pager* pager,
+                                            std::string* error = nullptr);
+
   /// Exact kNN of `y` (minimizing D(x, y)).
   std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
                                   QueryStats* stats = nullptr) const;
@@ -54,7 +81,11 @@ class BrePartition {
   const CostModelFit& cost_model() const { return fit_; }
   const BBForest& forest() const { return *forest_; }
   const BregmanDivergence& divergence() const { return div_; }
-  const Matrix& data() const { return *data_; }
+  /// Number of indexed points (available with or without a data matrix).
+  size_t num_points() const { return transformed_.num_points(); }
+  /// Whether the raw data matrix is attached (false after Open()).
+  bool has_data() const { return data_ != nullptr; }
+  const Matrix& data() const;
   const TransformedDataset& transformed() const { return transformed_; }
   Pager* pager() const { return pager_; }
 
@@ -75,8 +106,11 @@ class BrePartition {
       std::span<const double> radii, size_t k, QueryStats* stats) const;
 
  private:
-  Pager* pager_;
-  const Matrix* data_;
+  /// Open() path: remaining members are filled from the decoded catalog.
+  explicit BrePartition(BregmanDivergence div) : div_(std::move(div)) {}
+
+  Pager* pager_ = nullptr;
+  const Matrix* data_ = nullptr;
   BregmanDivergence div_;
   BrePartitionConfig config_;
   CostModelFit fit_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/build_counters.h"
 #include "common/check.h"
 #include "core/bound.h"
 #include "core/partition.h"
@@ -42,6 +43,8 @@ CostModelFit FitCostModel(const Matrix& data, const BregmanDivergence& div,
                           size_t eval_limit) {
   BREP_CHECK(!data.empty());
   BREP_CHECK(m1 >= 1 && m2 > m1);
+  internal::GetBuildCounters().fit_cost_model.fetch_add(
+      1, std::memory_order_relaxed);
   const size_t d = data.cols();
   const size_t n = data.rows();
   m2 = std::min(m2, d);
@@ -58,7 +61,14 @@ CostModelFit FitCostModel(const Matrix& data, const BregmanDivergence& div,
 
   for (size_t s = 0; s < num_samples; ++s) {
     const size_t x_id = static_cast<size_t>(rng.NextBelow(n));
-    const size_t y_id = static_cast<size_t>(rng.NextBelow(n));
+    // A self-pair (x == y) has zero divergence but a positive upper bound,
+    // which would pollute the fit with a near-degenerate sample; resample
+    // the pseudo-query until it is a distinct row (deterministic under the
+    // seed; impossible when n == 1, where the degenerate fallback applies).
+    size_t y_id = static_cast<size_t>(rng.NextBelow(n));
+    while (n > 1 && y_id == x_id) {
+      y_id = static_cast<size_t>(rng.NextBelow(n));
+    }
     const double ub1 = TotalBoundAt(data, div, x_id, y_id, m1);
     const double ub2 = TotalBoundAt(data, div, x_id, y_id, m2);
     if (!(ub1 > 0.0) || !(ub2 > 0.0) || ub2 >= ub1) continue;

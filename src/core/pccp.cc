@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/build_counters.h"
 #include "common/check.h"
 #include "common/math_utils.h"
 
@@ -126,6 +127,7 @@ Partitioning PccpPartitionFromCorrelation(const Matrix& abs_corr,
 
 Partitioning PccpPartition(const Matrix& data, size_t num_partitions,
                            Rng& rng, size_t sample_limit) {
+  internal::GetBuildCounters().pccp.fetch_add(1, std::memory_order_relaxed);
   const Matrix corr = AbsCorrelationMatrix(data, sample_limit, rng);
   return PccpPartitionFromCorrelation(corr, num_partitions, rng);
 }

@@ -7,7 +7,8 @@
 
 namespace brep {
 
-std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name) {
+std::shared_ptr<const ScalarGenerator> TryMakeGenerator(
+    const std::string& name) {
   if (name == "squared_l2" || name == "sq_l2" || name == "euclidean") {
     return std::make_shared<SquaredL2Generator>();
   }
@@ -22,10 +23,25 @@ std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name) {
   }
   if (name.rfind("lp:", 0) == 0) {
     const double p = std::strtod(name.c_str() + 3, nullptr);
-    return std::make_shared<LpNormGenerator>(p);
+    return p > 1.0 ? std::make_shared<LpNormGenerator>(p) : nullptr;
   }
-  BREP_CHECK_MSG(false, ("unknown generator: " + name).c_str());
+  // LpNormGenerator::Name() form, so persisted specs round-trip.
+  if (name.rfind("lp_norm(p=", 0) == 0 && name.back() == ')') {
+    const double p = std::strtod(name.c_str() + 10, nullptr);
+    return p > 1.0 ? std::make_shared<LpNormGenerator>(p) : nullptr;
+  }
   return nullptr;
+}
+
+std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name) {
+  auto gen = TryMakeGenerator(name);
+  if (gen == nullptr && (name.rfind("lp:", 0) == 0 ||
+                         name.rfind("lp_norm(p=", 0) == 0)) {
+    // The family exists; the parameter is what's wrong.
+    BREP_CHECK_MSG(false, "lp generator requires p > 1 (strict convexity)");
+  }
+  BREP_CHECK_MSG(gen != nullptr, ("unknown generator: " + name).c_str());
+  return gen;
 }
 
 BregmanDivergence MakeDivergence(const std::string& name, size_t dim) {

@@ -12,8 +12,16 @@ namespace brep {
 /// Create a scalar generator by stable name. Accepted names:
 /// "squared_l2" (alias "sq_l2", "euclidean"), "itakura_saito" (alias "isd"),
 /// "exponential" (alias "ed"), "kl" (alias "generalized_i"), and
-/// "lp:<p>" e.g. "lp:3". Aborts on unknown names (configuration error).
+/// "lp:<p>" e.g. "lp:3". Every ScalarGenerator::Name() output is also
+/// accepted (e.g. "lp_norm(p=3.000000)"), so a persisted divergence spec
+/// round-trips through the factory. Aborts on unknown names (configuration
+/// error).
 std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name);
+
+/// Like MakeGenerator but returns nullptr on an unknown name -- the
+/// persistence open path uses this to reject a corrupted catalog cleanly.
+std::shared_ptr<const ScalarGenerator> TryMakeGenerator(
+    const std::string& name);
 
 /// Convenience: an unweighted divergence of the named family over `dim`
 /// dimensions.

@@ -163,7 +163,7 @@ std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
                                              size_t k,
                                              QueryStats* stats) const {
   BREP_CHECK(y.size() == index_->divergence().dim());
-  BREP_CHECK(k >= 1 && k <= index_->data().rows());
+  BREP_CHECK(k >= 1 && k <= index_->num_points());
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};
@@ -198,7 +198,7 @@ std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
 std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
     const Matrix& queries, size_t k, EngineStats* stats) const {
   BREP_CHECK(queries.cols() == index_->divergence().dim());
-  BREP_CHECK(k >= 1 && k <= index_->data().rows());
+  BREP_CHECK(k >= 1 && k <= index_->num_points());
   const size_t n = queries.rows();
   std::vector<std::vector<Neighbor>> results(n);
 

@@ -1,0 +1,285 @@
+#include "storage/file_pager.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "storage/serial.h"
+
+namespace brep {
+namespace {
+
+// "BREPIDX1" as a little-endian u64.
+constexpr uint64_t kMagic = 0x3158444950455242ull;
+constexpr size_t kSuperblockBytes = 4096;
+// Sanity ceiling on the superblock's page size (Table 4 uses 32-128 KB; 1
+// GB is far beyond any sane configuration). FNV-1a is not cryptographic, so
+// Open must stay within the documented clean-error contract even for a
+// checksum-colliding superblock: an absurd page size would otherwise
+// overflow the size arithmetic or bad_alloc in the constructor.
+constexpr uint64_t kMaxPageSize = uint64_t{1} << 30;
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+bool PreadAll(int fd, uint8_t* out, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, out + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not failed
+    if (n <= 0) return false;  // 0 = truncated file, <0 = I/O error (errno)
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PwriteAll(int fd, const uint8_t* src, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, src + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FilePager::FilePager(std::string path, int fd, size_t page_size_bytes,
+                     bool writable)
+    : Pager(page_size_bytes),
+      path_(std::move(path)),
+      fd_(fd),
+      writable_(writable),
+      scratch_(page_size_bytes, 0) {}
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) {
+    // Persist un-synced state on clean close; pure readers leave the file
+    // untouched (a reader killed mid-write must not be able to tear the
+    // superblock of an index it only served).
+    if (writable_ && dirty_) {
+      if (grown_pages_ > num_pages()) {
+        // Trim geometric-growth slack so the file ends exactly at the last
+        // page (Open validates size against the superblock's page count).
+        ::ftruncate(fd_, static_cast<off_t>(kSuperblockBytes +
+                                            num_pages() * page_size()));
+      }
+      WriteSuperblock();
+    }
+    ::close(fd_);
+  }
+}
+
+uint64_t FilePager::PageOffset(PageId id) const {
+  return kSuperblockBytes + static_cast<uint64_t>(id) * page_size();
+}
+
+bool FilePager::WriteSuperblock() {
+  ByteWriter w;
+  w.Value<uint64_t>(kMagic);
+  w.Value<uint32_t>(kFormatVersion);
+  w.Value<uint64_t>(page_size());
+  w.Value<uint64_t>(num_pages());
+  w.Value<uint32_t>(catalog().first_page);
+  w.Value<uint32_t>(catalog().num_pages);
+  w.Value<uint64_t>(catalog().num_bytes);
+  w.Value<uint64_t>(Fnv1a64(w.bytes()));
+  std::vector<uint8_t> block = w.Take();
+  BREP_CHECK(block.size() <= kSuperblockBytes);
+  block.resize(kSuperblockBytes, 0);
+  return PwriteAll(fd_, block.data(), block.size(), 0);
+}
+
+std::unique_ptr<FilePager> FilePager::Create(const std::string& path,
+                                             size_t page_size_bytes,
+                                             std::string* error) {
+  if (page_size_bytes < 64 || page_size_bytes > kMaxPageSize) {
+    SetError(error, "page size must be between 64 bytes and 1 GB");
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, Errno("cannot create " + path));
+    return nullptr;
+  }
+  std::unique_ptr<FilePager> pager(
+      new FilePager(path, fd, page_size_bytes, /*writable=*/true));
+  if (!pager->WriteSuperblock()) {
+    SetError(error, Errno("cannot write superblock of " + path));
+    pager.reset();           // close before unlink
+    ::unlink(path.c_str());  // no stub left to misdiagnose as corruption
+    return nullptr;
+  }
+  return pager;
+}
+
+std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
+                                           std::string* error) {
+  bool writable = true;
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0 && (errno == EACCES || errno == EROFS)) {
+    writable = false;
+    fd = ::open(path.c_str(), O_RDONLY);
+  }
+  if (fd < 0) {
+    SetError(error, Errno("cannot open " + path));
+    return nullptr;
+  }
+  std::vector<uint8_t> block(kSuperblockBytes);
+  errno = 0;
+  if (!PreadAll(fd, block.data(), block.size(), 0)) {
+    // Distinguish a short file from a real read error so an operator never
+    // deletes a healthy index over a transient EIO.
+    const std::string msg =
+        errno != 0 ? Errno("cannot read superblock of " + path)
+                   : path + ": truncated index file (superblock incomplete)";
+    ::close(fd);
+    SetError(error, msg);
+    return nullptr;
+  }
+
+  ByteReader r(block);
+  const uint64_t magic = r.Value<uint64_t>();
+  const uint32_t version = r.Value<uint32_t>();
+  const uint64_t page_size = r.Value<uint64_t>();
+  const uint64_t num_pages = r.Value<uint64_t>();
+  CatalogRef catalog;
+  catalog.first_page = r.Value<uint32_t>();
+  catalog.num_pages = r.Value<uint32_t>();
+  catalog.num_bytes = r.Value<uint64_t>();
+  const size_t checked_bytes = kSuperblockBytes - r.remaining();
+  const uint64_t stored_sum = r.Value<uint64_t>();
+
+  if (magic != kMagic) {
+    ::close(fd);
+    SetError(error, path + ": not a BrePartition index file (bad magic)");
+    return nullptr;
+  }
+  if (version != kFormatVersion) {
+    ::close(fd);
+    SetError(error, path + ": unsupported index format version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kFormatVersion) + ")");
+    return nullptr;
+  }
+  const uint64_t computed_sum =
+      Fnv1a64(std::span<const uint8_t>(block.data(), checked_bytes));
+  if (stored_sum != computed_sum) {
+    ::close(fd);
+    SetError(error, path + ": superblock checksum mismatch (corrupted file)");
+    return nullptr;
+  }
+  if (page_size < 64 || page_size > kMaxPageSize) {
+    ::close(fd);
+    SetError(error, path + ": invalid page size in superblock");
+    return nullptr;
+  }
+  // Page ids are 32-bit, and a page count beyond that range could only
+  // come from corruption (a sparse file satisfies the size check below
+  // cheaply, so the count must be bounded on its own).
+  if (num_pages >= kInvalidPageId ||
+      num_pages > (UINT64_MAX - kSuperblockBytes) / page_size) {
+    ::close(fd);
+    SetError(error, path + ": invalid page count in superblock");
+    return nullptr;
+  }
+  struct stat sb{};
+  if (::fstat(fd, &sb) != 0) {
+    const std::string msg = Errno("fstat failed on " + path);  // before close
+    ::close(fd);
+    SetError(error, msg);
+    return nullptr;
+  }
+  const uint64_t need = kSuperblockBytes + num_pages * page_size;
+  if (static_cast<uint64_t>(sb.st_size) < need) {
+    ::close(fd);
+    SetError(error, path + ": truncated index file (" +
+                        std::to_string(sb.st_size) + " bytes, superblock " +
+                        "promises " + std::to_string(need) + ")");
+    return nullptr;
+  }
+
+  std::unique_ptr<FilePager> pager(
+      new FilePager(path, fd, page_size, writable));
+  pager->set_num_pages(num_pages);
+  pager->grown_pages_ = num_pages;
+  if (catalog.num_pages > 0) pager->set_catalog(catalog);
+  return pager;
+}
+
+void FilePager::CommitCatalog(const CatalogRef& ref) {
+  Pager::CommitCatalog(ref);
+  Sync();
+}
+
+void FilePager::Sync() {
+  if (grown_pages_ > num_pages()) {
+    // Trim geometric-growth slack: the synced file ends exactly at its
+    // last page (a later Allocate simply grows again).
+    BREP_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(
+                                        kSuperblockBytes +
+                                        num_pages() * page_size())) == 0,
+                   "ftruncate failed");
+    grown_pages_ = num_pages();
+  }
+  // Barrier: page data must be durable before the superblock repoints to
+  // it, otherwise a crash between the two writes could leave a committed
+  // superblock referencing catalog pages that never reached the disk. The
+  // superblock rewrite itself stays within the file's first sector (the
+  // used prefix is ~56 bytes), which sector-atomic media update in one
+  // piece.
+  BREP_CHECK_MSG(::fsync(fd_) == 0, "fsync failed");
+  BREP_CHECK_MSG(WriteSuperblock(), "superblock write failed");
+  BREP_CHECK_MSG(::fsync(fd_) == 0, "fsync failed");
+  dirty_ = false;
+}
+
+void FilePager::DoGrow(size_t new_num_pages) {
+  BREP_CHECK_MSG(writable_, "pager opened read-only");
+  dirty_ = true;
+  if (new_num_pages <= grown_pages_) return;
+  // Grow geometrically so a build issuing one Allocate per page does not
+  // pay one ftruncate syscall per page; the destructor trims the slack.
+  const uint64_t target =
+      std::max<uint64_t>(new_num_pages, std::max<uint64_t>(64, grown_pages_ * 2));
+  const off_t size =
+      static_cast<off_t>(kSuperblockBytes + target * page_size());
+  BREP_CHECK_MSG(::ftruncate(fd_, size) == 0, "ftruncate failed");
+  grown_pages_ = target;
+}
+
+void FilePager::DoWrite(PageId id, std::span<const uint8_t> data) {
+  BREP_CHECK_MSG(writable_, "pager opened read-only");
+  dirty_ = true;
+  if (data.size() == page_size()) {  // full page: no assembly copy needed
+    BREP_CHECK_MSG(PwriteAll(fd_, data.data(), page_size(), PageOffset(id)),
+                   "page write failed");
+    return;
+  }
+  if (!data.empty()) std::memcpy(scratch_.data(), data.data(), data.size());
+  std::memset(scratch_.data() + data.size(), 0, page_size() - data.size());
+  BREP_CHECK_MSG(
+      PwriteAll(fd_, scratch_.data(), page_size(), PageOffset(id)),
+      "page write failed");
+}
+
+void FilePager::DoRead(PageId id, uint8_t* out) const {
+  BREP_CHECK_MSG(PreadAll(fd_, out, page_size(), PageOffset(id)),
+                 "page read failed");
+}
+
+}  // namespace brep

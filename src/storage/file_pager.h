@@ -1,0 +1,85 @@
+#ifndef BREP_STORAGE_FILE_PAGER_H_
+#define BREP_STORAGE_FILE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/pager.h"
+
+namespace brep {
+
+/// The file-backed storage backend: pages live in a real file behind a
+/// fixed-size superblock, so an index built through this pager survives the
+/// process and can be re-served by BrePartition::Open with zero rebuild
+/// work (the build-once / serve-many life cycle of a production engine).
+///
+/// File layout:
+///
+///   [superblock: 4096 bytes]  magic, format version, page size, page
+///                             count, catalog reference, FNV-1a checksum
+///   [page 0][page 1]...       page i at byte 4096 + i * page_size
+///
+/// Reads are positioned (pread) at page-aligned offsets, so any number of
+/// threads may Read() concurrently -- the same contract as MemPager.
+/// Writes and Allocate() remain build-path single-threaded. CommitCatalog
+/// rewrites the superblock and fsyncs, which is the durability point: a
+/// file without a committed superblock update since its last writes simply
+/// reopens with the previously committed state.
+///
+/// Open() validates magic, version, checksum and file size, and reports
+/// corruption as a clean error string instead of crashing.
+class FilePager final : public Pager {
+ public:
+  /// On-disk format version; bumped on any incompatible layout change.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Create (truncating any existing file) a fresh paged file.
+  /// Returns nullptr and sets `*error` on filesystem failure.
+  static std::unique_ptr<FilePager> Create(const std::string& path,
+                                           size_t page_size_bytes,
+                                           std::string* error = nullptr);
+
+  /// Re-attach to an existing paged file, restoring page count and the
+  /// committed catalog. Returns nullptr and sets `*error` if the file is
+  /// missing, truncated, has a foreign magic, an unsupported version, or a
+  /// checksum mismatch. A file that is not writable (immutable artifact,
+  /// read-only mount) opens in read-only mode: serving works, writes
+  /// abort. Pure readers never touch the file -- the superblock is only
+  /// rewritten when pages were allocated/written or a catalog committed.
+  static std::unique_ptr<FilePager> Open(const std::string& path,
+                                         std::string* error = nullptr);
+
+  ~FilePager() override;
+
+  const std::string& path() const { return path_; }
+  bool read_only() const { return !writable_; }
+
+  /// Persist the catalog reference: rewrite the superblock and fsync.
+  void CommitCatalog(const CatalogRef& ref) override;
+
+  /// Rewrite the superblock (page count may have grown) and fsync.
+  void Sync();
+
+ protected:
+  void DoGrow(size_t new_num_pages) override;
+  void DoWrite(PageId id, std::span<const uint8_t> data) override;
+  void DoRead(PageId id, uint8_t* out) const override;
+
+ private:
+  FilePager(std::string path, int fd, size_t page_size_bytes, bool writable);
+
+  bool WriteSuperblock();
+  uint64_t PageOffset(PageId id) const;
+
+  std::string path_;
+  int fd_;
+  bool writable_;
+  bool dirty_ = false;        // un-synced allocations/writes/catalog
+  uint64_t grown_pages_ = 0;  // pages the file has capacity for (>= num_pages)
+  std::vector<uint8_t> scratch_;  // build-path short-write assembly buffer
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_FILE_PAGER_H_

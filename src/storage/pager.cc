@@ -12,24 +12,21 @@ Pager::Pager(size_t page_size_bytes) : page_size_(page_size_bytes) {
 }
 
 PageId Pager::Allocate() {
-  pages_.emplace_back(page_size_, 0);
-  return static_cast<PageId>(pages_.size() - 1);
+  DoGrow(num_pages_ + 1);
+  return static_cast<PageId>(num_pages_++);
 }
 
 void Pager::Write(PageId id, std::span<const uint8_t> data) {
-  BREP_CHECK(id < pages_.size());
+  BREP_CHECK(id < num_pages_);
   BREP_CHECK(data.size() <= page_size_);
-  PageBuffer& page = pages_[id];
-  std::memcpy(page.data(), data.data(), data.size());
-  if (data.size() < page_size_) {
-    std::memset(page.data() + data.size(), 0, page_size_ - data.size());
-  }
+  DoWrite(id, data);
   writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Pager::Read(PageId id, PageBuffer* out) const {
-  BREP_CHECK(id < pages_.size());
-  *out = pages_[id];
+  BREP_CHECK(id < num_pages_);
+  out->resize(page_size_);
+  DoRead(id, out->data());
   reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -61,6 +58,22 @@ std::vector<uint8_t> Pager::ReadBlob(std::span<const PageId> ids,
   }
   BREP_CHECK(bytes.size() == size);
   return bytes;
+}
+
+void MemPager::DoGrow(size_t new_num_pages) {
+  while (pages_.size() < new_num_pages) pages_.emplace_back(page_size(), 0);
+}
+
+void MemPager::DoWrite(PageId id, std::span<const uint8_t> data) {
+  PageBuffer& page = pages_[id];
+  if (!data.empty()) std::memcpy(page.data(), data.data(), data.size());
+  if (data.size() < page_size()) {
+    std::memset(page.data() + data.size(), 0, page_size() - data.size());
+  }
+}
+
+void MemPager::DoRead(PageId id, uint8_t* out) const {
+  std::memcpy(out, pages_[id].data(), page_size());
 }
 
 }  // namespace brep

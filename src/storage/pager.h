@@ -10,12 +10,31 @@
 
 namespace brep {
 
-/// A simulated page-granular disk.
+/// Reference to the index catalog: the run of pages holding the serialized
+/// index superstructure (written by BrePartition::Save, consumed by
+/// BrePartition::Open). Catalog pages are allocated with WriteBlob, so they
+/// are always a contiguous run.
+struct CatalogRef {
+  PageId first_page = kInvalidPageId;
+  uint32_t num_pages = 0;
+  uint64_t num_bytes = 0;
+
+  bool valid() const { return first_page != kInvalidPageId; }
+};
+
+/// A page-granular disk: the storage backend behind every disk-resident
+/// structure (point store, BB-forest nodes, VA-file approximation array,
+/// index catalog).
 ///
-/// All disk-resident structures (point store, BB-forest nodes, VA-file
-/// approximation array) allocate pages here and perform reads/writes through
-/// it, so `stats()` yields exactly the paper's I/O-cost metric. Page size is
-/// configurable per dataset (Table 4 uses 32-128 KB).
+/// All reads/writes are page-counted, so `stats()` yields exactly the
+/// paper's I/O-cost metric regardless of backend. Page size is configurable
+/// per dataset (Table 4 uses 32-128 KB). Two backends exist:
+///
+///  * MemPager  -- pages in a process-local vector (the original simulated
+///    disk; fast, gone at process exit).
+///  * FilePager -- pages in a real file behind a versioned, checksummed
+///    superblock (see storage/file_pager.h); an index built on it can be
+///    reopened by a later process with zero rebuild work.
 ///
 /// Thread-safety: concurrent Read()s are safe (the I/O counters are atomic
 /// and page contents are immutable while queries run); Allocate()/Write()
@@ -25,12 +44,13 @@ namespace brep {
 class Pager {
  public:
   explicit Pager(size_t page_size_bytes);
+  virtual ~Pager() = default;
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
   size_t page_size() const { return page_size_; }
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const { return num_pages_; }
 
   /// Allocate a new zeroed page and return its id.
   PageId Allocate();
@@ -51,6 +71,14 @@ class Pager {
   std::vector<uint8_t> ReadBlob(std::span<const PageId> ids,
                                 size_t size) const;
 
+  /// Durably record `ref` as this disk's index catalog. MemPager keeps it
+  /// in memory (same-process reopen, used by tests); FilePager persists it
+  /// in the superblock and syncs, making the index survive the process.
+  virtual void CommitCatalog(const CatalogRef& ref) { catalog_ = ref; }
+
+  /// The committed catalog, if any (check valid()).
+  const CatalogRef& catalog() const { return catalog_; }
+
   /// Snapshot of the counters (reads may be concurrent with queries).
   IoStats stats() const {
     return IoStats{reads_.load(std::memory_order_relaxed),
@@ -61,11 +89,41 @@ class Pager {
     writes_.store(0, std::memory_order_relaxed);
   }
 
+ protected:
+  /// Backend hooks. `DoWrite` receives at most page_size() bytes and must
+  /// zero-fill the rest of the page; `DoRead` fills exactly page_size()
+  /// bytes; `DoGrow` extends the backing store to `new_num_pages` zeroed
+  /// pages.
+  virtual void DoGrow(size_t new_num_pages) = 0;
+  virtual void DoWrite(PageId id, std::span<const uint8_t> data) = 0;
+  virtual void DoRead(PageId id, uint8_t* out) const = 0;
+
+  /// For backends that restore an existing disk (FilePager::Open).
+  void set_num_pages(size_t n) { num_pages_ = n; }
+  void set_catalog(const CatalogRef& ref) { catalog_ = ref; }
+
  private:
   size_t page_size_;
-  std::vector<PageBuffer> pages_;
+  size_t num_pages_ = 0;
+  CatalogRef catalog_;
   mutable std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+};
+
+/// The in-memory backend: a vector of pages, i.e. the original simulated
+/// disk. Benchmarks use it to measure pure I/O counts without filesystem
+/// noise; tests use it for fast round trips.
+class MemPager final : public Pager {
+ public:
+  explicit MemPager(size_t page_size_bytes) : Pager(page_size_bytes) {}
+
+ protected:
+  void DoGrow(size_t new_num_pages) override;
+  void DoWrite(PageId id, std::span<const uint8_t> data) override;
+  void DoRead(PageId id, uint8_t* out) const override;
+
+ private:
+  std::vector<PageBuffer> pages_;
 };
 
 }  // namespace brep

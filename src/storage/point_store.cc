@@ -15,7 +15,7 @@ PointStore::PointStore(Pager* pager, const Matrix& data,
   const size_t point_bytes = dim_ * sizeof(double);
   BREP_CHECK_MSG(point_bytes <= pager_->page_size(),
                  "page size too small for one point");
-  points_per_page_ = pager_->page_size() / point_bytes;
+  points_per_page_ = PointsPerPage(pager_->page_size(), dim_);
 
   const size_t n = data.rows();
   std::vector<uint32_t> layout;
@@ -55,12 +55,47 @@ PointStore::PointStore(Pager* pager, const Matrix& data,
     }
   }
   flush();
+}
 
-  // PageId -> dense page index for FetchMany.
-  page_index_of_.assign(pager_->num_pages(), UINT32_MAX);
-  for (size_t p = 0; p < data_pages_.size(); ++p) {
-    page_index_of_[data_pages_[p]] = static_cast<uint32_t>(p);
+PointStore::PointStore(Pager* pager, const PointStoreLayout& layout)
+    : pager_(pager), dim_(layout.dim) {
+  BREP_CHECK(pager_ != nullptr);
+  BREP_CHECK(dim_ > 0);
+  const size_t point_bytes = dim_ * sizeof(double);
+  BREP_CHECK_MSG(point_bytes <= pager_->page_size(),
+                 "page size too small for one point");
+  points_per_page_ = PointsPerPage(pager_->page_size(), dim_);
+
+  const size_t n = layout.order.size();
+  BREP_CHECK(n > 0);
+  const size_t pages = (n + points_per_page_ - 1) / points_per_page_;
+  BREP_CHECK_MSG(layout.data_pages.size() == pages,
+                 "point-store layout page count mismatch");
+
+  data_pages_ = layout.data_pages;
+  address_of_.resize(n);
+  page_ids_.resize(pages);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t page = i / points_per_page_;
+    const size_t slot = i % points_per_page_;
+    const uint32_t id = layout.order[i];
+    BREP_CHECK(id < n);
+    const PageId page_id = data_pages_[page];
+    BREP_CHECK(page_id < pager_->num_pages());
+    address_of_[id] = PointAddress{page_id, static_cast<uint16_t>(slot)};
+    page_ids_[page].push_back(id);
   }
+}
+
+PointStoreLayout PointStore::layout() const {
+  PointStoreLayout layout;
+  layout.dim = dim_;
+  layout.data_pages = data_pages_;
+  layout.order.reserve(address_of_.size());
+  for (const auto& ids : page_ids_) {
+    layout.order.insert(layout.order.end(), ids.begin(), ids.end());
+  }
+  return layout;
 }
 
 void PointStore::Fetch(uint32_t id, std::span<double> out) const {

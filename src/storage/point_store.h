@@ -1,6 +1,7 @@
 #ifndef BREP_STORAGE_POINT_STORE_H_
 #define BREP_STORAGE_POINT_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -22,7 +23,17 @@ struct PointAddress {
   }
 };
 
-/// Stores the full-dimensional data points on the simulated disk, packed in a
+/// Serializable description of a point store's on-disk placement: enough to
+/// re-attach to the same pages with zero writes (see the attach constructor).
+struct PointStoreLayout {
+  uint64_t dim = 0;
+  /// Data pages in layout order.
+  std::vector<PageId> data_pages;
+  /// Point ids in slot order (the layout permutation), page after page.
+  std::vector<uint32_t> order;
+};
+
+/// Stores the full-dimensional data points on the disk, packed in a
 /// caller-chosen order.
 ///
 /// The order is the paper's key I/O lever (Section 6): the BB-forest stores
@@ -37,6 +48,22 @@ class PointStore {
   /// `order` must be a permutation of [0, data.rows()); empty means identity.
   PointStore(Pager* pager, const Matrix& data,
              std::span<const uint32_t> order);
+
+  /// Re-attach to pages previously laid out by the writing constructor
+  /// (described by `layout()` of the original store). Performs no pager
+  /// writes: only the in-memory address tables are rebuilt.
+  PointStore(Pager* pager, const PointStoreLayout& layout);
+
+  /// The placement description to persist for a later re-attach.
+  PointStoreLayout layout() const;
+
+  /// Points packed per page for this geometry. Capped at 2^16 (the slot
+  /// field of PointAddress is 16 bits): a 1 GB page with 2-d points would
+  /// otherwise silently wrap slot numbers and address the wrong points.
+  static size_t PointsPerPage(size_t page_size, size_t dim) {
+    return std::min<size_t>(page_size / (dim * sizeof(double)),
+                            size_t{1} << 16);
+  }
 
   size_t dim() const { return dim_; }
   size_t num_points() const { return address_of_.size(); }
@@ -66,7 +93,6 @@ class PointStore {
   std::vector<PointAddress> address_of_;        // by point id
   std::vector<PageId> data_pages_;              // in layout order
   std::vector<std::vector<uint32_t>> page_ids_;  // page index -> ids by slot
-  std::vector<uint32_t> page_index_of_;          // PageId -> index
 };
 
 }  // namespace brep

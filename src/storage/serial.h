@@ -1,0 +1,126 @@
+#ifndef BREP_STORAGE_SERIAL_H_
+#define BREP_STORAGE_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace brep {
+
+/// \file
+/// Byte-level serialization helpers for the on-disk formats (FilePager
+/// superblock, index catalog). Plain little-endian PODs with length-prefixed
+/// strings/vectors; ByteReader never aborts on malformed input -- it sets a
+/// sticky failure flag so callers can reject corrupted files with a clean
+/// error instead of crashing.
+
+/// FNV-1a 64-bit over a byte range; the checksum used by the superblock and
+/// the catalog trailer.
+inline uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  void Raw(const void* src, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(src);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  template <typename T>
+  void Value(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Raw(&v, sizeof(T));
+  }
+
+  void Str(const std::string& s) {
+    Value<uint64_t>(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Value<uint64_t>(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader with sticky failure: any out-of-bounds read flips
+/// ok() to false and yields zero values from then on, so decode loops stay
+/// simple and the caller checks ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  bool Raw(void* dst, size_t len) {
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      std::memset(dst, 0, len);
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  template <typename T>
+  T Value() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    Raw(&v, sizeof(T));
+    return v;
+  }
+
+  std::string Str() {
+    const uint64_t len = Value<uint64_t>();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> Vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t count = Value<uint64_t>();
+    if (!ok_ || count > remaining() / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(count);
+    if (count > 0) Raw(v.data(), count * sizeof(T));
+    return v;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace brep
+
+#endif  // BREP_STORAGE_SERIAL_H_

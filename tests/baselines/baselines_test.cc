@@ -23,7 +23,7 @@ class BaselinesTest : public ::testing::TestWithParam<std::string> {
 };
 
 TEST_P(BaselinesTest, BBTBaselineIsExact) {
-  Pager pager(4096);
+  MemPager pager(4096);
   BBTBaselineConfig config;
   config.tree.max_leaf_size = 16;
   const BBTBaseline bbt(&pager, data_, div_, config);
@@ -41,7 +41,7 @@ TEST_P(BaselinesTest, BBTBaselineIsExact) {
 }
 
 TEST_P(BaselinesTest, VarBaselineReturnsKReasonableResults) {
-  Pager pager(4096);
+  MemPager pager(4096);
   VarBaselineConfig config;
   config.base.tree.max_leaf_size = 16;
   const VarBaseline var(&pager, data_, div_, config);
@@ -98,7 +98,7 @@ TEST(VarBaselineTest, HarderGateDoesLessWork) {
   const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 10);
 
   auto points_evaluated = [&](double min_hits) {
-    Pager pager(4096);
+    MemPager pager(4096);
     VarBaselineConfig config;
     config.min_expected_hits = min_hits;
     const VarBaseline var(&pager, data, div, config);

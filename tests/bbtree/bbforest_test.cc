@@ -41,7 +41,7 @@ class BBForestTest : public ::testing::TestWithParam<std::string> {
 };
 
 TEST_P(BBForestTest, StructureMatchesPartitioning) {
-  Pager pager(4096);
+  MemPager pager(4096);
   const BBForest forest(&pager, data_, div_, parts_, Config());
   ASSERT_EQ(forest.num_partitions(), kM);
   for (size_t m = 0; m < kM; ++m) {
@@ -55,7 +55,7 @@ TEST_P(BBForestTest, CandidateUnionContainsExactKnnUnderTheoremBounds) {
   // End-to-end Theorem 3 check at the forest level: radii taken from the
   // k-th smallest total upper bound must yield a candidate set containing
   // the exact kNN.
-  Pager pager(4096);
+  MemPager pager(4096);
   const BBForest forest(&pager, data_, div_, parts_, Config());
   const LinearScan scan(data_, div_);
   constexpr size_t kK = 10;
@@ -85,7 +85,7 @@ TEST_P(BBForestTest, CandidateUnionContainsExactKnnUnderTheoremBounds) {
 }
 
 TEST_P(BBForestTest, UnionIsSortedAndUnique) {
-  Pager pager(4096);
+  MemPager pager(4096);
   const BBForest forest(&pager, data_, div_, parts_, Config());
   const auto y = queries_.Row(0);
   const auto y_subs = Gather(y);
@@ -117,7 +117,7 @@ TEST(BBForestLayoutTest, PointStoreUsesFirstTreeLeafOrder) {
   const BBTree tree0(sub0, div0, config.tree);
   const auto order = tree0.LeafOrder();
 
-  Pager pager(2048);
+  MemPager pager(2048);
   const BBForest forest(&pager, data, div, parts, config);
   const PointStore& store = forest.point_store();
   // The i-th point in leaf order occupies slot i of the layout.

@@ -37,7 +37,7 @@ class FilterModeTest : public ::testing::Test {
 };
 
 TEST_F(FilterModeTest, BothModesAreExact) {
-  Pager pager_a(4096), pager_b(4096);
+  MemPager pager_a(4096), pager_b(4096);
   const BrePartition exact_mode(&pager_a, data_, div_,
                                 Config(FilterMode::kExactRange));
   const BrePartition cluster_mode(&pager_b, data_, div_,
@@ -57,7 +57,7 @@ TEST_F(FilterModeTest, BothModesAreExact) {
 }
 
 TEST_F(FilterModeTest, ExactRangeProducesNoMoreCandidates) {
-  Pager pager_a(4096), pager_b(4096);
+  MemPager pager_a(4096), pager_b(4096);
   const BrePartition exact_mode(&pager_a, data_, div_,
                                 Config(FilterMode::kExactRange));
   const BrePartition cluster_mode(&pager_b, data_, div_,
@@ -78,7 +78,7 @@ TEST_F(FilterModeTest, DiskExactRangeMatchesInMemoryRangeSearch) {
   // exact range results bit-for-bit.
   const BBTreeConfig tree_config{};
   const BBTree mem_tree(data_, div_, tree_config);
-  Pager pager(4096);
+  MemPager pager(4096);
   const DiskBBTree disk_tree(&pager, mem_tree);
   const LinearScan scan(data_, div_);
   for (size_t q = 0; q < queries_.rows(); ++q) {

@@ -1,0 +1,53 @@
+#include "common/parse.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+TEST(ParsePositiveSizeTest, AcceptsWholeTokenDigits) {
+  size_t v = 0;
+  EXPECT_TRUE(ParsePositiveSize("1", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(ParsePositiveSize("4", &v));
+  EXPECT_EQ(v, 4u);
+  EXPECT_TRUE(ParsePositiveSize("128", &v));
+  EXPECT_EQ(v, 128u);
+  EXPECT_TRUE(ParsePositiveSize("007", &v));  // leading zeros are digits
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ParsePositiveSizeTest, RejectsTrailingJunk) {
+  // The bug this guards: strtol("4x") silently yields 4, so `--threads 4x`
+  // ran with 4 threads instead of erroring.
+  size_t v = 99;
+  EXPECT_FALSE(ParsePositiveSize("4x", &v));
+  EXPECT_FALSE(ParsePositiveSize("4 ", &v));
+  EXPECT_FALSE(ParsePositiveSize("4.5", &v));
+  EXPECT_FALSE(ParsePositiveSize("0x4", &v));
+  EXPECT_EQ(v, 99u);  // out untouched on reject
+}
+
+TEST(ParsePositiveSizeTest, RejectsEmptySignsAndSpaces) {
+  size_t v = 99;
+  EXPECT_FALSE(ParsePositiveSize("", &v));
+  EXPECT_FALSE(ParsePositiveSize(nullptr, &v));
+  EXPECT_FALSE(ParsePositiveSize(" 4", &v));
+  EXPECT_FALSE(ParsePositiveSize("-1", &v));
+  EXPECT_FALSE(ParsePositiveSize("+4", &v));
+  EXPECT_EQ(v, 99u);
+}
+
+TEST(ParsePositiveSizeTest, RejectsZeroAndOverflow) {
+  size_t v = 99;
+  EXPECT_FALSE(ParsePositiveSize("0", &v));
+  EXPECT_FALSE(ParsePositiveSize("00", &v));
+  const std::string huge(40, '9');  // far beyond 2^64
+  EXPECT_FALSE(ParsePositiveSize(huge.c_str(), &v));
+  EXPECT_EQ(v, 99u);
+}
+
+}  // namespace
+}  // namespace brep

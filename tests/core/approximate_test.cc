@@ -19,7 +19,7 @@ class ApproximateTest : public ::testing::Test {
   Matrix data_ = testing::MakeDataFor("squared_l2", 1500, kDim);
   Matrix queries_ = testing::MakeQueriesFor("squared_l2", data_, 20);
   BregmanDivergence div_ = MakeDivergence("squared_l2", kDim);
-  Pager pager_{4096};
+  MemPager pager_{4096};
   BrePartitionConfig config_ = [] {
     BrePartitionConfig c;
     c.num_partitions = 4;

@@ -29,7 +29,7 @@ class BrePartitionExactnessTest
 };
 
 TEST_P(BrePartitionExactnessTest, KnnMatchesLinearScan) {
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 4;
   config.strategy = strategy_;
@@ -86,7 +86,7 @@ class BrePartitionTest : public ::testing::Test {
 };
 
 TEST_F(BrePartitionTest, DerivedMIsUsedWhenUnpinned) {
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;  // num_partitions = 0 -> Theorem 4
   const BrePartition index(&pager, data_, div_, config);
   EXPECT_GE(index.num_partitions(), 1u);
@@ -102,7 +102,7 @@ TEST_F(BrePartitionTest, DerivedMIsUsedWhenUnpinned) {
 }
 
 TEST_F(BrePartitionTest, StatsArePopulated) {
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 3;
   const BrePartition index(&pager, data_, div_, config);
@@ -126,7 +126,7 @@ TEST_F(BrePartitionTest, CandidatesPrunedBelowFullScan) {
   Rng qrng(32);
   const Matrix queries = MakeQueries(qrng, data, 5, 0.1, true);
 
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 4;
   const BrePartition index(&pager, data, div, config);
@@ -138,7 +138,7 @@ TEST_F(BrePartitionTest, CandidatesPrunedBelowFullScan) {
 }
 
 TEST_F(BrePartitionTest, PartitioningIsValidAndSized) {
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 5;
   const BrePartition index(&pager, data_, div_, config);
@@ -150,7 +150,7 @@ TEST_F(BrePartitionTest, WeightedMahalanobisIsExactToo) {
   std::vector<double> weights(kDim);
   for (size_t j = 0; j < kDim; ++j) weights[j] = 0.5 + double(j);
   const BregmanDivergence maha = MakeDiagonalMahalanobis(weights);
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 3;
   const BrePartition index(&pager, data_, maha, config);
@@ -167,7 +167,7 @@ TEST_F(BrePartitionTest, WeightedMahalanobisIsExactToo) {
 
 TEST_F(BrePartitionTest, KEqualsNReturnsEverything) {
   const Matrix small = data_.Truncated(40);
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 2;
   const BrePartition index(&pager, small, div_, config);
@@ -178,7 +178,7 @@ TEST_F(BrePartitionTest, KEqualsNReturnsEverything) {
 TEST(BrePartitionDeathTest, RejectsKLDivergence) {
   const Matrix data = testing::MakeDataFor("kl", 50, 8);
   const BregmanDivergence div = MakeDivergence("kl", 8);
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 2;
   EXPECT_DEATH(BrePartition(&pager, data, div, config), "not cumulative");

@@ -1,5 +1,7 @@
 #include "core/optimal_m.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "divergence/factory.h"
@@ -93,6 +95,51 @@ TEST_F(OptimalMTest, MaxPartitionsClampRespected) {
   const size_t m =
       OptimalNumPartitions(fit, data_.rows(), kDim, 1, /*max_partitions=*/3);
   EXPECT_LE(m, 3u);
+}
+
+TEST_F(OptimalMTest, TwoRowDatasetFitsFinite) {
+  // Regression for the self-pair bug: with n = 2, half the old samples drew
+  // x == y, whose positive upper bound over zero divergence polluted the
+  // fit. Sampling now resamples until the pseudo-query is a distinct row,
+  // so every sample is a genuine pair and the fit stays finite.
+  Matrix two(2, 8);
+  for (size_t j = 0; j < 8; ++j) {
+    two.At(0, j) = 1.0 + 0.1 * static_cast<double>(j);
+    two.At(1, j) = 3.0 - 0.2 * static_cast<double>(j);
+  }
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  Rng rng(8);
+  const CostModelFit fit = FitCostModel(two, div, rng, 30);
+  EXPECT_TRUE(std::isfinite(fit.A));
+  EXPECT_TRUE(std::isfinite(fit.alpha));
+  EXPECT_TRUE(std::isfinite(fit.beta));
+  EXPECT_GT(fit.A, 0.0);
+  EXPECT_GT(fit.alpha, 0.0);
+  EXPECT_LT(fit.alpha, 1.0);
+}
+
+TEST_F(OptimalMTest, SingleRowDatasetTerminates) {
+  // n == 1 cannot avoid the self-pair; the guard must not spin, and the
+  // degenerate fallback applies.
+  Matrix one(1, 8);
+  for (size_t j = 0; j < 8; ++j) one.At(0, j) = 1.5;
+  const BregmanDivergence div = MakeDivergence("squared_l2", 8);
+  Rng rng(9);
+  const CostModelFit fit = FitCostModel(one, div, rng, 10);
+  EXPECT_TRUE(std::isfinite(fit.alpha));
+  EXPECT_GE(OptimalNumPartitions(fit, 1, 8, 1), 1u);
+}
+
+TEST_F(OptimalMTest, SamplesNeverPairARowWithItself) {
+  // Distinct-row resampling must hold on small n where random collisions
+  // are frequent (1-in-3 per draw here): every usable sample still comes
+  // from a distinct (x, y) pair, so alpha stays in (0, 1).
+  const Matrix small = testing::MakeDataFor("squared_l2", 3, kDim);
+  Rng rng(10);
+  const CostModelFit fit = FitCostModel(small, div_, rng, 40);
+  EXPECT_GT(fit.alpha, 0.0);
+  EXPECT_LT(fit.alpha, 1.0);
+  EXPECT_GT(fit.fit_samples, 0u);
 }
 
 TEST_F(OptimalMTest, DeterministicGivenSeed) {

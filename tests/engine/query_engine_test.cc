@@ -39,7 +39,7 @@ class QueryEngineTest : public ::testing::Test {
   Matrix data_;
   Matrix queries_;
   BregmanDivergence div_;
-  Pager pager_;
+  MemPager pager_;
   std::unique_ptr<BrePartition> index_;
 };
 
@@ -163,7 +163,7 @@ TEST(QueryEngineSquaredL2Test, BatchedExactness) {
   const Matrix data = testing::MakeDataFor("squared_l2", 800, kDim);
   const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 8);
   const BregmanDivergence div = MakeDivergence("squared_l2", kDim);
-  Pager pager(4096);
+  MemPager pager(4096);
   BrePartitionConfig config;
   config.num_partitions = 3;
   const BrePartition index(&pager, data, div, config);

@@ -18,7 +18,7 @@ class BufferPoolTest : public ::testing::Test {
     }
     pager_.ResetStats();
   }
-  Pager pager_;
+  MemPager pager_;
 };
 
 TEST_F(BufferPoolTest, MissThenHit) {

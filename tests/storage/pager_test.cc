@@ -10,7 +10,7 @@ namespace brep {
 namespace {
 
 TEST(PagerTest, AllocateGrowsAndZeroFills) {
-  Pager pager(256);
+  MemPager pager(256);
   const PageId a = pager.Allocate();
   const PageId b = pager.Allocate();
   EXPECT_EQ(a, 0u);
@@ -23,7 +23,7 @@ TEST(PagerTest, AllocateGrowsAndZeroFills) {
 }
 
 TEST(PagerTest, WriteReadRoundTrip) {
-  Pager pager(128);
+  MemPager pager(128);
   const PageId id = pager.Allocate();
   std::vector<uint8_t> data(128);
   for (size_t i = 0; i < data.size(); ++i) data[i] = uint8_t(i);
@@ -34,7 +34,7 @@ TEST(PagerTest, WriteReadRoundTrip) {
 }
 
 TEST(PagerTest, ShortWriteZeroFillsRemainder) {
-  Pager pager(128);
+  MemPager pager(128);
   const PageId id = pager.Allocate();
   pager.Write(id, std::vector<uint8_t>(128, 0xFF));
   pager.Write(id, std::vector<uint8_t>{1, 2, 3});
@@ -47,7 +47,7 @@ TEST(PagerTest, ShortWriteZeroFillsRemainder) {
 }
 
 TEST(PagerTest, StatsCountReadsAndWrites) {
-  Pager pager(64);
+  MemPager pager(64);
   const PageId id = pager.Allocate();
   EXPECT_EQ(pager.stats().reads, 0u);
   EXPECT_EQ(pager.stats().writes, 0u);
@@ -62,7 +62,7 @@ TEST(PagerTest, StatsCountReadsAndWrites) {
 }
 
 TEST(PagerTest, IoStatsDelta) {
-  Pager pager(64);
+  MemPager pager(64);
   const PageId id = pager.Allocate();
   PageBuffer buf;
   pager.Read(id, &buf);
@@ -74,7 +74,7 @@ TEST(PagerTest, IoStatsDelta) {
 }
 
 TEST(PagerTest, BlobRoundTripMultiplePages) {
-  Pager pager(100);
+  MemPager pager(100);
   Rng rng(1);
   std::vector<uint8_t> blob(100 * 3 + 37);
   for (auto& b : blob) b = uint8_t(rng.NextU64());
@@ -85,7 +85,7 @@ TEST(PagerTest, BlobRoundTripMultiplePages) {
 }
 
 TEST(PagerTest, BlobExactPageMultiple) {
-  Pager pager(64);
+  MemPager pager(64);
   std::vector<uint8_t> blob(128, 7);
   const auto ids = pager.WriteBlob(blob);
   EXPECT_EQ(ids.size(), 2u);
@@ -93,11 +93,11 @@ TEST(PagerTest, BlobExactPageMultiple) {
 }
 
 TEST(PagerDeathTest, RejectsTinyPageSize) {
-  EXPECT_DEATH(Pager(8), "page_size");
+  EXPECT_DEATH(MemPager(8), "page_size");
 }
 
 TEST(PagerDeathTest, RejectsOutOfRangePage) {
-  Pager pager(64);
+  MemPager pager(64);
   PageBuffer buf;
   EXPECT_DEATH(pager.Read(5, &buf), "id <");
 }

@@ -17,7 +17,7 @@ Matrix TestData(size_t n, size_t d) {
 }
 
 TEST(PointStoreTest, IdentityLayoutFetchesExactRows) {
-  Pager pager(256);  // 256 / (4 * 8) = 8 points per page
+  MemPager pager(256);  // 256 / (4 * 8) = 8 points per page
   const Matrix data = TestData(20, 4);
   const PointStore store(&pager, data, {});
   EXPECT_EQ(store.points_per_page(), 8u);
@@ -31,7 +31,7 @@ TEST(PointStoreTest, IdentityLayoutFetchesExactRows) {
 }
 
 TEST(PointStoreTest, CustomOrderChangesAddressesNotContent) {
-  Pager pager(256);
+  MemPager pager(256);
   const Matrix data = TestData(16, 4);
   std::vector<uint32_t> order(16);
   for (uint32_t i = 0; i < 16; ++i) order[i] = 15 - i;  // reversed
@@ -46,7 +46,7 @@ TEST(PointStoreTest, CustomOrderChangesAddressesNotContent) {
 }
 
 TEST(PointStoreTest, FetchManyVisitsEachIdOnce) {
-  Pager pager(256);
+  MemPager pager(256);
   const Matrix data = TestData(30, 4);
   const PointStore store(&pager, data, {});
   const std::vector<uint32_t> ids{5, 17, 5, 2, 29, 17};
@@ -59,7 +59,7 @@ TEST(PointStoreTest, FetchManyVisitsEachIdOnce) {
 }
 
 TEST(PointStoreTest, FetchManyReadsEachPageOnce) {
-  Pager pager(256);  // 8 points per page
+  MemPager pager(256);  // 8 points per page
   const Matrix data = TestData(64, 4);
   const PointStore store(&pager, data, {});
   pager.ResetStats();
@@ -71,7 +71,7 @@ TEST(PointStoreTest, FetchManyReadsEachPageOnce) {
 }
 
 TEST(PointStoreTest, ClusteredIdsCostFewerPagesThanScattered) {
-  Pager pager(512);  // 16 points per page
+  MemPager pager(512);  // 16 points per page
   const Matrix data = TestData(160, 4);
   const PointStore store(&pager, data, {});
   std::vector<uint32_t> clustered, scattered;
@@ -83,8 +83,16 @@ TEST(PointStoreTest, ClusteredIdsCostFewerPagesThanScattered) {
   EXPECT_EQ(store.CountDistinctPages(scattered), 10u);
 }
 
+TEST(PointStoreTest, PointsPerPageCappedAtSlotWidth) {
+  // PointAddress::slot is 16 bits; a huge page with tiny points must not
+  // wrap slot numbers (which would silently address the wrong point).
+  EXPECT_EQ(PointStore::PointsPerPage(512, 4), 16u);
+  EXPECT_EQ(PointStore::PointsPerPage(2 * 1024 * 1024, 2), size_t{1} << 16);
+  EXPECT_EQ(PointStore::PointsPerPage(uint64_t{1} << 30, 1), size_t{1} << 16);
+}
+
 TEST(PointStoreDeathTest, PageMustHoldOnePoint) {
-  Pager pager(64);  // 8 doubles
+  MemPager pager(64);  // 8 doubles
   const Matrix data = TestData(4, 16);  // 128-byte points
   EXPECT_DEATH(PointStore(&pager, data, {}), "page size too small");
 }

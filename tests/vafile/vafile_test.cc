@@ -25,7 +25,7 @@ class VAFileExactnessTest
 };
 
 TEST_P(VAFileExactnessTest, KnnMatchesLinearScan) {
-  Pager pager(4096);
+  MemPager pager(4096);
   VAFileConfig config;
   config.bits_per_dim = bits_;
   const VAFile vafile(&pager, data_, div_, config);
@@ -59,7 +59,7 @@ TEST(VAFileTest, MoreBitsMeanFewerCandidates) {
   const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 10);
 
   auto mean_candidates = [&](size_t bits) {
-    Pager pager(4096);
+    MemPager pager(4096);
     VAFileConfig config;
     config.bits_per_dim = bits;
     const VAFile vafile(&pager, data, div, config);
@@ -77,7 +77,7 @@ TEST(VAFileTest, MoreBitsMeanFewerCandidates) {
 TEST(VAFileTest, ScanTouchesEveryApproximation) {
   const Matrix data = testing::MakeDataFor("squared_l2", 300, 8);
   const BregmanDivergence div = MakeDivergence("squared_l2", 8);
-  Pager pager(2048);
+  MemPager pager(2048);
   const VAFile vafile(&pager, data, div, VAFileConfig{});
   VAFileStats stats;
   const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 1);
@@ -89,7 +89,7 @@ TEST(VAFileTest, ScanTouchesEveryApproximation) {
 TEST(VAFileTest, QueryChargesVaPagesPlusCandidatePages) {
   const Matrix data = testing::MakeDataFor("squared_l2", 400, 8);
   const BregmanDivergence div = MakeDivergence("squared_l2", 8);
-  Pager pager(2048);
+  MemPager pager(2048);
   const VAFile vafile(&pager, data, div, VAFileConfig{});
   pager.ResetStats();
   const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 1);
@@ -102,7 +102,7 @@ TEST(VAFileTest, QueryChargesVaPagesPlusCandidatePages) {
 TEST(VAFileTest, PackedApproximationSizeIsTight) {
   const Matrix data = testing::MakeDataFor("squared_l2", 100, 10);
   const BregmanDivergence div = MakeDivergence("squared_l2", 10);
-  Pager pager(2048);
+  MemPager pager(2048);
   VAFileConfig config;
   config.bits_per_dim = 6;
   const VAFile vafile(&pager, data, div, config);
