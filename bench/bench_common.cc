@@ -152,6 +152,19 @@ std::vector<std::string> RealWorkloadNames() {
   return {"Audio", "Fonts", "Deep", "Sift"};
 }
 
+Backends MakeBackends(const Workload& w, const std::vector<std::string>& names,
+                      const BackendOptions& options) {
+  Backends out;
+  out.pager = std::make_unique<MemPager>(w.page_size);
+  for (const std::string& name : names) {
+    auto engine =
+        MakeSearchIndex(name, out.pager.get(), w.data, *w.divergence, options);
+    BREP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+    out.engines.emplace_back(name, *std::move(engine));
+  }
+  return out;
+}
+
 namespace {
 void PrintCols(const std::vector<std::string>& cols) {
   for (const auto& c : cols) std::printf("%-14s", c.c_str());

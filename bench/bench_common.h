@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/search_index.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
+#include "storage/pager.h"
 
 namespace brep::bench {
 
@@ -42,6 +45,19 @@ Workload MakeWorkload(const std::string& name, size_t n_override = 0,
 
 /// The four real-dataset stand-ins, in paper order.
 std::vector<std::string> RealWorkloadNames();
+
+/// Comparison backends for one workload, built through the facade registry
+/// over one shared simulated disk (the workload's page size). Exits with
+/// the Status message on construction failure -- a bench has no error
+/// channel, and its configurations are valid by construction.
+struct Backends {
+  std::unique_ptr<Pager> pager;
+  std::vector<std::pair<std::string, std::unique_ptr<SearchIndex>>> engines;
+
+  SearchIndex& at(size_t i) const { return *engines[i].second; }
+};
+Backends MakeBackends(const Workload& w, const std::vector<std::string>& names,
+                      const BackendOptions& options = {});
 
 /// Print a table header / row with aligned columns.
 void PrintHeader(const std::vector<std::string>& cols);

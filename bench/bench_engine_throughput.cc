@@ -1,5 +1,6 @@
-/// Concurrent serving throughput: QPS of the QueryEngine's batched kNN as
-/// the thread count grows, against the single-threaded engine as baseline.
+/// Concurrent serving throughput: QPS of the facade's parallel batched kNN
+/// as the thread count grows, against the single-threaded handle as
+/// baseline.
 ///
 ///   $ ./bench_engine_throughput [--threads N]
 ///
@@ -10,22 +11,18 @@
 /// shrinks the dataset for smoke runs.
 ///
 /// Every thread count's results are checked byte-for-byte against the
-/// sequential engine AND the plain BrePartition::KnnSearch loop, so the
-/// speedup column never trades correctness.
+/// sequential handle AND the plain Index::Knn loop, so the speedup column
+/// never trades correctness.
 
 #include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "api/index.h"
 #include "bench_common.h"
 #include "common/rng.h"
-#include "core/brepartition.h"
-#include "core/optimal_m.h"
 #include "dataset/synthetic.h"
-#include "divergence/factory.h"
-#include "engine/query_engine.h"
-#include "storage/pager.h"
 
 int main(int argc, char** argv) {
   using namespace brep;
@@ -46,37 +43,29 @@ int main(int argc, char** argv) {
   spec.positive_scale = 1.5;
   spec.cluster_std = 0.4;
   const Matrix data = MakeMixture(rng, spec);
-  const BregmanDivergence div = MakeDivergence("itakura_saito", d);
   Rng qrng(102);
   const Matrix queries = MakeQueries(qrng, data, num_queries, 0.1, true);
 
-  MemPager pager(32 * 1024);
-  BrePartitionConfig config;
-  {
-    Rng fit_rng(7);
-    const CostModelFit fit = FitCostModel(data, div, fit_rng, 50, 2,
-                                          std::min<size_t>(8, d));
-    config.num_partitions =
-        std::clamp<size_t>(OptimalNumPartitions(fit, n, d), 4, 64);
-  }
-  std::printf("building BrePartition index: n=%zu d=%zu (ISD) ...\n", n, d);
-  const BrePartition index(&pager, data, div, config);
-  std::printf("built, M=%zu; batch of %zu queries, k=%zu\n\n",
-              index.num_partitions(), num_queries, k);
+  std::printf("building index: n=%zu d=%zu (ISD) ...\n", n, d);
+  // Derived M, clamped away from the degenerate M=1 (see fig11_12).
+  auto index = IndexBuilder("itakura_saito")
+                   .DerivedPartitionBounds(4, 64)
+                   .Build(data);
+  BREP_CHECK_MSG(index.ok(), index.status().ToString().c_str());
+  std::printf("built %s; batch of %zu queries, k=%zu\n\n",
+              index->Describe().c_str(), num_queries, k);
 
-  // Reference results + reference wall time: the sequential engine.
-  QueryEngineOptions seq_options;
-  seq_options.num_threads = 1;
-  const QueryEngine sequential(index, seq_options);
-  EngineStats warm;  // one warm-up pass so node caches reach steady state
-  sequential.KnnSearchBatch(queries, k, &warm);
-  EngineStats seq_stats;
-  const auto reference = sequential.KnnSearchBatch(queries, k, &seq_stats);
+  // Reference results + reference wall time: the sequential handle.
+  auto sequential = index->Parallel(1);
+  BREP_CHECK_MSG(sequential.ok(), sequential.status().ToString().c_str());
+  sequential->KnnBatch(queries, k).value();  // warm node caches
+  SearchIndex::Stats seq_stats;
+  const auto reference = sequential->KnnBatch(queries, k, &seq_stats).value();
 
-  // Sanity: identical to the plain BrePartition query loop.
+  // Sanity: identical to the plain facade query loop.
   bool exact_vs_index = true;
   for (size_t q = 0; q < queries.rows(); ++q) {
-    if (!(reference[q] == index.KnnSearch(queries.Row(q), k))) {
+    if (!(reference[q] == index->Knn(queries.Row(q), k).value())) {
       exact_vs_index = false;
     }
   }
@@ -94,17 +83,16 @@ int main(int argc, char** argv) {
   PrintHeader({"threads", "wall ms", "QPS", "speedup", "io reads",
                "identical"});
   for (const size_t t : thread_counts) {
-    EngineStats stats;
+    SearchIndex::Stats stats;
     std::vector<std::vector<Neighbor>> results;
     if (t == 1) {
       stats = seq_stats;
       results = reference;
     } else {
-      QueryEngineOptions options;
-      options.num_threads = t;
-      const QueryEngine engine(index, options);
-      engine.KnnSearchBatch(queries, k, &stats);  // warm-up
-      results = engine.KnnSearchBatch(queries, k, &stats);
+      auto engine = index->Parallel(t);
+      BREP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+      engine->KnnBatch(queries, k, &stats).value();  // warm-up
+      results = engine->KnnBatch(queries, k, &stats).value();
     }
     const bool identical =
         results == reference &&
@@ -115,7 +103,7 @@ int main(int argc, char** argv) {
                    2),
               FmtU(stats.io_reads), identical ? "yes" : "NO"});
   }
-  std::printf("\nresults vs plain BrePartition::KnnSearch loop: %s\n",
+  std::printf("\nresults vs plain Index::Knn loop: %s\n",
               exact_vs_index ? "identical" : "MISMATCH");
   std::printf("(hardware threads available: %u)\n",
               std::thread::hardware_concurrency());

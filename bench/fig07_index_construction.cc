@@ -3,21 +3,18 @@
 /// Paper shape: VAF builds fastest; BP builds faster than BBT (whose single
 /// full-dimensional clustering degrades with d).
 ///
-/// Extended with the persistence columns: BP is also built on a file-backed
-/// pager, Save()d, and reopened cold with BrePartition::Open. "BPopen" is
-/// the reopen wall-clock and "build/open" the speedup of serving from the
-/// saved file over rebuilding -- the build-once / serve-many payoff.
+/// Extended with the persistence columns: BP is also Save()d to a real file
+/// and reopened cold with Index::Open. "BPsave" includes writing the whole
+/// paged file, "BPopen" is the reopen wall-clock and "build/open" the
+/// speedup of serving from the saved file over rebuilding -- the
+/// build-once / serve-many payoff.
 
 #include <cstdio>
 #include <string>
 
-#include "baselines/bbt_baseline.h"
+#include "api/index.h"
 #include "bench_common.h"
 #include "common/timer.h"
-#include "core/brepartition.h"
-#include "storage/file_pager.h"
-#include "storage/pager.h"
-#include "vafile/vafile.h"
 
 int main() {
   using namespace brep;
@@ -32,61 +29,36 @@ int main() {
     const Workload w = MakeWorkload(name);
 
     Timer t_vaf;
-    {
-      MemPager pager(w.page_size);
-      const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
-    }
+    { const Backends b = MakeBackends(w, {"vafile"}); }
     const double vaf_s = t_vaf.ElapsedSeconds();
 
-    // The VAF/BP/BBT comparison stays on MemPager so all three columns
-    // measure pure construction work (the paper's Fig. 7 shape).
-    Timer t_bp;
-    {
-      MemPager pager(w.page_size);
-      BrePartitionConfig config;  // M derived via Theorem 4
-      const BrePartition bp(&pager, w.data, *w.divergence, config);
-    }
-    const double bp_s = t_bp.ElapsedSeconds();
-
-    // Persistence columns: a separate file-backed build (untimed) feeds the
-    // Save and the cold reopen measurements.
-    const std::string idx_path = "/tmp/brep_fig07_" + name + ".idx";
-    std::string error;
+    IndexOptions options;  // M derived via Theorem 4
+    options.page_size = w.page_size;
+    double bp_s = 0.0;
     double save_s = 0.0;
+    const std::string idx_path = "/tmp/brep_fig07_" + name + ".idx";
     {
-      auto pager = FilePager::Create(idx_path, w.page_size, &error);
-      if (pager == nullptr) {
-        std::fprintf(stderr, "create %s failed: %s\n", idx_path.c_str(),
-                     error.c_str());
-        return 1;
-      }
-      BrePartitionConfig config;
-      const BrePartition bp(pager.get(), w.data, *w.divergence, config);
+      Timer t_bp;
+      auto bp = Index::Build(w.data, *w.divergence, options);
+      BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
+      bp_s = t_bp.ElapsedSeconds();
+
       Timer t_save;
-      bp.Save();
+      const Status saved = bp->Save(idx_path);
+      BREP_CHECK_MSG(saved.ok(), saved.ToString().c_str());
       save_s = t_save.ElapsedSeconds();
     }
 
     Timer t_open;
     {
-      auto pager = FilePager::Open(idx_path, &error);
-      auto reopened =
-          pager != nullptr ? BrePartition::Open(pager.get(), &error) : nullptr;
-      if (reopened == nullptr) {
-        std::fprintf(stderr, "reopen %s failed: %s\n", idx_path.c_str(),
-                     error.c_str());
-        return 1;
-      }
+      auto reopened = Index::Open(idx_path);
+      BREP_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
     }
     const double open_s = t_open.ElapsedSeconds();
     std::remove(idx_path.c_str());
 
     Timer t_bbt;
-    {
-      MemPager pager(w.page_size);
-      const BBTBaseline bbt(&pager, w.data, *w.divergence,
-                            BBTBaselineConfig{});
-    }
+    { const Backends b = MakeBackends(w, {"bbtree"}); }
     const double bbt_s = t_bbt.ElapsedSeconds();
 
     PrintRow({w.name, FmtF(vaf_s, 3), FmtF(bp_s, 3), FmtF(bbt_s, 3),

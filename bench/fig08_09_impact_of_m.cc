@@ -7,11 +7,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/index.h"
 #include "bench_common.h"
 #include "common/rng.h"
-#include "core/brepartition.h"
 #include "core/optimal_m.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -39,13 +38,14 @@ int main() {
     }
     for (size_t m : ms) {
       if (m > w.data.cols()) continue;
-      MemPager pager(w.page_size);
-      BrePartitionConfig config;
-      config.num_partitions = m;
-      const BrePartition bp(&pager, w.data, *w.divergence, config);
+      IndexOptions options;
+      options.config.num_partitions = m;
+      options.page_size = w.page_size;
+      auto bp = Index::Build(w.data, *w.divergence, options);
+      BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
       // Warm the node caches so rows report steady-state I/O.
       for (size_t q = 0; q < w.queries.rows(); ++q) {
-        bp.KnnSearch(w.queries.Row(q), 20);
+        bp->Knn(w.queries.Row(q), 20).value();
       }
 
       std::vector<std::string> row{FmtU(m)};
@@ -57,10 +57,10 @@ int main() {
         double ms_total = 0.0;
         double radius = 0.0;
         for (size_t q = 0; q < w.queries.rows(); ++q) {
-          QueryStats stats;
-          bp.KnnSearch(w.queries.Row(q), k, &stats);
+          SearchIndex::Stats stats;
+          bp->Knn(w.queries.Row(q), k, &stats).value();
           io += stats.io_reads;
-          ms_total += stats.total_ms;
+          ms_total += stats.wall_ms;
           radius += stats.radius_total;
         }
         ios.push_back(double(io) / double(w.queries.rows()));

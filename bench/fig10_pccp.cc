@@ -5,9 +5,8 @@
 
 #include <cstdio>
 
+#include "api/index.h"
 #include "bench_common.h"
-#include "core/brepartition.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -20,29 +19,30 @@ int main() {
   for (const std::string& name : RealWorkloadNames()) {
     const Workload w = MakeWorkload(name);
     double io[3], ms[3];
-    size_t cand_pccp = 0;
+    uint64_t cand_pccp = 0;
     const PartitionStrategy strategies[3] = {
         PartitionStrategy::kEqualContiguous, PartitionStrategy::kRandom,
         PartitionStrategy::kPccp};
     for (int s = 0; s < 3; ++s) {
-      MemPager pager(w.page_size);
-      BrePartitionConfig config;
+      IndexOptions options;
       // Pin M: the strategy comparison needs an actual partitioning (the
       // cost model derives M=1 on some stand-ins, where PCCP is a no-op).
-      config.num_partitions = 8;
-      config.strategy = strategies[s];
-      const BrePartition bp(&pager, w.data, *w.divergence, config);
+      options.config.num_partitions = 8;
+      options.config.strategy = strategies[s];
+      options.page_size = w.page_size;
+      auto bp = Index::Build(w.data, *w.divergence, options);
+      BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
       for (size_t q = 0; q < w.queries.rows(); ++q) {
-        bp.KnnSearch(w.queries.Row(q), kK);  // steady-state caches
+        bp->Knn(w.queries.Row(q), kK).value();  // steady-state caches
       }
       uint64_t io_total = 0;
       double ms_total = 0.0;
-      size_t cand = 0;
+      uint64_t cand = 0;
       for (size_t q = 0; q < w.queries.rows(); ++q) {
-        QueryStats stats;
-        bp.KnnSearch(w.queries.Row(q), kK, &stats);
+        SearchIndex::Stats stats;
+        bp->Knn(w.queries.Row(q), kK, &stats).value();
         io_total += stats.io_reads;
-        ms_total += stats.total_ms;
+        ms_total += stats.wall_ms;
         cand += stats.candidates;
       }
       io[s] = double(io_total) / double(w.queries.rows());

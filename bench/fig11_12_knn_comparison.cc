@@ -1,21 +1,14 @@
 /// Reproduces Figs. 11 and 12: I/O cost (Fig 11) and running time (Fig 12)
 /// of BP vs VAF vs BBT while k varies from 20 to 100, on the four
-/// real-dataset stand-ins. Paper shape: BP lowest on both metrics; BBT
-/// worst in high dimensions.
+/// real-dataset stand-ins, every backend served through the one SearchIndex
+/// interface. Paper shape: BP lowest on both metrics; BBT worst in high
+/// dimensions.
 
 #include <cstdio>
+#include <vector>
 
-#include "baselines/bbt_baseline.h"
-#include <algorithm>
-
+#include "api/index.h"
 #include "bench_common.h"
-#include "common/rng.h"
-#include "core/optimal_m.h"
-#include "common/timer.h"
-#include "core/brepartition.h"
-#include "engine/query_engine.h"
-#include "storage/pager.h"
-#include "vafile/vafile.h"
 
 int main(int argc, char** argv) {
   using namespace brep;
@@ -25,54 +18,34 @@ int main(int argc, char** argv) {
   std::printf("Figs 11-12: kNN comparison (per query: I/O pages, time ms)\n\n");
   for (const std::string& name : RealWorkloadNames()) {
     const Workload w = MakeWorkload(name);
-    MemPager pager(w.page_size);
-    BrePartitionConfig bp_config;
     // Derived M, clamped away from the degenerate single-partition case the
     // cost-model fit can produce on stand-ins whose fitted alpha ~ 1.
-    {
-      Rng rng(7);
-      const CostModelFit fit =
-          FitCostModel(w.data, *w.divergence, rng, 50, 2,
-                       std::min<size_t>(8, w.data.cols()));
-      bp_config.num_partitions = std::clamp<size_t>(
-          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 4, 64);
-    }
-    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
-    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
-    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+    IndexOptions options;
+    options.config.min_partitions = 4;
+    options.page_size = w.page_size;
+    auto bp = Index::Build(w.data, *w.divergence, options);
+    BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
+    const Backends baselines = MakeBackends(w, {"vafile", "bbtree"});
+    const std::vector<std::pair<const char*, const SearchIndex*>> engines = {
+        {"BP", &*bp}, {"VAF", &baselines.at(0)}, {"BBT", &baselines.at(1)}};
 
     // Warm every engine's node caches so rows report steady-state I/O.
-    for (size_t q = 0; q < w.queries.rows(); ++q) {
-      bp.KnnSearch(w.queries.Row(q), 20);
-      vaf.KnnSearch(w.queries.Row(q), 20);
-      bbt.KnnSearch(w.queries.Row(q), 20);
+    for (const auto& [label, engine] : engines) {
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        engine->Knn(w.queries.Row(q), 20).value();
+      }
     }
-    std::printf("%s (n=%zu, d=%zu, M=%zu)\n", w.name.c_str(), w.data.rows(),
-                w.data.cols(), bp.num_partitions());
+    std::printf("%s: %s\n", w.name.c_str(), bp->Describe().c_str());
     PrintHeader({"k", "io BP", "io VAF", "io BBT", "ms BP", "ms VAF",
                  "ms BBT"});
     for (size_t k : {20ul, 40ul, 60ul, 80ul, 100ul}) {
       double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
       for (size_t q = 0; q < w.queries.rows(); ++q) {
-        {
-          QueryStats stats;
-          bp.KnnSearch(w.queries.Row(q), k, &stats);
-          io[0] += double(stats.io_reads);
-          ms[0] += stats.total_ms;
-        }
-        {
-          const IoStats before = pager.stats();
-          Timer t;
-          vaf.KnnSearch(w.queries.Row(q), k);
-          ms[1] += t.ElapsedMillis();
-          io[1] += double((pager.stats() - before).reads);
-        }
-        {
-          const IoStats before = pager.stats();
-          Timer t;
-          bbt.KnnSearch(w.queries.Row(q), k);
-          ms[2] += t.ElapsedMillis();
-          io[2] += double((pager.stats() - before).reads);
+        for (size_t e = 0; e < engines.size(); ++e) {
+          SearchIndex::Stats stats;
+          engines[e].second->Knn(w.queries.Row(q), k, &stats).value();
+          io[e] += double(stats.io_reads);
+          ms[e] += stats.wall_ms;
         }
       }
       const double nq = double(w.queries.rows());
@@ -81,18 +54,17 @@ int main(int argc, char** argv) {
                 FmtF(ms[2] / nq, 2)});
     }
     // Opt-in (--threads N / BREP_THREADS): serve the same queries through
-    // the concurrent engine and report batched-BP throughput next to the
+    // the parallel handle and report batched-BP throughput next to the
     // per-query table above.
     if (engine_threads > 0) {
-      QueryEngineOptions options;
-      options.num_threads = engine_threads;
-      const QueryEngine engine(bp, options);
-      EngineStats stats;
-      engine.KnnSearchBatch(w.queries, 20, &stats);  // warm-up
-      const auto batch = engine.KnnSearchBatch(w.queries, 20, &stats);
+      auto engine = bp->Parallel(engine_threads);
+      BREP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+      SearchIndex::Stats stats;
+      engine->KnnBatch(w.queries, 20, &stats).value();  // warm-up
+      const auto batch = engine->KnnBatch(w.queries, 20, &stats).value();
       bool identical = true;
       for (size_t q = 0; q < w.queries.rows(); ++q) {
-        if (!(batch[q] == bp.KnnSearch(w.queries.Row(q), 20))) {
+        if (!(batch[q] == bp->Knn(w.queries.Row(q), 20).value())) {
           identical = false;
         }
       }

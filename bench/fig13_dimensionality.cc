@@ -4,18 +4,12 @@
 /// 50 on the full-size dataset). Paper shape: BP grows slowest with d; BBT
 /// degrades sharply beyond ~50 dimensions.
 
-#include <cstdio>
-
-#include "baselines/bbt_baseline.h"
 #include <algorithm>
+#include <cstdio>
+#include <vector>
 
+#include "api/index.h"
 #include "bench_common.h"
-#include "common/rng.h"
-#include "core/optimal_m.h"
-#include "common/timer.h"
-#include "core/brepartition.h"
-#include "storage/pager.h"
-#include "vafile/vafile.h"
 
 int main() {
   using namespace brep;
@@ -27,52 +21,36 @@ int main() {
                "ms BBT"});
   for (size_t d : {10ul, 50ul, 100ul, 200ul, 400ul}) {
     const Workload w = MakeWorkload("Fonts", 0, d);
-    MemPager pager(w.page_size);
-    BrePartitionConfig bp_config;
-    // Derived M per dimensionality, clamped to at least 2 (see fig11_12).
-    {
-      Rng rng(7);
-      const CostModelFit fit =
-          FitCostModel(w.data, *w.divergence, rng, 50, 2,
-                       std::min<size_t>(8, w.data.cols()));
-      bp_config.num_partitions = std::clamp<size_t>(
-          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 2,
-          std::max<size_t>(2, d / 2));
-    }
-    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
-    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
-    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+    // Derived M per dimensionality, clamped to at least 2 (see fig11_12)
+    // and to at most d/2 so low dimensionalities keep subspaces of width
+    // >= 2.
+    IndexOptions options;
+    options.config.min_partitions = 2;
+    options.config.max_partitions =
+        std::min<size_t>(64, std::max<size_t>(2, d / 2));
+    options.page_size = w.page_size;
+    auto bp = Index::Build(w.data, *w.divergence, options);
+    BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
+    const Backends baselines = MakeBackends(w, {"vafile", "bbtree"});
+    const std::vector<const SearchIndex*> engines = {
+        &*bp, &baselines.at(0), &baselines.at(1)};
 
-    for (size_t q = 0; q < w.queries.rows(); ++q) {
-      bp.KnnSearch(w.queries.Row(q), kK);  // steady-state caches
-      vaf.KnnSearch(w.queries.Row(q), kK);
-      bbt.KnnSearch(w.queries.Row(q), kK);
+    for (const SearchIndex* engine : engines) {
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        engine->Knn(w.queries.Row(q), kK).value();  // steady-state caches
+      }
     }
     double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
     for (size_t q = 0; q < w.queries.rows(); ++q) {
-      {
-        QueryStats stats;
-        bp.KnnSearch(w.queries.Row(q), kK, &stats);
-        io[0] += double(stats.io_reads);
-        ms[0] += stats.total_ms;
-      }
-      {
-        const IoStats before = pager.stats();
-        Timer t;
-        vaf.KnnSearch(w.queries.Row(q), kK);
-        ms[1] += t.ElapsedMillis();
-        io[1] += double((pager.stats() - before).reads);
-      }
-      {
-        const IoStats before = pager.stats();
-        Timer t;
-        bbt.KnnSearch(w.queries.Row(q), kK);
-        ms[2] += t.ElapsedMillis();
-        io[2] += double((pager.stats() - before).reads);
+      for (size_t e = 0; e < engines.size(); ++e) {
+        SearchIndex::Stats stats;
+        engines[e]->Knn(w.queries.Row(q), kK, &stats).value();
+        io[e] += double(stats.io_reads);
+        ms[e] += stats.wall_ms;
       }
     }
     const double nq = double(w.queries.rows());
-    PrintRow({FmtU(d), FmtU(bp.num_partitions()), FmtF(io[0] / nq, 1),
+    PrintRow({FmtU(d), FmtU(bp->num_partitions()), FmtF(io[0] / nq, 1),
               FmtF(io[1] / nq, 1), FmtF(io[2] / nq, 1), FmtF(ms[0] / nq, 2),
               FmtF(ms[1] / nq, 2), FmtF(ms[2] / nq, 2)});
   }

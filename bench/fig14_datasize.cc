@@ -4,13 +4,10 @@
 /// optimum). Paper shape: all methods roughly linear in n; BP lowest.
 
 #include <cstdio>
+#include <vector>
 
-#include "baselines/bbt_baseline.h"
+#include "api/index.h"
 #include "bench_common.h"
-#include "common/timer.h"
-#include "core/brepartition.h"
-#include "storage/pager.h"
-#include "vafile/vafile.h"
 
 int main() {
   using namespace brep;
@@ -24,43 +21,32 @@ int main() {
                "ms BBT"});
   for (size_t mult : {2ul, 4ul, 6ul, 8ul, 10ul}) {
     const Workload w = MakeWorkload("Sift", base * mult);
-    MemPager pager(w.page_size);
-    BrePartitionConfig bp_config;
-    bp_config.num_partitions = 8;  // fixed across the sweep, as in the paper
-    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
-    const VAFile vaf(&pager, w.data, *w.divergence, VAFileConfig{});
-    const BBTBaseline bbt(&pager, w.data, *w.divergence, BBTBaselineConfig{});
+    IndexOptions options;
+    options.config.num_partitions = 8;  // fixed across the sweep, as in
+                                        // the paper
+    options.page_size = w.page_size;
+    auto bp = Index::Build(w.data, *w.divergence, options);
+    BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
+    const Backends baselines = MakeBackends(w, {"vafile", "bbtree"});
+    const std::vector<const SearchIndex*> engines = {
+        &*bp, &baselines.at(0), &baselines.at(1)};
 
-    for (size_t q = 0; q < w.queries.rows(); ++q) {
-      bp.KnnSearch(w.queries.Row(q), kK);  // steady-state caches
-      vaf.KnnSearch(w.queries.Row(q), kK);
-      bbt.KnnSearch(w.queries.Row(q), kK);
+    for (const SearchIndex* engine : engines) {
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        engine->Knn(w.queries.Row(q), kK).value();  // steady-state caches
+      }
     }
     double io[3] = {0, 0, 0}, ms[3] = {0, 0, 0};
     for (size_t q = 0; q < w.queries.rows(); ++q) {
-      {
-        QueryStats stats;
-        bp.KnnSearch(w.queries.Row(q), kK, &stats);
-        io[0] += double(stats.io_reads);
-        ms[0] += stats.total_ms;
-      }
-      {
-        const IoStats before = pager.stats();
-        Timer t;
-        vaf.KnnSearch(w.queries.Row(q), kK);
-        ms[1] += t.ElapsedMillis();
-        io[1] += double((pager.stats() - before).reads);
-      }
-      {
-        const IoStats before = pager.stats();
-        Timer t;
-        bbt.KnnSearch(w.queries.Row(q), kK);
-        ms[2] += t.ElapsedMillis();
-        io[2] += double((pager.stats() - before).reads);
+      for (size_t e = 0; e < engines.size(); ++e) {
+        SearchIndex::Stats stats;
+        engines[e]->Knn(w.queries.Row(q), kK, &stats).value();
+        io[e] += double(stats.io_reads);
+        ms[e] += stats.wall_ms;
       }
     }
     const double nq = double(w.queries.rows());
-    PrintRow({FmtU(w.data.rows()), FmtU(bp.num_partitions()),
+    PrintRow({FmtU(w.data.rows()), FmtU(bp->num_partitions()),
               FmtF(io[0] / nq, 1), FmtF(io[1] / nq, 1), FmtF(io[2] / nq, 1),
               FmtF(ms[0] / nq, 2), FmtF(ms[1] / nq, 2),
               FmtF(ms[2] / nq, 2)});

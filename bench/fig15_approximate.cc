@@ -2,22 +2,17 @@
 /// approximate solution on the Normal and Uniform synthetic datasets --
 /// overall ratio (Fig 15a), I/O cost (Fig 15b) and running time (Fig 15c)
 /// of exact BP, ABP at p in {0.7, 0.8, 0.9}, and the Var baseline, with k
-/// from 20 to 100. Paper shapes: OR decreases as p increases; ABP costs
-/// less I/O/time than exact BP and beats Var at comparable accuracy.
+/// from 20 to 100, every engine served through the SearchIndex interface.
+/// Paper shapes: OR decreases as p increases; ABP costs less I/O/time than
+/// exact BP and beats Var at comparable accuracy.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "baselines/linear_scan.h"
-#include "baselines/var_baseline.h"
-#include <algorithm>
-
+#include "api/index.h"
 #include "bench_common.h"
-#include "common/rng.h"
-#include "core/optimal_m.h"
-#include "common/timer.h"
 #include "core/approximate.h"
-#include "core/brepartition.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -25,34 +20,33 @@ int main() {
 
   for (const std::string name : {"Normal", "Uniform"}) {
     const Workload w = MakeWorkload(name);
-    MemPager pager(w.page_size);
-    BrePartitionConfig bp_config;
     // Derived M, clamped away from the degenerate M=1 (see fig11_12).
-    {
-      Rng rng(7);
-      const CostModelFit fit =
-          FitCostModel(w.data, *w.divergence, rng, 50, 2,
-                       std::min<size_t>(8, w.data.cols()));
-      bp_config.num_partitions = std::clamp<size_t>(
-          OptimalNumPartitions(fit, w.data.rows(), w.data.cols()), 4, 64);
+    IndexOptions options;
+    options.config.min_partitions = 4;
+    options.page_size = w.page_size;
+    auto bp = Index::Build(w.data, *w.divergence, options);
+    BREP_CHECK_MSG(bp.ok(), bp.status().ToString().c_str());
+
+    // ABP views share the exact index; Var and the ground-truth scan come
+    // from the registry.
+    std::vector<std::unique_ptr<SearchIndex>> abps;
+    for (double p : {0.9, 0.8, 0.7}) {
+      ApproximateConfig config;
+      config.probability = p;
+      auto abp = bp->Approximate(config);
+      BREP_CHECK_MSG(abp.ok(), abp.status().ToString().c_str());
+      abps.push_back(*std::move(abp));
     }
-    const BrePartition bp(&pager, w.data, *w.divergence, bp_config);
-    ApproximateConfig a7, a8, a9;
-    a7.probability = 0.7;
-    a8.probability = 0.8;
-    a9.probability = 0.9;
-    const ApproximateBrePartition abp7(&bp, a7);
-    const ApproximateBrePartition abp8(&bp, a8);
-    const ApproximateBrePartition abp9(&bp, a9);
-    const VarBaseline var(&pager, w.data, *w.divergence, VarBaselineConfig{});
-    const LinearScan truth(w.data, *w.divergence);
+    const Backends baselines = MakeBackends(w, {"var", "scan"});
+    const SearchIndex& truth = baselines.at(1);
+    const std::vector<const SearchIndex*> engines = {
+        &*bp, abps[0].get(), abps[1].get(), abps[2].get(), &baselines.at(0)};
 
     for (size_t q = 0; q < w.queries.rows(); ++q) {
-      bp.KnnSearch(w.queries.Row(q), 20);  // steady-state caches
-      var.KnnSearch(w.queries.Row(q), 20);
+      bp->Knn(w.queries.Row(q), 20).value();  // steady-state caches
+      baselines.at(0).Knn(w.queries.Row(q), 20).value();
     }
-    std::printf("Fig 15 (%s, n=%zu, d=%zu, M=%zu)\n", w.name.c_str(),
-                w.data.rows(), w.data.cols(), bp.num_partitions());
+    std::printf("Fig 15 (%s): %s\n", w.name.c_str(), bp->Describe().c_str());
     PrintHeader({"k", "metric", "BP", "ABP p=.9", "ABP p=.8", "ABP p=.7",
                  "Var"});
     for (size_t k : {20ul, 60ul, 100ul}) {
@@ -62,39 +56,13 @@ int main() {
       double ms[5] = {0, 0, 0, 0, 0};
       for (size_t q = 0; q < w.queries.rows(); ++q) {
         const auto y = w.queries.Row(q);
-        const auto exact = truth.KnnSearch(y, k);
-        auto record = [&](int idx, const std::vector<Neighbor>& res,
-                          double elapsed_ms, uint64_t reads) {
-          or_[idx] += OverallRatio(res, exact);
-          io[idx] += double(reads);
-          ms[idx] += elapsed_ms;
-        };
-        {
-          QueryStats st;
-          const auto res = bp.KnnSearch(y, k, &st);
-          record(0, res, st.total_ms, st.io_reads);
-        }
-        {
-          QueryStats st;
-          const auto res = abp9.KnnSearch(y, k, &st);
-          record(1, res, st.total_ms, st.io_reads);
-        }
-        {
-          QueryStats st;
-          const auto res = abp8.KnnSearch(y, k, &st);
-          record(2, res, st.total_ms, st.io_reads);
-        }
-        {
-          QueryStats st;
-          const auto res = abp7.KnnSearch(y, k, &st);
-          record(3, res, st.total_ms, st.io_reads);
-        }
-        {
-          const IoStats before = pager.stats();
-          Timer t;
-          const auto res = var.KnnSearch(y, k);
-          record(4, res, t.ElapsedMillis(),
-                 (pager.stats() - before).reads);
+        const auto exact = truth.Knn(y, k).value();
+        for (size_t e = 0; e < engines.size(); ++e) {
+          SearchIndex::Stats stats;
+          const auto res = engines[e]->Knn(y, k, &stats).value();
+          or_[e] += OverallRatio(res, exact);
+          io[e] += double(stats.io_reads);
+          ms[e] += stats.wall_ms;
         }
       }
       const double nq = double(w.queries.rows());

@@ -4,7 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "baselines/linear_scan.h"
+#include "api/search_index.h"
 #include "bbtree/bbtree.h"
 #include "bbtree/kmeans.h"
 #include "common/rng.h"
@@ -82,12 +82,12 @@ void BM_LinearScanKnn(benchmark::State& state) {
   const size_t n = 8000, d = 32;
   const Matrix data = Data(n, d);
   const BregmanDivergence div = MakeDivergence("itakura_saito", d);
-  const LinearScan scan(data, div);
+  const auto scan = MakeSearchIndex("scan", nullptr, data, div).value();
   Rng qrng(9);
   const Matrix queries = MakeQueries(qrng, data, 16, 0.1, true);
   size_t q = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scan.KnnSearch(queries.Row(q % 16), 10));
+    benchmark::DoNotOptimize(scan->Knn(queries.Row(q % 16), 10).value());
     ++q;
   }
 }

@@ -1,20 +1,17 @@
-/// Concurrent serving: share one BrePartition index across a thread pool
-/// and answer a batch of kNN queries in parallel with the QueryEngine.
+/// Concurrent serving: build one brep::Index and answer a batch of kNN
+/// queries in parallel through its Parallel() handle.
 ///
 ///   $ ./concurrent_serving
 ///
-/// The engine's results are byte-identical to the sequential
-/// BrePartition::KnnSearch loop for every thread count; this example
-/// verifies that on the fly while reporting batch throughput.
+/// The parallel results are byte-identical to the sequential answers for
+/// every thread count; this example verifies that on the fly while
+/// reporting batch throughput.
 
 #include <cstdio>
 
+#include "api/index.h"
 #include "common/rng.h"
-#include "core/brepartition.h"
 #include "dataset/synthetic.h"
-#include "divergence/factory.h"
-#include "engine/query_engine.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -22,11 +19,15 @@ int main() {
   // 1. Index a positive 64-d dataset under Itakura-Saito, as in quickstart.
   Rng rng(42);
   const Matrix data = MakeFontsLike(rng, 8000, 64);
-  const BregmanDivergence divergence = MakeDivergence("itakura_saito", 64);
-  MemPager pager(32 * 1024);
-  BrePartitionConfig config;
-  config.num_partitions = 8;
-  const BrePartition index(&pager, data, divergence, config);
+  auto built =
+      IndexBuilder("itakura_saito").Partitions(8).PageSize(32 * 1024).Build(
+          data);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Index& index = *built;
 
   // 2. A batch of queries, as a request burst from many users would look.
   Rng query_rng(7);
@@ -34,22 +35,20 @@ int main() {
                                      /*keep_positive=*/true);
 
   // 3. Serve the batch with 1 thread (reference) and with 4.
-  QueryEngineOptions seq_options;
-  seq_options.num_threads = 1;
-  const QueryEngine sequential(index, seq_options);
-  EngineStats seq_stats;
-  const auto expected = sequential.KnnSearchBatch(queries, 10, &seq_stats);
-
-  QueryEngineOptions options;
-  options.num_threads = 4;
-  const QueryEngine engine(index, options);
-  EngineStats stats;
-  const auto results = engine.KnnSearchBatch(queries, 10, &stats);
+  auto sequential = index.Parallel(1);
+  auto parallel = index.Parallel(4);
+  if (!sequential.ok() || !parallel.ok()) {
+    std::fprintf(stderr, "engine setup failed\n");
+    return 1;
+  }
+  SearchIndex::Stats seq_stats, stats;
+  const auto expected = sequential->KnnBatch(queries, 10, &seq_stats).value();
+  const auto results = parallel->KnnBatch(queries, 10, &stats).value();
 
   std::printf("served %llu queries on %zu threads: %.1f QPS "
               "(1 thread: %.1f QPS, speedup %.2fx)\n",
               static_cast<unsigned long long>(stats.queries),
-              engine.num_threads(), stats.Qps(), seq_stats.Qps(),
+              parallel->threads(), stats.Qps(), seq_stats.Qps(),
               stats.wall_ms > 0 ? seq_stats.wall_ms / stats.wall_ms : 0.0);
   std::printf("results identical to the sequential engine: %s\n",
               results == expected ? "yes" : "NO");
@@ -58,12 +57,11 @@ int main() {
               static_cast<unsigned long long>(stats.nodes_visited),
               static_cast<unsigned long long>(stats.io_reads));
 
-  // 4. Single queries can still fan their filter phase out per subspace.
-  QueryStats qstats;
-  const auto one = engine.KnnSearch(queries.Row(0), 10, &qstats);
-  std::printf("single query: %zu results, %.2f ms (filter %.2f ms across "
-              "%zu subspace trees)\n",
-              one.size(), qstats.total_ms, qstats.filter_ms,
-              index.num_partitions());
+  // 4. Single queries fan their filter phase out per subspace tree.
+  SearchIndex::Stats qstats;
+  const auto one = parallel->Knn(queries.Row(0), 10, &qstats).value();
+  std::printf("single query: %zu results, %.2f ms across %zu subspace "
+              "trees\n",
+              one.size(), qstats.wall_ms, index.num_partitions());
   return 0;
 }

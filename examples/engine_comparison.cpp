@@ -1,19 +1,19 @@
-/// Engine comparison on one workload: BrePartition vs VA-file vs disk
-/// BB-tree vs linear scan, all exact, sharing one simulated disk -- a
-/// miniature of the paper's evaluation you can point at your own data
-/// (swap MakeAudioLike for ReadFvecs/ReadCsv).
+/// Engine comparison on one workload: every registered exact backend --
+/// BrePartition vs VA-file vs disk BB-tree vs linear scan -- served through
+/// the one SearchIndex interface on one simulated disk. A miniature of the
+/// paper's evaluation you can point at your own data (swap MakeAudioLike
+/// for ReadFvecs/ReadCsv).
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "baselines/bbt_baseline.h"
-#include "baselines/linear_scan.h"
+#include "api/search_index.h"
 #include "common/rng.h"
-#include "common/timer.h"
-#include "core/brepartition.h"
 #include "dataset/synthetic.h"
 #include "divergence/factory.h"
 #include "storage/pager.h"
-#include "vafile/vafile.h"
 
 int main() {
   using namespace brep;
@@ -28,60 +28,54 @@ int main() {
   Rng qrng(12);
   const Matrix queries = MakeQueries(qrng, data, 10, 0.1);
 
+  // One shared simulated disk; each backend is selected by registry name.
   MemPager pager(32 * 1024);
-  BrePartitionConfig bp_config;
-  bp_config.num_partitions = 8;  // pinned; the fitted M* is degenerate here
-  const BrePartition bp(&pager, data, ed, bp_config);
-  const VAFile vaf(&pager, data, ed, VAFileConfig{});
-  const BBTBaseline bbt(&pager, data, ed, BBTBaselineConfig{});
-  const LinearScan scan(data, ed);
+  BackendOptions options;
+  options.brepartition.num_partitions = 8;  // the fitted M* degenerates here
+  const std::vector<std::string> names = {"brepartition", "vafile", "bbtree",
+                                          "scan"};
+  std::vector<std::unique_ptr<SearchIndex>> engines;
+  for (const std::string& name : names) {
+    auto engine = MakeSearchIndex(name, &pager, data, ed, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "backend %s: %s\n", name.c_str(),
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", (*engine)->Describe().c_str());
+    engines.push_back(*std::move(engine));
+  }
 
-  std::printf("exact %zu-NN over %zu x %zu audio-like frames (ED), M=%zu\n\n",
-              kK, kN, kDim, bp.num_partitions());
-  std::printf("%-12s%-12s%-12s%-10s\n", "engine", "io/query", "ms/query",
+  std::printf("\nexact %zu-NN over %zu x %zu audio-like frames (ED)\n\n", kK,
+              kN, kDim);
+  std::printf("%-14s%-12s%-12s%-10s\n", "backend", "io/query", "ms/query",
               "exact?");
 
-  double io[4] = {0, 0, 0, 0}, ms[4] = {0, 0, 0, 0};
-  bool exact[4] = {true, true, true, true};
+  const SearchIndex& truth_engine = *engines.back();  // "scan"
+  std::vector<double> io(engines.size(), 0.0), ms(engines.size(), 0.0);
+  std::vector<bool> matches(engines.size(), true);
   for (size_t q = 0; q < queries.rows(); ++q) {
     const auto y = queries.Row(q);
-    const auto truth = scan.KnnSearch(y, kK);
-    auto check = [&](int idx, const std::vector<Neighbor>& res) {
-      for (size_t i = 0; i < res.size(); ++i) {
-        if (res[i].id != truth[i].id) exact[idx] = false;
+    const auto truth = truth_engine.Knn(y, kK);
+    for (size_t e = 0; e < engines.size(); ++e) {
+      SearchIndex::Stats stats;
+      const auto res = engines[e]->Knn(y, kK, &stats);
+      if (!res.ok()) {
+        std::fprintf(stderr, "%s: %s\n", names[e].c_str(),
+                     res.status().ToString().c_str());
+        return 1;
       }
-    };
-    {
-      QueryStats st;
-      check(0, bp.KnnSearch(y, kK, &st));
-      io[0] += double(st.io_reads);
-      ms[0] += st.total_ms;
-    }
-    {
-      const IoStats before = pager.stats();
-      Timer t;
-      check(1, vaf.KnnSearch(y, kK));
-      ms[1] += t.ElapsedMillis();
-      io[1] += double((pager.stats() - before).reads);
-    }
-    {
-      const IoStats before = pager.stats();
-      Timer t;
-      check(2, bbt.KnnSearch(y, kK));
-      ms[2] += t.ElapsedMillis();
-      io[2] += double((pager.stats() - before).reads);
-    }
-    {
-      Timer t;
-      check(3, scan.KnnSearch(y, kK));
-      ms[3] += t.ElapsedMillis();
+      io[e] += double(stats.io_reads);
+      ms[e] += stats.wall_ms;
+      for (size_t i = 0; i < res->size(); ++i) {
+        if ((*res)[i].id != (*truth)[i].id) matches[e] = false;
+      }
     }
   }
-  const char* names[4] = {"BP", "VAF", "BBT", "scan"};
   const double nq = double(queries.rows());
-  for (int i = 0; i < 4; ++i) {
-    std::printf("%-12s%-12.1f%-12.2f%-10s\n", names[i], io[i] / nq,
-                ms[i] / nq, exact[i] ? "yes" : "NO");
+  for (size_t e = 0; e < engines.size(); ++e) {
+    std::printf("%-14s%-12.1f%-12.2f%-10s\n", names[e].c_str(), io[e] / nq,
+                ms[e] / nq, matches[e] ? "yes" : "NO");
   }
   return 0;
 }

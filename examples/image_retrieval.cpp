@@ -5,13 +5,10 @@
 
 #include <cstdio>
 
-#include "baselines/linear_scan.h"
+#include "api/index.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "core/brepartition.h"
 #include "dataset/synthetic.h"
-#include "divergence/factory.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -22,35 +19,52 @@ int main() {
 
   Rng rng(1);
   const Matrix gallery = MakeDeepLike(rng, kN, kDim);
-  const BregmanDivergence distance = MakeDivergence("exponential", kDim);
 
-  MemPager pager(64 * 1024);
-  BrePartitionConfig config;  // derived M, PCCP
   Timer build_timer;
-  const BrePartition index(&pager, gallery, distance, config);
-  std::printf("indexed %zu gallery images (%zu-d descriptors) in %.2fs, M=%zu\n",
-              kN, kDim, build_timer.ElapsedSeconds(), index.num_partitions());
+  auto built = IndexBuilder("exponential")  // derived M, PCCP
+                   .PageSize(64 * 1024)
+                   .Build(gallery);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Index& index = *built;
+  std::printf("indexed %zu gallery images in %.2fs: %s\n", kN,
+              build_timer.ElapsedSeconds(), index.Describe().c_str());
 
-  const LinearScan brute(gallery, distance);
+  // Brute force through the same interface, selected by backend name.
+  auto brute = MakeSearchIndex("scan", nullptr, gallery,
+                               index.divergence());
+  if (!brute.ok()) {
+    std::fprintf(stderr, "scan backend: %s\n",
+                 brute.status().ToString().c_str());
+    return 1;
+  }
+
   Rng qrng(2);
   const Matrix queries = MakeQueries(qrng, gallery, 5, 0.1);
 
   for (size_t q = 0; q < queries.rows(); ++q) {
-    QueryStats stats;
-    Timer scan_timer;
-    const auto expected = brute.KnnSearch(queries.Row(q), kK);
-    const double scan_ms = scan_timer.ElapsedMillis();
-    const auto got = index.KnnSearch(queries.Row(q), kK, &stats);
+    SearchIndex::Stats scan_stats, index_stats;
+    const auto expected = (*brute)->Knn(queries.Row(q), kK, &scan_stats);
+    const auto got = index.Knn(queries.Row(q), kK, &index_stats);
+    if (!expected.ok() || !got.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
 
-    bool identical = got.size() == expected.size();
-    for (size_t i = 0; identical && i < got.size(); ++i) {
-      identical = got[i].id == expected[i].id;
+    bool identical = got->size() == expected->size();
+    for (size_t i = 0; identical && i < got->size(); ++i) {
+      identical = (*got)[i].id == (*expected)[i].id;
     }
     std::printf(
         "query %zu: top-%zu identical to brute force: %s | index %.2fms "
-        "(%zu/%zu candidates, %llu page reads) vs scan %.2fms\n",
-        q, kK, identical ? "yes" : "NO", stats.total_ms, stats.candidates,
-        kN, static_cast<unsigned long long>(stats.io_reads), scan_ms);
+        "(%llu/%zu candidates, %llu page reads) vs scan %.2fms\n",
+        q, kK, identical ? "yes" : "NO", index_stats.wall_ms,
+        static_cast<unsigned long long>(index_stats.candidates), kN,
+        static_cast<unsigned long long>(index_stats.io_reads),
+        scan_stats.wall_ms);
   }
   return 0;
 }

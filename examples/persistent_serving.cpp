@@ -1,6 +1,6 @@
-/// Persistent serving: build a BrePartition index ONCE into a real file,
+/// Persistent serving: build a brep::Index ONCE, save it to a real file,
 /// then reopen it -- as a restarted server process would -- and serve exact
-/// kNN through the concurrent QueryEngine with zero rebuild work.
+/// kNN through the parallel handle with zero rebuild work.
 ///
 ///   $ ./persistent_serving [index-path]
 ///
@@ -12,14 +12,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "api/index.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "core/brepartition.h"
 #include "dataset/synthetic.h"
-#include "divergence/factory.h"
-#include "engine/query_engine.h"
-#include "storage/file_pager.h"
 
 int main(int argc, char** argv) {
   using namespace brep;
@@ -28,71 +26,61 @@ int main(int argc, char** argv) {
 
   Rng rng(42);
   const Matrix data = MakeFontsLike(rng, 4000, 64);
-  const BregmanDivergence divergence = MakeDivergence("itakura_saito", 64);
   Rng query_rng(7);
   const Matrix queries = MakeQueries(query_rng, data, 8, 0.1,
                                      /*keep_positive=*/true);
 
   // ---- Build once -------------------------------------------------------
-  std::string error;
   std::vector<std::vector<Neighbor>> expected;
   double build_s = 0.0;
   {
-    auto pager = FilePager::Create(path, 32 * 1024, &error);
-    if (pager == nullptr) {
-      std::fprintf(stderr, "create failed: %s\n", error.c_str());
+    Timer build_timer;
+    auto built =
+        IndexBuilder("itakura_saito").PageSize(32 * 1024).Build(data);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
       return 1;
     }
-    Timer build_timer;
-    const BrePartition index(pager.get(), data, divergence,
-                             BrePartitionConfig{});
-    index.Save();
-    build_s = build_timer.ElapsedSeconds();
-    std::printf("built + saved index: n=%zu d=%zu M=%zu -> %s (%.3fs)\n",
-                data.rows(), data.cols(), index.num_partitions(),
-                path.c_str(), build_s);
-    for (size_t q = 0; q < queries.rows(); ++q) {
-      expected.push_back(index.KnnSearch(queries.Row(q), 10));
+    const Status saved = built->Save(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
     }
-  }  // index and pager destroyed: nothing of the build survives in memory
+    build_s = build_timer.ElapsedSeconds();
+    std::printf("built + saved %s -> %s (%.3fs)\n",
+                built->Describe().c_str(), path.c_str(), build_s);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      expected.push_back(built->Knn(queries.Row(q), 10).value());
+    }
+  }  // the built index is destroyed: nothing of the build survives in memory
 
   // ---- Serve forever (well, once here) ----------------------------------
   Timer open_timer;
-  auto pager = FilePager::Open(path, &error);
-  if (pager == nullptr) {
-    std::fprintf(stderr, "open failed: %s\n", error.c_str());
-    return 1;
-  }
-  auto index = BrePartition::Open(pager.get(), &error);
-  if (index == nullptr) {
-    std::fprintf(stderr, "index open failed: %s\n", error.c_str());
+  auto opened = Index::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
     return 1;
   }
   const double open_s = open_timer.ElapsedSeconds();
   std::printf("reopened in %.4fs (%.0fx faster than build, zero rebuild)\n",
               open_s, build_s / (open_s > 0.0 ? open_s : 1e-9));
 
-  QueryEngineOptions options;
-  options.num_threads = 4;
-  const QueryEngine engine(*index, options);
-  const auto results = engine.KnnSearchBatch(queries, 10);
+  auto engine = opened->Parallel(4);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "parallel handle: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto results = engine->KnnBatch(queries, 10).value();
 
   size_t mismatches = 0;
   for (size_t q = 0; q < queries.rows(); ++q) {
-    if (results[q].size() != expected[q].size()) {
-      ++mismatches;
-      continue;
-    }
-    for (size_t i = 0; i < results[q].size(); ++i) {
-      if (results[q][i].id != expected[q][i].id ||
-          results[q][i].distance != expected[q][i].distance) {
-        ++mismatches;
-        break;
-      }
-    }
+    if (results[q] != expected[q]) ++mismatches;
   }
   std::printf("served %zu queries on %zu threads: %s\n", queries.rows(),
-              engine.num_threads(),
+              engine->threads(),
               mismatches == 0 ? "byte-identical to the built index"
                               : "MISMATCH vs built index");
   std::printf("top hit of query 0: id=%u distance=%.6f\n", results[0][0].id,

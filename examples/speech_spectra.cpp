@@ -1,18 +1,15 @@
 /// Speech-processing scenario: the Itakura-Saito distance is the classic
 /// dissimilarity between speech power spectra (Gray et al. 1980, cited by
 /// the paper). This example indexes spectral envelopes, runs exact and
-/// approximate (probability-guaranteed) retrieval, and reports the
-/// accuracy/efficiency trade-off of the approximate extension.
+/// approximate (probability-guaranteed) retrieval through the facade, and
+/// reports the accuracy/efficiency trade-off of the approximate extension.
 
 #include <cstdio>
 
-#include "baselines/linear_scan.h"
+#include "api/index.h"
 #include "common/rng.h"
 #include "core/approximate.h"
-#include "core/brepartition.h"
 #include "dataset/synthetic.h"
-#include "divergence/factory.h"
-#include "storage/pager.h"
 
 int main() {
   using namespace brep;
@@ -23,18 +20,25 @@ int main() {
 
   Rng rng(3);
   const Matrix spectra = MakeFontsLike(rng, kN, kDim);  // positive energies
-  const BregmanDivergence isd = MakeDivergence("itakura_saito", kDim);
 
-  MemPager pager(32 * 1024);
-  BrePartitionConfig config;
-  const BrePartition exact_index(&pager, spectra, isd, config);
-  const LinearScan truth(spectra, isd);
+  auto built = IndexBuilder("itakura_saito").Build(spectra);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Index& index = *built;
+  auto truth = MakeSearchIndex("scan", nullptr, spectra, index.divergence());
+  if (!truth.ok()) {
+    std::fprintf(stderr, "scan backend: %s\n",
+                 truth.status().ToString().c_str());
+    return 1;
+  }
 
   Rng qrng(4);
   const Matrix queries = MakeQueries(qrng, spectra, 10, 0.1, true);
 
-  std::printf("Itakura-Saito retrieval over %zu spectra (%zu bins), M=%zu\n\n",
-              kN, kDim, exact_index.num_partitions());
+  std::printf("Itakura-Saito retrieval: %s\n\n", index.Describe().c_str());
   std::printf("%-8s%-14s%-14s%-14s\n", "p", "overall-ratio", "io/query",
               "ms/query");
 
@@ -42,10 +46,10 @@ int main() {
   {
     double io = 0, ms = 0;
     for (size_t q = 0; q < queries.rows(); ++q) {
-      QueryStats stats;
-      exact_index.KnnSearch(queries.Row(q), kK, &stats);
+      SearchIndex::Stats stats;
+      index.Knn(queries.Row(q), kK, &stats).value();
       io += double(stats.io_reads);
-      ms += stats.total_ms;
+      ms += stats.wall_ms;
     }
     std::printf("%-8s%-14.4f%-14.1f%-14.2f\n", "exact", 1.0,
                 io / queries.rows(), ms / queries.rows());
@@ -54,14 +58,19 @@ int main() {
   for (double p : {0.9, 0.8, 0.7}) {
     ApproximateConfig aconfig;
     aconfig.probability = p;
-    const ApproximateBrePartition approx(&exact_index, aconfig);
+    auto approx = index.Approximate(aconfig);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "approximate view: %s\n",
+                   approx.status().ToString().c_str());
+      return 1;
+    }
     double ratio = 0, io = 0, ms = 0;
     for (size_t q = 0; q < queries.rows(); ++q) {
-      QueryStats stats;
-      const auto got = approx.KnnSearch(queries.Row(q), kK, &stats);
-      ratio += OverallRatio(got, truth.KnnSearch(queries.Row(q), kK));
+      SearchIndex::Stats stats;
+      const auto got = (*approx)->Knn(queries.Row(q), kK, &stats).value();
+      ratio += OverallRatio(got, (*truth)->Knn(queries.Row(q), kK).value());
       io += double(stats.io_reads);
-      ms += stats.total_ms;
+      ms += stats.wall_ms;
     }
     std::printf("%-8.1f%-14.4f%-14.1f%-14.2f\n", p, ratio / queries.rows(),
                 io / queries.rows(), ms / queries.rows());

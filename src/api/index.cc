@@ -1,0 +1,297 @@
+#include "api/index.h"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "core/brepartition.h"
+#include "core/stats.h"
+#include "divergence/factory.h"
+#include "engine/query_engine.h"
+#include "storage/file_pager.h"
+#include "storage/pager.h"
+
+namespace brep {
+namespace {
+
+/// Upper bound on Parallel() threads: far above any sane serving pool, low
+/// enough that a garbage argument cannot exhaust the process.
+constexpr size_t kMaxThreads = 1024;
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// Index
+
+Index::Index(std::unique_ptr<Pager> pager, std::unique_ptr<BrePartition> bp)
+    : pager_(std::move(pager)), bp_(std::move(bp)) {
+  QueryEngineOptions options;
+  options.num_threads = 1;  // sequential reference mode
+  options.parallel_filter = false;
+  engine_ = std::make_unique<QueryEngine>(*bp_, options);
+}
+
+Index::Index(Index&&) noexcept = default;
+Index& Index::operator=(Index&&) noexcept = default;
+Index::~Index() = default;
+
+StatusOr<Index> Index::Build(const Matrix& data,
+                             const BregmanDivergence& divergence,
+                             const IndexOptions& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be > 0");
+  }
+  auto pager = std::make_unique<MemPager>(options.page_size);
+  BREP_RETURN_IF_ERROR(ValidateBrePartitionConfig(options.config, data,
+                                                  divergence, pager.get()));
+  auto bp = std::make_unique<BrePartition>(pager.get(), data, divergence,
+                                           options.config);
+  return Index(std::move(pager), std::move(bp));
+}
+
+StatusOr<Index> Index::Build(const Matrix& data, const std::string& divergence,
+                             const IndexOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty (zero rows)");
+  }
+  BREP_ASSIGN_OR_RETURN(auto generator, ParseGenerator(divergence));
+  return Build(data, BregmanDivergence(std::move(generator), data.cols()),
+               options);
+}
+
+StatusOr<Index> Index::Open(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no index file at \"" + path + "\"");
+  }
+  std::string error;
+  auto pager = FilePager::Open(path, &error);
+  if (pager == nullptr) {
+    return Status::DataLoss("cannot open index file \"" + path +
+                            "\": " + error);
+  }
+  auto bp = BrePartition::Open(pager.get(), &error);
+  if (bp == nullptr) {
+    return Status::DataLoss("index file \"" + path +
+                            "\" has no serviceable index: " + error);
+  }
+  return Index(std::move(pager), std::move(bp));
+}
+
+Status Index::Save(const std::string& path) const {
+  // Commit the catalog on the current backing first; if that backing IS the
+  // target file, this is the whole durability story.
+  bp_->Save();
+  if (auto* fp = dynamic_cast<FilePager*>(pager_.get());
+      fp != nullptr && fp->path() == path) {
+    return Status::Ok();
+  }
+
+  // Otherwise copy every page (and the committed catalog reference) into a
+  // freshly created paged file. Page ids are preserved because Allocate()
+  // hands them out sequentially from 0.
+  std::string error;
+  auto out = FilePager::Create(path, pager_->page_size(), &error);
+  if (out == nullptr) {
+    return Status::Internal("cannot create index file \"" + path +
+                            "\": " + error);
+  }
+  PageBuffer buf;
+  for (PageId id = 0; id < pager_->num_pages(); ++id) {
+    pager_->Read(id, &buf);
+    const PageId copied = out->Allocate();
+    BREP_DCHECK(copied == id);
+    out->Write(copied, buf);
+  }
+  out->CommitCatalog(pager_->catalog());
+  return Status::Ok();
+}
+
+StatusOr<ParallelIndex> Index::Parallel(size_t threads) const {
+  if (threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "threads = " + std::to_string(threads) + " exceeds the cap of " +
+        std::to_string(kMaxThreads) + " (0 means hardware concurrency)");
+  }
+  QueryEngineOptions options;
+  options.num_threads = threads;
+  return ParallelIndex(std::make_unique<QueryEngine>(*bp_, options));
+}
+
+StatusOr<std::unique_ptr<SearchIndex>> Index::Approximate(
+    const ApproximateConfig& config) const {
+  return MakeApproximateIndex(*bp_, config);
+}
+
+std::string Index::Describe() const {
+  return "index(brepartition, M=" + std::to_string(bp_->num_partitions()) +
+         ", divergence=" + bp_->divergence().Name() +
+         ", n=" + std::to_string(bp_->num_points()) +
+         ", d=" + std::to_string(bp_->divergence().dim()) + ", exact)";
+}
+
+size_t Index::dim() const { return bp_->divergence().dim(); }
+size_t Index::num_points() const { return bp_->num_points(); }
+size_t Index::num_partitions() const { return bp_->num_partitions(); }
+const CostModelFit& Index::cost_model() const { return bp_->cost_model(); }
+const BregmanDivergence& Index::divergence() const {
+  return bp_->divergence();
+}
+
+StatusOr<std::vector<Neighbor>> Index::KnnImpl(std::span<const double> y,
+                                               size_t k, Stats* stats) const {
+  QueryStats qs;
+  auto result = bp_->KnnSearch(y, k, &qs);
+  stats->Add(qs);
+  return result;
+}
+
+StatusOr<std::vector<uint32_t>> Index::RangeImpl(std::span<const double> y,
+                                                 double radius,
+                                                 Stats* stats) const {
+  QueryStats qs;
+  auto result = engine_->RangeSearch(y, radius, &qs);
+  stats->Add(qs);
+  return result;
+}
+
+// ------------------------------------------------------------------------
+// IndexBuilder
+
+IndexBuilder& IndexBuilder::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::Divergence(std::string name) {
+  if (name.empty()) return Fail(Status::InvalidArgument("empty divergence"));
+  divergence_ = std::move(name);
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::Partitions(size_t m) {
+  options_.config.num_partitions = m;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::DerivedPartitionBounds(size_t min_m,
+                                                   size_t max_m) {
+  if (max_m == 0 || min_m > max_m) {
+    return Fail(Status::InvalidArgument(
+        "derived-partition bounds need 1 <= min <= max, got [" +
+        std::to_string(min_m) + ", " + std::to_string(max_m) + "]"));
+  }
+  options_.config.min_partitions = min_m;
+  options_.config.max_partitions = max_m;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::Strategy(PartitionStrategy strategy) {
+  options_.config.strategy = strategy;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::FitSamples(size_t samples) {
+  if (samples == 0) {
+    return Fail(Status::InvalidArgument("fit_samples must be >= 1"));
+  }
+  options_.config.fit_samples = samples;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::PageSize(size_t bytes) {
+  if (bytes == 0) {
+    return Fail(Status::InvalidArgument("page_size must be > 0"));
+  }
+  options_.page_size = bytes;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::PoolPages(size_t pages) {
+  if (pages == 0) {
+    return Fail(Status::InvalidArgument("pool_pages must be >= 1"));
+  }
+  options_.config.forest.pool_pages = pages;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::MaxLeafSize(size_t points) {
+  if (points == 0) {
+    return Fail(Status::InvalidArgument("max_leaf_size must be >= 1"));
+  }
+  options_.config.forest.tree.max_leaf_size = points;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::Seed(uint64_t seed) {
+  options_.config.seed = seed;
+  options_.config.forest.tree.seed = seed;
+  return *this;
+}
+
+StatusOr<Index> IndexBuilder::Build(const Matrix& data) const {
+  BREP_RETURN_IF_ERROR(status_);
+  return Index::Build(data, divergence_, options_);
+}
+
+// ------------------------------------------------------------------------
+// ParallelIndex
+
+ParallelIndex::ParallelIndex(std::unique_ptr<QueryEngine> engine)
+    : engine_(std::move(engine)) {}
+
+ParallelIndex::ParallelIndex(ParallelIndex&&) noexcept = default;
+ParallelIndex& ParallelIndex::operator=(ParallelIndex&&) noexcept = default;
+ParallelIndex::~ParallelIndex() = default;
+
+std::string ParallelIndex::Describe() const {
+  const BrePartition& bp = engine_->index();
+  return "parallel(brepartition, threads=" +
+         std::to_string(engine_->num_threads()) +
+         ", M=" + std::to_string(bp.num_partitions()) +
+         ", divergence=" + bp.divergence().Name() +
+         ", n=" + std::to_string(bp.num_points()) +
+         ", d=" + std::to_string(bp.divergence().dim()) + ", exact)";
+}
+
+size_t ParallelIndex::dim() const {
+  return engine_->index().divergence().dim();
+}
+size_t ParallelIndex::num_points() const {
+  return engine_->index().num_points();
+}
+size_t ParallelIndex::threads() const { return engine_->num_threads(); }
+
+StatusOr<std::vector<Neighbor>> ParallelIndex::KnnImpl(
+    std::span<const double> y, size_t k, Stats* stats) const {
+  QueryStats qs;
+  auto result = engine_->KnnSearch(y, k, &qs);
+  stats->Add(qs);
+  return result;
+}
+
+StatusOr<std::vector<uint32_t>> ParallelIndex::RangeImpl(
+    std::span<const double> y, double radius, Stats* stats) const {
+  QueryStats qs;
+  auto result = engine_->RangeSearch(y, radius, &qs);
+  stats->Add(qs);
+  return result;
+}
+
+StatusOr<std::vector<std::vector<Neighbor>>> ParallelIndex::KnnBatchImpl(
+    const Matrix& queries, size_t k, Stats* stats) const {
+  EngineStats es;
+  auto result = engine_->KnnSearchBatch(queries, k, &es);
+  stats->Add(es);
+  return result;
+}
+
+StatusOr<std::vector<std::vector<uint32_t>>> ParallelIndex::RangeBatchImpl(
+    const Matrix& queries, double radius, Stats* stats) const {
+  EngineStats es;
+  auto result = engine_->RangeSearchBatch(queries, radius, &es);
+  stats->Add(es);
+  return result;
+}
+
+}  // namespace brep

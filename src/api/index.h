@@ -1,0 +1,195 @@
+#ifndef BREP_API_INDEX_H_
+#define BREP_API_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/search_index.h"
+#include "api/status.h"
+#include "core/config.h"
+#include "core/optimal_m.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+
+/// \file
+/// The facade over the paper's index: builder-style construction, typed
+/// errors end to end, file persistence that owns its storage, and a
+/// parallel serving handle that routes batches through the concurrent
+/// query engine. The classes underneath (BrePartition, FilePager,
+/// QueryEngine) remain the implementation layer; nothing here hides them,
+/// but nothing outside src/ should need them directly.
+
+namespace brep {
+
+class BrePartition;
+class Pager;
+class QueryEngine;
+class ParallelIndex;
+
+/// Options for Index::Build beyond the core construction config.
+struct IndexOptions {
+  BrePartitionConfig config;
+  /// Page size of the backing (simulated or real) disk. Table 4 of the
+  /// paper uses 32-128 KB depending on the dataset.
+  size_t page_size = 32 * 1024;
+};
+
+/// An exact BrePartition index that owns its storage. Build from data,
+/// Save to a file, Open from a file, search through the uniform
+/// SearchIndex surface, or grab a Parallel handle for batch serving.
+///
+/// `data` passed to Build is referenced (not copied) only by the
+/// approximate extension; exact serving works entirely from the index's
+/// own point store, so the matrix may be dropped after Build unless
+/// Approximate() is needed.
+class Index final : public SearchIndex {
+ public:
+  /// Build over `data` with an explicit divergence.
+  static StatusOr<Index> Build(const Matrix& data,
+                               const BregmanDivergence& divergence,
+                               const IndexOptions& options = {});
+
+  /// Build with the divergence given by factory name ("itakura_saito",
+  /// "exponential", "squared_l2", "lp:3", ...).
+  static StatusOr<Index> Build(const Matrix& data,
+                               const std::string& divergence,
+                               const IndexOptions& options = {});
+
+  /// Reopen an index previously Save()d at `path`, owning the file pager.
+  /// Zero rebuild work: only the catalog pages are read. kNotFound when no
+  /// file exists, kDataLoss when the file fails validation.
+  static StatusOr<Index> Open(const std::string& path);
+
+  /// Persist to `path`: commits the index catalog and, when the index is
+  /// not already backed by that file, copies every page into a freshly
+  /// created paged file. Build-once / save-once / serve-many.
+  Status Save(const std::string& path) const;
+
+  /// A handle that serves batches through the concurrent QueryEngine with
+  /// `threads` total threads (0 = hardware concurrency); its single-query
+  /// path fans the per-subspace filter out across the pool. Results are
+  /// byte-identical to this index's sequential answers at every thread
+  /// count. The handle borrows this index, which must outlive it.
+  StatusOr<ParallelIndex> Parallel(size_t threads = 0) const;
+
+  /// The approximate (ABP) view with a probability guarantee; borrows this
+  /// index. kFailedPrecondition on an index reopened from a file (no raw
+  /// data rows to sample).
+  StatusOr<std::unique_ptr<SearchIndex>> Approximate(
+      const ApproximateConfig& config) const;
+
+  // SearchIndex surface ---------------------------------------------------
+  std::string Describe() const override;
+  size_t dim() const override;
+  size_t num_points() const override;
+  bool exact() const override { return true; }
+
+  size_t num_partitions() const;
+  const CostModelFit& cost_model() const;
+  const BregmanDivergence& divergence() const;
+
+  /// Implementation-layer escape hatch (stats plumbing, engine internals).
+  const BrePartition& impl() const { return *bp_; }
+
+  Index(Index&&) noexcept;
+  Index& operator=(Index&&) noexcept;
+  ~Index() override;
+
+ protected:
+  StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
+                                          Stats* stats) const override;
+  StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
+                                            double radius,
+                                            Stats* stats) const override;
+
+ private:
+  Index(std::unique_ptr<Pager> pager, std::unique_ptr<BrePartition> bp);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BrePartition> bp_;
+  /// Sequential reference engine (1 thread) for the range path.
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+/// Builder-style construction: every setter validates its argument and the
+/// first invalid one is reported by Build() (setters keep chaining either
+/// way, so call sites stay fluent).
+///
+///   BREP_ASSIGN_OR_RETURN(Index index, IndexBuilder("itakura_saito")
+///                                          .Partitions(8)
+///                                          .PageSize(64 << 10)
+///                                          .Build(data));
+class IndexBuilder {
+ public:
+  IndexBuilder() = default;
+  explicit IndexBuilder(std::string divergence)
+      : divergence_(std::move(divergence)) {}
+
+  /// Divergence by factory name; validated against the factory at Build().
+  IndexBuilder& Divergence(std::string name);
+  /// Pin the number of partitions M (0 = derive via Theorem 4).
+  IndexBuilder& Partitions(size_t m);
+  /// Clamp the derived M into [min_m, max_m] (only meaningful while M is
+  /// derived).
+  IndexBuilder& DerivedPartitionBounds(size_t min_m, size_t max_m);
+  IndexBuilder& Strategy(PartitionStrategy strategy);
+  /// Samples for the cost-model fit (the paper uses 50).
+  IndexBuilder& FitSamples(size_t samples);
+  IndexBuilder& PageSize(size_t bytes);
+  /// Buffer-pool pages per subspace tree.
+  IndexBuilder& PoolPages(size_t pages);
+  IndexBuilder& MaxLeafSize(size_t points);
+  IndexBuilder& Seed(uint64_t seed);
+
+  /// First setter error, or OK.
+  const Status& status() const { return status_; }
+
+  StatusOr<Index> Build(const Matrix& data) const;
+
+ private:
+  IndexBuilder& Fail(Status status);
+
+  std::string divergence_ = "squared_l2";
+  IndexOptions options_;
+  Status status_;
+};
+
+/// Concurrent serving handle over an Index (see Index::Parallel): the same
+/// validated SearchIndex surface, with batches parallelized across queries
+/// and single-query filters fanned out per subspace tree.
+class ParallelIndex final : public SearchIndex {
+ public:
+  std::string Describe() const override;
+  size_t dim() const override;
+  size_t num_points() const override;
+  bool exact() const override { return true; }
+
+  /// Threads serving a call, including the caller.
+  size_t threads() const;
+
+  ParallelIndex(ParallelIndex&&) noexcept;
+  ParallelIndex& operator=(ParallelIndex&&) noexcept;
+  ~ParallelIndex() override;
+
+ protected:
+  StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
+                                          Stats* stats) const override;
+  StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
+                                            double radius,
+                                            Stats* stats) const override;
+  StatusOr<std::vector<std::vector<Neighbor>>> KnnBatchImpl(
+      const Matrix& queries, size_t k, Stats* stats) const override;
+  StatusOr<std::vector<std::vector<uint32_t>>> RangeBatchImpl(
+      const Matrix& queries, double radius, Stats* stats) const override;
+
+ private:
+  friend class Index;
+  explicit ParallelIndex(std::unique_ptr<QueryEngine> engine);
+
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_API_INDEX_H_

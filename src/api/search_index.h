@@ -1,0 +1,166 @@
+#ifndef BREP_API_SEARCH_INDEX_H_
+#define BREP_API_SEARCH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "baselines/bbt_baseline.h"
+#include "baselines/var_baseline.h"
+#include "common/top_k.h"
+#include "core/approximate.h"
+#include "core/config.h"
+#include "dataset/matrix.h"
+#include "divergence/bregman.h"
+#include "storage/pager.h"
+#include "vafile/vafile.h"
+
+/// \file
+/// One search interface over every backend. The paper's value proposition
+/// is exact Bregman kNN served interchangeably against its baselines;
+/// SearchIndex is the stable surface that benches, examples and the serving
+/// layers program against, with a string-keyed registry so a backend is a
+/// configuration value ("brepartition" | "bbtree" | "vafile" | "scan" |
+/// "var" | "abp"), not a type.
+
+namespace brep {
+
+class BrePartition;
+struct EngineStats;
+struct QueryStats;
+
+/// Uniform kNN/range interface implemented by every backend adapter and by
+/// the brep::Index facade. All search entry points validate their arguments
+/// (query dimensionality, k, radius) and report failures as Status values;
+/// the implementation layer's aborting invariant checks are unreachable
+/// through this interface.
+class SearchIndex {
+ public:
+  /// Unified per-call measurements. For batch calls the counters are sums
+  /// over the batch and `wall_ms` is the batch wall-clock (so Qps() is the
+  /// serving throughput); for single calls queries == 1.
+  struct Stats {
+    uint64_t queries = 0;
+    /// Pager page reads issued (index + data). 0 for memory-only backends
+    /// (linear scan).
+    uint64_t io_reads = 0;
+    /// Candidate points fetched and exactly evaluated.
+    uint64_t candidates = 0;
+    /// Index nodes visited (0 for backends without a tree).
+    uint64_t nodes_visited = 0;
+    /// Total searching bound (BrePartition family; diagnostic).
+    double radius_total = 0.0;
+    /// Tightening coefficient applied by approximate backends (1 = exact).
+    double approx_coefficient = 1.0;
+    /// Wall-clock of the whole call.
+    double wall_ms = 0.0;
+
+    double Qps() const {
+      return wall_ms > 0.0 ? double(queries) * 1e3 / wall_ms : 0.0;
+    }
+
+    /// Accumulate one implementation-layer stats record (used by the
+    /// backend adapters; `queries`/`wall_ms` stay with the wrapper).
+    void Add(const QueryStats& qs);
+    void Add(const EngineStats& es);
+  };
+
+  virtual ~SearchIndex() = default;
+
+  /// One-line, human-readable self-description (backend name, key
+  /// parameters, dataset shape) for logs and bench headers.
+  virtual std::string Describe() const = 0;
+
+  virtual size_t dim() const = 0;
+  virtual size_t num_points() const = 0;
+  /// Whether results carry an exactness guarantee (false for "var"/"abp").
+  virtual bool exact() const = 0;
+
+  /// The k nearest neighbors of `query` (minimizing D(x, query)), sorted
+  /// ascending by (distance, id). Errors: wrong dimensionality, k == 0,
+  /// k > num_points().
+  StatusOr<std::vector<Neighbor>> Knn(std::span<const double> query, size_t k,
+                                      Stats* stats = nullptr) const;
+
+  /// Ids with D(x, query) <= radius, ascending. Errors: wrong
+  /// dimensionality, negative/NaN radius, or kUnimplemented for backends
+  /// without a range path (VA-file, var, abp).
+  StatusOr<std::vector<uint32_t>> Range(std::span<const double> query,
+                                        double radius,
+                                        Stats* stats = nullptr) const;
+
+  /// Knn for every row of `queries`. Backends without a native batch path
+  /// run the single-query path per row.
+  StatusOr<std::vector<std::vector<Neighbor>>> KnnBatch(
+      const Matrix& queries, size_t k, Stats* stats = nullptr) const;
+
+  /// Range for every row of `queries`.
+  StatusOr<std::vector<std::vector<uint32_t>>> RangeBatch(
+      const Matrix& queries, double radius, Stats* stats = nullptr) const;
+
+ protected:
+  /// Backend hooks, called with validated arguments and a non-null stats
+  /// sink (zeroed; `queries` and `wall_ms` are filled by the wrapper).
+  virtual StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y,
+                                                  size_t k,
+                                                  Stats* stats) const = 0;
+  virtual StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
+                                                    double radius,
+                                                    Stats* stats) const;
+  virtual StatusOr<std::vector<std::vector<Neighbor>>> KnnBatchImpl(
+      const Matrix& queries, size_t k, Stats* stats) const;
+  virtual StatusOr<std::vector<std::vector<uint32_t>>> RangeBatchImpl(
+      const Matrix& queries, double radius, Stats* stats) const;
+};
+
+/// Per-backend construction knobs for the registry. Only the member
+/// matching the selected backend is read ("abp" reads `brepartition` and
+/// `approximate`; "var" reads `var`).
+struct BackendOptions {
+  BrePartitionConfig brepartition;
+  BBTBaselineConfig bbtree;
+  VAFileConfig vafile;
+  VarBaselineConfig var;
+  ApproximateConfig approximate;
+};
+
+/// Backend names MakeSearchIndex accepts, in registry order.
+std::vector<std::string> RegisteredBackends();
+
+/// Build the named backend over `data` with divergence `div` on `pager`
+/// (the shared simulated/real disk; may be nullptr for "scan", which never
+/// touches storage). `pager` and `data` must outlive the returned index.
+/// Errors: unknown backend name (message lists the registry), invalid
+/// configuration, divergence/backend mismatch (KL under "brepartition"/
+/// "abp"), a page size too small to hold one point.
+StatusOr<std::unique_ptr<SearchIndex>> MakeSearchIndex(
+    const std::string& backend, Pager* pager, const Matrix& data,
+    const BregmanDivergence& div, const BackendOptions& options = {});
+
+/// Convenience: divergence by factory name ("itakura_saito", "lp:3", ...).
+StatusOr<std::unique_ptr<SearchIndex>> MakeSearchIndex(
+    const std::string& backend, Pager* pager, const Matrix& data,
+    const std::string& divergence, const BackendOptions& options = {});
+
+/// The approximate (ABP) view over an existing exact BrePartition; `bp`
+/// must outlive the returned index and must have its data matrix attached
+/// (an index reopened from a file does not -- kFailedPrecondition).
+StatusOr<std::unique_ptr<SearchIndex>> MakeApproximateIndex(
+    const BrePartition& bp, const ApproximateConfig& config);
+
+/// Up-front validation of everything the BrePartition constructor would
+/// otherwise abort on mid-build: empty data, dimensionality mismatch, a
+/// divergence that is not partition-safe (KL), num_partitions > dim,
+/// max_partitions == 0, min > max, fit_samples == 0, zero sample/pool
+/// sizes, or a page too small for one point.
+Status ValidateBrePartitionConfig(const BrePartitionConfig& config,
+                                  const Matrix& data,
+                                  const BregmanDivergence& div,
+                                  const Pager* pager);
+
+}  // namespace brep
+
+#endif  // BREP_API_SEARCH_INDEX_H_

@@ -1,0 +1,149 @@
+#ifndef BREP_API_STATUS_H_
+#define BREP_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+/// \file
+/// The facade's error model: every user-reachable failure -- invalid
+/// configuration, dim-mismatched query, missing or corrupted index file,
+/// unknown generator or backend name -- is reported as a typed Status
+/// instead of a BREP_CHECK abort or a string out-param. The implementation
+/// layer underneath keeps its aborting invariant checks for programmer
+/// error; the facade validates up front so user input can never reach them.
+
+namespace brep {
+
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller passed something malformed (bad config value, wrong query
+  /// dimensionality, k == 0, unknown name).
+  kInvalidArgument = 1,
+  /// A named resource does not exist (index file path, backend name lookup
+  /// inside a message lists what does exist).
+  kNotFound = 2,
+  /// The operation needs state the object does not have (e.g. the
+  /// approximate extension on an index reopened without its data matrix).
+  kFailedPrecondition = 3,
+  /// Stored bytes failed validation (truncated file, checksum mismatch,
+  /// inconsistent catalog).
+  kDataLoss = 4,
+  /// The backend does not support this operation (e.g. range search on the
+  /// VA-file).
+  kUnimplemented = 5,
+  /// Environment failure outside the caller's control (filesystem errors).
+  kInternal = 6,
+};
+
+/// Stable lower-case name of a code ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A (code, message) error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "invalid_argument: query has 3 dimensions, index expects 24".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status. Accessing value() on an error aborts with
+/// the status text, so unchecked use fails loudly rather than with garbage.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a non-OK Status (the error-return path of
+  /// BREP_RETURN_IF_ERROR and of plain `return Status::...` statements).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    BREP_CHECK_MSG(!status_.ok(),
+                   "StatusOr constructed from an OK status without a value");
+  }
+
+  /// Implicit from a value (the success-return path).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BREP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    BREP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    BREP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace brep
+
+/// Propagate a non-OK Status out of a function returning Status or
+/// StatusOr<T>.
+#define BREP_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::brep::Status brep_return_if_error_ = (expr);  \
+    if (!brep_return_if_error_.ok()) {              \
+      return brep_return_if_error_;                 \
+    }                                               \
+  } while (0)
+
+#define BREP_STATUS_CONCAT_INNER_(x, y) x##y
+#define BREP_STATUS_CONCAT_(x, y) BREP_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluate a StatusOr expression; on success bind its value to `lhs`, on
+/// error propagate the Status. `lhs` may declare (`auto v`) or assign.
+#define BREP_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto BREP_STATUS_CONCAT_(brep_statusor_, __LINE__) = (rexpr);       \
+  if (!BREP_STATUS_CONCAT_(brep_statusor_, __LINE__).ok()) {          \
+    return BREP_STATUS_CONCAT_(brep_statusor_, __LINE__).status();    \
+  }                                                                   \
+  lhs = std::move(BREP_STATUS_CONCAT_(brep_statusor_, __LINE__)).value()
+
+#endif  // BREP_API_STATUS_H_

@@ -44,6 +44,8 @@ BrePartition::BrePartition(Pager* pager, const Matrix& data,
   if (m == 0) {
     m = OptimalNumPartitions(fit_, data.rows(), data.cols(), /*k=*/1,
                              config_.max_partitions);
+    m = std::max(m, std::min(std::max<size_t>(config_.min_partitions, 1),
+                             data.cols()));
   }
   BREP_CHECK(m >= 1 && m <= data.cols());
 
@@ -314,10 +316,13 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
     if (!(lp_p > 1.0)) return fail("invalid lp parameter in catalog");
     generator = std::make_shared<LpNormGenerator>(lp_p);
   } else {
-    generator = TryMakeGenerator(generator_name);
-  }
-  if (generator == nullptr) {
-    return fail("unknown divergence generator in catalog: " + generator_name);
+    auto parsed = ParseGenerator(generator_name);
+    if (!parsed.ok()) {
+      return fail("invalid divergence generator in catalog (corrupted "
+                  "file?): " +
+                  parsed.status().message());
+    }
+    generator = *std::move(parsed);
   }
   if (!weights.empty() && weights.size() != dim) {
     return fail("inconsistent divergence weights in catalog");

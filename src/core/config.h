@@ -31,6 +31,10 @@ struct BrePartitionConfig {
   size_t fit_eval_limit = 2000;
   /// Row sample for the PCCP correlation matrix.
   size_t pccp_sample_rows = 2000;
+  /// Lower clamp for the derived M (ignored when num_partitions pins M).
+  /// The fitted cost model can degenerate to M* = 1 on weakly structured
+  /// data; benchmarks raise this to keep an actual partitioning in play.
+  size_t min_partitions = 1;
   /// Upper clamp for the derived M.
   size_t max_partitions = 64;
   uint64_t seed = 42;

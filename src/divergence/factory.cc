@@ -7,41 +7,59 @@
 
 namespace brep {
 
-std::shared_ptr<const ScalarGenerator> TryMakeGenerator(
+const std::string& AcceptedGeneratorNames() {
+  static const std::string kNames =
+      "squared_l2 (aliases: sq_l2, euclidean), itakura_saito (alias: isd), "
+      "exponential (alias: ed), kl (alias: generalized_i), lp:<p> with p > 1 "
+      "(e.g. lp:3)";
+  return kNames;
+}
+
+StatusOr<std::shared_ptr<const ScalarGenerator>> ParseGenerator(
     const std::string& name) {
   if (name == "squared_l2" || name == "sq_l2" || name == "euclidean") {
-    return std::make_shared<SquaredL2Generator>();
+    return std::shared_ptr<const ScalarGenerator>(
+        std::make_shared<SquaredL2Generator>());
   }
   if (name == "itakura_saito" || name == "isd") {
-    return std::make_shared<ItakuraSaitoGenerator>();
+    return std::shared_ptr<const ScalarGenerator>(
+        std::make_shared<ItakuraSaitoGenerator>());
   }
   if (name == "exponential" || name == "ed") {
-    return std::make_shared<ExponentialGenerator>();
+    return std::shared_ptr<const ScalarGenerator>(
+        std::make_shared<ExponentialGenerator>());
   }
   if (name == "kl" || name == "generalized_i") {
-    return std::make_shared<KLGenerator>();
+    return std::shared_ptr<const ScalarGenerator>(
+        std::make_shared<KLGenerator>());
   }
-  if (name.rfind("lp:", 0) == 0) {
-    const double p = std::strtod(name.c_str() + 3, nullptr);
-    return p > 1.0 ? std::make_shared<LpNormGenerator>(p) : nullptr;
-  }
+  const bool lp_short = name.rfind("lp:", 0) == 0;
   // LpNormGenerator::Name() form, so persisted specs round-trip.
-  if (name.rfind("lp_norm(p=", 0) == 0 && name.back() == ')') {
-    const double p = std::strtod(name.c_str() + 10, nullptr);
-    return p > 1.0 ? std::make_shared<LpNormGenerator>(p) : nullptr;
+  const bool lp_long = name.rfind("lp_norm(p=", 0) == 0 && name.back() == ')';
+  if (lp_short || lp_long) {
+    const double p = std::strtod(name.c_str() + (lp_short ? 3 : 10), nullptr);
+    if (!(p > 1.0)) {
+      return Status::InvalidArgument(
+          "lp generator requires p > 1 (strict convexity), got \"" + name +
+          "\"");
+    }
+    return std::shared_ptr<const ScalarGenerator>(
+        std::make_shared<LpNormGenerator>(p));
   }
-  return nullptr;
+  return Status::InvalidArgument("unknown generator \"" + name +
+                                 "\"; accepted: " + AcceptedGeneratorNames());
 }
 
 std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name) {
-  auto gen = TryMakeGenerator(name);
-  if (gen == nullptr && (name.rfind("lp:", 0) == 0 ||
-                         name.rfind("lp_norm(p=", 0) == 0)) {
-    // The family exists; the parameter is what's wrong.
-    BREP_CHECK_MSG(false, "lp generator requires p > 1 (strict convexity)");
-  }
-  BREP_CHECK_MSG(gen != nullptr, ("unknown generator: " + name).c_str());
-  return gen;
+  auto gen = ParseGenerator(name);
+  BREP_CHECK_MSG(gen.ok(), gen.status().message().c_str());
+  return *std::move(gen);
+}
+
+std::shared_ptr<const ScalarGenerator> TryMakeGenerator(
+    const std::string& name) {
+  auto gen = ParseGenerator(name);
+  return gen.ok() ? *std::move(gen) : nullptr;
 }
 
 BregmanDivergence MakeDivergence(const std::string& name, size_t dim) {

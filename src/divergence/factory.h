@@ -5,21 +5,32 @@
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "divergence/bregman.h"
 
 namespace brep {
+
+/// The names ParseGenerator accepts, with aliases, as one human-readable
+/// list -- the tail of every unknown-generator error message.
+const std::string& AcceptedGeneratorNames();
 
 /// Create a scalar generator by stable name. Accepted names:
 /// "squared_l2" (alias "sq_l2", "euclidean"), "itakura_saito" (alias "isd"),
 /// "exponential" (alias "ed"), "kl" (alias "generalized_i"), and
 /// "lp:<p>" e.g. "lp:3". Every ScalarGenerator::Name() output is also
 /// accepted (e.g. "lp_norm(p=3.000000)"), so a persisted divergence spec
-/// round-trips through the factory. Aborts on unknown names (configuration
-/// error).
+/// round-trips through the factory. Unknown names and out-of-range lp
+/// parameters yield an InvalidArgument whose message lists the accepted
+/// names.
+StatusOr<std::shared_ptr<const ScalarGenerator>> ParseGenerator(
+    const std::string& name);
+
+/// Like ParseGenerator but aborts on error (configuration error at a
+/// call site that has no error channel).
 std::shared_ptr<const ScalarGenerator> MakeGenerator(const std::string& name);
 
-/// Like MakeGenerator but returns nullptr on an unknown name -- the
-/// persistence open path uses this to reject a corrupted catalog cleanly.
+/// Like ParseGenerator but returns nullptr on error -- for callers that
+/// only need the yes/no (the error detail lives in ParseGenerator).
 std::shared_ptr<const ScalarGenerator> TryMakeGenerator(
     const std::string& name);
 

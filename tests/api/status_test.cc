@@ -1,0 +1,88 @@
+#include "api/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be >= 1");
+  EXPECT_EQ(s.ToString(), "invalid_argument: k must be >= 1");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 41;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 41);
+  *v += 1;
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  const std::vector<int> taken = *std::move(v);
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status CheckPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return Status::Ok();
+}
+
+StatusOr<int> Quarter(int x) {
+  BREP_RETURN_IF_ERROR(CheckPositive(x));
+  BREP_ASSIGN_OR_RETURN(const int half, Half(x));
+  BREP_ASSIGN_OR_RETURN(const int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusOrTest, MacrosPropagateErrors) {
+  const auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  EXPECT_EQ(Quarter(-4).status().message(), "non-positive");
+  EXPECT_EQ(Quarter(7).status().message(), "odd");   // first Half fails
+  EXPECT_EQ(Quarter(6).status().message(), "odd");   // second Half fails
+}
+
+}  // namespace
+}  // namespace brep

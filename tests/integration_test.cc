@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/search_index.h"
 #include "baselines/bbt_baseline.h"
 #include "baselines/linear_scan.h"
 #include "core/approximate.h"
@@ -47,6 +48,40 @@ TEST_F(IntegrationTest, AllExactEnginesAgree) {
         EXPECT_NEAR(got[i].distance, truth[i].distance,
                     1e-9 * std::max(1.0, truth[i].distance));
       }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, RegisteredExactBackendsAgreeThroughSearchIndex) {
+  // Every exact backend of the registry, built over one shared disk and one
+  // shared dataset, returns IDENTICAL kNN ids and distances through the
+  // uniform SearchIndex interface -- all engines refine candidates with the
+  // same Divergence() on bit-identical point bytes, so no tolerance is
+  // needed. The "scan" backend doubles as the ground truth.
+  MemPager pager(8192);
+  BackendOptions options;
+  options.brepartition.num_partitions = 4;
+  auto truth = MakeSearchIndex("scan", &pager, data_, div_, options);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+  for (const std::string& name : RegisteredBackends()) {
+    auto engine = MakeSearchIndex(name, &pager, data_, div_, options);
+    ASSERT_TRUE(engine.ok()) << name << ": " << engine.status().ToString();
+    if (!(*engine)->exact()) continue;  // "var"/"abp" have no such guarantee
+    EXPECT_EQ((*engine)->num_points(), kN) << name;
+    EXPECT_EQ((*engine)->dim(), kDim) << name;
+    for (size_t q = 0; q < queries_.rows(); ++q) {
+      const auto expected = (*truth)->Knn(queries_.Row(q), kK).value();
+      SearchIndex::Stats stats;
+      const auto got = (*engine)->Knn(queries_.Row(q), kK, &stats);
+      ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+      ASSERT_EQ(got->size(), expected.size()) << name;
+      for (size_t i = 0; i < got->size(); ++i) {
+        EXPECT_EQ((*got)[i].id, expected[i].id) << name << " query " << q;
+        EXPECT_EQ((*got)[i].distance, expected[i].distance)
+            << name << " query " << q;
+      }
+      EXPECT_EQ(stats.queries, 1u);
     }
   }
 }
