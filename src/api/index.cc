@@ -1,6 +1,7 @@
 #include "api/index.h"
 
 #include <filesystem>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -79,31 +80,24 @@ StatusOr<Index> Index::Open(const std::string& path) {
 }
 
 Status Index::Save(const std::string& path) const {
-  // Commit the catalog on the current backing first; if that backing IS the
-  // target file, this is the whole durability story.
-  bp_->Save();
+  // If the backing IS the target file, committing the catalog is the whole
+  // durability story.
   if (auto* fp = dynamic_cast<FilePager*>(pager_.get());
       fp != nullptr && fp->path() == path) {
+    bp_->Save();
     return Status::Ok();
   }
 
-  // Otherwise copy every page (and the committed catalog reference) into a
-  // freshly created paged file. Page ids are preserved because Allocate()
-  // hands them out sequentially from 0.
+  // Otherwise commit and page-copy into a freshly created paged file --
+  // one exclusive-lock acquisition inside SaveTo, so a concurrent writer
+  // thread cannot tear the snapshot between the commit and the copy.
   std::string error;
   auto out = FilePager::Create(path, pager_->page_size(), &error);
   if (out == nullptr) {
     return Status::Internal("cannot create index file \"" + path +
                             "\": " + error);
   }
-  PageBuffer buf;
-  for (PageId id = 0; id < pager_->num_pages(); ++id) {
-    pager_->Read(id, &buf);
-    const PageId copied = out->Allocate();
-    BREP_DCHECK(copied == id);
-    out->Write(copied, buf);
-  }
-  out->CommitCatalog(pager_->catalog());
+  bp_->SaveTo(out.get());
   return Status::Ok();
 }
 
@@ -120,7 +114,64 @@ StatusOr<ParallelIndex> Index::Parallel(size_t threads) const {
 
 StatusOr<std::unique_ptr<SearchIndex>> Index::Approximate(
     const ApproximateConfig& config) const {
-  return MakeApproximateIndex(*bp_, config);
+  // Freeze-then-build: the mutation check and the read-only pin happen
+  // under one exclusive lock acquisition inside FreezeUpdates, so no
+  // insert can slip in between and leave a view sampling a matrix that no
+  // longer describes the indexed points.
+  const auto frozen = bp_->FreezeUpdates();
+  if (frozen == BrePartition::FreezeOutcome::kMutated) {
+    return Status::FailedPrecondition(
+        "this index has been mutated; the approximate extension samples the "
+        "raw data matrix, which no longer describes the indexed point set");
+  }
+  auto view = MakeApproximateIndex(*bp_, config);
+  if (!view.ok()) {
+    // Undo only OUR transition: an earlier call's live view keeps its pin.
+    if (frozen == BrePartition::FreezeOutcome::kFroze) {
+      bp_->UnfreezeUpdates();
+    }
+    return view.status();
+  }
+  return view;
+}
+
+EngineStats Index::UpdateStats() const {
+  EngineStats stats;
+  std::tie(stats.inserts, stats.deletes) = bp_->update_totals();
+  return stats;
+}
+
+namespace {
+
+Status FrozenByViewError() {
+  return Status::FailedPrecondition(
+      "an Approximate() view borrows this index; updates would invalidate "
+      "its sampled distance distributions");
+}
+
+}  // namespace
+
+StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point) {
+  if (!bp_->divergence().InDomain(point)) {
+    return Status::InvalidArgument(
+        "point is outside the domain of divergence " +
+        bp_->divergence().Name());
+  }
+  const auto id = bp_->Insert(point);
+  if (!id.has_value()) return FrozenByViewError();
+  return *id;
+}
+
+Status Index::DeleteImpl(uint32_t id) {
+  switch (bp_->Delete(id)) {
+    case BrePartition::UpdateOutcome::kApplied:
+      return Status::Ok();
+    case BrePartition::UpdateOutcome::kNotFound:
+      return Status::NotFound("no live point with id " + std::to_string(id));
+    case BrePartition::UpdateOutcome::kFrozen:
+      return FrozenByViewError();
+  }
+  return Status::Internal("unreachable");
 }
 
 std::string Index::Describe() const {

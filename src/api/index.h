@@ -11,6 +11,7 @@
 #include "core/optimal_m.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
+#include "engine/engine_stats.h"
 
 /// \file
 /// The facade over the paper's index: builder-style construction, typed
@@ -75,9 +76,15 @@ class Index final : public SearchIndex {
 
   /// The approximate (ABP) view with a probability guarantee; borrows this
   /// index. kFailedPrecondition on an index reopened from a file (no raw
-  /// data rows to sample).
+  /// data rows to sample) or on a mutated index (the sampled distributions
+  /// would describe the wrong point set). Once issued, the view pins the
+  /// index read-only: later Insert/Delete calls fail with
+  /// kFailedPrecondition.
   StatusOr<std::unique_ptr<SearchIndex>> Approximate(
       const ApproximateConfig& config) const;
+
+  /// Lifetime insert/delete lanes of this index (exact, lock-consistent).
+  EngineStats UpdateStats() const;
 
   // SearchIndex surface ---------------------------------------------------
   std::string Describe() const override;
@@ -102,6 +109,11 @@ class Index final : public SearchIndex {
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
                                             double radius,
                                             Stats* stats) const override;
+  /// Dynamic updates: route through BrePartition under its exclusive
+  /// update lock (QueryEngine readers hold the shared side), so Parallel()
+  /// handles keep serving consistent snapshots while writes stream in.
+  StatusOr<uint32_t> InsertImpl(std::span<const double> point) override;
+  Status DeleteImpl(uint32_t id) override;
 
  private:
   Index(std::unique_ptr<Pager> pager, std::unique_ptr<BrePartition> bp);

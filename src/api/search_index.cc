@@ -434,9 +434,49 @@ void SearchIndex::Stats::Add(const QueryStats& qs) {
 }
 
 void SearchIndex::Stats::Add(const EngineStats& es) {
+  inserts += es.inserts;
+  deletes += es.deletes;
   io_reads += es.io_reads;
   candidates += es.candidates;
   nodes_visited += es.nodes_visited;
+}
+
+StatusOr<uint32_t> SearchIndex::Insert(std::span<const double> point,
+                                       Stats* stats) {
+  Stats local;
+  Stats& st = stats != nullptr ? *stats : local;
+  st = Stats{};
+  if (point.size() != dim()) {
+    return Status::InvalidArgument(
+        "point has " + std::to_string(point.size()) +
+        " dimensions, index expects " + std::to_string(dim()));
+  }
+  Timer timer;
+  auto result = InsertImpl(point);
+  if (result.ok()) st.inserts = 1;
+  st.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+Status SearchIndex::Delete(uint32_t id, Stats* stats) {
+  Stats local;
+  Stats& st = stats != nullptr ? *stats : local;
+  st = Stats{};
+  Timer timer;
+  const Status result = DeleteImpl(id);
+  if (result.ok()) st.deletes = 1;
+  st.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<uint32_t> SearchIndex::InsertImpl(std::span<const double>) {
+  return Status::FailedPrecondition(Describe() +
+                                    " is read-only (no update support)");
+}
+
+Status SearchIndex::DeleteImpl(uint32_t) {
+  return Status::FailedPrecondition(Describe() +
+                                    " is read-only (no update support)");
 }
 
 StatusOr<std::vector<Neighbor>> SearchIndex::Knn(std::span<const double> query,

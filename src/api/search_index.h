@@ -44,6 +44,9 @@ class SearchIndex {
   /// serving throughput); for single calls queries == 1.
   struct Stats {
     uint64_t queries = 0;
+    /// Write lanes: completed Insert/Delete calls through this surface.
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
     /// Pager page reads issued (index + data). 0 for memory-only backends
     /// (linear scan).
     uint64_t io_reads = 0;
@@ -101,7 +104,21 @@ class SearchIndex {
   StatusOr<std::vector<std::vector<uint32_t>>> RangeBatch(
       const Matrix& queries, double radius, Stats* stats = nullptr) const;
 
+  /// Insert `point` and return its assigned id. Errors: wrong
+  /// dimensionality, a point outside the divergence domain, or
+  /// kFailedPrecondition for read-only backends (every baseline adapter;
+  /// only brep::Index supports updates).
+  StatusOr<uint32_t> Insert(std::span<const double> point,
+                            Stats* stats = nullptr);
+
+  /// Remove the point with id `id`. Errors: kNotFound for an id that is
+  /// not currently indexed, kFailedPrecondition for read-only backends.
+  Status Delete(uint32_t id, Stats* stats = nullptr);
+
  protected:
+  /// Mutation hooks; the default is a read-only backend.
+  virtual StatusOr<uint32_t> InsertImpl(std::span<const double> point);
+  virtual Status DeleteImpl(uint32_t id);
   /// Backend hooks, called with validated arguments and a non-null stats
   /// sink (zeroed; `queries` and `wall_ms` are filled by the wrapper).
   virtual StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y,

@@ -64,6 +64,54 @@ BBForest::BBForest(Pager* pager, const BregmanDivergence& div,
   }
 }
 
+void BBForest::Insert(uint32_t id, std::span<const double> x) {
+  BREP_CHECK(x.size() == store_->dim());
+  store_->Append(id, x);
+  std::vector<double> sub;
+  for (size_t m = 0; m < partitions_.size(); ++m) {
+    const auto& cols = partitions_[m];
+    sub.resize(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) sub[c] = x[cols[c]];
+    trees_[m]->Insert(id, sub);
+  }
+}
+
+bool BBForest::Delete(uint32_t id) {
+  if (!store_->Contains(id)) return false;
+  // The trees locate the point by its exact stored coordinates (their
+  // ball-pruned descent), so fetch before tombstoning.
+  std::vector<double> x(store_->dim());
+  store_->Fetch(id, x);
+  std::vector<double> sub;
+  for (size_t m = 0; m < partitions_.size(); ++m) {
+    const auto& cols = partitions_[m];
+    sub.resize(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) sub[c] = x[cols[c]];
+    BREP_CHECK_MSG(trees_[m]->Delete(id, sub),
+                   "stored point missing from a subspace tree");
+  }
+  store_->Remove(id);
+  return true;
+}
+
+void BBForest::DebugCheckInvariants() const {
+  store_->DebugCheckInvariants();
+  for (const auto& tree : trees_) {
+    tree->DebugCheckInvariants();
+    BREP_CHECK_MSG(tree->num_points() == store_->num_points(),
+                   "tree and point store disagree on the live point count");
+  }
+}
+
+std::vector<PageId> BBForest::LivePages() const {
+  std::vector<PageId> pages = store_->LivePages();
+  for (const auto& tree : trees_) {
+    const std::vector<PageId> t = tree->LivePages();
+    pages.insert(pages.end(), t.begin(), t.end());
+  }
+  return pages;
+}
+
 std::vector<uint32_t> BBForest::RangeCandidatesUnion(
     std::span<const std::vector<double>> y_subs, std::span<const double> radii,
     SearchStats* stats) const {

@@ -64,6 +64,26 @@ class BBForest {
 
   size_t num_partitions() const { return partitions_.size(); }
   size_t num_points() const { return store_->num_points(); }
+
+  /// Route a full-dimensional point into the store and every subspace
+  /// tree. `id` must be fresh or tombstoned in the store. Must not race
+  /// with searches (the serving layer holds an exclusive lock).
+  void Insert(uint32_t id, std::span<const double> x);
+
+  /// Remove a point from the store and every subspace tree; false when the
+  /// id is not stored. Must not race with searches.
+  bool Delete(uint32_t id);
+
+  /// Whether `id` is currently indexed.
+  bool Contains(uint32_t id) const { return store_->Contains(id); }
+
+  /// Store + per-tree structural self-checks (see the members' docs) plus
+  /// store/tree point-count agreement. Aborts with a message on violation.
+  void DebugCheckInvariants() const;
+
+  /// Pages referenced by the store and every tree (partition-level page
+  /// accounting; catalog pages are the caller's).
+  std::vector<PageId> LivePages() const;
   const std::vector<size_t>& partition_columns(size_t m) const {
     return partitions_[m];
   }

@@ -29,6 +29,18 @@ void BBTree::Insert(uint32_t id) {
   const auto x = data_->Row(id);
   BREP_CHECK(div_.InDomain(x));
 
+  if (root_ < 0) {
+    // First point after a delete-to-empty: fresh single-leaf tree.
+    Node node;
+    node.ball.center.assign(x.begin(), x.end());
+    node.ball.radius = 0.0;
+    node.ids.push_back(id);
+    nodes_.push_back(std::move(node));
+    root_ = static_cast<int32_t>(nodes_.size() - 1);
+    size_ = 1;
+    return;
+  }
+
   // Descend to the leaf whose center is nearest, widening balls on the way
   // so every ancestor still contains the new point.
   int32_t idx = root_;
@@ -79,6 +91,15 @@ bool BBTree::Delete(uint32_t id) {
       --size_;
       // Balls are left as-is: still valid (possibly loose) covers. An empty
       // leaf stays in the tree; searches simply find nothing there.
+      if (size_ == 0) {
+        // Deleting the last point previously left the dead skeleton in
+        // place: every later search (and every insert descent) still
+        // walked all the stale nodes, and the first re-inserted point
+        // inherited a ball centered on long-gone data. Reset to a truly
+        // empty tree instead; Insert rebuilds from a fresh leaf.
+        nodes_.clear();
+        root_ = -1;
+      }
       return true;
     }
   }
@@ -135,6 +156,7 @@ double BBTree::NodeLowerBound(const Node& node, std::span<const double> y,
 std::vector<Neighbor> BBTree::KnnSearch(std::span<const double> y, size_t k,
                                         SearchStats* stats) const {
   BREP_CHECK(y.size() == div_.dim());
+  if (root_ < 0) return {};  // deleted down to empty
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
 
@@ -174,6 +196,7 @@ std::vector<uint32_t> BBTree::RangeSearch(std::span<const double> y,
                                           double radius,
                                           SearchStats* stats) const {
   BREP_CHECK(y.size() == div_.dim());
+  if (root_ < 0) return {};  // deleted down to empty
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
 
@@ -208,6 +231,7 @@ std::vector<uint32_t> BBTree::RangeCandidates(std::span<const double> y,
                                               double radius,
                                               SearchStats* stats) const {
   BREP_CHECK(y.size() == div_.dim());
+  if (root_ < 0) return {};  // deleted down to empty
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
 
@@ -234,6 +258,7 @@ std::vector<uint32_t> BBTree::RangeCandidates(std::span<const double> y,
 }
 
 std::vector<uint32_t> BBTree::LeafOrder() const {
+  if (root_ < 0) return {};
   std::vector<uint32_t> order;
   std::vector<int32_t> stack{root_};
   while (!stack.empty()) {

@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "bbtree/bbtree.h"
+#include "common/rng.h"
 #include "common/top_k.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -17,12 +19,25 @@ namespace brep {
 
 /// Serializable description of a disk tree's pages: enough to re-attach to
 /// an already-written tree with zero writes (see the attach constructor).
+///
+/// `pages` is a slot table: slot i backs logical bytes [i*P, (i+1)*P) of the
+/// tree's address space; kInvalidPageId marks a slot whose page was returned
+/// to the pager (mutation chunks freed by Delete). `chunk_offsets[i]` /
+/// `chunk_slots[i]` list the page-aligned allocations created by the
+/// mutation path (the bulk-built packed region occupies the first
+/// ceil(blob_size / P) slots and is not a chunk).
 struct DiskBBTreeLayout {
   std::vector<PageId> pages;
   uint64_t blob_size = 0;
   uint64_t num_nodes = 0;
   uint64_t root_offset = 0;
   int32_t bound_iters = 0;
+  uint64_t max_leaf_size = 0;
+  int32_t kmeans_iters = 0;
+  uint64_t insert_seed = 0;
+  uint64_t num_points = 0;
+  std::vector<uint64_t> chunk_offsets;
+  std::vector<uint32_t> chunk_slots;
 };
 
 /// Disk-resident BB-tree: the node structure of an in-memory BBTree
@@ -39,8 +54,27 @@ struct DiskBBTreeLayout {
 /// pool's pinned-page API, so any number of threads (the query engine's
 /// per-subspace filter tasks, or whole queries of a batch) may search one
 /// tree concurrently.
+///
+/// The tree is also mutable -- Insert/Delete mirror the in-memory BBTree's
+/// incremental-maintenance semantics but operate directly on pages:
+///
+///  * Insert descends to the closer child, widening every ball header in
+///    place, and rewrites the target leaf. A leaf that outgrows its byte
+///    allocation relocates into a fresh page-aligned chunk (pages served
+///    from the pager's free-list first); an overflowing leaf is split by
+///    Bregman 2-means exactly like the in-memory tree.
+///  * Delete locates the leaf by ball-pruned descent, shrinks it in place,
+///    and collapses an emptied leaf into its sibling, returning chunk pages
+///    to the pager's free-list. Deleting the last point leaves a valid
+///    empty tree (root_offset() == kNoNode) that accepts new inserts.
+///
+/// Mutations are single-writer: they must not run concurrently with
+/// searches (the serving layer holds an exclusive lock across them).
 class DiskBBTree {
  public:
+  /// root_offset() value of a tree holding no points.
+  static constexpr uint64_t kNoNode = UINT64_MAX;
+
   /// Serialize `tree` into pages of `pager`. The tree object itself may be
   /// discarded afterwards; `pool_pages` bounds the node cache.
   /// `header_child_bounds` selects the descent I/O fix (see KnnSearch): the
@@ -63,8 +97,12 @@ class DiskBBTree {
   size_t dim() const { return div_.dim(); }
   const BregmanDivergence& divergence() const { return div_; }
   size_t num_nodes() const { return num_nodes_; }
-  /// Total bytes of serialized index (for construction-cost reporting).
-  size_t index_bytes() const { return blob_size_; }
+  /// Points currently indexed.
+  size_t num_points() const { return num_points_; }
+  bool empty() const { return root_offset_ == kNoNode; }
+  /// Total bytes of serialized index (for construction-cost reporting):
+  /// the bulk-built region plus every mutation chunk's pages.
+  size_t index_bytes() const;
   /// Full node materializations (payload/child-offset deserializations)
   /// since construction. Counted inside the read path itself -- not in the
   /// search algorithms -- so the descent I/O regression test measures what
@@ -72,6 +110,27 @@ class DiskBBTree {
   uint64_t full_node_reads() const {
     return full_node_reads_.load(std::memory_order_relaxed);
   }
+
+  /// Insert point `id` with subspace vector `x` (this tree's
+  /// dimensionality). Must not race with searches.
+  void Insert(uint32_t id, std::span<const double> x);
+
+  /// Remove point `id`, whose stored subspace vector must be exactly `x`
+  /// (the ball-pruned descent relies on it). Returns false when the id is
+  /// not in the tree. Must not race with searches.
+  bool Delete(uint32_t id, std::span<const double> x);
+
+  /// Structural self-check: every ball contains its subtree's points,
+  /// subtree counts add up, leaf occupancy respects max_leaf_size (unless
+  /// the leaf's points are identical), node records stay inside their
+  /// allocations and never overlap, and the chunk/free-slot tables
+  /// partition the page table. Aborts with a message on violation.
+  /// Compiled always; tests call it after every update batch and after
+  /// reopening a persisted index.
+  void DebugCheckInvariants() const;
+
+  /// Pages currently referenced (for partition-level page accounting).
+  std::vector<PageId> LivePages() const;
 
   /// Cluster-granularity range filter, as in BBTree::RangeCandidates, with
   /// node reads charged to the pager (via the pool).
@@ -125,6 +184,21 @@ class DiskBBTree {
     std::vector<double> points;
   };
 
+  /// One ancestor on the Delete descent path.
+  struct PathFrame {
+    uint64_t off;
+    uint32_t count;
+    bool from_left;  // which child pointer of the parent leads here
+  };
+
+  size_t NodeFixedBytes() const {
+    return 1 + 4 + 3 * sizeof(double) + div_.dim() * sizeof(double);
+  }
+  size_t LeafRecordBytes(size_t count) const {
+    return NodeFixedBytes() + count * (4 + div_.dim() * sizeof(double));
+  }
+  size_t InteriorRecordBytes() const { return NodeFixedBytes() + 16; }
+
   DiskNode ReadNode(uint64_t offset) const;
   /// Header-only read: the fixed-size prefix (flags, count, radius,
   /// distance stats, center) -- everything a ball lower bound needs,
@@ -134,8 +208,82 @@ class DiskBBTree {
   /// child offsets. Counts one full node materialization.
   void ReadNodeTail(uint64_t offset, DiskNode* node) const;
   /// Page-spanning byte fetch through the pool, bounds-checked against the
-  /// serialized blob.
+  /// page table.
   void ReadBytes(uint64_t start, size_t len, uint8_t* out) const;
+  /// Page-spanning byte store (read-modify-write through the pager, never
+  /// the pool); invalidates the pool entry of every touched page.
+  void WriteBytes(uint64_t start, std::span<const uint8_t> bytes);
+  template <typename T>
+  void WriteField(uint64_t off, T v);
+
+  std::vector<uint8_t> EncodeLeaf(const DiskNode& node) const;
+  std::vector<uint8_t> EncodeInterior(const DiskNode& node) const;
+
+  /// Allocate a run of page slots covering `bytes` (free slot runs first,
+  /// fresh pager pages -- themselves free-list-served -- otherwise) and
+  /// register it as a chunk. Returns its page-aligned offset.
+  uint64_t AllocChunk(size_t bytes);
+  /// Return a chunk's pages to the pager and its slots to the free runs.
+  void FreeChunkAt(uint64_t off);
+  /// Byte capacity of the allocation holding the node at `off`: the chunk
+  /// extent for chunk nodes, 0 (caller falls back to the old record size)
+  /// for nodes in the bulk-built packed region.
+  size_t AllocCapacity(uint64_t off) const;
+
+  /// Write `bytes` over the node at `off`, relocating into a fresh chunk
+  /// (and repointing the parent / root) when they outgrow `old_bytes` and
+  /// the node's allocation. Returns the node's (possibly new) offset.
+  uint64_t ReplaceNode(uint64_t off, uint64_t parent_off, bool from_left,
+                       size_t old_bytes, std::span<const uint8_t> bytes);
+
+  /// Split `local` (row indices into `pts`) in two, mirroring the
+  /// in-memory tree: Bregman 2-means first; when that degenerates (one
+  /// side empty) fall back to a deterministic median split by divergence
+  /// to `center`, so a leaf of non-identical points always splits.
+  void SplitLocal(const Matrix& pts, std::span<const uint32_t> local,
+                  std::span<const double> center, Rng& rng,
+                  std::vector<uint32_t>* left,
+                  std::vector<uint32_t>* right) const;
+
+  /// Serialize a freshly built subtree over `local` rows of `pts` (global
+  /// ids `global_ids[local[i]]`), mirroring BBTree::Build. Returns the
+  /// subtree root's offset.
+  uint64_t WriteSubtree(const Matrix& pts,
+                        std::span<const uint32_t> global_ids,
+                        std::span<const uint32_t> local, Rng& rng);
+
+  void InsertIntoLeaf(uint64_t off, uint64_t parent_off, bool from_left,
+                      DiskNode leaf, double widened_radius, uint32_t id,
+                      std::span<const double> x);
+
+  /// Ball (center = mean, radius = max divergence), distance statistics
+  /// and count of `local` rows of `pts` -- the shared geometry of freshly
+  /// built and merged leaves.
+  void ComputeBallAndStats(const Matrix& pts,
+                           std::span<const uint32_t> local,
+                           DiskNode* node) const;
+
+  /// Underflow handling on Delete: when the shrunk leaf and its sibling
+  /// (also a leaf) together fit in three quarters of a leaf, replace
+  /// their parent by one merged leaf with freshly computed exact
+  /// geometry, returning both old records' chunk pages. Keeps the leaf
+  /// count -- and with it the disk footprint -- bounded under
+  /// insert/delete churn. Returns whether the merge happened (`path` then
+  /// shrinks by the leaf level).
+  bool TryMergeWithSibling(const DiskNode& leaf,
+                           const std::vector<PathFrame>& path);
+
+  bool FindLeafPath(uint64_t off, bool from_left, std::span<const double> x,
+                    uint32_t id, std::vector<PathFrame>* path) const;
+
+  /// DebugCheckInvariants recursion; returns the subtree's point count and
+  /// accumulates node count and record extents.
+  uint32_t CheckSubtree(uint64_t off,
+                        std::vector<const DiskNode*>* ancestors,
+                        uint64_t* nodes,
+                        std::vector<std::pair<uint64_t, uint64_t>>* extents)
+      const;
+
   template <typename Gate>
   std::vector<Neighbor> KnnImpl(std::span<const double> y, size_t k,
                                 const PointStore& store, SearchStats* stats,
@@ -145,11 +293,19 @@ class DiskBBTree {
   BregmanDivergence div_;
   int bound_iters_;
   bool header_child_bounds_ = true;
+  size_t max_leaf_size_ = 64;
+  int kmeans_iters_ = 10;
+  uint64_t insert_seed_ = 0;
+  uint64_t num_points_ = 0;
   mutable std::atomic<uint64_t> full_node_reads_{0};
   std::vector<PageId> pages_;
   size_t blob_size_ = 0;
   size_t num_nodes_ = 0;
   uint64_t root_offset_ = 0;
+  /// Page-aligned mutation allocations: offset -> slots.
+  std::map<uint64_t, uint32_t> chunk_map_;
+  /// Reusable slot runs (pages already returned to the pager): start -> len.
+  std::map<size_t, size_t> free_runs_;
   mutable BufferPool pool_;
 };
 

@@ -68,6 +68,18 @@ TransformedDataset::TransformedDataset(size_t n, size_t m,
   BREP_CHECK(tuples_.size() == n_ * m_);
 }
 
+void TransformedDataset::SetRow(size_t i, std::span<const PointTuple> row) {
+  BREP_CHECK(i < n_ && row.size() == m_);
+  std::copy(row.begin(), row.end(),
+            tuples_.begin() + static_cast<ptrdiff_t>(i * m_));
+}
+
+size_t TransformedDataset::AppendRow(std::span<const PointTuple> row) {
+  BREP_CHECK(row.size() == m_);
+  tuples_.insert(tuples_.end(), row.begin(), row.end());
+  return n_++;
+}
+
 QueryBounds QBDetermine(const TransformedDataset& st,
                         std::span<const QueryTriple> q, size_t k) {
   const size_t n = st.num_points();

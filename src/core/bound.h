@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -77,6 +78,19 @@ class TransformedDataset {
 
   size_t num_points() const { return n_; }
   size_t num_partitions() const { return m_; }
+
+  /// Replace row `i` (an insert reusing a tombstoned id, or a delete
+  /// overwriting the row with DeadTuple()s so QBDetermine never selects it).
+  void SetRow(size_t i, std::span<const PointTuple> row);
+
+  /// Append a fresh row; returns its index (the new point's id).
+  size_t AppendRow(std::span<const PointTuple> row);
+
+  /// Tuple of a deleted point: its total upper bound is +infinity, so it
+  /// can never become the k-th searching bound while k <= live points.
+  static PointTuple DeadTuple() {
+    return PointTuple{std::numeric_limits<double>::infinity(), 0.0};
+  }
 
   const PointTuple& At(size_t i, size_t m) const { return tuples_[i * m_ + m]; }
 

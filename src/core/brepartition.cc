@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -19,7 +21,9 @@ namespace {
 // magic so a catalog page mistaken for a superblock (or vice versa) is
 // rejected immediately.
 constexpr uint64_t kCatalogMagic = 0x3154414350455242ull;
-constexpr uint32_t kCatalogVersion = 1;
+// v2 added dynamic-update state: free ids, the slot-accurate point-store
+// layout, and the trees' mutation metadata (chunks, split config, counts).
+constexpr uint32_t kCatalogVersion = 2;
 
 }  // namespace
 
@@ -74,6 +78,123 @@ BrePartition::BrePartition(Pager* pager, const Matrix& data,
   // 4. Disk-resident BB-forest.
   forest_ = std::make_unique<BBForest>(pager_, data, div_, partitions_,
                                        config_.forest);
+  live_points_ = data.rows();
+}
+
+std::optional<uint32_t> BrePartition::Insert(std::span<const double> x) {
+  BREP_CHECK(x.size() == div_.dim());
+  BREP_CHECK_MSG(div_.InDomain(x),
+                 "inserted point outside the divergence domain");
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  if (updates_frozen_) return std::nullopt;
+
+  // Algorithm 2 on the new point: per-subspace tuples for the bound phase.
+  const auto subs = GatherQuery(x);
+  std::vector<PointTuple> row(partitions_.size());
+  for (size_t m = 0; m < partitions_.size(); ++m) {
+    row[m] = TransformPoint(sub_divs_[m], subs[m]);
+  }
+
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    transformed_.SetRow(id, row);
+  } else {
+    id = static_cast<uint32_t>(transformed_.AppendRow(row));
+  }
+  forest_->Insert(id, x);
+  ++live_points_;
+  ++inserts_;
+  return id;
+}
+
+BrePartition::UpdateOutcome BrePartition::Delete(uint32_t id) {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  if (updates_frozen_) return UpdateOutcome::kFrozen;
+  if (!forest_->Delete(id)) return UpdateOutcome::kNotFound;
+  // Poison the tuple row: the deleted point's total upper bound becomes
+  // +infinity, so QBDetermine (which scans the whole dense table) can never
+  // pick it as the k-th searching bound while k <= live points.
+  const std::vector<PointTuple> dead(partitions_.size(),
+                                     TransformedDataset::DeadTuple());
+  transformed_.SetRow(id, dead);
+  free_ids_.push_back(id);
+  --live_points_;
+  ++deletes_;
+  return UpdateOutcome::kApplied;
+}
+
+BrePartition::FreezeOutcome BrePartition::FreezeUpdates() const {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  if (inserts_ + deletes_ > 0) return FreezeOutcome::kMutated;
+  if (updates_frozen_) return FreezeOutcome::kAlreadyFrozen;
+  updates_frozen_ = true;
+  return FreezeOutcome::kFroze;
+}
+
+void BrePartition::UnfreezeUpdates() const {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  updates_frozen_ = false;
+}
+
+bool BrePartition::Contains(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return forest_->Contains(id);
+}
+
+uint64_t BrePartition::total_inserts() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return inserts_;
+}
+
+uint64_t BrePartition::total_deletes() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return deletes_;
+}
+
+std::pair<uint64_t, uint64_t> BrePartition::update_totals() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return {inserts_, deletes_};
+}
+
+void BrePartition::DebugCheckInvariants() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  forest_->DebugCheckInvariants();
+  BREP_CHECK_MSG(forest_->num_points() == live_points_,
+                 "forest and index disagree on the live point count");
+
+  // Id space: every id is live exactly once or tombstoned exactly once.
+  const size_t n = transformed_.num_points();
+  BREP_CHECK_MSG(live_points_ + free_ids_.size() == n,
+                 "id space does not split into live + tombstoned");
+  std::unordered_set<uint32_t> dead(free_ids_.begin(), free_ids_.end());
+  BREP_CHECK_MSG(dead.size() == free_ids_.size(), "duplicate tombstoned id");
+  for (uint32_t id = 0; id < n; ++id) {
+    BREP_CHECK_MSG(forest_->Contains(id) != (dead.count(id) > 0),
+                   "id neither live nor tombstoned (or both)");
+  }
+
+  // Page accounting: every pager page is referenced by exactly one live
+  // structure or sits on the (acyclic, validated) free-list.
+  std::vector<PageId> live = forest_->LivePages();
+  const CatalogRef& ref = pager_->catalog();
+  if (ref.valid()) {
+    for (uint32_t i = 0; i < ref.num_pages; ++i) {
+      live.push_back(ref.first_page + i);
+    }
+  }
+  std::sort(live.begin(), live.end());
+  BREP_CHECK_MSG(std::adjacent_find(live.begin(), live.end()) == live.end(),
+                 "page referenced by two structures");
+  std::vector<PageId> free = pager_->FreePageIds();
+  std::sort(free.begin(), free.end());
+  std::vector<PageId> both;
+  std::set_intersection(live.begin(), live.end(), free.begin(), free.end(),
+                        std::back_inserter(both));
+  BREP_CHECK_MSG(both.empty(), "free-list overlaps live pages");
+  BREP_CHECK_MSG(live.size() + free.size() == pager_->num_pages(),
+                 "pager pages leaked (neither live nor free)");
 }
 
 const Matrix& BrePartition::data() const {
@@ -84,6 +205,35 @@ const Matrix& BrePartition::data() const {
 }
 
 void BrePartition::Save() const {
+  // Exclusive: Save writes catalog pages and (when replacing a previous
+  // run) mutates the free-list, which concurrent readers must not observe.
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  SaveLocked();
+}
+
+void BrePartition::SaveTo(Pager* out) const {
+  BREP_CHECK(out != nullptr);
+  BREP_CHECK_MSG(out->num_pages() == 0, "SaveTo needs a fresh empty pager");
+  BREP_CHECK_MSG(out->page_size() == pager_->page_size(),
+                 "SaveTo needs a matching page size");
+  // One exclusive acquisition across commit AND copy: a concurrent writer
+  // can never interleave and tear the snapshot.
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  SaveLocked();
+  PageBuffer buf;
+  for (PageId id = 0; id < pager_->num_pages(); ++id) {
+    pager_->Read(id, &buf);
+    const PageId copied = out->Allocate();
+    BREP_CHECK(copied == id);  // fresh pager: ids stay aligned
+    out->Write(copied, buf);
+  }
+  // The free-page records travelled with the raw pages; adopt the chain's
+  // head so the copy reuses freed pages exactly like the original.
+  out->RestoreFreeList(pager_->free_list_head(), pager_->num_free_pages());
+  out->CommitCatalog(pager_->catalog());
+}
+
+void BrePartition::SaveLocked() const {
   ByteWriter w;
   w.Value<uint64_t>(kCatalogMagic);
   w.Value<uint32_t>(kCatalogVersion);
@@ -121,18 +271,22 @@ void BrePartition::Save() const {
   w.Value<uint64_t>(forest_->pool_pages());
 
   // Transformed dataset (Algorithm 2 output; the open path must not redo
-  // the transform).
+  // the transform). Tombstoned rows carry DeadTuple()s.
   w.Value<uint64_t>(transformed_.num_points());
   w.Value<uint64_t>(transformed_.num_partitions());
   w.Vec(transformed_.tuples());
 
-  // Point-store placement.
+  // Tombstoned ids, in reuse order (back first).
+  w.Vec(free_ids_);
+
+  // Point-store placement (slot-accurate, holes included).
   const PointStoreLayout store_layout = forest_->point_store().layout();
   w.Value<uint64_t>(store_layout.dim);
+  w.Value<uint64_t>(store_layout.id_space);
   w.Vec(store_layout.data_pages);
-  w.Vec(store_layout.order);
+  w.Vec(store_layout.slots);
 
-  // Per-tree page lists.
+  // Per-tree page tables and mutation metadata.
   w.Value<uint64_t>(partitions_.size());
   for (size_t m = 0; m < partitions_.size(); ++m) {
     const DiskBBTreeLayout t = forest_->tree(m).layout();
@@ -141,6 +295,12 @@ void BrePartition::Save() const {
     w.Value<uint64_t>(t.num_nodes);
     w.Value<uint64_t>(t.root_offset);
     w.Value<int32_t>(t.bound_iters);
+    w.Value<uint64_t>(t.max_leaf_size);
+    w.Value<int32_t>(t.kmeans_iters);
+    w.Value<uint64_t>(t.insert_seed);
+    w.Value<uint64_t>(t.num_points);
+    w.Vec(t.chunk_offsets);
+    w.Vec(t.chunk_slots);
   }
 
   // Trailing checksum over everything above.
@@ -148,6 +308,7 @@ void BrePartition::Save() const {
       w.bytes().data(), w.size())));
 
   const std::vector<uint8_t> blob = w.Take();
+  const CatalogRef old_ref = pager_->catalog();
   const std::vector<PageId> ids = pager_->WriteBlob(blob);
   for (size_t i = 1; i < ids.size(); ++i) {
     BREP_CHECK(ids[i] == ids[i - 1] + 1);  // WriteBlob allocates a run
@@ -157,6 +318,15 @@ void BrePartition::Save() const {
   ref.num_pages = static_cast<uint32_t>(ids.size());
   ref.num_bytes = blob.size();
   pager_->CommitCatalog(ref);
+  // Reclaim the previous catalog run only after the new one is committed:
+  // a crash in between leaks at most one run, never corrupts the committed
+  // state. With the old run freed, repeated Save does not grow the disk
+  // monotonically -- later allocations reuse these pages.
+  if (old_ref.valid()) {
+    for (uint32_t i = 0; i < old_ref.num_pages; ++i) {
+      pager_->Free(old_ref.first_page + i);
+    }
+  }
 }
 
 std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
@@ -242,10 +412,13 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
   const uint64_t m = r.Value<uint64_t>();
   std::vector<PointTuple> tuples = r.Vec<PointTuple>();
 
+  std::vector<uint32_t> free_ids = r.Vec<uint32_t>();
+
   PointStoreLayout store_layout;
   store_layout.dim = r.Value<uint64_t>();
+  store_layout.id_space = r.Value<uint64_t>();
   store_layout.data_pages = r.Vec<PageId>();
-  store_layout.order = r.Vec<uint32_t>();
+  store_layout.slots = r.Vec<uint32_t>();
 
   const uint64_t num_trees = r.Value<uint64_t>();
   if (!r.ok() || num_trees != num_parts) {
@@ -258,16 +431,33 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
     t.num_nodes = r.Value<uint64_t>();
     t.root_offset = r.Value<uint64_t>();
     t.bound_iters = r.Value<int32_t>();
+    t.max_leaf_size = r.Value<uint64_t>();
+    t.kmeans_iters = r.Value<int32_t>();
+    t.insert_seed = r.Value<uint64_t>();
+    t.num_points = r.Value<uint64_t>();
+    t.chunk_offsets = r.Vec<uint64_t>();
+    t.chunk_slots = r.Vec<uint32_t>();
   }
 
   if (!r.ok() || r.remaining() != 0) {
     return fail("malformed index catalog (truncated or trailing bytes)");
   }
   if (m != num_parts || tuples.size() != n * m || n == 0 ||
-      store_layout.order.size() != n || store_layout.dim != dim ||
+      store_layout.id_space != n || store_layout.dim != dim ||
       !IsValidPartitioning(partitions, dim) || pool_pages == 0) {
     return fail("inconsistent index catalog (corrupted file)");
   }
+  if (free_ids.size() > n) {
+    return fail("inconsistent tombstone list in catalog (corrupted file)");
+  }
+  std::vector<bool> tombstoned(n, false);
+  for (uint32_t id : free_ids) {
+    if (id >= n || tombstoned[id]) {
+      return fail("inconsistent tombstone list in catalog (corrupted file)");
+    }
+    tombstoned[id] = true;
+  }
+  const uint64_t live = n - free_ids.size();
 
   // Deep-validate the page placements before handing them to the attach
   // constructors, whose BREP_CHECKs abort: FNV-1a is not cryptographic, so
@@ -275,37 +465,108 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
   // dim was bounded to (0, page_size/8] at decode time, so at least one
   // point fits per page.
   const size_t per_page = PointStore::PointsPerPage(pager->page_size(), dim);
-  if (store_layout.data_pages.size() != (n + per_page - 1) / per_page) {
+  if (store_layout.slots.size() !=
+      store_layout.data_pages.size() * per_page) {
     return fail("inconsistent point-store pages in catalog (corrupted file)");
   }
-  for (PageId id : store_layout.data_pages) {
-    if (id >= pager->num_pages()) {
+  std::vector<bool> placed(n, false);
+  uint64_t placed_count = 0;
+  for (size_t pi = 0; pi < store_layout.data_pages.size(); ++pi) {
+    const PageId page = store_layout.data_pages[pi];
+    if (page != kInvalidPageId && page >= pager->num_pages()) {
       return fail("point-store page out of range in catalog (corrupted file)");
     }
-  }
-  std::vector<bool> seen(n, false);
-  for (uint32_t id : store_layout.order) {
-    if (id >= n || seen[id]) {
-      return fail("point layout is not a permutation (corrupted file)");
+    size_t page_live = 0;
+    for (size_t s = 0; s < per_page; ++s) {
+      const uint32_t id = store_layout.slots[pi * per_page + s];
+      if (id == PointStore::kNoPoint) continue;
+      if (page == kInvalidPageId || id >= n || placed[id] ||
+          tombstoned[id]) {
+        return fail("inconsistent point placement in catalog "
+                    "(corrupted file)");
+      }
+      placed[id] = true;
+      ++placed_count;
+      ++page_live;
     }
-    seen[id] = true;
+    if (page != kInvalidPageId && page_live == 0) {
+      return fail("empty point-store page in catalog (corrupted file)");
+    }
+  }
+  if (placed_count != live) {
+    return fail("point placement does not cover the live ids "
+                "(corrupted file)");
   }
   for (size_t ti = 0; ti < tree_layouts.size(); ++ti) {
     const DiskBBTreeLayout& t = tree_layouts[ti];
-    // The root's fixed-size header must fit inside the blob, or the first
-    // query would hit the read path's corruption abort instead of this
-    // clean error.
-    const uint64_t root_header_bytes =
-        1 + 4 + 3 * sizeof(double) + partitions[ti].size() * sizeof(double);
-    if (t.pages.empty() || t.num_nodes == 0 || t.bound_iters <= 0 ||
-        t.blob_size > t.pages.size() * pager->page_size() ||
-        root_header_bytes > t.blob_size ||
-        t.root_offset > t.blob_size - root_header_bytes) {
+    const size_t page_size = pager->page_size();
+    const uint64_t extent = uint64_t{t.pages.size()} * page_size;
+    if (t.pages.empty() || t.bound_iters <= 0 || t.max_leaf_size == 0 ||
+        t.blob_size == 0 || t.blob_size > extent || t.num_points != live ||
+        t.chunk_offsets.size() != t.chunk_slots.size()) {
       return fail("inconsistent tree layout in catalog (corrupted file)");
     }
-    for (PageId id : t.pages) {
-      if (id >= pager->num_pages()) {
+    const size_t packed_slots = (t.blob_size + page_size - 1) / page_size;
+    // Slot usage map: the packed region and every chunk must sit on pages
+    // the tree still owns, and no slot may be claimed twice.
+    std::vector<char> used(t.pages.size(), 0);
+    for (size_t s = 0; s < packed_slots; ++s) used[s] = 1;
+    for (size_t c = 0; c < t.chunk_offsets.size(); ++c) {
+      const uint64_t off = t.chunk_offsets[c];
+      const uint32_t slots = t.chunk_slots[c];
+      if (off % page_size != 0 || slots == 0 ||
+          off / page_size < packed_slots ||
+          off / page_size + slots > t.pages.size()) {
+        return fail("inconsistent tree chunk in catalog (corrupted file)");
+      }
+      for (size_t s = off / page_size; s < off / page_size + slots; ++s) {
+        if (used[s] != 0) {
+          return fail("overlapping tree chunks in catalog (corrupted file)");
+        }
+        used[s] = 1;
+      }
+    }
+    for (size_t s = 0; s < t.pages.size(); ++s) {
+      const PageId page = t.pages[s];
+      if (page == kInvalidPageId) {
+        if (used[s] != 0) {
+          return fail("tree node range on a released page in catalog "
+                      "(corrupted file)");
+        }
+        continue;
+      }
+      if (page >= pager->num_pages()) {
         return fail("tree page out of range in catalog (corrupted file)");
+      }
+      if (used[s] == 0) {
+        return fail("tree owns a page outside every allocation "
+                    "(corrupted file)");
+      }
+    }
+    // The root must be resolvable: kNoNode exactly for an empty tree,
+    // otherwise its fixed-size header must sit on owned pages -- or the
+    // first query would hit the read path's corruption abort instead of
+    // this clean error.
+    if (t.root_offset == DiskBBTree::kNoNode) {
+      if (t.num_points != 0 || t.num_nodes != 0) {
+        return fail("inconsistent tree layout in catalog (corrupted file)");
+      }
+      continue;
+    }
+    if (t.num_nodes == 0) {
+      return fail("inconsistent tree layout in catalog (corrupted file)");
+    }
+    const uint64_t root_header_bytes =
+        1 + 4 + 3 * sizeof(double) + partitions[ti].size() * sizeof(double);
+    if (root_header_bytes > extent ||
+        t.root_offset > extent - root_header_bytes) {
+      return fail("inconsistent tree layout in catalog (corrupted file)");
+    }
+    for (uint64_t s = t.root_offset / page_size;
+         s <= (t.root_offset + root_header_bytes - 1) / page_size; ++s) {
+      if (t.pages[s] == kInvalidPageId) {
+        return fail("tree root on a released page in catalog "
+                    "(corrupted file)");
       }
     }
   }
@@ -356,6 +617,8 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
   index->forest_ = std::make_unique<BBForest>(
       pager, index->div_, index->partitions_, filter_mode, pool_pages,
       store_layout, tree_layouts);
+  index->free_ids_ = std::move(free_ids);
+  index->live_points_ = live;
   return index;
 }
 
@@ -409,11 +672,18 @@ std::vector<Neighbor> BrePartition::FilterAndRefine(
 std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
                                               size_t k,
                                               QueryStats* stats) const {
+  // Shared against Insert/Delete/Save; any number of queries may overlap.
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
   BREP_CHECK(y.size() == div_.dim());
-  BREP_CHECK(k >= 1 && k <= num_points());
+  BREP_CHECK(k >= 1);
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};
+  // The facade validates k against num_points() before acquiring the
+  // lock; a racing writer may have shrunk the index since. Clamp under
+  // the lock instead of aborting the process over a benign race.
+  k = std::min(k, num_points());
+  if (k == 0) return {};
 
   Timer total_timer;
   const IoStats io_before = pager_->stats();

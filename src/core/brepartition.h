@@ -1,9 +1,14 @@
 #ifndef BREP_CORE_BREPARTITION_H_
 #define BREP_CORE_BREPARTITION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bbtree/bbforest.h"
@@ -53,11 +58,19 @@ class BrePartition {
   /// the file and serve immediately; on a MemPager it enables a
   /// same-process Open() (used by tests).
   ///
-  /// Save appends a fresh catalog run and repoints the superblock at it;
-  /// a previous run is not reclaimed. The intended life cycle is
-  /// build-once / save-once / serve-many -- call it once per build, not as
-  /// a periodic checkpoint.
+  /// Save writes a fresh catalog run, repoints the superblock at it and
+  /// then frees the previous run (so repeated saves recycle pages instead
+  /// of growing the disk). Takes the update lock exclusively: the
+  /// committed catalog is always a consistent snapshot even while readers
+  /// and a writer are active.
   void Save() const;
+
+  /// Save, then page-copy this index (all pages, the committed catalog
+  /// reference and the free-list head) onto `out`, which must be a fresh
+  /// empty pager of the same page size. The whole sequence holds the
+  /// update lock exclusively, so the copy can never interleave with a
+  /// concurrent Insert/Delete and tear the written file.
+  void SaveTo(Pager* out) const;
 
   /// Re-attach to an index previously Save()d on `pager` with ZERO rebuild
   /// work: no cost-model fit, no PCCP, no point transform, no forest
@@ -76,13 +89,83 @@ class BrePartition {
   std::vector<Neighbor> KnnSearch(std::span<const double> y, size_t k,
                                   QueryStats* stats = nullptr) const;
 
+  /// Dynamic updates (the paper's future-work extension) ----------------
+  ///
+  /// Insert routes the raw point through the stored divergence transform
+  /// (Algorithm 2) into the tuple table, the point store and every
+  /// subspace tree; Delete tombstones it everywhere and poisons its tuple
+  /// row so the bound phase never selects it. Ids of deleted points are
+  /// reused by later inserts, keeping the tuple table dense. Both take the
+  /// exclusive side of update_mutex(), so they serialize against
+  /// QueryEngine readers (shared side); works on a reopened index too (no
+  /// data matrix required).
+
+  /// Outcome of a Delete (updates can be refused without aborting).
+  enum class UpdateOutcome : uint8_t { kApplied, kNotFound, kFrozen };
+
+  /// Insert a point; returns its assigned id, or nullopt when updates are
+  /// frozen (see FreezeUpdates). The point must be in the divergence
+  /// domain and have dim() coordinates (checked).
+  std::optional<uint32_t> Insert(std::span<const double> x);
+
+  /// Remove a live point by id.
+  UpdateOutcome Delete(uint32_t id);
+
+  /// Result of FreezeUpdates: whether THIS call performed the transition
+  /// (so only that caller may undo it on failure -- unfreezing on behalf
+  /// of an earlier, still-live view would unpin it).
+  enum class FreezeOutcome : uint8_t { kFroze, kAlreadyFrozen, kMutated };
+
+  /// Pin the index read-only on behalf of an approximate view, which
+  /// samples the construction-time data matrix and would silently describe
+  /// the wrong point set after updates. kMutated if the index has already
+  /// been mutated. The check and the freeze happen under one exclusive
+  /// lock acquisition, so no insert can slip between them.
+  FreezeOutcome FreezeUpdates() const;
+  /// Undo a FreezeUpdates that returned kFroze and whose caller failed to
+  /// construct its view.
+  void UnfreezeUpdates() const;
+
+  /// Whether `id` is currently indexed.
+  bool Contains(uint32_t id) const;
+
+  /// Lifetime update counters (under the update lock; exact).
+  uint64_t total_inserts() const;
+  uint64_t total_deletes() const;
+  /// Both counters under ONE lock acquisition: a consistent snapshot even
+  /// while a writer is streaming updates.
+  std::pair<uint64_t, uint64_t> update_totals() const;
+
+  /// Readers (QueryEngine, KnnSearch) hold this shared; Insert/Delete/Save
+  /// hold it exclusively. Exposed so the engine can align its read scope
+  /// with a whole batch (every query of a batch then observes one state).
+  std::shared_mutex& update_mutex() const { return update_mu_; }
+
+  /// Whole-index structural self-check: forest invariants (ball
+  /// containment, occupancy, counts, chunk tables), id-space consistency
+  /// (every id is live exactly-or tombstoned exactly-once), and pager page
+  /// accounting -- every page is referenced by exactly one structure
+  /// (store, a tree, the committed catalog) or sits on the free-list,
+  /// which must be acyclic. Aborts with a message on violation. Compiled
+  /// always; tests call it after every update batch and after Open.
+  void DebugCheckInvariants() const;
+
   size_t num_partitions() const { return partitions_.size(); }
   const Partitioning& partitioning() const { return partitions_; }
   const CostModelFit& cost_model() const { return fit_; }
   const BBForest& forest() const { return *forest_; }
   const BregmanDivergence& divergence() const { return div_; }
-  /// Number of indexed points (available with or without a data matrix).
-  size_t num_points() const { return transformed_.num_points(); }
+  /// Number of live indexed points (available with or without a data
+  /// matrix; decreases on Delete, increases on Insert). Atomic so the
+  /// facade's argument validation may read it without the update lock; a
+  /// value observed outside the lock is advisory (a racing writer may
+  /// change it before a query acquires the shared side -- the query paths
+  /// re-clamp k under the lock).
+  size_t num_points() const {
+    return live_points_.load(std::memory_order_relaxed);
+  }
+  /// Size of the id space: ids in [0, id_space()) are live or tombstoned.
+  size_t id_space() const { return transformed_.num_points(); }
   /// Whether the raw data matrix is attached (false after Open()).
   bool has_data() const { return data_ != nullptr; }
   const Matrix& data() const;
@@ -109,6 +192,9 @@ class BrePartition {
   /// Open() path: remaining members are filled from the decoded catalog.
   explicit BrePartition(BregmanDivergence div) : div_(std::move(div)) {}
 
+  /// Catalog serialization + commit; caller holds the update lock.
+  void SaveLocked() const;
+
   Pager* pager_ = nullptr;
   const Matrix* data_ = nullptr;
   BregmanDivergence div_;
@@ -118,6 +204,17 @@ class BrePartition {
   std::vector<BregmanDivergence> sub_divs_;
   TransformedDataset transformed_;
   std::unique_ptr<BBForest> forest_;
+  /// Tombstoned ids available for reuse (last deleted first).
+  std::vector<uint32_t> free_ids_;
+  /// Mutated under the exclusive lock; readable lock-free (see
+  /// num_points()).
+  std::atomic<size_t> live_points_{0};
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+  /// Set by FreezeUpdates (approximate views); guarded by update_mu_.
+  mutable bool updates_frozen_ = false;
+  /// Readers shared, writers exclusive (see update_mutex()).
+  mutable std::shared_mutex update_mu_;
 };
 
 }  // namespace brep

@@ -18,6 +18,10 @@ namespace brep {
 /// caches and evict each other in schedule-dependent order.
 struct EngineStats {
   uint64_t queries = 0;
+  /// Write lanes: completed Insert/Delete calls (façade mutations routed
+  /// through the serving layer's exclusive lock).
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
   uint64_t io_reads = 0;
   uint64_t candidates = 0;
   uint64_t nodes_visited = 0;

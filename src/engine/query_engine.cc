@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <shared_mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -162,11 +163,18 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
 std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
                                              size_t k,
                                              QueryStats* stats) const {
+  // Shared against Index::Insert/Delete (exclusive side): the whole call
+  // -- batches included -- observes one consistent index state.
+  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
   BREP_CHECK(y.size() == index_->divergence().dim());
-  BREP_CHECK(k >= 1 && k <= index_->num_points());
+  BREP_CHECK(k >= 1);
+  // Clamp under the lock: a writer may have shrunk the index between the
+  // caller's validation and this acquisition (benign race, not an abort).
+  k = std::min(k, index_->num_points());
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};
+  if (k == 0) return {};
 
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
@@ -180,6 +188,9 @@ std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
 std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
                                                double radius,
                                                QueryStats* stats) const {
+  // Shared against Index::Insert/Delete (exclusive side): the whole call
+  // -- batches included -- observes one consistent index state.
+  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
   BREP_CHECK(y.size() == index_->divergence().dim());
   BREP_CHECK(radius >= 0.0);
   QueryStats local;
@@ -197,10 +208,18 @@ std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
 
 std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
     const Matrix& queries, size_t k, EngineStats* stats) const {
+  // Shared against Index::Insert/Delete (exclusive side): the whole call
+  // -- batches included -- observes one consistent index state.
+  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
   BREP_CHECK(queries.cols() == index_->divergence().dim());
-  BREP_CHECK(k >= 1 && k <= index_->num_points());
+  BREP_CHECK(k >= 1);
+  k = std::min(k, index_->num_points());  // benign-race clamp, as above
   const size_t n = queries.rows();
   std::vector<std::vector<Neighbor>> results(n);
+  if (k == 0) {
+    if (stats != nullptr) *stats = EngineStats{};
+    return results;
+  }
 
   agg_.Reset();
   const IoStats io_before = index_->pager()->stats();
@@ -225,6 +244,9 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
 
 std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
     const Matrix& queries, double radius, EngineStats* stats) const {
+  // Shared against Index::Insert/Delete (exclusive side): the whole call
+  // -- batches included -- observes one consistent index state.
+  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
   BREP_CHECK(queries.cols() == index_->divergence().dim());
   BREP_CHECK(radius >= 0.0);
   const size_t n = queries.rows();

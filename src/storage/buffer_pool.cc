@@ -51,6 +51,14 @@ const PageBuffer& BufferPool::Read(PageId id) {
   return *last_read_;
 }
 
+void BufferPool::Invalidate(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
 void BufferPool::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

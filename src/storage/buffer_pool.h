@@ -48,6 +48,11 @@ class BufferPool {
   /// its bytes). Concurrent callers must use ReadPinned() instead.
   const PageBuffer& Read(PageId id);
 
+  /// Drop one cached page (the write path calls this after mutating a
+  /// page, so no reader ever sees a stale image). Outstanding pins keep
+  /// their bytes.
+  void Invalidate(PageId id);
+
   /// Drop all cached pages (e.g. after out-of-band writes). Outstanding
   /// pins keep their bytes.
   void InvalidateAll();

@@ -97,6 +97,8 @@ bool FilePager::WriteSuperblock() {
   w.Value<uint32_t>(catalog().first_page);
   w.Value<uint32_t>(catalog().num_pages);
   w.Value<uint64_t>(catalog().num_bytes);
+  w.Value<uint32_t>(free_list_head());
+  w.Value<uint64_t>(num_free_pages());
   w.Value<uint64_t>(Fnv1a64(w.bytes()));
   std::vector<uint8_t> block = w.Take();
   BREP_CHECK(block.size() <= kSuperblockBytes);
@@ -161,6 +163,8 @@ std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
   catalog.first_page = r.Value<uint32_t>();
   catalog.num_pages = r.Value<uint32_t>();
   catalog.num_bytes = r.Value<uint64_t>();
+  const PageId free_head = r.Value<uint32_t>();
+  const uint64_t free_count = r.Value<uint64_t>();
   const size_t checked_bytes = kSuperblockBytes - r.remaining();
   const uint64_t stored_sum = r.Value<uint64_t>();
 
@@ -218,6 +222,41 @@ std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
   pager->set_num_pages(num_pages);
   pager->grown_pages_ = num_pages;
   if (catalog.num_pages > 0) pager->set_catalog(catalog);
+
+  // Free-list: validate the superblock fields and walk the whole on-disk
+  // chain before adopting it. FNV-1a is not cryptographic, so Allocate()
+  // must never be the first place a corrupted chain is discovered -- that
+  // path aborts, this one reports a clean error.
+  if ((free_head == kInvalidPageId) != (free_count == 0) ||
+      free_count > num_pages ||
+      (free_head != kInvalidPageId && free_head >= num_pages)) {
+    SetError(error, path + ": invalid free-list in superblock");
+    return nullptr;
+  }
+  if (free_count > 0) {
+    std::vector<bool> seen(num_pages, false);
+    PageBuffer buf(page_size);
+    PageId cursor = free_head;
+    for (uint64_t i = 0; i < free_count; ++i) {
+      if (cursor == kInvalidPageId || cursor >= num_pages || seen[cursor]) {
+        SetError(error, path + ": corrupted free-list chain");
+        return nullptr;
+      }
+      seen[cursor] = true;
+      pager->DoRead(cursor, buf.data());
+      PageId next = kInvalidPageId;
+      if (!ParseFreePageRecord(buf, &next)) {
+        SetError(error, path + ": corrupted free-list page record");
+        return nullptr;
+      }
+      cursor = next;
+    }
+    if (cursor != kInvalidPageId) {
+      SetError(error, path + ": corrupted free-list chain (count mismatch)");
+      return nullptr;
+    }
+    pager->RestoreFreeList(free_head, free_count);
+  }
   return pager;
 }
 

@@ -17,8 +17,14 @@ namespace brep {
 /// File layout:
 ///
 ///   [superblock: 4096 bytes]  magic, format version, page size, page
-///                             count, catalog reference, FNV-1a checksum
+///                             count, catalog reference, free-list head +
+///                             count, FNV-1a checksum
 ///   [page 0][page 1]...       page i at byte 4096 + i * page_size
+///
+/// Freed pages (Pager::Free) stay in the file as checksummed free-page
+/// records chained from the superblock's free-list head; Open() walks and
+/// validates the whole chain before trusting it, so a corrupted free-list
+/// is a clean open error, never a crash on a later Allocate().
 ///
 /// Reads are positioned (pread) at page-aligned offsets, so any number of
 /// threads may Read() concurrently -- the same contract as MemPager.
@@ -32,7 +38,8 @@ namespace brep {
 class FilePager final : public Pager {
  public:
   /// On-disk format version; bumped on any incompatible layout change.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2 added the persistent free-list (head + count in the superblock).
+  static constexpr uint32_t kFormatVersion = 2;
 
   /// Create (truncating any existing file) a fresh paged file.
   /// Returns nullptr and sets `*error` on filesystem failure.

@@ -2,18 +2,105 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/check.h"
+#include "storage/serial.h"
 
 namespace brep {
+namespace {
+
+// "BREPFREE" as a little-endian u64: marks a page that is on the free-list.
+constexpr uint64_t kFreePageMagic = 0x4545524650455242ull;
+// [magic u64][next u32][fnv1a64 over the previous 12 bytes].
+constexpr size_t kFreeRecordBytes = 8 + 4 + 8;
+
+void EncodeFreeRecord(uint8_t* out, PageId next) {
+  std::memcpy(out, &kFreePageMagic, 8);
+  std::memcpy(out + 8, &next, 4);
+  const uint64_t sum = Fnv1a64(std::span<const uint8_t>(out, 12));
+  std::memcpy(out + 12, &sum, 8);
+}
+
+}  // namespace
+
+bool Pager::ParseFreePageRecord(std::span<const uint8_t> page_bytes,
+                                PageId* next) {
+  if (page_bytes.size() < kFreeRecordBytes) return false;
+  const uint8_t* bytes = page_bytes.data();
+  uint64_t magic = 0;
+  std::memcpy(&magic, bytes, 8);
+  if (magic != kFreePageMagic) return false;
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes + 12, 8);
+  if (stored != Fnv1a64(std::span<const uint8_t>(bytes, 12))) return false;
+  std::memcpy(next, bytes + 8, 4);
+  return true;
+}
 
 Pager::Pager(size_t page_size_bytes) : page_size_(page_size_bytes) {
   BREP_CHECK(page_size_ >= 64);
 }
 
+PageId Pager::GrowRun(size_t n) {
+  DoGrow(num_pages_ + n);
+  const PageId first = static_cast<PageId>(num_pages_);
+  num_pages_ += n;
+  return first;
+}
+
 PageId Pager::Allocate() {
-  DoGrow(num_pages_ + 1);
-  return static_cast<PageId>(num_pages_++);
+  if (free_head_ == kInvalidPageId) return GrowRun(1);
+  const PageId id = free_head_;
+  PageBuffer buf(page_size_);
+  DoRead(id, buf.data());
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  PageId next = kInvalidPageId;
+  BREP_CHECK_MSG(ParseFreePageRecord(buf, &next),
+                 "corrupted free-list page record");
+  BREP_CHECK_MSG(next == kInvalidPageId || next < num_pages_,
+                 "corrupted free-list page record (next out of range)");
+  free_head_ = next;
+  --free_count_;
+  Write(id, {});  // Allocate's contract: the page comes back zeroed
+  return id;
+}
+
+void Pager::Free(PageId id) {
+  BREP_CHECK(id < num_pages_);
+  std::vector<uint8_t> record(kFreeRecordBytes);
+  EncodeFreeRecord(record.data(), free_head_);
+  Write(id, record);
+  free_head_ = id;
+  ++free_count_;
+}
+
+std::vector<PageId> Pager::FreePageIds() const {
+  std::vector<PageId> ids;
+  ids.reserve(free_count_);
+  PageBuffer buf;
+  PageId cursor = free_head_;
+  while (cursor != kInvalidPageId) {
+    BREP_CHECK_MSG(cursor < num_pages_, "free-list page out of range");
+    BREP_CHECK_MSG(ids.size() < free_count_, "free-list longer than its "
+                                             "recorded count (cycle?)");
+    ids.push_back(cursor);
+    Read(cursor, &buf);
+    PageId next = kInvalidPageId;
+    BREP_CHECK_MSG(ParseFreePageRecord(buf, &next),
+                   "corrupted free-list page record");
+    cursor = next;
+  }
+  BREP_CHECK_MSG(ids.size() == free_count_,
+                 "free-list shorter than its recorded count");
+  return ids;
+}
+
+void Pager::RestoreFreeList(PageId head, uint64_t count) {
+  BREP_CHECK((head == kInvalidPageId) == (count == 0));
+  BREP_CHECK(head == kInvalidPageId || head < num_pages_);
+  free_head_ = head;
+  free_count_ = count;
 }
 
 void Pager::Write(PageId id, std::span<const uint8_t> data) {
@@ -30,16 +117,70 @@ void Pager::Read(PageId id, PageBuffer* out) const {
   reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
+PageId Pager::AllocateRun(size_t n) {
+  if (free_count_ >= n) {
+    const std::vector<PageId> chain = FreePageIds();  // head-first order
+    std::vector<PageId> sorted = chain;
+    std::sort(sorted.begin(), sorted.end());
+    // First run of n consecutive ids.
+    size_t run_len = 1;
+    size_t found_end = sorted.size();  // index of the run's last element
+    if (n == 1) {
+      found_end = 0;
+    } else {
+      for (size_t i = 1; i < sorted.size(); ++i) {
+        run_len = sorted[i] == sorted[i - 1] + 1 ? run_len + 1 : 1;
+        if (run_len >= n) {
+          found_end = i;
+          break;
+        }
+      }
+    }
+    if (found_end < sorted.size()) {
+      const PageId first = sorted[found_end] - static_cast<PageId>(n) + 1;
+      // Splice the run out of the chain, rewriting only the records whose
+      // successor actually changed (the run members are scattered through
+      // the chain, so this is O(run) writes, not O(free-list)).
+      const auto in_run = [&](PageId id) {
+        return id >= first && id < first + n;
+      };
+      std::vector<PageId> kept;
+      kept.reserve(chain.size() - n);
+      std::unordered_map<PageId, PageId> old_next;
+      old_next.reserve(chain.size());
+      for (size_t i = 0; i < chain.size(); ++i) {
+        old_next[chain[i]] =
+            i + 1 < chain.size() ? chain[i + 1] : kInvalidPageId;
+        if (!in_run(chain[i])) kept.push_back(chain[i]);
+      }
+      std::vector<uint8_t> record(kFreeRecordBytes);
+      for (size_t i = 0; i < kept.size(); ++i) {
+        const PageId want =
+            i + 1 < kept.size() ? kept[i + 1] : kInvalidPageId;
+        if (old_next[kept[i]] != want) {
+          EncodeFreeRecord(record.data(), want);
+          Write(kept[i], record);
+        }
+      }
+      free_head_ = kept.empty() ? kInvalidPageId : kept.front();
+      free_count_ = kept.size();
+      return first;
+    }
+  }
+  return GrowRun(n);
+}
+
 std::vector<PageId> Pager::WriteBlob(std::span<const uint8_t> bytes) {
-  std::vector<PageId> ids;
+  const size_t n =
+      std::max<size_t>(1, (bytes.size() + page_size_ - 1) / page_size_);
+  const PageId first = AllocateRun(n);
+  std::vector<PageId> ids(n);
   size_t offset = 0;
-  while (offset < bytes.size() || ids.empty()) {
+  for (size_t i = 0; i < n; ++i) {
     const size_t chunk = std::min(page_size_, bytes.size() - offset);
-    const PageId id = Allocate();
-    Write(id, bytes.subspan(offset, chunk));
-    ids.push_back(id);
+    ids[i] = static_cast<PageId>(first + i);
+    Write(ids[i], bytes.subspan(offset, chunk));
     offset += chunk;
-    if (chunk == 0) break;  // empty blob still gets one page
   }
   return ids;
 }

@@ -52,8 +52,40 @@ class Pager {
   size_t page_size() const { return page_size_; }
   size_t num_pages() const { return num_pages_; }
 
-  /// Allocate a new zeroed page and return its id.
+  /// Allocate a zeroed page and return its id. Freed pages are reused
+  /// first (popped off the persistent free-list, costing one read to fetch
+  /// the next-pointer and one write to zero the page); only when the list
+  /// is empty does the backing store grow.
   PageId Allocate();
+
+  /// Return a page to the free-list for a later Allocate() to reuse. The
+  /// page's contents are replaced by a checksummed free-page record (magic,
+  /// next pointer), so the list itself lives on the disk and survives a
+  /// Save/Open round trip; the superblock (FilePager) persists only the
+  /// head and count.
+  void Free(PageId id);
+
+  /// Head of the free-list (kInvalidPageId when empty) and its length.
+  PageId free_list_head() const { return free_head_; }
+  uint64_t num_free_pages() const { return free_count_; }
+
+  /// Walk the free-list and return every page on it, head first. Aborts
+  /// with a message on a corrupted list (bad record checksum, cycle, out of
+  /// range) -- this is the invariant-checking view; FilePager::Open
+  /// performs the same walk with clean errors before trusting a file.
+  std::vector<PageId> FreePageIds() const;
+
+  /// Adopt a free-list restored from persistent state (FilePager::Open) or
+  /// carried over by a page-for-page copy of another disk (Index::Save).
+  /// The records themselves must already be present in the pages.
+  void RestoreFreeList(PageId head, uint64_t count);
+
+  /// Decode the next-pointer of a free-page record from raw page bytes;
+  /// false if the bytes are not a valid record (wrong magic or checksum).
+  /// Exposed so FilePager::Open can validate a file's free-list chain with
+  /// clean errors before adopting it.
+  static bool ParseFreePageRecord(std::span<const uint8_t> page_bytes,
+                                  PageId* next);
 
   /// Overwrite a page. `data.size()` must not exceed the page size; shorter
   /// writes zero-fill the remainder. Counts one write.
@@ -62,8 +94,13 @@ class Pager {
   /// Read a page into `out` (resized to page size). Counts one read.
   void Read(PageId id, PageBuffer* out) const;
 
-  /// Store an arbitrary-length blob across freshly allocated pages; returns
-  /// the page ids in order. Counts one write per page.
+  /// Store an arbitrary-length blob across a contiguous run of pages;
+  /// returns the page ids in order. Counts one write per page. The run is
+  /// carved out of the free-list when it holds enough CONSECUTIVE ids
+  /// (CatalogRef addresses the run as first_page + num_pages, so scattered
+  /// reused pages would not do) and grown fresh otherwise -- repeated
+  /// Save()s therefore recycle the previous catalog run instead of growing
+  /// the disk monotonically.
   std::vector<PageId> WriteBlob(std::span<const uint8_t> bytes);
 
   /// Read back a blob of `size` bytes spanning `ids`. Counts one read per
@@ -103,9 +140,20 @@ class Pager {
   void set_catalog(const CatalogRef& ref) { catalog_ = ref; }
 
  private:
+  /// Allocate `n` brand-new consecutive page ids (never from the
+  /// free-list); the contiguity is what WriteBlob's callers rely on.
+  PageId GrowRun(size_t n);
+
+  /// Allocate `n` consecutive page ids: a run carved out of the free-list
+  /// when one exists, a fresh GrowRun otherwise. The returned pages are
+  /// NOT zeroed (callers overwrite every page).
+  PageId AllocateRun(size_t n);
+
   size_t page_size_;
   size_t num_pages_ = 0;
   CatalogRef catalog_;
+  PageId free_head_ = kInvalidPageId;
+  uint64_t free_count_ = 0;
   mutable std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
 };

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/matrix.h"
@@ -25,12 +26,17 @@ struct PointAddress {
 
 /// Serializable description of a point store's on-disk placement: enough to
 /// re-attach to the same pages with zero writes (see the attach constructor).
+/// `slots` has data_pages.size() * points_per_page entries, page-major: the
+/// id stored in that slot, or kNoPoint for an empty (never-filled or
+/// tombstoned) slot. `data_pages` entries freed back to the pager are
+/// kInvalidPageId (all their slots are kNoPoint).
 struct PointStoreLayout {
   uint64_t dim = 0;
-  /// Data pages in layout order.
+  /// Size of the id space: ids in [0, id_space) either occupy a slot or are
+  /// tombstoned (deleted, available for reuse by the layer above).
+  uint64_t id_space = 0;
   std::vector<PageId> data_pages;
-  /// Point ids in slot order (the layout permutation), page after page.
-  std::vector<uint32_t> order;
+  std::vector<uint32_t> slots;
 };
 
 /// Stores the full-dimensional data points on the disk, packed in a
@@ -42,16 +48,27 @@ struct PointStoreLayout {
 /// touches few distinct pages. `FetchMany` reads each distinct page exactly
 /// once, which is what a real engine would do after sorting candidate
 /// addresses.
+///
+/// The store is mutable: `Append` places a new (or re-used) id into a free
+/// slot -- tombstoned slots first, then the tail of the last page, growing
+/// by one pager page (which Allocate serves from the free-list when
+/// possible) only when every slot is occupied. `Remove` tombstones a slot
+/// and returns a fully emptied page to the pager's free-list, so the file
+/// does not grow monotonically under insert/delete churn.
 class PointStore {
  public:
+  /// Sentinel in PointStoreLayout::slots / the slot tables: no point here.
+  static constexpr uint32_t kNoPoint = UINT32_MAX;
+
   /// Lay out `data` on `pager` with row `order[i]` placed in the i-th slot.
   /// `order` must be a permutation of [0, data.rows()); empty means identity.
   PointStore(Pager* pager, const Matrix& data,
              std::span<const uint32_t> order);
 
-  /// Re-attach to pages previously laid out by the writing constructor
-  /// (described by `layout()` of the original store). Performs no pager
-  /// writes: only the in-memory address tables are rebuilt.
+  /// Re-attach to pages previously laid out by the writing constructor or
+  /// mutated by Append/Remove (described by `layout()` of the original
+  /// store). Performs no pager writes: only the in-memory address tables
+  /// are rebuilt.
   PointStore(Pager* pager, const PointStoreLayout& layout);
 
   /// The placement description to persist for a later re-attach.
@@ -66,13 +83,32 @@ class PointStore {
   }
 
   size_t dim() const { return dim_; }
-  size_t num_points() const { return address_of_.size(); }
+  /// Number of live (non-tombstoned) points.
+  size_t num_points() const { return live_; }
+  /// Size of the id space (max id ever stored + 1; tombstoned ids count).
+  size_t id_space() const { return address_of_.size(); }
   size_t points_per_page() const { return points_per_page_; }
-  size_t num_data_pages() const { return data_pages_.size(); }
+  /// Data pages currently owned (freed pages excluded).
+  size_t num_data_pages() const { return page_index_of_.size(); }
+
+  /// Whether `id` is live (stored, not tombstoned).
+  bool Contains(uint32_t id) const {
+    return id < address_of_.size() &&
+           address_of_[id].page != kInvalidPageId;
+  }
 
   PointAddress AddressOf(uint32_t id) const { return address_of_[id]; }
 
-  /// Read one point (charges a read of its page).
+  /// Store `x` under `id`: either the next fresh id (== id_space()) or a
+  /// tombstoned id being reused. Costs one page read-modify-write (plus a
+  /// page allocation when no free slot exists).
+  void Append(uint32_t id, std::span<const double> x);
+
+  /// Tombstone a live point. A page whose last point is removed is returned
+  /// to the pager's free-list.
+  void Remove(uint32_t id);
+
+  /// Read one live point (charges a read of its page).
   void Fetch(uint32_t id, std::span<double> out) const;
 
   /// Fetch a batch: distinct pages are read once each, in ascending page
@@ -86,13 +122,41 @@ class PointStore {
   /// refinement, without actually fetching).
   size_t CountDistinctPages(std::span<const uint32_t> ids) const;
 
+  /// Pages currently referenced (for partition-level page accounting).
+  std::vector<PageId> LivePages() const;
+
+  /// Structural self-check: address table, slot tables, per-page live
+  /// counts and the free-slot pool must all agree. Aborts with a message on
+  /// violation. Compiled always; called from tests after update batches.
+  void DebugCheckInvariants() const;
+
  private:
+  /// A free slot, identified by index into data_pages_ (not PageId, so
+  /// freeing a page can drop its slots).
+  struct SlotRef {
+    uint32_t page_index;
+    uint16_t slot;
+  };
+
+  /// Append one fresh pager page worth of free slots.
+  void AddPage();
+  void WriteSlot(uint32_t page_index, uint16_t slot,
+                 std::span<const double> x);
+
   Pager* pager_;
   size_t dim_;
   size_t points_per_page_;
-  std::vector<PointAddress> address_of_;        // by point id
-  std::vector<PageId> data_pages_;              // in layout order
-  std::vector<std::vector<uint32_t>> page_ids_;  // page index -> ids by slot
+  size_t live_ = 0;
+  std::vector<PointAddress> address_of_;         // by point id
+  std::vector<PageId> data_pages_;               // slot-table order
+  std::vector<std::vector<uint32_t>> page_slots_;  // page idx -> slot -> id
+  std::vector<uint32_t> page_live_;              // page idx -> live points
+  std::unordered_map<PageId, uint32_t> page_index_of_;
+  std::vector<SlotRef> free_slots_;
+  /// data_pages_ indices whose page was returned to the pager; AddPage
+  /// reclaims these, so churn does not grow the slot table (and with it
+  /// every Save's serialized layout) monotonically.
+  std::vector<uint32_t> retired_entries_;
 };
 
 }  // namespace brep

@@ -93,6 +93,47 @@ TEST(FilePagerTest, BlobAndCatalogSurviveReopen) {
   std::remove(path.c_str());
 }
 
+TEST(FilePagerTest, FreeListSurvivesReopen) {
+  const std::string path = TempPath("freelist.idx");
+  PageId freed_a = 0, freed_b = 0;
+  {
+    auto pager = FilePager::Create(path, 128);
+    ASSERT_NE(pager, nullptr);
+    for (int i = 0; i < 4; ++i) pager->Allocate();
+    freed_a = 1;
+    freed_b = 3;
+    pager->Free(freed_a);
+    pager->Free(freed_b);
+    pager->Sync();
+  }
+  std::string error;
+  auto pager = FilePager::Open(path, &error);
+  ASSERT_NE(pager, nullptr) << error;
+  EXPECT_EQ(pager->num_free_pages(), 2u);
+  EXPECT_EQ(pager->FreePageIds(), (std::vector<PageId>{freed_b, freed_a}));
+  // Allocation in the reopened file pops the restored chain.
+  EXPECT_EQ(pager->Allocate(), freed_b);
+  EXPECT_EQ(pager->Allocate(), freed_a);
+  EXPECT_EQ(pager->num_pages(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(FilePagerTest, CorruptedFreePageRecordFailsCleanly) {
+  const std::string path = TempPath("freerec.idx");
+  {
+    auto pager = FilePager::Create(path, 128);
+    ASSERT_NE(pager, nullptr);
+    for (int i = 0; i < 3; ++i) pager->Allocate();
+    pager->Free(1);
+    pager->Sync();
+  }
+  CorruptByte(path, 4096 + 1 * 128 + 3);  // inside page 1's free record
+  std::string error;
+  EXPECT_EQ(FilePager::Open(path, &error), nullptr);
+  EXPECT_NE(error.find("free-list page record"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
 TEST(FilePagerTest, OpenMissingFileFailsCleanly) {
   std::string error;
   auto pager = FilePager::Open(TempPath("does_not_exist.idx"), &error);
@@ -170,6 +211,8 @@ TEST(FilePagerTest, AbsurdPageGeometryWithValidChecksumFailsCleanly) {
     w.Value<uint64_t>(num_pages);
     w.Value<uint32_t>(kInvalidPageId);  // no catalog
     w.Value<uint32_t>(0);
+    w.Value<uint64_t>(0);
+    w.Value<uint32_t>(kInvalidPageId);  // empty free-list
     w.Value<uint64_t>(0);
     w.Value<uint64_t>(Fnv1a64(w.bytes()));
     std::vector<uint8_t> block = w.Take();

@@ -92,6 +92,64 @@ TEST(PagerTest, BlobExactPageMultiple) {
   EXPECT_EQ(pager.ReadBlob(ids, 128), blob);
 }
 
+TEST(PagerTest, FreedPagesAreReusedLifo) {
+  MemPager pager(64);
+  const PageId a = pager.Allocate();
+  const PageId b = pager.Allocate();
+  const PageId c = pager.Allocate();
+  EXPECT_EQ(pager.num_free_pages(), 0u);
+  pager.Free(a);
+  pager.Free(c);
+  EXPECT_EQ(pager.num_free_pages(), 2u);
+  EXPECT_EQ(pager.free_list_head(), c);
+  EXPECT_EQ(pager.FreePageIds(), (std::vector<PageId>{c, a}));
+  // Reuse pops the most recently freed page first and zeroes it.
+  EXPECT_EQ(pager.Allocate(), c);
+  PageBuffer buf;
+  pager.Read(c, &buf);
+  for (uint8_t byte : buf) EXPECT_EQ(byte, 0);
+  EXPECT_EQ(pager.Allocate(), a);
+  EXPECT_EQ(pager.num_free_pages(), 0u);
+  // The list is drained: the next allocation grows the disk again.
+  EXPECT_EQ(pager.Allocate(), 3u);
+  EXPECT_EQ(pager.num_pages(), 4u);
+  (void)b;
+}
+
+TEST(PagerTest, WriteBlobCarvesContiguousRunsFromTheFreeList) {
+  MemPager pager(64);
+  std::vector<PageId> run = pager.WriteBlob(std::vector<uint8_t>(64 * 3, 1));
+  const PageId extra = pager.Allocate();
+  const size_t total = pager.num_pages();
+  // Free the run (any order) and one more page that is not adjacent.
+  pager.Free(run[1]);
+  pager.Free(extra);
+  pager.Free(run[0]);
+  pager.Free(run[2]);
+  // A 3-page blob must reuse the contiguous run, not grow the file.
+  std::vector<uint8_t> blob(64 * 3);
+  for (size_t i = 0; i < blob.size(); ++i) blob[i] = uint8_t(i * 7);
+  const std::vector<PageId> again = pager.WriteBlob(blob);
+  EXPECT_EQ(again, run);
+  EXPECT_EQ(pager.num_pages(), total);
+  EXPECT_EQ(pager.ReadBlob(again, blob.size()), blob);
+  // The non-adjacent page stayed on the list.
+  EXPECT_EQ(pager.FreePageIds(), (std::vector<PageId>{extra}));
+}
+
+TEST(PagerTest, WriteBlobGrowsWhenNoContiguousRunExists) {
+  MemPager pager(64);
+  const PageId a = pager.Allocate();
+  (void)pager.Allocate();  // keeps a and c non-adjacent
+  const PageId c = pager.Allocate();
+  pager.Free(a);
+  pager.Free(c);
+  const size_t before = pager.num_pages();
+  const auto ids = pager.WriteBlob(std::vector<uint8_t>(64 * 2, 9));
+  EXPECT_EQ(ids.front(), static_cast<PageId>(before));  // fresh run
+  EXPECT_EQ(pager.num_free_pages(), 2u);  // scattered pages untouched
+}
+
 TEST(PagerDeathTest, RejectsTinyPageSize) {
   EXPECT_DEATH(MemPager(8), "page_size");
 }

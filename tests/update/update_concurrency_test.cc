@@ -1,0 +1,158 @@
+/// Writer/reader concurrency over the facade: one thread streams
+/// Insert/Delete through brep::Index while Index::Parallel(4) readers run
+/// batched kNN. Updates take the index's exclusive lock and each batch
+/// holds the shared side for its whole duration, so every batch must
+/// observe a CONSISTENT snapshot: its results must equal the oracle's
+/// answer at some prefix of the update sequence (and all queries of one
+/// batch must agree on that prefix). Runs under TSan in CI.
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "common/rng.h"
+#include "core/brepartition.h"
+#include "test_util.h"
+#include "update/update_test_util.h"
+
+namespace brep {
+namespace {
+
+using testing::LinearScanOracle;
+
+TEST(UpdateConcurrencyTest, BatchedReadersObservePrefixConsistentSnapshots) {
+  constexpr size_t kDim = 8;
+  constexpr size_t kOps = 160;
+  constexpr size_t kK = 3;
+  const Matrix pool = testing::MakeDataFor("squared_l2", 1000, kDim, 0xC0);
+  const Matrix initial(
+      120, kDim,
+      std::vector<double>(pool.data().begin(),
+                          pool.data().begin() + 120 * kDim));
+  auto built = IndexBuilder("squared_l2")
+                   .Partitions(4)
+                   .PageSize(1024)
+                   .MaxLeafSize(16)
+                   .Build(initial);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  Index index = *std::move(built);
+  auto parallel = index.Parallel(4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", pool, 4);
+
+  // snapshots[i]: the live point set after the first i updates completed.
+  // Only the writer appends while readers run; the reader validates after
+  // join() (which orders all writes before the reads below).
+  const BregmanDivergence div = index.divergence();
+  std::vector<std::map<uint32_t, std::vector<double>>> snapshots;
+  {
+    std::map<uint32_t, std::vector<double>> s0;
+    for (uint32_t id = 0; id < 120; ++id) {
+      const auto row = initial.Row(id);
+      s0[id].assign(row.begin(), row.end());
+    }
+    snapshots.push_back(std::move(s0));
+  }
+
+  // The writer must set `done` on EVERY exit path -- a gtest fatal
+  // assertion inside the lambda would otherwise leave the reader loop
+  // below spinning forever and hang CI instead of reporting the failure.
+  std::atomic<bool> done{false};
+  std::string writer_error;
+  std::thread writer([&] {
+    Rng rng(0xC0FFEE);
+    std::vector<uint32_t> live_ids(120);
+    for (uint32_t id = 0; id < 120; ++id) live_ids[id] = id;
+    size_t cursor = 120;
+    auto state = snapshots.front();
+    for (size_t op = 0; op < kOps; ++op) {
+      // Keep at least kK live points so reader batches stay valid.
+      const bool do_delete =
+          live_ids.size() > 16 && rng.NextBelow(2) == 0;
+      if (do_delete) {
+        const size_t pick = rng.NextBelow(live_ids.size());
+        const uint32_t id = live_ids[pick];
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+        const Status st = index.Delete(id);
+        if (!st.ok()) {
+          writer_error = "Delete failed at op " + std::to_string(op) + ": " +
+                         st.message();
+          break;
+        }
+        state.erase(id);
+      } else {
+        const auto x = pool.Row(cursor++);
+        const auto id = index.Insert(x);
+        if (!id.ok()) {
+          writer_error = "Insert failed at op " + std::to_string(op) + ": " +
+                         id.status().message();
+          break;
+        }
+        live_ids.push_back(*id);
+        state[*id].assign(x.begin(), x.end());
+      }
+      snapshots.push_back(state);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Reader loop on this thread; results validated post-join against the
+  // full snapshot list (a read may complete before the writer records the
+  // matching snapshot, never after it is dropped -- nothing is dropped).
+  std::vector<std::vector<std::vector<Neighbor>>> reads;
+  while (!done.load(std::memory_order_acquire)) {
+    auto batch = parallel->KnnBatch(queries, kK);
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    reads.push_back(*std::move(batch));
+    std::this_thread::yield();  // let the writer take the exclusive lock
+  }
+  writer.join();
+  ASSERT_TRUE(writer_error.empty()) << writer_error;
+
+  auto matches = [&](const std::vector<std::vector<Neighbor>>& read,
+                     const std::map<uint32_t, std::vector<double>>& snapshot) {
+    LinearScanOracle oracle(div);
+    for (const auto& [id, x] : snapshot) oracle.Insert(id, x);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      const auto want = oracle.Knn(queries.Row(q), kK);
+      if (read[q].size() != want.size()) return false;
+      for (size_t i = 0; i < want.size(); ++i) {
+        if (read[q][i].id != want[i].id ||
+            read[q][i].distance != want[i].distance) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  ASSERT_FALSE(reads.empty());
+  // Reads are temporally ordered and prefixes only grow, so the matching
+  // prefix index is non-decreasing -- resume each scan where the previous
+  // read matched.
+  size_t start = 0;
+  for (size_t r = 0; r < reads.size(); ++r) {
+    bool found = false;
+    for (size_t s = start; s < snapshots.size(); ++s) {
+      if (matches(reads[r], snapshots[s])) {
+        found = true;
+        start = s;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "batch " << r
+                       << " saw a torn (non-prefix-consistent) state";
+    if (!found) break;
+  }
+
+  index.impl().DebugCheckInvariants();
+}
+
+}  // namespace
+}  // namespace brep

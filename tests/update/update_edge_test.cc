@@ -1,0 +1,200 @@
+/// Update edge cases: delete down to an empty tree then re-insert (memory
+/// and disk trees -- the previously latent BBTree::Delete edge left a dead
+/// skeleton behind), and the facade's update argument validation.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "api/search_index.h"
+#include "baselines/linear_scan.h"
+#include "bbtree/bbtree.h"
+#include "core/brepartition.h"
+#include "storage/pager.h"
+#include "test_util.h"
+#include "update/update_test_util.h"
+
+namespace brep {
+namespace {
+
+using testing::LinearScanOracle;
+
+TEST(BBTreeEmptyTreeTest, DeleteToEmptyResetsTheSkeleton) {
+  const Matrix data = testing::MakeDataFor("squared_l2", 200, 6);
+  const BregmanDivergence div = MakeDivergence("squared_l2", 6);
+  BBTreeConfig config;
+  config.max_leaf_size = 8;
+  BBTree tree(data, div, config);
+  ASSERT_GT(tree.nodes().size(), 1u);
+
+  for (uint32_t id = 0; id < 200; ++id) ASSERT_TRUE(tree.Delete(id));
+  EXPECT_EQ(tree.size(), 0u);
+  // The latent edge: the dead skeleton used to survive, so every search
+  // kept walking all stale nodes. An empty tree must be truly empty.
+  EXPECT_TRUE(tree.nodes().empty());
+  EXPECT_EQ(tree.KnnSearch(data.Row(0), 3).size(), 0u);
+  EXPECT_EQ(tree.RangeSearch(data.Row(0), 1.0).size(), 0u);
+  EXPECT_EQ(tree.LeafOrder().size(), 0u);
+  EXPECT_FALSE(tree.Delete(0));  // double delete still cleanly fails
+
+  // Re-insert everything: exactness must match brute force, and the first
+  // re-inserted point must not inherit a ball centered on long-gone data
+  // (its leaf ball is centered on the point itself with radius 0).
+  for (uint32_t id = 0; id < 200; ++id) tree.Insert(id);
+  EXPECT_EQ(tree.size(), 200u);
+  const LinearScan scan(data, div);
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 6);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto got = tree.KnnSearch(queries.Row(q), 10);
+    const auto want = scan.KnnSearch(queries.Row(q), 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].distance, want[i].distance);
+    }
+  }
+  // Containment invariant after the rebuild-by-inserts.
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) continue;
+    for (uint32_t id : node.ids) {
+      EXPECT_LE(div.Divergence(data.Row(id), node.ball.center),
+                node.ball.radius);
+    }
+  }
+}
+
+TEST(BBTreeEmptyTreeTest, SinglePointTreeSurvivesDeleteReinsertCycles) {
+  const Matrix data = testing::MakeDataFor("itakura_saito", 5, 4);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", 4);
+  BBTreeConfig config;
+  const Matrix one = data.Truncated(1);
+  BBTree tree(one, div, config);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(tree.Delete(0));
+    EXPECT_EQ(tree.size(), 0u);
+    tree.Insert(0);
+    EXPECT_EQ(tree.size(), 1u);
+    const auto r = tree.KnnSearch(one.Row(0), 1);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].id, 0u);
+    EXPECT_EQ(r[0].distance, 0.0);
+  }
+}
+
+TEST(UpdateFacadeTest, DiskTreesSurviveDeleteToEmptyAndRefill) {
+  // Facade-level version of the same edge: the disk trees collapse to
+  // root == kNoNode, return their chunk pages, and rebuild from inserts.
+  constexpr size_t kDim = 8;
+  const Matrix pool = testing::MakeDataFor("exponential", 300, kDim, 0xED);
+  const Matrix initial(
+      60, kDim,
+      std::vector<double>(pool.data().begin(),
+                          pool.data().begin() + 60 * kDim));
+  auto built = IndexBuilder("exponential")
+                   .Partitions(4)
+                   .PageSize(1024)
+                   .MaxLeafSize(8)
+                   .Build(initial);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  Index index = *std::move(built);
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    // Down to empty...
+    for (uint32_t id = 0; id < 60; ++id) {
+      ASSERT_TRUE(index.Delete(id).ok()) << "cycle " << cycle << " id " << id;
+    }
+    EXPECT_EQ(index.num_points(), 0u);
+    index.impl().DebugCheckInvariants();
+    EXPECT_EQ(index.Knn(pool.Row(0), 1).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(index.Range(pool.Row(0), 1.0)->size(), 0u);
+    // ... and back up, re-using the same ids.
+    LinearScanOracle oracle(index.divergence());
+    for (uint32_t i = 0; i < 60; ++i) {
+      const auto x = initial.Row(i);
+      const auto id = index.Insert(x);
+      ASSERT_TRUE(id.ok()) << id.status().message();
+      oracle.Insert(*id, x);
+    }
+    EXPECT_EQ(index.num_points(), 60u);
+    index.impl().DebugCheckInvariants();
+    for (size_t q = 0; q < 5; ++q) {
+      const auto y = pool.Row(100 + q);
+      const auto got = index.Knn(y, 5);
+      ASSERT_TRUE(got.ok());
+      const auto want = oracle.Knn(y, 5);
+      ASSERT_EQ(got->size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ((*got)[i].id, want[i].id);
+        EXPECT_EQ((*got)[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+TEST(UpdateFacadeTest, ValidatesArgumentsAndBackendCapabilities) {
+  constexpr size_t kDim = 6;
+  const Matrix data = testing::MakeDataFor("itakura_saito", 80, kDim);
+  auto built = IndexBuilder("itakura_saito").Partitions(3).Build(data);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  Index index = *std::move(built);
+
+  // Dimensionality mismatch.
+  const std::vector<double> short_point(kDim - 1, 1.0);
+  EXPECT_EQ(index.Insert(short_point).status().code(),
+            StatusCode::kInvalidArgument);
+  // Domain violation (Itakura-Saito needs strictly positive coordinates).
+  const std::vector<double> negative(kDim, -1.0);
+  const auto bad = index.Insert(negative);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("domain"), std::string::npos)
+      << bad.status().message();
+  // Unknown id.
+  EXPECT_EQ(index.Delete(12345).code(), StatusCode::kNotFound);
+
+  // Valid update round trip, with the stats lanes counting.
+  SearchIndex::Stats stats;
+  const std::vector<double> x(kDim, 0.5);
+  const auto id = index.Insert(x, &stats);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(stats.inserts, 1u);
+  ASSERT_TRUE(index.Delete(*id, &stats).ok());
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(index.UpdateStats().inserts, 1u);
+  EXPECT_EQ(index.UpdateStats().deletes, 1u);
+
+  // Baseline adapters are read-only.
+  MemPager pager(32 * 1024);
+  const BregmanDivergence div = MakeDivergence("itakura_saito", kDim);
+  for (const char* backend : {"scan", "bbtree", "vafile"}) {
+    auto adapter = MakeSearchIndex(backend, &pager, data, div);
+    ASSERT_TRUE(adapter.ok()) << backend;
+    const auto insert = (*adapter)->Insert(x);
+    EXPECT_EQ(insert.status().code(), StatusCode::kFailedPrecondition)
+        << backend;
+    EXPECT_EQ((*adapter)->Delete(0).code(), StatusCode::kFailedPrecondition)
+        << backend;
+  }
+
+  // Approximate views pin the index read-only...
+  auto view = index.Approximate(ApproximateConfig{});
+  // ... but a mutated index refuses to hand one out in the first place.
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kFailedPrecondition);
+
+  // On a pristine index the order is reversed: view first, then updates
+  // are refused.
+  auto fresh = IndexBuilder("itakura_saito").Partitions(3).Build(data);
+  ASSERT_TRUE(fresh.ok());
+  Index pristine = *std::move(fresh);
+  auto ok_view = pristine.Approximate(ApproximateConfig{});
+  ASSERT_TRUE(ok_view.ok()) << ok_view.status().message();
+  EXPECT_EQ(pristine.Insert(x).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pristine.Delete(0).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace brep

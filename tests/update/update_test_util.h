@@ -1,0 +1,61 @@
+#ifndef BREP_TESTS_UPDATE_UPDATE_TEST_UTIL_H_
+#define BREP_TESTS_UPDATE_UPDATE_TEST_UTIL_H_
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/top_k.h"
+#include "divergence/bregman.h"
+
+namespace brep::testing {
+
+/// Brute-force ground truth maintained in lockstep with the index under
+/// test. Uses the same BregmanDivergence evaluations and the same TopK
+/// tie-breaking as the real engines, so matching results must be
+/// byte-identical (same ids in the same order, bit-equal distances), not
+/// merely close.
+class LinearScanOracle {
+ public:
+  explicit LinearScanOracle(BregmanDivergence div) : div_(std::move(div)) {}
+
+  void Insert(uint32_t id, std::span<const double> x) {
+    live_[id].assign(x.begin(), x.end());
+  }
+  void Delete(uint32_t id) { live_.erase(id); }
+  bool Contains(uint32_t id) const { return live_.count(id) > 0; }
+  size_t size() const { return live_.size(); }
+  const std::map<uint32_t, std::vector<double>>& live() const { return live_; }
+
+  std::vector<Neighbor> Knn(std::span<const double> y, size_t k) const {
+    TopK topk(k);
+    for (const auto& [id, x] : live_) topk.Push(div_.Divergence(x, y), id);
+    return topk.SortedResults();
+  }
+
+  std::vector<uint32_t> Range(std::span<const double> y,
+                              double radius) const {
+    std::vector<uint32_t> out;
+    for (const auto& [id, x] : live_) {
+      if (div_.Divergence(x, y) <= radius) out.push_back(id);
+    }
+    return out;  // ascending: live_ is id-ordered
+  }
+
+ private:
+  BregmanDivergence div_;
+  std::map<uint32_t, std::vector<double>> live_;
+};
+
+/// Test-suite-friendly name for a generator ("lp:3" -> "lp_3").
+inline std::string GeneratorTestName(std::string name) {
+  std::replace(name.begin(), name.end(), ':', '_');
+  return name;
+}
+
+}  // namespace brep::testing
+
+#endif  // BREP_TESTS_UPDATE_UPDATE_TEST_UTIL_H_
