@@ -1,0 +1,171 @@
+/// Durable update throughput: acknowledged insert/delete writes per second
+/// through the WAL across fsync modes (none / group-window sweep / always)
+/// plus the recovery cost -- replay time normalized per 10k logged
+/// operations. The tradeoff being measured: `always` makes every ack
+/// durable (one fdatasync per op), `group` bounds loss to one window,
+/// `none` leaves flushing to the OS; a crash loses at most what the mode
+/// permits, and recovery replays the rest (see README "Durability & crash
+/// recovery").
+///
+///   $ ./bench_update_durability [--threads N]
+///
+/// With --threads N > 1, N-1 reader threads hammer exact kNN through their
+/// own Parallel handles while the writer streams, showing group commit
+/// under a serving load (the writer holds the update lock exclusively only
+/// per operation). BREP_SCALE=small shrinks the workload for smoke runs.
+
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/index.h"
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "dataset/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace brep;
+  using namespace brep::bench;
+
+  const double scale = ScaleFactor();
+  const size_t n = std::max<size_t>(600, size_t(4000 * scale));
+  const size_t d = 16;
+  const size_t num_ops = std::max<size_t>(300, size_t(2500 * scale));
+  const size_t threads = ThreadsArg(argc, argv);
+
+  Rng rng(4242);
+  MixtureSpec spec;
+  spec.n = n + num_ops + 8;
+  spec.d = d;
+  spec.num_clusters = 12;
+  spec.positive = true;
+  spec.positive_scale = 1.5;
+  spec.cluster_std = 0.4;
+  const Matrix pool = MakeMixture(rng, spec);
+  const Matrix initial(n, d,
+                       std::vector<double>(pool.data().begin(),
+                                           pool.data().begin() + n * d));
+
+  const std::string home = "/tmp/brep_bench_durability.idx";
+  const std::string wal = "/tmp/brep_bench_durability.wal";
+
+  struct Config {
+    FsyncMode mode;
+    double window_ms;
+  };
+  const Config configs[] = {{FsyncMode::kNone, 0.0},
+                            {FsyncMode::kGroup, 0.5},
+                            {FsyncMode::kGroup, 2.0},
+                            {FsyncMode::kGroup, 8.0},
+                            {FsyncMode::kAlways, 0.0}};
+
+  std::printf("durable updates: n=%zu d=%zu (ISD), %zu ops per mode%s\n\n",
+              n, d, num_ops,
+              threads > 1 ? (", " + std::to_string(threads - 1) +
+                             " concurrent reader threads")
+                                .c_str()
+                          : "");
+  PrintHeader({"fsync_mode", "window_ms", "acked_w/s", "wal_MB", "fsyncs",
+               "replay_ms/10k", "replayed"});
+
+  for (const Config& config : configs) {
+    std::remove(home.c_str());
+    std::remove(wal.c_str());
+    DurabilityOptions durability;
+    durability.wal_path = wal;
+    durability.fsync_mode = config.mode;
+    durability.group_window_ms = config.window_ms > 0 ? config.window_ms : 2.0;
+
+    std::optional<Index> index;
+    {
+      auto built = IndexBuilder("itakura_saito")
+                       .Partitions(4)
+                       .PageSize(32 * 1024)
+                       .Seed(7)
+                       .Durability(durability)
+                       .Build(initial);
+      BREP_CHECK_MSG(built.ok(), built.status().ToString().c_str());
+      index.emplace(*std::move(built));
+    }
+    BREP_CHECK_MSG(index->Save(home).ok(), "checkpoint failed");
+
+    // Optional serving load: each reader thread owns its Parallel handle.
+    std::atomic<bool> stop{false};
+    std::vector<ParallelIndex> handles;
+    std::vector<std::thread> readers;
+    for (size_t t = 1; t < threads; ++t) {
+      auto handle = index->Parallel(1);
+      BREP_CHECK_MSG(handle.ok(), handle.status().ToString().c_str());
+      handles.push_back(*std::move(handle));
+    }
+    for (size_t t = 0; t < handles.size(); ++t) {
+      readers.emplace_back([&, t] {
+        Rng qrng(0x4EAD + t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto y = pool.Row(qrng.NextBelow(n));
+          (void)handles[t].Knn(y, 10);
+          std::this_thread::yield();
+        }
+      });
+    }
+
+    // The timed write stream: ~70% inserts, 30% deletes of random live
+    // ids, every op acknowledged through the configured mode.
+    Rng oprng(99);
+    std::vector<uint32_t> live;
+    live.reserve(n + num_ops);
+    for (uint32_t id = 0; id < n; ++id) live.push_back(id);
+    size_t cursor = n;
+    Timer timer;
+    for (size_t i = 0; i < num_ops; ++i) {
+      if (live.empty() || oprng.NextBelow(100) < 70) {
+        const auto id = index->Insert(pool.Row(cursor++));
+        BREP_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+        live.push_back(*id);
+      } else {
+        const size_t pick = oprng.NextBelow(live.size());
+        const uint32_t id = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        BREP_CHECK(index->Delete(id).ok());
+      }
+    }
+    const double write_s = timer.ElapsedSeconds();
+    stop.store(true);
+    for (auto& r : readers) r.join();
+
+    const WalWriter::Stats ws = index->wal_stats();
+    index.reset();  // close WITHOUT a checkpoint: recovery must replay
+
+    Timer open_timer;
+    auto reopened = Index::Open(home, durability);
+    BREP_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
+    const WalRecoveryStats& rec = reopened->recovery();
+    const uint64_t replayed = rec.replayed_inserts + rec.replayed_deletes;
+    BREP_CHECK_MSG(replayed == num_ops, "recovery lost acknowledged writes");
+    const double per_10k =
+        replayed > 0 ? rec.replay_ms * 10000.0 / double(replayed) : 0.0;
+    (void)open_timer;
+
+    PrintRow({FsyncModeName(config.mode),
+              config.mode == FsyncMode::kGroup ? FmtF(config.window_ms, 1)
+                                               : "-",
+              FmtF(double(num_ops) / write_s, 0),
+              FmtF(double(ws.appended_bytes) / (1024.0 * 1024.0), 2),
+              FmtU(ws.fsyncs), FmtF(per_10k, 1), FmtU(replayed)});
+  }
+
+  std::remove(home.c_str());
+  std::remove(wal.c_str());
+  std::printf(
+      "\nacked_w/s counts acknowledged operations; 'always' acks are "
+      "durable at return,\n'group' within one window, 'none' at the next "
+      "checkpoint/flush. replay_ms/10k is\nIndex::Open's WAL replay cost "
+      "normalized per 10k logged ops.\n");
+  return 0;
+}

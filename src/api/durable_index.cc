@@ -1,0 +1,159 @@
+#include "api/durable_index.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/brepartition.h"
+#include "storage/file_pager.h"
+#include "storage/pager.h"
+
+namespace brep {
+namespace durable {
+
+std::unique_ptr<MemPager> LoadIntoMemory(const Pager& from) {
+  auto mem = std::make_unique<MemPager>(from.page_size());
+  PageBuffer buf;
+  for (PageId id = 0; id < from.num_pages(); ++id) {
+    from.Read(id, &buf);
+    const PageId copied = mem->Allocate();
+    BREP_CHECK(copied == id);  // fresh pager: ids stay aligned
+    mem->Write(copied, buf);
+  }
+  // The free-page records travelled inside the raw pages; adopt the chain
+  // head so the snapshot allocates exactly like the file would have.
+  mem->RestoreFreeList(from.free_list_head(), from.num_free_pages());
+  mem->CommitCatalog(from.catalog());
+  mem->ResetStats();  // the copy is setup, not query I/O
+  return mem;
+}
+
+Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
+                 WalRecoveryStats* stats) {
+  BREP_CHECK(bp != nullptr && stats != nullptr);
+  Timer timer;
+  std::unique_lock<std::shared_mutex> lock(bp->update_mutex());
+  uint64_t applied = durable_lsn;
+  for (const WalRecord& rec : scan.records) {
+    if (rec.type == WalRecordType::kCheckpoint) {
+      // A checkpoint marker promises the index file absorbed everything up
+      // to its LSN. One pointing past the file's watermark (e.g. past the
+      // end of a log that never reached that LSN) means the records it
+      // vouches for are gone -- unrecoverable, and worth a clean error.
+      if (rec.checkpoint_lsn > durable_lsn) {
+        return Status::DataLoss(
+            "WAL checkpoint record at lsn " +
+            std::to_string(rec.checkpoint_lsn) +
+            " points past the index file's durable state (lsn " +
+            std::to_string(durable_lsn) + "): operations are missing");
+      }
+      ++stats->skipped_records;
+      continue;
+    }
+    if (rec.lsn <= applied) {
+      // Already in the checkpoint (or a duplicated record): replay is
+      // idempotent, apply-at-most-once.
+      ++stats->skipped_records;
+      continue;
+    }
+    if (rec.lsn != applied + 1) {
+      return Status::DataLoss("gap in WAL lsn sequence: expected " +
+                              std::to_string(applied + 1) + ", found " +
+                              std::to_string(rec.lsn));
+    }
+    switch (rec.type) {
+      case WalRecordType::kInsert: {
+        // Validate before applying: the locked entry points CHECK-abort on
+        // programmer error, and checksum-colliding file input must never
+        // reach them.
+        if (rec.point.size() != bp->divergence().dim() ||
+            !bp->divergence().InDomain(rec.point)) {
+          return Status::DataLoss(
+              "WAL insert record at lsn " + std::to_string(rec.lsn) +
+              " carries a point outside the index's domain/dimensionality");
+        }
+        if (bp->NextInsertIdLocked() != rec.id) {
+          return Status::DataLoss(
+              "WAL does not match the checkpoint state: insert at lsn " +
+              std::to_string(rec.lsn) + " logged id " +
+              std::to_string(rec.id) + " but replay would assign " +
+              std::to_string(bp->NextInsertIdLocked()));
+        }
+        const auto got = bp->InsertLocked(rec.point);
+        BREP_CHECK(got.has_value() && *got == rec.id);
+        ++stats->replayed_inserts;
+        break;
+      }
+      case WalRecordType::kDelete: {
+        if (!bp->ContainsLocked(rec.id)) {
+          return Status::DataLoss(
+              "WAL does not match the checkpoint state: delete at lsn " +
+              std::to_string(rec.lsn) + " names id " +
+              std::to_string(rec.id) + ", which is not live");
+        }
+        const auto outcome = bp->DeleteLocked(rec.id);
+        BREP_CHECK(outcome == BrePartition::UpdateOutcome::kApplied);
+        ++stats->replayed_deletes;
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;  // handled above
+    }
+    applied = rec.lsn;
+  }
+  stats->last_lsn = applied;
+  stats->dropped_tail_bytes = scan.dropped_bytes;
+  stats->replay_ms = timer.ElapsedMillis();
+  return Status::Ok();
+}
+
+Status SaveDurable(const BrePartition& bp, WalWriter* wal,
+                   const std::string& path, bool truncate_wal) {
+  // One exclusive acquisition across flush + snapshot + log reset: no
+  // concurrent write can land between "what the snapshot holds" and "what
+  // the log still carries".
+  std::unique_lock<std::shared_mutex> lock(bp.update_mutex());
+  return SaveDurableLocked(bp, wal, path, truncate_wal);
+}
+
+Status SaveDurableLocked(const BrePartition& bp, WalWriter* wal,
+                         const std::string& path, bool truncate_wal) {
+  uint64_t lsn = 0;
+  if (wal != nullptr) {
+    BREP_RETURN_IF_ERROR(wal->Flush());
+    lsn = wal->last_lsn();
+  }
+  const std::string tmp = path + ".tmp";
+  std::string error;
+  auto out = FilePager::Create(tmp, bp.pager()->page_size(), &error);
+  if (out == nullptr) {
+    return Status::Internal("cannot create index file \"" + tmp +
+                            "\": " + error);
+  }
+  bp.SaveToLocked(out.get(), lsn);
+  out.reset();  // CommitCatalog already fsynced the finished snapshot
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Internal(
+        "cannot move \"" + tmp + "\" over \"" + path +
+        "\": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // The rename only mutated the directory; make it durable too, or a crash
+  // could resurrect the old file under this name.
+  if (!FilePager::SyncDirectory(path)) {
+    return Status::Internal("cannot fsync the directory holding \"" + path +
+                            "\"");
+  }
+  if (wal != nullptr && truncate_wal) {
+    return wal->Checkpoint(lsn);
+  }
+  return Status::Ok();
+}
+
+}  // namespace durable
+}  // namespace brep

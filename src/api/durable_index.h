@@ -1,0 +1,111 @@
+#ifndef BREP_API_DURABLE_INDEX_H_
+#define BREP_API_DURABLE_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "api/status.h"
+#include "wal/wal.h"
+
+/// \file
+/// The durability layer of the facade: what turns brep::Index into a
+/// crash-safe DurableIndex when a WAL is configured.
+///
+/// The protocol, end to end:
+///
+///  * Writes. Under ONE exclusive update_mutex() acquisition the facade
+///    appends the redo record (fsynced per FsyncMode) and only then applies
+///    it to the index pages -- log order and apply order can never diverge,
+///    and Parallel readers keep seeing operation-boundary states.
+///
+///  * Serving state. A durable index serves from a MemPager snapshot of
+///    its file; between checkpoints the index FILE is never written. Every
+///    crash point therefore leaves the previous checkpoint intact on disk,
+///    which is what makes logical (operation-level) replay sound.
+///
+///  * Checkpoint = Index::Save. Snapshot the index into `path.tmp`
+///    (stamped with the WAL watermark), fsync, atomically rename over
+///    `path`, fsync the directory, then reset the log. A crash between any
+///    two steps recovers to either the old checkpoint plus the full log or
+///    the new checkpoint (whose watermark makes stale log records no-ops).
+///
+///  * Recovery = Index::Open with DurabilityOptions. Load the checkpoint,
+///    then replay every log record past the superblock's durable_lsn
+///    through BrePartition's locked insert/delete -- torn tails are cut,
+///    duplicated LSNs are skipped idempotently, and any mismatch between
+///    log and checkpoint state is a clean kDataLoss, never an abort.
+
+namespace brep {
+
+class BrePartition;
+class MemPager;
+class Pager;
+
+/// Opt-in knobs for a crash-safe index. An empty wal_path disables
+/// durability (the pre-WAL behavior: only Save is a durability point).
+struct DurabilityOptions {
+  /// Path of the write-ahead log. Must not be shared between two live
+  /// indexes. Deleting it loses every write since the last checkpoint.
+  std::string wal_path;
+  /// When an acknowledged write is on the platter (see FsyncMode).
+  FsyncMode fsync_mode = FsyncMode::kAlways;
+  /// kGroup: worst-case staleness of an acknowledged write, in ms.
+  double group_window_ms = 2.0;
+
+  bool enabled() const { return !wal_path.empty(); }
+};
+
+/// What recovery did during Index::Open (all zero when the log held
+/// nothing past the checkpoint -- the zero-redundant-work case).
+struct WalRecoveryStats {
+  uint64_t replayed_inserts = 0;
+  uint64_t replayed_deletes = 0;
+  /// Records skipped because their LSN was at or below the checkpoint
+  /// watermark (idempotent re-replay) plus checkpoint markers.
+  uint64_t skipped_records = 0;
+  /// Bytes of torn tail cut off the log (a crash mid-append).
+  uint64_t dropped_tail_bytes = 0;
+  /// Highest applied-or-durable LSN after recovery.
+  uint64_t last_lsn = 0;
+  double replay_ms = 0.0;
+};
+
+namespace durable {
+
+/// Page-for-page copy of `from` (pages, free-list, committed catalog with
+/// its watermark) into a fresh MemPager: the serving snapshot of a durable
+/// index. `from` is left untouched.
+std::unique_ptr<MemPager> LoadIntoMemory(const Pager& from);
+
+/// Replay `scan` against `bp` (which must be freshly opened from the
+/// checkpoint with watermark `durable_lsn`) under one exclusive lock
+/// acquisition. Applies exactly the records with LSN > durable_lsn, in
+/// order, through the locked insert/delete entry points; validates record
+/// payloads, the dense-LSN sequence and the deterministic id assignment
+/// before touching anything, so a log that does not match the checkpoint
+/// state is a clean kDataLoss instead of an abort or silent corruption.
+Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
+                 WalRecoveryStats* stats);
+
+/// Atomically replace `path` with a snapshot of `bp`: write to `path.tmp`
+/// (superblock stamped with `wal`'s flushed last LSN; 0 when wal is null),
+/// rename over `path`, fsync the directory. With `truncate_wal` this is
+/// the full checkpoint: the log is reset afterwards, so replay work since
+/// the previous checkpoint drops to zero. Holds the update lock across
+/// flush + snapshot + reset -- a concurrent writer can never slip an
+/// operation between the snapshot and the log reset.
+Status SaveDurable(const BrePartition& bp, WalWriter* wal,
+                   const std::string& path, bool truncate_wal);
+
+/// SaveDurable's body for callers that already hold update_mutex()
+/// exclusively (the facade's first checkpoint, which must publish the log
+/// writer under the same acquisition that wrote the snapshot -- otherwise
+/// two racing first checkpoints could each attach a fresh writer and
+/// truncate the other's live log).
+Status SaveDurableLocked(const BrePartition& bp, WalWriter* wal,
+                         const std::string& path, bool truncate_wal);
+
+}  // namespace durable
+}  // namespace brep
+
+#endif  // BREP_API_DURABLE_INDEX_H_

@@ -19,6 +19,16 @@ namespace {
 /// enough that a garbage argument cannot exhaust the process.
 constexpr size_t kMaxThreads = 1024;
 
+/// Checkpoint-target identity must survive aliased spellings
+/// ("./home.idx" vs "home.idx"), or a Save the user believes is a
+/// checkpoint would quietly stop truncating the log.
+std::string CanonicalPath(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path canon =
+      std::filesystem::weakly_canonical(path, ec);
+  return ec ? path : canon.string();
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------------
@@ -42,12 +52,36 @@ StatusOr<Index> Index::Build(const Matrix& data,
   if (options.page_size == 0) {
     return Status::InvalidArgument("page_size must be > 0");
   }
+  if (options.durability.enabled()) {
+    // Fail fast on a WAL that still holds someone's logged operations:
+    // building over it would silently discard recoverable writes.
+    auto scanned = ReadWal(options.durability.wal_path);
+    if (scanned.ok()) {
+      for (const WalRecord& rec : scanned->records) {
+        if (rec.type != WalRecordType::kCheckpoint) {
+          return Status::FailedPrecondition(
+              "WAL \"" + options.durability.wal_path +
+              "\" already holds logged operations; recover them via "
+              "Index::Open (or remove the file) instead of building over "
+              "them");
+        }
+      }
+    } else if (scanned.status().code() != StatusCode::kNotFound) {
+      return scanned.status();
+    }
+    if (options.durability.fsync_mode == FsyncMode::kGroup &&
+        !(options.durability.group_window_ms > 0.0)) {
+      return Status::InvalidArgument("group_window_ms must be > 0");
+    }
+  }
   auto pager = std::make_unique<MemPager>(options.page_size);
   BREP_RETURN_IF_ERROR(ValidateBrePartitionConfig(options.config, data,
                                                   divergence, pager.get()));
   auto bp = std::make_unique<BrePartition>(pager.get(), data, divergence,
                                            options.config);
-  return Index(std::move(pager), std::move(bp));
+  Index index(std::move(pager), std::move(bp));
+  index.durability_ = options.durability;
+  return index;
 }
 
 StatusOr<Index> Index::Build(const Matrix& data, const std::string& divergence,
@@ -79,7 +113,110 @@ StatusOr<Index> Index::Open(const std::string& path) {
   return Index(std::move(pager), std::move(bp));
 }
 
+StatusOr<Index> Index::Open(const std::string& path,
+                            const DurabilityOptions& durability) {
+  if (!durability.enabled()) return Open(path);
+  if (durability.fsync_mode == FsyncMode::kGroup &&
+      !(durability.group_window_ms > 0.0)) {
+    return Status::InvalidArgument("group_window_ms must be > 0");
+  }
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no index file at \"" + path + "\"");
+  }
+  std::string error;
+  auto file = FilePager::Open(path, &error);
+  if (file == nullptr) {
+    return Status::DataLoss("cannot open index file \"" + path +
+                            "\": " + error);
+  }
+  // Serve from a memory snapshot: between checkpoints the index FILE is
+  // never written, so every crash point keeps the previous checkpoint
+  // intact -- the property that makes logical WAL replay sound.
+  auto mem = durable::LoadIntoMemory(*file);
+  file.reset();
+  auto bp = BrePartition::Open(mem.get(), &error);
+  if (bp == nullptr) {
+    return Status::DataLoss("index file \"" + path +
+                            "\" has no serviceable index: " + error);
+  }
+
+  const uint64_t durable_lsn = mem->catalog().durable_lsn;
+  WalScan scan;
+  auto scanned = ReadWal(durability.wal_path);
+  if (scanned.ok()) {
+    scan = *std::move(scanned);
+  } else if (scanned.status().code() == StatusCode::kNotFound) {
+    scan.base_lsn = durable_lsn;  // fresh log; the writer creates it below
+  } else {
+    return scanned.status();
+  }
+  if (scan.base_lsn > durable_lsn) {
+    return Status::DataLoss(
+        "WAL \"" + durability.wal_path + "\" starts at lsn " +
+        std::to_string(scan.base_lsn) + " but index file \"" + path +
+        "\" is only durable to lsn " + std::to_string(durable_lsn) +
+        ": the index file is stale (restored from an older snapshot?)");
+  }
+  WalRecoveryStats recovery;
+  BREP_RETURN_IF_ERROR(
+      durable::ReplayWal(bp.get(), scan, durable_lsn, &recovery));
+  BREP_ASSIGN_OR_RETURN(
+      auto wal, WalWriter::Attach(durability.wal_path, durability.fsync_mode,
+                                  durability.group_window_ms,
+                                  /*append_offset=*/scan.valid_bytes,
+                                  /*next_lsn=*/recovery.last_lsn + 1,
+                                  /*fresh_base_lsn=*/durable_lsn));
+  Index index(std::move(mem), std::move(bp));
+  index.durability_ = durability;
+  index.wal_ = std::move(wal);
+  index.home_path_ = CanonicalPath(path);
+  index.recovery_ = recovery;
+  return index;
+}
+
 Status Index::Save(const std::string& path) const {
+  if (durability_.enabled()) {
+    // wal_ and home_path_ are guarded by the update mutex (their only
+    // transition is the first checkpoint below; InsertImpl/DeleteImpl
+    // check them under the same lock).
+    {
+      std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+      if (wal_ != nullptr) {
+        // Checkpoint to the home path resets the log; a Save elsewhere is
+        // a consistent snapshot (stamped with the current watermark so
+        // the home log is a no-op against it) that leaves the log alone.
+        WalWriter* wal = wal_.get();
+        const bool home = CanonicalPath(path) == home_path_;
+        lock.unlock();  // SaveDurable takes the exclusive side itself
+        return durable::SaveDurable(*bp_, wal, path, /*truncate_wal=*/home);
+      }
+    }
+    // First checkpoint: persist the base state, then start the log fresh.
+    // Only from here on can logged writes be replayed, so this is also
+    // what unlocks Insert/Delete (see InsertImpl). Snapshot, log creation
+    // and publication all happen under ONE exclusive acquisition: a
+    // racing first Save blocks here, re-checks, and takes the
+    // established-writer branch instead of truncating a live log.
+    std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
+    if (wal_ != nullptr) {
+      WalWriter* wal = wal_.get();
+      const bool home = CanonicalPath(path) == home_path_;
+      lock.unlock();
+      return durable::SaveDurable(*bp_, wal, path, /*truncate_wal=*/home);
+    }
+    BREP_RETURN_IF_ERROR(durable::SaveDurableLocked(*bp_, nullptr, path,
+                                                    /*truncate_wal=*/false));
+    BREP_ASSIGN_OR_RETURN(
+        wal_, WalWriter::Attach(durability_.wal_path,
+                                durability_.fsync_mode,
+                                durability_.group_window_ms,
+                                /*append_offset=*/0, /*next_lsn=*/1,
+                                /*fresh_base_lsn=*/0));
+    home_path_ = CanonicalPath(path);
+    return Status::Ok();
+  }
+
   // If the backing IS the target file, committing the catalog is the whole
   // durability story.
   if (auto* fp = dynamic_cast<FilePager*>(pager_.get());
@@ -88,17 +225,10 @@ Status Index::Save(const std::string& path) const {
     return Status::Ok();
   }
 
-  // Otherwise commit and page-copy into a freshly created paged file --
-  // one exclusive-lock acquisition inside SaveTo, so a concurrent writer
-  // thread cannot tear the snapshot between the commit and the copy.
-  std::string error;
-  auto out = FilePager::Create(path, pager_->page_size(), &error);
-  if (out == nullptr) {
-    return Status::Internal("cannot create index file \"" + path +
-                            "\": " + error);
-  }
-  bp_->SaveTo(out.get());
-  return Status::Ok();
+  // Otherwise snapshot into a fresh paged file, atomically replacing any
+  // previous file at `path` (write to path.tmp + rename: a failed Save can
+  // never destroy the last good save).
+  return durable::SaveDurable(*bp_, nullptr, path, /*truncate_wal=*/false);
 }
 
 StatusOr<ParallelIndex> Index::Parallel(size_t threads) const {
@@ -138,7 +268,23 @@ StatusOr<std::unique_ptr<SearchIndex>> Index::Approximate(
 EngineStats Index::UpdateStats() const {
   EngineStats stats;
   std::tie(stats.inserts, stats.deletes) = bp_->update_totals();
+  const WalWriter::Stats ws = wal_stats();
+  stats.wal_appends = ws.appends;
+  stats.wal_fsyncs = ws.fsyncs;
+  stats.wal_replayed = recovery_.replayed_inserts + recovery_.replayed_deletes;
   return stats;
+}
+
+WalWriter::Stats Index::wal_stats() const {
+  // Shared lock for the pointer read: the first checkpoint publishes wal_
+  // under the exclusive side.
+  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
+}
+
+uint64_t Index::wal_durable_lsn() const {
+  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  return wal_ != nullptr ? wal_->durable_lsn() : 0;
 }
 
 namespace {
@@ -151,27 +297,76 @@ Status FrozenByViewError() {
 
 }  // namespace
 
-StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point) {
+namespace {
+
+Status NoCheckpointYetError() {
+  return Status::FailedPrecondition(
+      "durable index has no checkpoint yet: call Save(path) once before "
+      "accepting writes (the WAL can only be replayed against a durable "
+      "base state)");
+}
+
+}  // namespace
+
+StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
+                                     Stats* stats) {
   if (!bp_->divergence().InDomain(point)) {
     return Status::InvalidArgument(
         "point is outside the domain of divergence " +
         bp_->divergence().Name());
   }
-  const auto id = bp_->Insert(point);
-  if (!id.has_value()) return FrozenByViewError();
-  return *id;
+  if (!durability_.enabled()) {
+    const auto id = bp_->Insert(point);
+    if (!id.has_value()) return FrozenByViewError();
+    return *id;
+  }
+  // Log, sync (per mode), THEN apply -- all under one exclusive section,
+  // so the log order is the apply order and a crash after the ack can
+  // always redo this operation from the record. The wal_ null-check sits
+  // under the same lock: a concurrent first Save publishes it there.
+  std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
+  if (wal_ == nullptr) return NoCheckpointYetError();
+  if (bp_->UpdatesFrozenLocked()) return FrozenByViewError();
+  const uint32_t id = bp_->NextInsertIdLocked();
+  BREP_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->AppendInsert(id, point));
+  (void)lsn;
+  stats->wal_appends += 1;
+  // kAlways issues exactly one barrier per append; group/none syncs run in
+  // the background and are (correctly) not attributed to any one call.
+  stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
+  const auto applied = bp_->InsertLocked(point);
+  BREP_CHECK(applied.has_value() && *applied == id);
+  return id;
 }
 
-Status Index::DeleteImpl(uint32_t id) {
-  switch (bp_->Delete(id)) {
-    case BrePartition::UpdateOutcome::kApplied:
-      return Status::Ok();
-    case BrePartition::UpdateOutcome::kNotFound:
-      return Status::NotFound("no live point with id " + std::to_string(id));
-    case BrePartition::UpdateOutcome::kFrozen:
-      return FrozenByViewError();
+Status Index::DeleteImpl(uint32_t id, Stats* stats) {
+  if (!durability_.enabled()) {
+    switch (bp_->Delete(id)) {
+      case BrePartition::UpdateOutcome::kApplied:
+        return Status::Ok();
+      case BrePartition::UpdateOutcome::kNotFound:
+        return Status::NotFound("no live point with id " +
+                                std::to_string(id));
+      case BrePartition::UpdateOutcome::kFrozen:
+        return FrozenByViewError();
+    }
+    return Status::Internal("unreachable");
   }
-  return Status::Internal("unreachable");
+  std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
+  if (wal_ == nullptr) return NoCheckpointYetError();
+  if (bp_->UpdatesFrozenLocked()) return FrozenByViewError();
+  // Refuse BEFORE logging: a logged-then-refused delete would replay as a
+  // log/state mismatch.
+  if (!bp_->ContainsLocked(id)) {
+    return Status::NotFound("no live point with id " + std::to_string(id));
+  }
+  BREP_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->AppendDelete(id));
+  (void)lsn;
+  stats->wal_appends += 1;
+  stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
+  const auto outcome = bp_->DeleteLocked(id);
+  BREP_CHECK(outcome == BrePartition::UpdateOutcome::kApplied);
+  return Status::Ok();
 }
 
 std::string Index::Describe() const {
@@ -277,6 +472,11 @@ IndexBuilder& IndexBuilder::MaxLeafSize(size_t points) {
 IndexBuilder& IndexBuilder::Seed(uint64_t seed) {
   options_.config.seed = seed;
   options_.config.forest.tree.seed = seed;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::Durability(DurabilityOptions durability) {
+  options_.durability = std::move(durability);
   return *this;
 }
 

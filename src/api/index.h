@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "api/durable_index.h"
 #include "api/search_index.h"
 #include "api/status.h"
 #include "core/config.h"
@@ -34,6 +35,12 @@ struct IndexOptions {
   /// Page size of the backing (simulated or real) disk. Table 4 of the
   /// paper uses 32-128 KB depending on the dataset.
   size_t page_size = 32 * 1024;
+  /// Crash safety (see api/durable_index.h). With a wal_path set, every
+  /// Insert/Delete is logged (and per fsync_mode synced) before it touches
+  /// the index; Save(path) is the checkpoint that resets the log. A
+  /// freshly built index must checkpoint once before accepting writes --
+  /// the log can only be replayed against a durable base state.
+  DurabilityOptions durability;
 };
 
 /// An exact BrePartition index that owns its storage. Build from data,
@@ -62,6 +69,18 @@ class Index final : public SearchIndex {
   /// file exists, kDataLoss when the file fails validation.
   static StatusOr<Index> Open(const std::string& path);
 
+  /// Crash recovery: reopen the checkpoint at `path`, then replay the WAL
+  /// suffix past the checkpoint through the ordinary insert/delete path,
+  /// restoring every durable write that never made it into a Save. Zero
+  /// REBUILD work either way; replay work is proportional to the log
+  /// suffix (zero right after a checkpoint -- see recovery()). The index
+  /// serves from a memory snapshot and `path` becomes the checkpoint
+  /// target: Save(path) persists state + resets the log. kDataLoss when
+  /// the log is corrupted mid-stream or does not match the checkpoint;
+  /// torn log tails (a crash mid-append) are cut cleanly.
+  static StatusOr<Index> Open(const std::string& path,
+                              const DurabilityOptions& durability);
+
   /// Persist to `path`: commits the index catalog and, when the index is
   /// not already backed by that file, copies every page into a freshly
   /// created paged file. Build-once / save-once / serve-many.
@@ -83,8 +102,19 @@ class Index final : public SearchIndex {
   StatusOr<std::unique_ptr<SearchIndex>> Approximate(
       const ApproximateConfig& config) const;
 
-  /// Lifetime insert/delete lanes of this index (exact, lock-consistent).
+  /// Lifetime insert/delete lanes of this index (exact, lock-consistent),
+  /// plus the WAL lanes (appends/fsyncs/replayed) when durability is on.
   EngineStats UpdateStats() const;
+
+  /// Whether this index runs under a write-ahead log.
+  bool durable() const { return durability_.enabled(); }
+  /// What recovery replayed when this index was opened (all-zero for a
+  /// fresh build or an open right after a checkpoint).
+  const WalRecoveryStats& recovery() const { return recovery_; }
+  /// Lifetime WAL writer counters (zeroes when durability is off).
+  WalWriter::Stats wal_stats() const;
+  /// Highest log LSN known durable (0 when durability is off).
+  uint64_t wal_durable_lsn() const;
 
   // SearchIndex surface ---------------------------------------------------
   std::string Describe() const override;
@@ -112,8 +142,13 @@ class Index final : public SearchIndex {
   /// Dynamic updates: route through BrePartition under its exclusive
   /// update lock (QueryEngine readers hold the shared side), so Parallel()
   /// handles keep serving consistent snapshots while writes stream in.
-  StatusOr<uint32_t> InsertImpl(std::span<const double> point) override;
-  Status DeleteImpl(uint32_t id) override;
+  /// With durability on, the same exclusive section first appends (and per
+  /// fsync_mode syncs) the WAL record, THEN applies -- log order and apply
+  /// order can never diverge, and readers still only observe
+  /// operation-boundary states.
+  StatusOr<uint32_t> InsertImpl(std::span<const double> point,
+                                Stats* stats) override;
+  Status DeleteImpl(uint32_t id, Stats* stats) override;
 
  private:
   Index(std::unique_ptr<Pager> pager, std::unique_ptr<BrePartition> bp);
@@ -122,6 +157,17 @@ class Index final : public SearchIndex {
   std::unique_ptr<BrePartition> bp_;
   /// Sequential reference engine (1 thread) for the range path.
   std::unique_ptr<QueryEngine> engine_;
+  /// Durability state (wal_ stays null until the first checkpoint gives
+  /// the log a base to replay against; mutable because Save() const is
+  /// the checkpoint). home_path_ is the canonicalized checkpoint target
+  /// whose Save resets the log; Saves to other paths just stamp a
+  /// snapshot. Both are guarded by bp_->update_mutex(): the first
+  /// checkpoint publishes them under the exclusive side, every other
+  /// reader takes the shared side.
+  DurabilityOptions durability_;
+  mutable std::unique_ptr<WalWriter> wal_;
+  mutable std::string home_path_;
+  WalRecoveryStats recovery_;
 };
 
 /// Builder-style construction: every setter validates its argument and the
@@ -153,6 +199,9 @@ class IndexBuilder {
   IndexBuilder& PoolPages(size_t pages);
   IndexBuilder& MaxLeafSize(size_t points);
   IndexBuilder& Seed(uint64_t seed);
+  /// Crash safety: log every write to `durability.wal_path` (see
+  /// IndexOptions::durability). Validated at Build().
+  IndexBuilder& Durability(DurabilityOptions durability);
 
   /// First setter error, or OK.
   const Status& status() const { return status_; }

@@ -436,6 +436,9 @@ void SearchIndex::Stats::Add(const QueryStats& qs) {
 void SearchIndex::Stats::Add(const EngineStats& es) {
   inserts += es.inserts;
   deletes += es.deletes;
+  wal_appends += es.wal_appends;
+  wal_fsyncs += es.wal_fsyncs;
+  wal_replayed += es.wal_replayed;
   io_reads += es.io_reads;
   candidates += es.candidates;
   nodes_visited += es.nodes_visited;
@@ -452,7 +455,7 @@ StatusOr<uint32_t> SearchIndex::Insert(std::span<const double> point,
         " dimensions, index expects " + std::to_string(dim()));
   }
   Timer timer;
-  auto result = InsertImpl(point);
+  auto result = InsertImpl(point, &st);
   if (result.ok()) st.inserts = 1;
   st.wall_ms = timer.ElapsedMillis();
   return result;
@@ -463,18 +466,18 @@ Status SearchIndex::Delete(uint32_t id, Stats* stats) {
   Stats& st = stats != nullptr ? *stats : local;
   st = Stats{};
   Timer timer;
-  const Status result = DeleteImpl(id);
+  const Status result = DeleteImpl(id, &st);
   if (result.ok()) st.deletes = 1;
   st.wall_ms = timer.ElapsedMillis();
   return result;
 }
 
-StatusOr<uint32_t> SearchIndex::InsertImpl(std::span<const double>) {
+StatusOr<uint32_t> SearchIndex::InsertImpl(std::span<const double>, Stats*) {
   return Status::FailedPrecondition(Describe() +
                                     " is read-only (no update support)");
 }
 
-Status SearchIndex::DeleteImpl(uint32_t) {
+Status SearchIndex::DeleteImpl(uint32_t, Stats*) {
   return Status::FailedPrecondition(Describe() +
                                     " is read-only (no update support)");
 }

@@ -47,6 +47,12 @@ class SearchIndex {
     /// Write lanes: completed Insert/Delete calls through this surface.
     uint64_t inserts = 0;
     uint64_t deletes = 0;
+    /// Durability lanes (brep::Index with a WAL; 0 elsewhere): redo
+    /// records appended and fsync barriers issued by this call, and
+    /// records replayed at recovery for batch-level aggregates.
+    uint64_t wal_appends = 0;
+    uint64_t wal_fsyncs = 0;
+    uint64_t wal_replayed = 0;
     /// Pager page reads issued (index + data). 0 for memory-only backends
     /// (linear scan).
     uint64_t io_reads = 0;
@@ -116,9 +122,12 @@ class SearchIndex {
   Status Delete(uint32_t id, Stats* stats = nullptr);
 
  protected:
-  /// Mutation hooks; the default is a read-only backend.
-  virtual StatusOr<uint32_t> InsertImpl(std::span<const double> point);
-  virtual Status DeleteImpl(uint32_t id);
+  /// Mutation hooks; the default is a read-only backend. `stats` is
+  /// non-null and zeroed (wrapper-owned lanes -- counts, wall clock -- are
+  /// filled by the wrapper; hooks add backend lanes such as the WAL ones).
+  virtual StatusOr<uint32_t> InsertImpl(std::span<const double> point,
+                                        Stats* stats);
+  virtual Status DeleteImpl(uint32_t id, Stats* stats);
   /// Backend hooks, called with validated arguments and a non-null stats
   /// sink (zeroed; `queries` and `wall_ms` are filled by the wrapper).
   virtual StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y,

@@ -82,10 +82,19 @@ BrePartition::BrePartition(Pager* pager, const Matrix& data,
 }
 
 std::optional<uint32_t> BrePartition::Insert(std::span<const double> x) {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  return InsertLocked(x);
+}
+
+uint32_t BrePartition::NextInsertIdLocked() const {
+  return free_ids_.empty() ? static_cast<uint32_t>(transformed_.num_points())
+                           : free_ids_.back();
+}
+
+std::optional<uint32_t> BrePartition::InsertLocked(std::span<const double> x) {
   BREP_CHECK(x.size() == div_.dim());
   BREP_CHECK_MSG(div_.InDomain(x),
                  "inserted point outside the divergence domain");
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
   if (updates_frozen_) return std::nullopt;
 
   // Algorithm 2 on the new point: per-subspace tuples for the bound phase.
@@ -111,6 +120,10 @@ std::optional<uint32_t> BrePartition::Insert(std::span<const double> x) {
 
 BrePartition::UpdateOutcome BrePartition::Delete(uint32_t id) {
   std::unique_lock<std::shared_mutex> lock(update_mu_);
+  return DeleteLocked(id);
+}
+
+BrePartition::UpdateOutcome BrePartition::DeleteLocked(uint32_t id) {
   if (updates_frozen_) return UpdateOutcome::kFrozen;
   if (!forest_->Delete(id)) return UpdateOutcome::kNotFound;
   // Poison the tuple row: the deleted point's total upper bound becomes
@@ -204,22 +217,26 @@ const Matrix& BrePartition::data() const {
   return *data_;
 }
 
-void BrePartition::Save() const {
+void BrePartition::Save(uint64_t durable_lsn) const {
   // Exclusive: Save writes catalog pages and (when replacing a previous
   // run) mutates the free-list, which concurrent readers must not observe.
   std::unique_lock<std::shared_mutex> lock(update_mu_);
-  SaveLocked();
+  SaveLocked(durable_lsn);
 }
 
-void BrePartition::SaveTo(Pager* out) const {
+void BrePartition::SaveTo(Pager* out, uint64_t durable_lsn) const {
+  // One exclusive acquisition across commit AND copy: a concurrent writer
+  // can never interleave and tear the snapshot.
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  SaveToLocked(out, durable_lsn);
+}
+
+void BrePartition::SaveToLocked(Pager* out, uint64_t durable_lsn) const {
   BREP_CHECK(out != nullptr);
   BREP_CHECK_MSG(out->num_pages() == 0, "SaveTo needs a fresh empty pager");
   BREP_CHECK_MSG(out->page_size() == pager_->page_size(),
                  "SaveTo needs a matching page size");
-  // One exclusive acquisition across commit AND copy: a concurrent writer
-  // can never interleave and tear the snapshot.
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
-  SaveLocked();
+  SaveLocked(durable_lsn);
   PageBuffer buf;
   for (PageId id = 0; id < pager_->num_pages(); ++id) {
     pager_->Read(id, &buf);
@@ -233,7 +250,7 @@ void BrePartition::SaveTo(Pager* out) const {
   out->CommitCatalog(pager_->catalog());
 }
 
-void BrePartition::SaveLocked() const {
+void BrePartition::SaveLocked(uint64_t durable_lsn) const {
   ByteWriter w;
   w.Value<uint64_t>(kCatalogMagic);
   w.Value<uint32_t>(kCatalogVersion);
@@ -317,6 +334,7 @@ void BrePartition::SaveLocked() const {
   ref.first_page = ids.front();
   ref.num_pages = static_cast<uint32_t>(ids.size());
   ref.num_bytes = blob.size();
+  ref.durable_lsn = durable_lsn;
   pager_->CommitCatalog(ref);
   // Reclaim the previous catalog run only after the new one is committed:
   // a crash in between leaks at most one run, never corrupts the committed

@@ -63,14 +63,18 @@ class BrePartition {
   /// of growing the disk). Takes the update lock exclusively: the
   /// committed catalog is always a consistent snapshot even while readers
   /// and a writer are active.
-  void Save() const;
+  ///
+  /// `durable_lsn` stamps the committed catalog with the WAL watermark
+  /// this snapshot includes (see CatalogRef::durable_lsn); 0 for indexes
+  /// not running under a WAL.
+  void Save(uint64_t durable_lsn = 0) const;
 
   /// Save, then page-copy this index (all pages, the committed catalog
   /// reference and the free-list head) onto `out`, which must be a fresh
   /// empty pager of the same page size. The whole sequence holds the
   /// update lock exclusively, so the copy can never interleave with a
   /// concurrent Insert/Delete and tear the written file.
-  void SaveTo(Pager* out) const;
+  void SaveTo(Pager* out, uint64_t durable_lsn = 0) const;
 
   /// Re-attach to an index previously Save()d on `pager` with ZERO rebuild
   /// work: no cost-model fit, no PCCP, no point transform, no forest
@@ -110,6 +114,29 @@ class BrePartition {
 
   /// Remove a live point by id.
   UpdateOutcome Delete(uint32_t id);
+
+  /// Locked update API -------------------------------------------------
+  ///
+  /// The write-ahead-log layer (api/durable_index) must order "append the
+  /// redo record" and "apply to the index" inside ONE exclusive
+  /// update_mutex() section -- two facade writers interleaving between the
+  /// two steps would make the log order diverge from the apply order, and
+  /// recovery replays hundreds of records without paying a lock
+  /// round-trip per record. The caller of every *Locked member holds
+  /// update_mutex() exclusively; the unlocked wrappers above are
+  /// lock-then-call shims over these.
+
+  /// The id the next InsertLocked will assign (tombstone reuse first, else
+  /// the id space grows). Deterministic, which is what makes logical WAL
+  /// replay reproduce the exact pre-crash id assignment.
+  uint32_t NextInsertIdLocked() const;
+  std::optional<uint32_t> InsertLocked(std::span<const double> x);
+  UpdateOutcome DeleteLocked(uint32_t id);
+  bool ContainsLocked(uint32_t id) const { return forest_->Contains(id); }
+  bool UpdatesFrozenLocked() const { return updates_frozen_; }
+  /// SaveTo's body; exposed so a WAL checkpoint can snapshot the index and
+  /// reset the log under one lock acquisition.
+  void SaveToLocked(Pager* out, uint64_t durable_lsn) const;
 
   /// Result of FreezeUpdates: whether THIS call performed the transition
   /// (so only that caller may undo it on failure -- unfreezing on behalf
@@ -193,7 +220,7 @@ class BrePartition {
   explicit BrePartition(BregmanDivergence div) : div_(std::move(div)) {}
 
   /// Catalog serialization + commit; caller holds the update lock.
-  void SaveLocked() const;
+  void SaveLocked(uint64_t durable_lsn) const;
 
   Pager* pager_ = nullptr;
   const Matrix* data_ = nullptr;

@@ -22,6 +22,12 @@ struct EngineStats {
   /// through the serving layer's exclusive lock).
   uint64_t inserts = 0;
   uint64_t deletes = 0;
+  /// Durability lanes: WAL records appended / fsync barriers issued for
+  /// this index's write stream, and records replayed when it was opened
+  /// (0 after a clean checkpoint -- recovery did zero redundant work).
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_replayed = 0;
   uint64_t io_reads = 0;
   uint64_t candidates = 0;
   uint64_t nodes_visited = 0;

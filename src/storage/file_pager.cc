@@ -70,7 +70,9 @@ FilePager::~FilePager() {
   if (fd_ >= 0) {
     // Persist un-synced state on clean close; pure readers leave the file
     // untouched (a reader killed mid-write must not be able to tear the
-    // superblock of an index it only served).
+    // superblock of an index it only served). Best-effort fsync so a clean
+    // process exit followed by a machine crash still keeps the file --
+    // Sync()'s aborting checks have no place in a destructor.
     if (writable_ && dirty_) {
       if (grown_pages_ > num_pages()) {
         // Trim geometric-growth slack so the file ends exactly at the last
@@ -78,7 +80,9 @@ FilePager::~FilePager() {
         ::ftruncate(fd_, static_cast<off_t>(kSuperblockBytes +
                                             num_pages() * page_size()));
       }
+      if (::fdatasync(fd_) == 0) ++sync_counts_.fdatasyncs;
       WriteSuperblock();
+      if (::fsync(fd_) == 0) ++sync_counts_.fsyncs;
     }
     ::close(fd_);
   }
@@ -99,6 +103,7 @@ bool FilePager::WriteSuperblock() {
   w.Value<uint64_t>(catalog().num_bytes);
   w.Value<uint32_t>(free_list_head());
   w.Value<uint64_t>(num_free_pages());
+  w.Value<uint64_t>(catalog().durable_lsn);
   w.Value<uint64_t>(Fnv1a64(w.bytes()));
   std::vector<uint8_t> block = w.Take();
   BREP_CHECK(block.size() <= kSuperblockBytes);
@@ -120,12 +125,15 @@ std::unique_ptr<FilePager> FilePager::Create(const std::string& path,
   }
   std::unique_ptr<FilePager> pager(
       new FilePager(path, fd, page_size_bytes, /*writable=*/true));
-  if (!pager->WriteSuperblock()) {
+  // fsync the initial superblock: a freshly created file must not be able
+  // to reopen as garbage after a crash that caught it page-cache-only.
+  if (!pager->WriteSuperblock() || ::fsync(fd) != 0) {
     SetError(error, Errno("cannot write superblock of " + path));
     pager.reset();           // close before unlink
     ::unlink(path.c_str());  // no stub left to misdiagnose as corruption
     return nullptr;
   }
+  ++pager->sync_counts_.fsyncs;
   return pager;
 }
 
@@ -165,21 +173,23 @@ std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
   catalog.num_bytes = r.Value<uint64_t>();
   const PageId free_head = r.Value<uint32_t>();
   const uint64_t free_count = r.Value<uint64_t>();
-  const size_t checked_bytes = kSuperblockBytes - r.remaining();
-  const uint64_t stored_sum = r.Value<uint64_t>();
-
   if (magic != kMagic) {
     ::close(fd);
     SetError(error, path + ": not a BrePartition index file (bad magic)");
     return nullptr;
   }
-  if (version != kFormatVersion) {
+  // v2 is a field-prefix of v3 (no durability watermark yet): pre-WAL
+  // files keep opening, with nothing to replay.
+  if (version != 2 && version != kFormatVersion) {
     ::close(fd);
     SetError(error, path + ": unsupported index format version " +
                         std::to_string(version) + " (expected " +
                         std::to_string(kFormatVersion) + ")");
     return nullptr;
   }
+  catalog.durable_lsn = version >= 3 ? r.Value<uint64_t>() : 0;
+  const size_t checked_bytes = kSuperblockBytes - r.remaining();
+  const uint64_t stored_sum = r.Value<uint64_t>();
   const uint64_t computed_sum =
       Fnv1a64(std::span<const uint8_t>(block.data(), checked_bytes));
   if (stored_sum != computed_sum) {
@@ -277,13 +287,18 @@ void FilePager::Sync() {
   }
   // Barrier: page data must be durable before the superblock repoints to
   // it, otherwise a crash between the two writes could leave a committed
-  // superblock referencing catalog pages that never reached the disk. The
-  // superblock rewrite itself stays within the file's first sector (the
-  // used prefix is ~56 bytes), which sector-atomic media update in one
-  // piece.
-  BREP_CHECK_MSG(::fsync(fd_) == 0, "fsync failed");
+  // superblock referencing catalog pages that never reached the disk.
+  // fdatasync suffices here -- it covers the data pages plus the metadata
+  // needed to read them back (the ftruncate'd size); the timestamps a full
+  // fsync would add buy nothing. The superblock rewrite itself stays
+  // within the file's first sector (the used prefix is ~64 bytes), which
+  // sector-atomic media update in one piece, and the closing fsync makes
+  // the commit point durable.
+  BREP_CHECK_MSG(::fdatasync(fd_) == 0, "fdatasync failed");
+  ++sync_counts_.fdatasyncs;
   BREP_CHECK_MSG(WriteSuperblock(), "superblock write failed");
   BREP_CHECK_MSG(::fsync(fd_) == 0, "fsync failed");
+  ++sync_counts_.fsyncs;
   dirty_ = false;
 }
 
@@ -319,6 +334,17 @@ void FilePager::DoWrite(PageId id, std::span<const uint8_t> data) {
 void FilePager::DoRead(PageId id, uint8_t* out) const {
   BREP_CHECK_MSG(PreadAll(fd_, out, page_size(), PageOffset(id)),
                  "page read failed");
+}
+
+bool FilePager::SyncDirectory(const std::string& file_path) {
+  const size_t slash = file_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : file_path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
 }  // namespace brep

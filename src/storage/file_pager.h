@@ -39,7 +39,19 @@ class FilePager final : public Pager {
  public:
   /// On-disk format version; bumped on any incompatible layout change.
   /// v2 added the persistent free-list (head + count in the superblock).
-  static constexpr uint32_t kFormatVersion = 2;
+  /// v3 appended the WAL durability watermark (catalog durable_lsn); v2
+  /// files still open (the watermark reads as 0 -- no log to replay), so
+  /// pre-WAL index files keep working unchanged.
+  static constexpr uint32_t kFormatVersion = 3;
+
+  /// Count of durability barriers this pager has issued (fsync covers
+  /// metadata + data, fdatasync only what reading the data needs). Exposed
+  /// so tests can prove every commit point actually reaches the disk
+  /// instead of stopping at the page cache.
+  struct SyncCounts {
+    uint64_t fsyncs = 0;
+    uint64_t fdatasyncs = 0;
+  };
 
   /// Create (truncating any existing file) a fresh paged file.
   /// Returns nullptr and sets `*error` on filesystem failure.
@@ -65,8 +77,18 @@ class FilePager final : public Pager {
   /// Persist the catalog reference: rewrite the superblock and fsync.
   void CommitCatalog(const CatalogRef& ref) override;
 
-  /// Rewrite the superblock (page count may have grown) and fsync.
+  /// Rewrite the superblock (page count may have grown) and make the file
+  /// durable: fdatasync as the data barrier (page contents must reach the
+  /// disk before the superblock repoints at them), then a full fsync after
+  /// the superblock rewrite.
   void Sync();
+
+  SyncCounts sync_counts() const { return sync_counts_; }
+
+  /// fsync the directory containing `file_path`, making a just-renamed
+  /// file durable under its new name (rename itself only mutates the
+  /// directory, which has its own cache entry). Returns false on failure.
+  static bool SyncDirectory(const std::string& file_path);
 
  protected:
   void DoGrow(size_t new_num_pages) override;
@@ -84,6 +106,7 @@ class FilePager final : public Pager {
   bool writable_;
   bool dirty_ = false;        // un-synced allocations/writes/catalog
   uint64_t grown_pages_ = 0;  // pages the file has capacity for (>= num_pages)
+  SyncCounts sync_counts_;
   std::vector<uint8_t> scratch_;  // build-path short-write assembly buffer
 };
 

@@ -18,6 +18,11 @@ struct CatalogRef {
   PageId first_page = kInvalidPageId;
   uint32_t num_pages = 0;
   uint64_t num_bytes = 0;
+  /// WAL watermark: every logged operation with LSN <= durable_lsn is
+  /// already reflected in the committed catalog, so crash recovery replays
+  /// only the log suffix past it (and re-replaying an old log against this
+  /// state is a no-op). 0 for indexes that never ran under a WAL.
+  uint64_t durable_lsn = 0;
 
   bool valid() const { return first_page != kInvalidPageId; }
 };
@@ -160,8 +165,9 @@ class Pager {
 
 /// The in-memory backend: a vector of pages, i.e. the original simulated
 /// disk. Benchmarks use it to measure pure I/O counts without filesystem
-/// noise; tests use it for fast round trips.
-class MemPager final : public Pager {
+/// noise; tests use it for fast round trips (and subclass it as a
+/// write-count spy to pin down commit-point ordering).
+class MemPager : public Pager {
  public:
   explicit MemPager(size_t page_size_bytes) : Pager(page_size_bytes) {}
 

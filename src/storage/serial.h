@@ -31,6 +31,10 @@ inline uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
 /// Append-only byte sink.
 class ByteWriter {
  public:
+  /// Pre-size the buffer when the final length is known (also sidesteps a
+  /// GCC 12 -Wstringop-overflow false positive on the growth path).
+  void Reserve(size_t bytes) { buf_.reserve(bytes); }
+
   void Raw(const void* src, size_t len) {
     const auto* p = static_cast<const uint8_t*>(src);
     buf_.insert(buf_.end(), p, p + len);

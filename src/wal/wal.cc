@@ -1,0 +1,579 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "storage/serial.h"
+
+namespace brep {
+namespace {
+
+// "BREPWAL1" as a little-endian u64; distinct from the index-file and
+// catalog magics so a log handed to the wrong opener fails immediately.
+constexpr uint64_t kWalMagic = 0x314C415750455242ull;
+constexpr uint32_t kWalVersion = 1;
+// magic u64 + version u32 + base lsn u64 + FNV-1a u64.
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;
+// u32 payload length + u8 type + u64 lsn, guarded by their own u32
+// checksum (see ParseRecordAt), + u64 trailing body checksum.
+constexpr size_t kRecordHeaderBytes = 4 + 1 + 8 + 4;
+constexpr size_t kRecordOverhead = kRecordHeaderBytes + 8;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// fsync the directory holding `file_path`: a freshly created log file is
+/// only crash-durable once its directory entry is -- without this, a
+/// machine crash can make the whole log vanish while every record in it
+/// was dutifully fdatasync'd.
+bool SyncWalDirectory(const std::string& file_path) {
+  const size_t slash = file_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : file_path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool PwriteAll(int fd, const uint8_t* src, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, src + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeHeader(uint64_t base_lsn) {
+  ByteWriter w;
+  w.Reserve(kHeaderBytes);
+  w.Value<uint64_t>(kWalMagic);
+  w.Value<uint32_t>(kWalVersion);
+  w.Value<uint64_t>(base_lsn);
+  w.Value<uint64_t>(Fnv1a64(w.bytes()));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRecord(WalRecordType type, uint64_t lsn,
+                                  std::span<const uint8_t> payload) {
+  ByteWriter body;  // the body-checksummed region: type, lsn, payload
+  body.Reserve(1 + 8 + payload.size());
+  body.Value<uint8_t>(static_cast<uint8_t>(type));
+  body.Value<uint64_t>(lsn);
+  body.Raw(payload.data(), payload.size());
+  ByteWriter w;
+  w.Reserve(kRecordOverhead + payload.size());
+  w.Value<uint32_t>(static_cast<uint32_t>(payload.size()));
+  w.Value<uint8_t>(static_cast<uint8_t>(type));
+  w.Value<uint64_t>(lsn);
+  // Header guard over (length, type, lsn): lets replay TRUST a length
+  // field whose extent runs past EOF (a genuine torn append) and refuse
+  // one that was corrupted into swallowing later records.
+  w.Value<uint32_t>(static_cast<uint32_t>(
+      Fnv1a64(std::span<const uint8_t>(w.bytes().data(), 13))));
+  w.Raw(payload.data(), payload.size());
+  w.Value<uint64_t>(Fnv1a64(body.bytes()));
+  return w.Take();
+}
+
+/// What scanning one record position yields.
+enum class Step {
+  kRecord,     // *rec decoded, *extent bytes consumed
+  kEnd,        // clean end of log
+  kTorn,       // incomplete/checksum-failed tail: the cut point of a crash
+  kCorrupt,    // checksum failure with bytes following (not a torn append)
+  kMalformed,  // checksum fine but the contents are not a valid record
+};
+
+Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
+                   WalRecord* rec, size_t* extent, std::string* note) {
+  const size_t remaining = bytes.size() - offset;
+  if (remaining == 0) return Step::kEnd;
+  if (remaining < kRecordHeaderBytes) {
+    *note = "incomplete record header";
+    return Step::kTorn;
+  }
+  // The header guard decides whether the length field may be trusted: a
+  // torn append leaves a VALID header with a short payload, while a
+  // corrupted length (which could swallow acknowledged records all the
+  // way to EOF) fails here and must surface as data loss, not a tear.
+  uint32_t stored_header_sum = 0;
+  std::memcpy(&stored_header_sum, bytes.data() + offset + 13, 4);
+  const uint32_t computed_header_sum = static_cast<uint32_t>(
+      Fnv1a64(bytes.subspan(offset, 13)));
+  if (stored_header_sum != computed_header_sum) {
+    // A complete-but-invalid header cannot come from a torn append (our
+    // writer emits the header in one piece) -- except as the zero-filled
+    // tail some filesystems leave when size metadata outruns data blocks
+    // in a crash. Distinguish exactly that.
+    const auto tail = bytes.subspan(offset);
+    const bool all_zero =
+        std::all_of(tail.begin(), tail.end(), [](uint8_t b) { return b == 0; });
+    if (all_zero) {
+      *note = "zero-filled tail (crash during append)";
+      return Step::kTorn;
+    }
+    *note = "record header checksum mismatch";
+    return Step::kCorrupt;
+  }
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, bytes.data() + offset, 4);
+  if (payload_len > remaining - kRecordOverhead ||
+      remaining < kRecordOverhead) {
+    *note = "record extent runs past the end of the file";
+    return Step::kTorn;
+  }
+  *extent = kRecordOverhead + payload_len;
+  ByteWriter body_bytes;  // the body-checksummed region: type, lsn, payload
+  body_bytes.Raw(bytes.data() + offset + 4, 1 + 8);
+  body_bytes.Raw(bytes.data() + offset + kRecordHeaderBytes, payload_len);
+  const std::span<const uint8_t> body(body_bytes.bytes());
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + offset + *extent - 8, 8);
+  if (stored_sum != Fnv1a64(body)) {
+    if (offset + *extent == bytes.size()) {
+      *note = "checksum failed on the final record";
+      return Step::kTorn;
+    }
+    *note = "record checksum mismatch with records following";
+    return Step::kCorrupt;
+  }
+  ByteReader r(body);
+  const uint8_t raw_type = r.Value<uint8_t>();
+  rec->lsn = r.Value<uint64_t>();
+  rec->point.clear();
+  switch (raw_type) {
+    case static_cast<uint8_t>(WalRecordType::kInsert): {
+      rec->type = WalRecordType::kInsert;
+      rec->id = r.Value<uint32_t>();
+      const uint32_t dim = r.Value<uint32_t>();
+      if (!r.ok() || rec->lsn == 0 ||
+          uint64_t{dim} * sizeof(double) != r.remaining()) {
+        *note = "malformed insert record";
+        return Step::kMalformed;
+      }
+      rec->point.resize(dim);
+      r.Raw(rec->point.data(), dim * sizeof(double));
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kDelete):
+      rec->type = WalRecordType::kDelete;
+      rec->id = r.Value<uint32_t>();
+      if (!r.ok() || r.remaining() != 0 || rec->lsn == 0) {
+        *note = "malformed delete record";
+        return Step::kMalformed;
+      }
+      break;
+    case static_cast<uint8_t>(WalRecordType::kCheckpoint):
+      rec->type = WalRecordType::kCheckpoint;
+      rec->checkpoint_lsn = r.Value<uint64_t>();
+      if (!r.ok() || r.remaining() != 0) {
+        *note = "malformed checkpoint record";
+        return Step::kMalformed;
+      }
+      break;
+    default:
+      *note = "unknown record type " + std::to_string(raw_type);
+      return Step::kMalformed;
+  }
+  return Step::kRecord;
+}
+
+/// Slurp the file; kNotFound when it does not exist.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no WAL file at \"" + path + "\"");
+    }
+    return Status::Internal(Errno("cannot open WAL \"" + path + "\""));
+  }
+  struct stat sb{};
+  if (::fstat(fd, &sb) != 0) {
+    const Status s = Status::Internal(Errno("fstat failed on \"" + path + "\""));
+    ::close(fd);
+    return s;
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(sb.st_size));
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const Status s =
+          Status::Internal(Errno("cannot read WAL \"" + path + "\""));
+      ::close(fd);
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+/// Header decode shared by the strict scan and the dump: OK with
+/// *base_lsn set, or the error to report. A short file is NOT an error
+/// (crash during creation/checkpoint reset); *torn_header is set instead.
+Status ParseHeader(std::span<const uint8_t> bytes, const std::string& path,
+                   uint64_t* base_lsn, bool* torn_header) {
+  *torn_header = bytes.size() < kHeaderBytes;
+  if (*torn_header) return Status::Ok();
+  ByteReader r(bytes.first(kHeaderBytes));
+  const uint64_t magic = r.Value<uint64_t>();
+  const uint32_t version = r.Value<uint32_t>();
+  *base_lsn = r.Value<uint64_t>();
+  const uint64_t stored = r.Value<uint64_t>();
+  if (magic != kWalMagic) {
+    return Status::DataLoss("\"" + path + "\" is not a WAL file (bad magic)");
+  }
+  if (version != kWalVersion) {
+    return Status::DataLoss("\"" + path + "\": unsupported WAL version " +
+                            std::to_string(version));
+  }
+  if (stored != Fnv1a64(bytes.first(kHeaderBytes - 8))) {
+    return Status::DataLoss("\"" + path + "\": WAL header checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kNone: return "none";
+    case FsyncMode::kGroup: return "group";
+    case FsyncMode::kAlways: return "always";
+  }
+  return "?";
+}
+
+StatusOr<WalScan> ReadWal(const std::string& path) {
+  BREP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        ReadFileBytes(path));
+  WalScan scan;
+  bool torn_header = false;
+  BREP_RETURN_IF_ERROR(
+      ParseHeader(bytes, path, &scan.base_lsn, &torn_header));
+  if (torn_header) {
+    // Crash during creation or checkpoint reset: an empty (or header-torn)
+    // log with nothing to replay. The writer recreates it from scratch.
+    scan.base_lsn = 0;
+    scan.torn_tail = !bytes.empty();
+    scan.dropped_bytes = bytes.size();
+    return scan;
+  }
+  size_t offset = kHeaderBytes;
+  for (;;) {
+    WalRecord rec;
+    size_t extent = 0;
+    std::string note;
+    const Step step = ParseRecordAt(bytes, offset, &rec, &extent, &note);
+    if (step == Step::kEnd) break;
+    if (step == Step::kTorn) {
+      scan.torn_tail = true;
+      scan.dropped_bytes = bytes.size() - offset;
+      break;
+    }
+    if (step != Step::kRecord) {
+      return Status::DataLoss("\"" + path + "\": " + note + " at offset " +
+                              std::to_string(offset));
+    }
+    scan.records.push_back(std::move(rec));
+    offset += extent;
+  }
+  scan.valid_bytes = offset;
+  return scan;
+}
+
+Status DumpWal(const std::string& path, std::FILE* out) {
+  BREP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        ReadFileBytes(path));
+  uint64_t base_lsn = 0;
+  bool torn_header = false;
+  const Status header = ParseHeader(bytes, path, &base_lsn, &torn_header);
+  if (torn_header) {
+    std::fprintf(out, "%s: %s (%zu bytes); nothing to replay\n", path.c_str(),
+                 bytes.empty() ? "empty WAL" : "torn WAL header",
+                 bytes.size());
+    return Status::Ok();
+  }
+  if (!header.ok()) {
+    std::fprintf(out, "%s\n", header.message().c_str());
+    return Status::Ok();  // the dump reported it; only I/O errors escape
+  }
+  std::fprintf(out, "%s: WAL v%u, base lsn %llu\n", path.c_str(), kWalVersion,
+               static_cast<unsigned long long>(base_lsn));
+  size_t offset = kHeaderBytes;
+  size_t n = 0;
+  for (;;) {
+    WalRecord rec;
+    size_t extent = 0;
+    std::string note;
+    const Step step = ParseRecordAt(bytes, offset, &rec, &extent, &note);
+    if (step == Step::kEnd) {
+      std::fprintf(out, "clean end: %zu records, %zu bytes\n", n, offset);
+      break;
+    }
+    if (step == Step::kTorn) {
+      std::fprintf(out, "torn tail at offset %zu (%s; %zu bytes dropped)\n",
+                   offset, note.c_str(), bytes.size() - offset);
+      break;
+    }
+    if (step != Step::kRecord) {
+      std::fprintf(out, "CORRUPT at offset %zu: %s\n", offset, note.c_str());
+      break;
+    }
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+        std::fprintf(out, "  @%-8zu lsn %-8llu insert  id %-8u dim %zu  crc ok\n",
+                     offset, static_cast<unsigned long long>(rec.lsn), rec.id,
+                     rec.point.size());
+        break;
+      case WalRecordType::kDelete:
+        std::fprintf(out, "  @%-8zu lsn %-8llu delete  id %-8u        crc ok\n",
+                     offset, static_cast<unsigned long long>(rec.lsn), rec.id);
+        break;
+      case WalRecordType::kCheckpoint:
+        std::fprintf(out, "  @%-8zu lsn %-8llu checkpoint at lsn %llu  crc ok\n",
+                     offset, static_cast<unsigned long long>(rec.lsn),
+                     static_cast<unsigned long long>(rec.checkpoint_lsn));
+        break;
+    }
+    offset += extent;
+    ++n;
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------------
+// WalWriter
+
+WalWriter::WalWriter(std::string path, int fd, FsyncMode mode,
+                     double group_window_ms, uint64_t offset,
+                     uint64_t next_lsn)
+    : path_(std::move(path)),
+      mode_(mode),
+      group_window_ms_(group_window_ms),
+      fd_(fd),
+      offset_(offset),
+      next_lsn_(next_lsn),
+      durable_lsn_(next_lsn - 1) {}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Attach(
+    const std::string& path, FsyncMode mode, double group_window_ms,
+    uint64_t append_offset, uint64_t next_lsn, uint64_t fresh_base_lsn) {
+  BREP_CHECK(next_lsn >= 1);
+  if (mode == FsyncMode::kGroup && !(group_window_ms > 0.0)) {
+    return Status::InvalidArgument("group_window_ms must be > 0");
+  }
+  int fd = -1;
+  uint64_t offset = 0;
+  bool created = false;
+  if (append_offset < kHeaderBytes) {
+    // Missing, empty, or header-torn log: recreate from scratch.
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      return Status::Internal(Errno("cannot create WAL \"" + path + "\""));
+    }
+    const std::vector<uint8_t> header = EncodeHeader(fresh_base_lsn);
+    if (::ftruncate(fd, 0) != 0 ||
+        !PwriteAll(fd, header.data(), header.size(), 0) ||
+        ::fdatasync(fd) != 0 || !SyncWalDirectory(path)) {
+      const Status s =
+          Status::Internal(Errno("cannot initialize WAL \"" + path + "\""));
+      ::close(fd);
+      return s;
+    }
+    offset = kHeaderBytes;
+    created = true;
+  } else {
+    fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+      return Status::Internal(Errno("cannot open WAL \"" + path + "\""));
+    }
+    // Drop the torn tail so a new append never lands after garbage (replay
+    // would then flag mid-log corruption instead of a clean tear).
+    if (::ftruncate(fd, static_cast<off_t>(append_offset)) != 0) {
+      const Status s =
+          Status::Internal(Errno("cannot truncate WAL \"" + path + "\""));
+      ::close(fd);
+      return s;
+    }
+    offset = append_offset;
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(path, fd, mode, group_window_ms, offset, next_lsn));
+  if (created) writer->stats_.fsyncs = 1;
+  if (mode == FsyncMode::kGroup) writer->StartFlusher();
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    // Clean close makes everything appended durable, best-effort (a failure
+    // here is indistinguishable from crashing moments later, which the
+    // recovery path already handles).
+    if (pending_ && failed_.ok() && ::fdatasync(fd_) == 0) {
+      ++stats_.fsyncs;
+    }
+    ::close(fd_);
+  }
+}
+
+void WalWriter::StartFlusher() {
+  flusher_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(
+            lock, std::chrono::duration<double, std::milli>(group_window_ms_),
+            [this] { return stop_; });
+        if (stop_) return;
+        if (!pending_ || !failed_.ok()) continue;
+      }
+      std::lock_guard<std::mutex> sync_lock(sync_mu_);
+      FlushHoldingSyncMu();  // failures are sticky; nothing to report here
+    }
+  });
+}
+
+Status WalWriter::FlushHoldingSyncMu() {
+  int fd = -1;
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BREP_RETURN_IF_ERROR(failed_);
+    if (!pending_) return Status::Ok();
+    fd = fd_;
+    target = next_lsn_ - 1;
+  }
+  // The actual barrier runs with mu_ released: an Append (under the
+  // index's exclusive update lock) must never queue behind a
+  // milliseconds-long fdatasync, or every reader queues with it.
+  const bool ok = ::fdatasync(fd) == 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok) {
+    failed_ = Status::Internal(Errno("WAL fdatasync failed on \"" + path_ +
+                                     "\"; writer disabled, reopen to recover"));
+    return failed_;
+  }
+  ++stats_.fsyncs;
+  durable_lsn_ = std::max(durable_lsn_, target);
+  // Appends that slipped in while the barrier ran are still pending.
+  if (next_lsn_ - 1 == target) pending_ = false;
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> WalWriter::Append(WalRecordType type,
+                                     std::span<const uint8_t> payload) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BREP_RETURN_IF_ERROR(failed_);
+    lsn = next_lsn_;
+    const std::vector<uint8_t> record = EncodeRecord(type, lsn, payload);
+    if (!PwriteAll(fd_, record.data(), record.size(), offset_)) {
+      // A partial append may be on disk; appending anything after it would
+      // turn a recoverable torn tail into mid-log corruption. Poison.
+      failed_ =
+          Status::Internal(Errno("WAL append failed on \"" + path_ +
+                                 "\"; writer disabled, reopen to recover"));
+      return failed_;
+    }
+    offset_ += record.size();
+    next_lsn_ = lsn + 1;
+    pending_ = true;
+    ++stats_.appends;
+    stats_.appended_bytes += record.size();
+  }
+  if (mode_ == FsyncMode::kAlways) {
+    BREP_RETURN_IF_ERROR(Flush());
+  }
+  return lsn;
+}
+
+StatusOr<uint64_t> WalWriter::AppendInsert(uint32_t id,
+                                           std::span<const double> x) {
+  ByteWriter payload;
+  payload.Value<uint32_t>(id);
+  payload.Value<uint32_t>(static_cast<uint32_t>(x.size()));
+  payload.Raw(x.data(), x.size() * sizeof(double));
+  return Append(WalRecordType::kInsert, payload.bytes());
+}
+
+StatusOr<uint64_t> WalWriter::AppendDelete(uint32_t id) {
+  ByteWriter payload;
+  payload.Value<uint32_t>(id);
+  return Append(WalRecordType::kDelete, payload.bytes());
+}
+
+Status WalWriter::Flush() {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  return FlushHoldingSyncMu();
+}
+
+Status WalWriter::Checkpoint(uint64_t lsn) {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  BREP_RETURN_IF_ERROR(failed_);
+  BREP_CHECK_MSG(lsn < next_lsn_, "checkpoint beyond the last appended lsn");
+  ByteWriter payload;
+  payload.Value<uint64_t>(lsn);
+  const std::vector<uint8_t> header = EncodeHeader(lsn);
+  const std::vector<uint8_t> record =
+      EncodeRecord(WalRecordType::kCheckpoint, lsn, payload.bytes());
+  // Reset the log: everything up to `lsn` is durable in the index file, so
+  // a crash anywhere in this sequence is safe -- a torn or empty log
+  // replays nothing, and the superblock watermark skips stale records.
+  if (::ftruncate(fd_, 0) != 0 ||
+      !PwriteAll(fd_, header.data(), header.size(), 0) ||
+      !PwriteAll(fd_, record.data(), record.size(), header.size()) ||
+      ::fdatasync(fd_) != 0) {
+    failed_ = Status::Internal(Errno("WAL checkpoint reset failed on \"" +
+                                     path_ +
+                                     "\"; writer disabled, reopen to recover"));
+    return failed_;
+  }
+  offset_ = header.size() + record.size();
+  pending_ = false;
+  durable_lsn_ = next_lsn_ - 1;
+  ++stats_.fsyncs;
+  return Status::Ok();
+}
+
+uint64_t WalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+uint64_t WalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+WalWriter::Stats WalWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace brep

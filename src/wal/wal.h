@@ -1,0 +1,196 @@
+#ifndef BREP_WAL_WAL_H_
+#define BREP_WAL_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/status.h"
+
+/// \file
+/// Write-ahead logging for the dynamic index: an append-only log of
+/// checksummed, LSN-stamped, length-prefixed logical redo records. A write
+/// is appended (and, depending on the fsync mode, made durable) BEFORE the
+/// index structures are touched, so every acknowledged update survives a
+/// crash: recovery replays the log suffix past the last checkpoint through
+/// the ordinary insert/delete path.
+///
+/// File layout:
+///
+///   [header: 28 bytes]   magic, format version, base LSN, FNV-1a checksum
+///   [record][record]...  each: u32 payload length, u8 type, u64 LSN,
+///                        u32 FNV-1a over those 13 header bytes,
+///                        payload, u64 FNV-1a over (type, LSN, payload)
+///
+/// LSNs are dense (each insert/delete consumes exactly one), which recovery
+/// exploits: a duplicated record is skipped idempotently and a gap is
+/// reported as corruption instead of silently replaying a wrong prefix.
+///
+/// Tail semantics on replay, mirroring production logs: a record cut off
+/// by a crash mid-append is a torn tail -- the log is cleanly cut there
+/// (expected, not an error). A checksum failure that cannot be a torn
+/// append is reported as data loss rather than silently dropping records
+/// that may have been acknowledged. The separate header checksum is what
+/// makes the distinction trustworthy: a record whose extent runs past the
+/// end of the file is a tear only if its length field verifies -- a
+/// corrupted length that would otherwise swallow acknowledged records to
+/// EOF fails the header check and surfaces as data loss instead.
+
+namespace brep {
+
+/// When an appended record is forced to the platter.
+enum class FsyncMode : uint8_t {
+  /// Never fsync on the write path (the OS flushes when it pleases); only
+  /// checkpoints and clean close are durability points.
+  kNone = 0,
+  /// A background thread fsyncs every group window: an acknowledged write
+  /// is durable within at most one window (bounded loss, near-kNone cost).
+  kGroup = 1,
+  /// fsync before acknowledging every write (zero loss, one sync per op).
+  kAlways = 2,
+};
+
+const char* FsyncModeName(FsyncMode mode);
+
+/// Record types in the log.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,      // {id, raw point}: redo of BrePartition::Insert
+  kDelete = 2,      // {id}: redo of BrePartition::Delete
+  kCheckpoint = 3,  // {lsn}: state up to lsn is durable in the index file
+};
+
+/// One decoded log record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  uint32_t id = 0;             // insert/delete
+  uint64_t checkpoint_lsn = 0; // checkpoint
+  std::vector<double> point;   // insert
+};
+
+/// Everything a scan of the log yields.
+struct WalScan {
+  /// Header base LSN: the log was last reset after a checkpoint at this
+  /// LSN (0 for a log that never saw a checkpoint, or a missing/empty
+  /// file).
+  uint64_t base_lsn = 0;
+  std::vector<WalRecord> records;
+  /// Byte offset of the end of the valid prefix; a writer re-attaching to
+  /// this log truncates here so a torn tail never precedes new appends.
+  uint64_t valid_bytes = 0;
+  /// Whether a torn tail (incomplete or checksum-failed final record, or a
+  /// partial header) was dropped, and how many bytes it held.
+  bool torn_tail = false;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Scan `path`, validating every record. kNotFound when no file exists
+/// (a fresh log); kDataLoss on a foreign/corrupted header or mid-log
+/// corruption. A missing, empty, or torn-headered file is NOT an error --
+/// that is what a crash during creation or checkpoint reset leaves behind.
+StatusOr<WalScan> ReadWal(const std::string& path);
+
+/// Print a human-readable listing of `path` -- header fields, then one
+/// line per record (offset, LSN, type, payload summary, checksum status),
+/// then the tail diagnosis -- without rejecting corrupted logs (this is
+/// the debugging view; ReadWal is the strict one). Only an unreadable file
+/// is an error.
+Status DumpWal(const std::string& path, std::FILE* out);
+
+/// Appender over the log file. Internally synchronized: the index's
+/// exclusive update lock serializes appends, but the group-commit flusher
+/// thread runs concurrently with them.
+///
+/// Any I/O failure poisons the writer: the failed Status is returned from
+/// then on and nothing further is appended. A partial append must never be
+/// followed by a good one (recovery would flag the mid-log garbage as data
+/// loss instead of a torn tail), so refusing all further work is the only
+/// safe reaction; the caller reopens and recovers.
+class WalWriter {
+ public:
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t fsyncs = 0;
+    uint64_t appended_bytes = 0;
+  };
+
+  /// Attach to the log at `path` for appending. `append_offset` is the end
+  /// of the validated prefix (WalScan::valid_bytes); anything past it is
+  /// truncated away. An offset before the header (missing/empty/torn file)
+  /// creates the file fresh with a header carrying `fresh_base_lsn`. The
+  /// first record appended gets LSN `next_lsn`.
+  static StatusOr<std::unique_ptr<WalWriter>> Attach(
+      const std::string& path, FsyncMode mode, double group_window_ms,
+      uint64_t append_offset, uint64_t next_lsn, uint64_t fresh_base_lsn);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append a redo record; returns its LSN. Durable on return only in
+  /// kAlways mode (kGroup: within a group window; kNone: eventually).
+  StatusOr<uint64_t> AppendInsert(uint32_t id, std::span<const double> x);
+  StatusOr<uint64_t> AppendDelete(uint32_t id);
+
+  /// Force everything appended so far to disk now (any mode).
+  Status Flush();
+
+  /// Reset the log after the index file durably absorbed everything up to
+  /// `lsn`: truncate, write a fresh header with base LSN `lsn` plus a
+  /// kCheckpoint{lsn} record, and sync. Replay work from before the
+  /// checkpoint drops to zero.
+  Status Checkpoint(uint64_t lsn);
+
+  const std::string& path() const { return path_; }
+  FsyncMode mode() const { return mode_; }
+  /// LSN of the last appended record (0 if none yet this attach).
+  uint64_t last_lsn() const;
+  /// Highest LSN known to have reached the disk.
+  uint64_t durable_lsn() const;
+  Stats stats() const;
+
+ private:
+  WalWriter(std::string path, int fd, FsyncMode mode, double group_window_ms,
+            uint64_t offset, uint64_t next_lsn);
+
+  StatusOr<uint64_t> Append(WalRecordType type,
+                            std::span<const uint8_t> payload);
+  /// The sync path; caller holds sync_mu_ (NOT mu_): the fdatasync runs
+  /// with mu_ released, so appends -- which happen under the index's
+  /// exclusive update lock -- never stall behind an in-flight group sync
+  /// (and neither do the readers queued behind that lock).
+  Status FlushHoldingSyncMu();
+  void StartFlusher();
+
+  const std::string path_;
+  const FsyncMode mode_;
+  const double group_window_ms_;
+
+  /// Serializes sync operations (Flush/Checkpoint vs the flusher) and is
+  /// always acquired BEFORE mu_. mu_ guards the writer state and is never
+  /// held across a syscall that can block for milliseconds.
+  mutable std::mutex sync_mu_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
+  Status failed_;  // sticky first I/O failure
+  Stats stats_;
+  bool pending_ = false;  // appended bytes not yet synced
+
+  // Group-commit flusher (kGroup only).
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace brep
+
+#endif  // BREP_WAL_WAL_H_

@@ -184,5 +184,58 @@ TEST(BrePartitionDeathTest, RejectsKLDivergence) {
   EXPECT_DEATH(BrePartition(&pager, data, div, config), "not cumulative");
 }
 
+/// Write-count spy: records the order of page writes vs catalog commits,
+/// so a test can prove where the commit points sit in the Save protocol.
+class SpyPager final : public MemPager {
+ public:
+  explicit SpyPager(size_t page_size) : MemPager(page_size) {}
+
+  void CommitCatalog(const CatalogRef& ref) override {
+    commits_.push_back(writes_);  // writes seen when this commit happened
+    MemPager::CommitCatalog(ref);
+  }
+
+  uint64_t writes() const { return writes_; }
+  const std::vector<uint64_t>& commits() const { return commits_; }
+
+ protected:
+  void DoWrite(PageId id, std::span<const uint8_t> data) override {
+    ++writes_;
+    MemPager::DoWrite(id, data);
+  }
+
+ private:
+  uint64_t writes_ = 0;
+  std::vector<uint64_t> commits_;
+};
+
+TEST_F(BrePartitionTest, SaveCommitsExactlyOnceAfterAllCatalogWrites) {
+  SpyPager pager(4096);
+  BrePartitionConfig config;
+  config.num_partitions = 3;
+  BrePartition index(&pager, data_, div_, config);
+
+  // Save: every catalog page write lands BEFORE the single commit (the
+  // durability point), and freeing the previous run happens after it --
+  // on a FilePager each commit is a real fsync (see
+  // FilePagerTest.EveryCommitPointReachesTheDisk), so this ordering is
+  // what makes a crash mid-save keep the previous committed state.
+  const uint64_t writes_before = pager.writes();
+  index.Save(/*durable_lsn=*/7);
+  ASSERT_EQ(pager.commits().size(), 1u);
+  EXPECT_GT(pager.commits()[0], writes_before) << "commit before any write";
+  EXPECT_EQ(pager.catalog().durable_lsn, 7u);
+  const CatalogRef first_ref = pager.catalog();
+
+  // A second Save writes a fresh run, commits again (exactly once), and
+  // only then releases the old run back to the free-list.
+  index.Save(/*durable_lsn=*/9);
+  ASSERT_EQ(pager.commits().size(), 2u);
+  EXPECT_GT(pager.commits()[1], pager.commits()[0]);
+  EXPECT_EQ(pager.catalog().durable_lsn, 9u);
+  EXPECT_GE(pager.num_free_pages(), first_ref.num_pages);
+  index.DebugCheckInvariants();
+}
+
 }  // namespace
 }  // namespace brep

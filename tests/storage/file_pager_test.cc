@@ -172,6 +172,44 @@ TEST(FilePagerTest, OpenRejectsWrongVersion) {
   std::remove(path.c_str());
 }
 
+TEST(FilePagerTest, EveryCommitPointReachesTheDisk) {
+  // The durability contract: Create fsyncs the initial superblock,
+  // CommitCatalog runs the full barrier pair (fdatasync for page data,
+  // then an fsync for the superblock rewrite), and Sync() is the same
+  // pair. The counters are the proof that these are real syscalls, not
+  // page-cache writes that a crash would drop.
+  const std::string path = TempPath("synccounts.idx");
+  {
+    auto pager = FilePager::Create(path, 128);
+    ASSERT_NE(pager, nullptr);
+    EXPECT_EQ(pager->sync_counts().fsyncs, 1u) << "Create must fsync";
+
+    const PageId page = pager->Allocate();
+    std::vector<uint8_t> bytes(128, 0xAB);
+    pager->Write(page, bytes);
+    CatalogRef ref;
+    ref.first_page = page;
+    ref.num_pages = 1;
+    ref.num_bytes = bytes.size();
+    ref.durable_lsn = 42;
+    pager->CommitCatalog(ref);
+    const auto after_commit = pager->sync_counts();
+    EXPECT_EQ(after_commit.fsyncs, 2u);
+    EXPECT_EQ(after_commit.fdatasyncs, 1u)
+        << "the data barrier must precede the superblock commit";
+
+    pager->Sync();
+    EXPECT_EQ(pager->sync_counts().fsyncs, 3u);
+    EXPECT_EQ(pager->sync_counts().fdatasyncs, 2u);
+  }
+  // The committed watermark round-trips.
+  std::string error;
+  auto reopened = FilePager::Open(path, &error);
+  ASSERT_NE(reopened, nullptr) << error;
+  EXPECT_EQ(reopened->catalog().durable_lsn, 42u);
+  std::remove(path.c_str());
+}
+
 TEST(FilePagerTest, OpenRejectsChecksumCorruption) {
   const std::string path = TempPath("checksum.idx");
   { ASSERT_NE(FilePager::Create(path, 64), nullptr); }
@@ -214,6 +252,7 @@ TEST(FilePagerTest, AbsurdPageGeometryWithValidChecksumFailsCleanly) {
     w.Value<uint64_t>(0);
     w.Value<uint32_t>(kInvalidPageId);  // empty free-list
     w.Value<uint64_t>(0);
+    w.Value<uint64_t>(0);  // durable_lsn (v3)
     w.Value<uint64_t>(Fnv1a64(w.bytes()));
     std::vector<uint8_t> block = w.Take();
     block.resize(4096, 0);

@@ -232,7 +232,7 @@ TEST(UpdatePersistenceTest, FreeListSuperblockCorruptionFailsCleanly) {
 
   // Superblock layout: magic u64, version u32, page_size u64, num_pages
   // u64, catalog (u32, u32, u64), free_head u32 at offset 44, free_count
-  // u64 at 48, checksum u64 at 56.
+  // u64 at 48, durable_lsn u64 at 56, checksum u64 at 64.
   auto patch_superblock = [&](auto&& mutate) {
     std::FILE* f = std::fopen(path.c_str(), "r+b");
     ASSERT_NE(f, nullptr);
@@ -240,8 +240,8 @@ TEST(UpdatePersistenceTest, FreeListSuperblockCorruptionFailsCleanly) {
     ASSERT_EQ(std::fread(block.data(), 1, block.size(), f), block.size());
     mutate(block.data());
     const uint64_t sum =
-        Fnv1a64(std::span<const uint8_t>(block.data(), 56));
-    std::memcpy(block.data() + 56, &sum, 8);
+        Fnv1a64(std::span<const uint8_t>(block.data(), 64));
+    std::memcpy(block.data() + 64, &sum, 8);
     ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
     ASSERT_EQ(std::fwrite(block.data(), 1, block.size(), f), block.size());
     std::fclose(f);

@@ -1,0 +1,419 @@
+/// Crash-injection fuzz: a child process streams a seeded ~10k-op (across
+/// the suite) insert/delete workload through the WAL and is SIGKILLed
+/// mid-stream at randomized operations; the parent then recovers via
+/// Index::Open and proves the result byte-identical (ids AND bit-equal
+/// distances) to a LinearScanOracle fed exactly the surviving prefix --
+/// with zero rebuild work and, past a checkpoint, zero redundant replay.
+///
+/// A process kill cannot lose page-cache writes, so the SIGKILL rounds
+/// exercise arbitrary operation-boundary crashes; machine-crash tail loss
+/// (un-synced bytes vanishing, appends torn mid-record) is simulated by
+/// truncating the log afterwards: in fsync=always mode only the in-flight
+/// final record may legally vanish, in fsync=none mode any tail may. A
+/// byte-flip round proves corrupted logs surface as clean Status values,
+/// never aborts. Sizes scale with BREP_WAL_CRASH_OPS (Release default 800,
+/// which puts the suite's total logged volume around 10k operations; CI's
+/// TSan job shrinks it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "common/build_counters.h"
+#include "common/rng.h"
+#include "core/brepartition.h"
+#include "update/update_test_util.h"
+#include "wal/wal.h"
+#include "wal/wal_test_util.h"
+
+namespace brep {
+namespace testing {
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+FsyncMode ParseMode(const std::string& name) {
+  if (name == "none") return FsyncMode::kNone;
+  if (name == "group") return FsyncMode::kGroup;
+  return FsyncMode::kAlways;
+}
+
+DurabilityOptions MakeDurability(const std::string& wal_path,
+                                 FsyncMode mode) {
+  DurabilityOptions d;
+  d.wal_path = wal_path;
+  d.fsync_mode = mode;
+  d.group_window_ms = 1.0;
+  return d;
+}
+
+StatusOr<Index> BuildPlanIndex(const CrashPlan& plan, const Matrix& pool,
+                               const DurabilityOptions& durability) {
+  const Matrix initial(
+      plan.initial, plan.dim,
+      std::vector<double>(pool.data().begin(),
+                          pool.data().begin() + plan.initial * plan.dim));
+  return IndexBuilder(plan.generator)
+      .Partitions(3)
+      .PageSize(1024)
+      .MaxLeafSize(16)
+      .Seed(plan.seed)
+      .Durability(durability)
+      .Build(initial);
+}
+
+}  // namespace
+
+int RunWalCrashChild() {
+  const char* dir = std::getenv("BREP_WAL_DIR");
+  const char* gen = std::getenv("BREP_WAL_GEN");
+  if (dir == nullptr || gen == nullptr) return 10;
+  CrashPlan plan;
+  plan.generator = gen;
+  plan.seed = EnvOr("BREP_WAL_SEED", 1);
+  plan.ops = EnvOr("BREP_WAL_OPS", 500);
+  const uint64_t kill_after = EnvOr("BREP_WAL_KILL_AFTER", 0);
+  const uint64_t ckpt_every = EnvOr("BREP_WAL_CKPT_EVERY", 0);
+  const std::string idx_path = std::string(dir) + "/index.idx";
+  const std::string wal_path = std::string(dir) + "/index.wal";
+  const char* mode_env = std::getenv("BREP_WAL_MODE");
+  const DurabilityOptions durability = MakeDurability(
+      wal_path, ParseMode(mode_env != nullptr ? mode_env : "always"));
+
+  const Matrix pool = PlanPool(plan);
+  const std::vector<PlanOp> ops = GeneratePlan(plan, pool);
+  auto built = BuildPlanIndex(plan, pool, durability);
+  if (!built.ok()) {
+    std::fprintf(stderr, "child build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 11;
+  }
+  if (!built->Save(idx_path).ok()) return 12;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const PlanOp& op = ops[i];
+    if (op.is_insert) {
+      const auto id = built->Insert(op.point);
+      if (!id.ok() || *id != op.id) {
+        std::fprintf(stderr, "child op %zu diverged\n", i);
+        return 13;
+      }
+    } else if (!built->Delete(op.id).ok()) {
+      std::fprintf(stderr, "child op %zu delete failed\n", i);
+      return 13;
+    }
+    if (ckpt_every != 0 && (i + 1) % ckpt_every == 0) {
+      if (!built->Save(idx_path).ok()) return 14;
+    }
+    if (kill_after == i + 1) {
+      ::raise(SIGKILL);  // the crash: no destructors, no flushes
+    }
+  }
+  return 0;  // clean run: destructors flush the log
+}
+
+namespace {
+
+/// Spawn this binary as a crash child with the given env; returns the
+/// waitpid status.
+int SpawnChild(const std::vector<std::pair<std::string, std::string>>& env) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    for (const auto& [k, v] : env) ::setenv(k.c_str(), v.c_str(), 1);
+    ::setenv("BREP_WAL_CHILD", "1", 1);
+    ::execl("/proc/self/exe", "wal_crash_child",
+            static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+uint64_t BuildWork() {
+  const auto& c = internal::GetBuildCounters();
+  return c.fit_cost_model.load() + c.pccp.load() + c.dataset_transform.load() +
+         c.forest_builds.load();
+}
+
+void ExpectIdentical(const std::vector<Neighbor>& got,
+                     const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+}
+
+/// The oracle fed exactly ops [0, prefix) of the plan.
+LinearScanOracle OracleForPrefix(const CrashPlan& plan, const Matrix& pool,
+                                 const std::vector<PlanOp>& ops,
+                                 size_t prefix) {
+  LinearScanOracle oracle(
+      BregmanDivergence(MakeGenerator(plan.generator), plan.dim));
+  for (uint32_t id = 0; id < plan.initial; ++id) {
+    oracle.Insert(id, pool.Row(id));
+  }
+  for (size_t i = 0; i < prefix; ++i) {
+    const PlanOp& op = ops[i];
+    if (op.is_insert) {
+      oracle.Insert(op.id, op.point);
+    } else {
+      oracle.Delete(op.id);
+    }
+  }
+  return oracle;
+}
+
+void ExpectMatchesOracle(const Index& index, const LinearScanOracle& oracle,
+                         const Matrix& pool, uint64_t query_seed) {
+  ASSERT_EQ(index.num_points(), oracle.size());
+  if (oracle.size() == 0) return;
+  Rng rng(query_seed);
+  for (size_t q = 0; q < 4; ++q) {
+    const auto y = pool.Row(rng.NextBelow(pool.rows()));
+    const size_t k = std::min<size_t>(10, oracle.size());
+    const auto got = index.Knn(y, k);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectIdentical(*got, oracle.Knn(y, k));
+  }
+  const auto y = pool.Row(1);
+  const auto got = index.Knn(y, oracle.size());
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  ExpectIdentical(*got, oracle.Knn(y, oracle.size()));
+}
+
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+class WalCrashTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "brep_walcrash_" +
+           GeneratorTestName(GetParam());
+    ::mkdir(dir_.c_str(), 0755);
+    idx_path_ = dir_ + "/index.idx";
+    wal_path_ = dir_ + "/index.wal";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove(idx_path_.c_str());
+    std::remove((idx_path_ + ".tmp").c_str());
+    std::remove(wal_path_.c_str());
+  }
+
+  int RunChild(const CrashPlan& plan, const std::string& mode,
+               uint64_t kill_after, uint64_t ckpt_every) {
+    return SpawnChild({{"BREP_WAL_DIR", dir_},
+                       {"BREP_WAL_GEN", plan.generator},
+                       {"BREP_WAL_SEED", std::to_string(plan.seed)},
+                       {"BREP_WAL_OPS", std::to_string(plan.ops)},
+                       {"BREP_WAL_MODE", mode},
+                       {"BREP_WAL_KILL_AFTER", std::to_string(kill_after)},
+                       {"BREP_WAL_CKPT_EVERY", std::to_string(ckpt_every)}});
+  }
+
+  /// Recover and verify against the oracle prefix the log yields; returns
+  /// the recovered index for extra checks.
+  void RecoverAndVerify(const CrashPlan& plan, const Matrix& pool,
+                        const std::vector<PlanOp>& ops,
+                        uint64_t expect_last_lsn, uint64_t expect_replayed,
+                        bool check_replayed) {
+    const uint64_t work_before = BuildWork();
+    auto reopened =
+        Index::Open(idx_path_, MakeDurability(wal_path_, FsyncMode::kAlways));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+    EXPECT_EQ(BuildWork(), work_before) << "recovery rebuilt the index";
+    const WalRecoveryStats& rec = reopened->recovery();
+    EXPECT_EQ(rec.last_lsn, expect_last_lsn);
+    if (check_replayed) {
+      EXPECT_EQ(rec.replayed_inserts + rec.replayed_deletes, expect_replayed);
+    }
+    const LinearScanOracle oracle =
+        OracleForPrefix(plan, pool, ops, expect_last_lsn);
+    ExpectMatchesOracle(*reopened, oracle, pool, plan.seed ^ 0x99);
+    reopened->impl().DebugCheckInvariants();
+  }
+
+  std::string dir_, idx_path_, wal_path_;
+};
+
+TEST_P(WalCrashTest, SigkilledWriterRecoversEveryCompletedOperation) {
+  const uint64_t kOps = EnvOr("BREP_WAL_CRASH_OPS", 800);
+  CrashPlan plan;
+  plan.generator = GetParam();
+  plan.ops = kOps;
+  // Round shapes: strict sync, group commit with periodic checkpoints,
+  // and no-sync (a process kill loses no page-cache writes either way).
+  const struct {
+    const char* mode;
+    uint64_t ckpt_every;
+  } rounds[] = {{"always", 0}, {"group", 97}, {"none", 0}};
+  Rng rng(0xC0FFEE + std::hash<std::string>{}(plan.generator) % 9973);
+  for (size_t r = 0; r < std::size(rounds); ++r) {
+    plan.seed = 0x5EED + 131 * r + std::hash<std::string>{}(plan.generator) % 997;
+    const uint64_t kill_after = 1 + rng.NextBelow(plan.ops);
+    SCOPED_TRACE("replay: BREP_WAL_SEED=" + std::to_string(plan.seed) +
+                 " mode=" + rounds[r].mode +
+                 " kill_after=" + std::to_string(kill_after) +
+                 " ckpt_every=" + std::to_string(rounds[r].ckpt_every));
+    Cleanup();
+    const int status =
+        RunChild(plan, rounds[r].mode, kill_after, rounds[r].ckpt_every);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child did not die by SIGKILL (status " << status << ")";
+
+    const Matrix pool = PlanPool(plan);
+    const auto ops = GeneratePlan(plan, pool);
+    // Every completed operation's record is fully written, so recovery
+    // must land on exactly the kill point...
+    uint64_t expect_replayed = kill_after;
+    if (rounds[r].ckpt_every != 0) {
+      // ...and replay only the suffix past the last completed checkpoint:
+      // zero redundant work for everything the checkpoint absorbed.
+      expect_replayed =
+          kill_after - kill_after / rounds[r].ckpt_every * rounds[r].ckpt_every;
+    }
+    RecoverAndVerify(plan, pool, ops, kill_after, expect_replayed,
+                     /*check_replayed=*/true);
+  }
+}
+
+TEST_P(WalCrashTest, SimulatedMachineCrashTailLossRecoversDurablePrefix) {
+  const uint64_t kOps = std::max<uint64_t>(40, EnvOr("BREP_WAL_CRASH_OPS", 800) / 2);
+  CrashPlan plan;
+  plan.generator = GetParam();
+  plan.seed = 0xFEED + std::hash<std::string>{}(plan.generator) % 991;
+  plan.ops = kOps;
+  const Matrix pool = PlanPool(plan);
+  const auto ops = GeneratePlan(plan, pool);
+
+  // fsync=always round: a machine crash can only tear the in-flight final
+  // append -- every acknowledged (fsynced) record must survive a cut
+  // anywhere inside the last record.
+  {
+    Cleanup();
+    ASSERT_EQ(RunChild(plan, "always", 0, 0), 0) << "clean child run";
+    auto scan = ReadWal(wal_path_);
+    ASSERT_TRUE(scan.ok()) << scan.status().message();
+    ASSERT_EQ(scan->records.size(), ops.size());
+    const long size = FileSize(wal_path_);
+    const long last_extent =
+        static_cast<long>(25 + (ops.back().is_insert
+                                    ? 8 + plan.dim * sizeof(double)
+                                    : 4));
+    Rng rng(plan.seed ^ 0x7EA4);
+    const long cut =
+        size - 1 - static_cast<long>(rng.NextBelow(last_extent - 1));
+    ASSERT_EQ(::truncate(wal_path_.c_str(), cut), 0);
+    RecoverAndVerify(plan, pool, ops, ops.size() - 1, ops.size() - 1,
+                     /*check_replayed=*/true);
+  }
+
+  // fsync=none round: any un-synced tail may vanish; whatever prefix of
+  // records survives must be exactly what is served.
+  {
+    Cleanup();
+    ASSERT_EQ(RunChild(plan, "none", 0, 0), 0);
+    Rng rng(plan.seed ^ 0x10C7);
+    long size = FileSize(wal_path_);
+    for (int trial = 0; trial < 3 && size > 28; ++trial) {
+      const long cut = 28 + static_cast<long>(rng.NextBelow(size - 28));
+      ASSERT_EQ(::truncate(wal_path_.c_str(), cut), 0);
+      auto scan = ReadWal(wal_path_);
+      ASSERT_TRUE(scan.ok()) << scan.status().message();
+      const uint64_t survived =
+          scan->records.empty() ? 0 : scan->records.back().lsn;
+      SCOPED_TRACE("cut=" + std::to_string(cut) +
+                   " survived=" + std::to_string(survived));
+      RecoverAndVerify(plan, pool, ops, survived, survived,
+                       /*check_replayed=*/true);
+      size = FileSize(wal_path_);  // recovery truncated the torn tail
+    }
+  }
+}
+
+TEST_P(WalCrashTest, RandomByteFlipsNeverAbortRecovery) {
+  CrashPlan plan;
+  plan.generator = GetParam();
+  plan.seed = 0xF11B + std::hash<std::string>{}(plan.generator) % 983;
+  plan.ops = std::max<uint64_t>(30, EnvOr("BREP_WAL_CRASH_OPS", 800) / 4);
+  Cleanup();
+  ASSERT_EQ(RunChild(plan, "always", 0, 0), 0);
+  const Matrix pool = PlanPool(plan);
+  const auto ops = GeneratePlan(plan, pool);
+
+  // Pristine log bytes, restored before each flip trial.
+  std::vector<uint8_t> pristine;
+  {
+    std::FILE* f = std::fopen(wal_path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    pristine.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(pristine.data(), 1, pristine.size(), f),
+              pristine.size());
+    std::fclose(f);
+  }
+  Rng rng(plan.seed ^ 0xF11);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<uint8_t> bytes = pristine;
+    const size_t at = rng.NextBelow(bytes.size());
+    bytes[at] ^= 0xFF;
+    {
+      std::FILE* f = std::fopen(wal_path_.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+      std::fclose(f);
+    }
+    SCOPED_TRACE("flipped byte " + std::to_string(at));
+    auto reopened =
+        Index::Open(idx_path_, MakeDurability(wal_path_, FsyncMode::kAlways));
+    if (reopened.ok()) {
+      // The flip landed in a region recovery legitimately drops (torn
+      // tail): the served prefix must still match the oracle exactly.
+      const uint64_t last = reopened->recovery().last_lsn;
+      ASSERT_LE(last, ops.size());
+      const LinearScanOracle oracle = OracleForPrefix(plan, pool, ops, last);
+      ExpectMatchesOracle(*reopened, oracle, pool, plan.seed ^ trial);
+      reopened->impl().DebugCheckInvariants();
+    } else {
+      // Clean refusal, never an abort.
+      EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss)
+          << reopened.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, WalCrashTest,
+                         ::testing::ValuesIn(PartitionSafeGenerators()),
+                         [](const auto& info) {
+                           return GeneratorTestName(info.param);
+                         });
+
+}  // namespace
+}  // namespace testing
+}  // namespace brep

@@ -1,0 +1,18 @@
+/// Custom test main: the crash-injection suite re-executes this binary as
+/// a subprocess (BREP_WAL_CHILD set) that streams a seeded workload
+/// through the WAL and SIGKILLs itself mid-stream; everything else is a
+/// normal GoogleTest run.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "wal/wal_test_util.h"
+
+int main(int argc, char** argv) {
+  if (std::getenv("BREP_WAL_CHILD") != nullptr) {
+    return brep::testing::RunWalCrashChild();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

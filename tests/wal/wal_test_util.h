@@ -1,0 +1,86 @@
+#ifndef BREP_TESTS_WAL_WAL_TEST_UTIL_H_
+#define BREP_TESTS_WAL_WAL_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/matrix.h"
+#include "test_util.h"
+
+namespace brep::testing {
+
+/// Deterministic update workload shared by the crash-injection parent and
+/// its killed child (and replayable against a LinearScanOracle): both
+/// sides derive the identical operation sequence from the seed, including
+/// the id every insert will be assigned. The id simulation mirrors
+/// BrePartition's rule -- tombstoned ids are reused LIFO, otherwise the id
+/// space grows -- which recovery later re-verifies byte-for-byte (a logged
+/// id that replay would not re-assign is a kDataLoss).
+struct CrashPlan {
+  std::string generator = "squared_l2";
+  uint64_t seed = 1;
+  size_t dim = 6;
+  size_t initial = 120;  // points in the checkpointed base index
+  size_t ops = 500;      // mixed insert/delete operations after it
+};
+
+struct PlanOp {
+  bool is_insert = false;
+  uint32_t id = 0;             // the id inserted-as or deleted
+  std::vector<double> point;   // insert only
+};
+
+/// Rows 0..initial-1 of the pool build the base index; later rows feed
+/// inserts.
+inline Matrix PlanPool(const CrashPlan& plan) {
+  return MakeDataFor(plan.generator, plan.initial + plan.ops + 8, plan.dim,
+                     plan.seed ^ 0xDA7A);
+}
+
+inline std::vector<PlanOp> GeneratePlan(const CrashPlan& plan,
+                                        const Matrix& pool) {
+  Rng rng(plan.seed);
+  std::vector<PlanOp> ops;
+  ops.reserve(plan.ops);
+  std::vector<uint32_t> live;
+  std::vector<uint32_t> free_ids;  // LIFO, mirroring BrePartition
+  uint32_t next_id = static_cast<uint32_t>(plan.initial);
+  for (uint32_t id = 0; id < plan.initial; ++id) live.push_back(id);
+  size_t cursor = plan.initial;
+  for (size_t i = 0; i < plan.ops; ++i) {
+    const bool insert = live.empty() || rng.NextBelow(100) < 60;
+    PlanOp op;
+    op.is_insert = insert;
+    if (insert) {
+      if (free_ids.empty()) {
+        op.id = next_id++;
+      } else {
+        op.id = free_ids.back();
+        free_ids.pop_back();
+      }
+      const auto row = pool.Row(cursor++ % pool.rows());
+      op.point.assign(row.begin(), row.end());
+      live.push_back(op.id);
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      op.id = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      free_ids.push_back(op.id);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Entry point of the crash-injection CHILD process (see wal_crash_test.cc
+/// and the custom main in wal_test_main.cc): builds the plan's index,
+/// checkpoints, streams the plan ops through the WAL, and SIGKILLs itself
+/// at the requested operation. Exit code 0 on a clean run.
+int RunWalCrashChild();
+
+}  // namespace brep::testing
+
+#endif  // BREP_TESTS_WAL_WAL_TEST_UTIL_H_

@@ -1,0 +1,25 @@
+/// wal_dump: print a write-ahead log record by record -- offset, LSN,
+/// type, payload summary, checksum status -- plus the tail diagnosis
+/// (clean end / torn tail / corruption). The debugging companion to
+/// Index::Open's strict recovery: it renders logs recovery would refuse.
+///
+///   $ ./wal_dump index.wal
+///
+/// Exits non-zero only when the file cannot be read at all.
+
+#include <cstdio>
+
+#include "wal/wal.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <wal-file>\n", argv[0]);
+    return 2;
+  }
+  const brep::Status status = brep::DumpWal(argv[1], stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
