@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/parse.h"
@@ -163,6 +165,40 @@ Backends MakeBackends(const Workload& w, const std::vector<std::string>& names,
     out.engines.emplace_back(name, *std::move(engine));
   }
   return out;
+}
+
+std::string JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      BREP_CHECK_MSG(i + 1 < argc,
+                     "--json expects a path, e.g. --json BENCH_serving.json");
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+void EmitJson(const std::string& path, const std::string& key,
+              json::Value result) {
+  json::Value root{json::Object{}};
+  if (std::ifstream in(path); in.good()) {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = json::Value::Parse(buffer.str());
+    BREP_CHECK_MSG(parsed.ok(),
+                   ("existing --json file does not parse: " +
+                    parsed.status().ToString())
+                       .c_str());
+    BREP_CHECK_MSG(parsed->is_object(),
+                   "existing --json file does not hold a JSON object");
+    root = *std::move(parsed);
+  }
+  root.Set(key, std::move(result));
+  std::ofstream out(path, std::ios::trunc);
+  out << root.Dump(2) << "\n";
+  BREP_CHECK_MSG(out.good(), ("cannot write --json file " + path).c_str());
+  std::printf("\n[json] wrote section \"%s\" to %s\n", key.c_str(),
+              path.c_str());
 }
 
 namespace {

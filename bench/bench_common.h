@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/search_index.h"
+#include "common/json.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
 #include "storage/pager.h"
@@ -58,6 +59,21 @@ struct Backends {
 };
 Backends MakeBackends(const Workload& w, const std::vector<std::string>& names,
                       const BackendOptions& options = {});
+
+/// Path given via `--json <path>` on the command line (empty when absent):
+/// benches that support it then ALSO write their results machine-readable
+/// via EmitJson, so perf trajectories can be checked in and diffed
+/// (tools/brep_stats --diff).
+std::string JsonPathArg(int argc, char** argv);
+
+/// Merge `result` under `key` into the JSON object file at `path`: the
+/// existing file (if any; must hold a JSON object) is parsed, obj[key] is
+/// replaced, and the file is rewritten pretty-printed -- so several bench
+/// binaries accumulate sections into one BENCH_*.json. Aborts with a
+/// message on an unreadable or non-object file (a bench has no error
+/// channel).
+void EmitJson(const std::string& path, const std::string& key,
+              json::Value result);
 
 /// Print a table header / row with aligned columns.
 void PrintHeader(const std::vector<std::string>& cols);

@@ -2,7 +2,7 @@
 /// as the thread count grows, against the single-threaded handle as
 /// baseline.
 ///
-///   $ ./bench_engine_throughput [--threads N]
+///   $ ./bench_engine_throughput [--threads N] [--json <path>]
 ///
 /// Dataset: synthetic 50k x 100-d positive mixture under the Itakura-Saito
 /// divergence (the paper's ISD; plain KL is rejected by the framework
@@ -17,12 +17,30 @@
 #include <algorithm>
 #include <cstdio>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/index.h"
 #include "bench_common.h"
 #include "common/rng.h"
 #include "dataset/synthetic.h"
+#include "obs/index_metrics.h"
+
+namespace {
+
+brep::json::Value HistJson(const brep::obs::HistogramSnapshot& h) {
+  using brep::json::Value;
+  brep::json::Object o;
+  o.emplace_back("count", Value(double(h.count)));
+  o.emplace_back("mean_ms", Value(h.MeanMs()));
+  o.emplace_back("p50_ms", Value(h.Percentile(50)));
+  o.emplace_back("p90_ms", Value(h.Percentile(90)));
+  o.emplace_back("p99_ms", Value(h.Percentile(99)));
+  o.emplace_back("max_ms", Value(h.max_ms));
+  return Value(std::move(o));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace brep;
@@ -55,12 +73,24 @@ int main(int argc, char** argv) {
   std::printf("built %s; batch of %zu queries, k=%zu\n\n",
               index->Describe().c_str(), num_queries, k);
 
+  // Per-run kNN latency percentiles come from the shared registry's
+  // histogram, differenced around each measured batch (the registry is
+  // cumulative across warm-ups and thread counts).
+  auto knn_hist = [&] {
+    const auto snap = index->Metrics();
+    const auto* h = snap.FindHistogram(obs::kKnnLatencyMs);
+    BREP_CHECK(h != nullptr);
+    return *h;
+  };
+
   // Reference results + reference wall time: the sequential handle.
   auto sequential = index->Parallel(1);
   BREP_CHECK_MSG(sequential.ok(), sequential.status().ToString().c_str());
   sequential->KnnBatch(queries, k).value();  // warm node caches
   SearchIndex::Stats seq_stats;
+  const obs::HistogramSnapshot seq_before = knn_hist();
   const auto reference = sequential->KnnBatch(queries, k, &seq_stats).value();
+  const obs::HistogramSnapshot seq_latency = knn_hist().Since(seq_before);
 
   // Sanity: identical to the plain facade query loop.
   bool exact_vs_index = true;
@@ -80,19 +110,24 @@ int main(int argc, char** argv) {
     if (hw > 4) thread_counts.push_back(hw);
   }
 
+  json::Array runs;
   PrintHeader({"threads", "wall ms", "QPS", "speedup", "io reads",
                "identical"});
   for (const size_t t : thread_counts) {
     SearchIndex::Stats stats;
     std::vector<std::vector<Neighbor>> results;
+    obs::HistogramSnapshot latency;
     if (t == 1) {
       stats = seq_stats;
       results = reference;
+      latency = seq_latency;
     } else {
       auto engine = index->Parallel(t);
       BREP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
       engine->KnnBatch(queries, k, &stats).value();  // warm-up
+      const obs::HistogramSnapshot before = knn_hist();
       results = engine->KnnBatch(queries, k, &stats).value();
+      latency = knn_hist().Since(before);
     }
     const bool identical =
         results == reference &&
@@ -102,10 +137,34 @@ int main(int argc, char** argv) {
               FmtF(stats.wall_ms > 0 ? seq_stats.wall_ms / stats.wall_ms : 0,
                    2),
               FmtU(stats.io_reads), identical ? "yes" : "NO"});
+    json::Object run;
+    run.emplace_back("threads", json::Value(double(t)));
+    run.emplace_back("wall_ms", json::Value(stats.wall_ms));
+    run.emplace_back("qps", json::Value(stats.Qps()));
+    run.emplace_back("io_reads", json::Value(double(stats.io_reads)));
+    run.emplace_back("identical", json::Value(identical));
+    run.emplace_back("knn_latency_ms", HistJson(latency));
+    runs.emplace_back(std::move(run));
   }
   std::printf("\nresults vs plain Index::Knn loop: %s\n",
               exact_vs_index ? "identical" : "MISMATCH");
   std::printf("(hardware threads available: %u)\n",
               std::thread::hardware_concurrency());
+
+  if (const std::string json_path = JsonPathArg(argc, argv);
+      !json_path.empty()) {
+    json::Object section;
+    json::Object dataset;
+    dataset.emplace_back("n", json::Value(double(n)));
+    dataset.emplace_back("d", json::Value(double(d)));
+    dataset.emplace_back("k", json::Value(double(k)));
+    dataset.emplace_back("queries", json::Value(double(num_queries)));
+    dataset.emplace_back("divergence",
+                         json::Value(std::string("itakura_saito")));
+    section.emplace_back("dataset", json::Value(std::move(dataset)));
+    section.emplace_back("exact_vs_index", json::Value(exact_vs_index));
+    section.emplace_back("runs", json::Value(std::move(runs)));
+    EmitJson(json_path, "engine_throughput", json::Value(std::move(section)));
+  }
   return 0;
 }

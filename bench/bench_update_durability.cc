@@ -7,7 +7,7 @@
 /// permits, and recovery replays the rest (see README "Durability & crash
 /// recovery").
 ///
-///   $ ./bench_update_durability [--threads N]
+///   $ ./bench_update_durability [--threads N] [--json <path>]
 ///
 /// With --threads N > 1, N-1 reader threads hammer exact kNN through their
 /// own Parallel handles while the writer streams, showing group commit
@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/index.h"
@@ -27,6 +28,23 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "dataset/synthetic.h"
+#include "obs/index_metrics.h"
+
+namespace {
+
+brep::json::Value HistJson(const brep::obs::HistogramSnapshot& h) {
+  using brep::json::Value;
+  brep::json::Object o;
+  o.emplace_back("count", Value(double(h.count)));
+  o.emplace_back("mean_ms", Value(h.MeanMs()));
+  o.emplace_back("p50_ms", Value(h.Percentile(50)));
+  o.emplace_back("p90_ms", Value(h.Percentile(90)));
+  o.emplace_back("p99_ms", Value(h.Percentile(99)));
+  o.emplace_back("max_ms", Value(h.max_ms));
+  return Value(std::move(o));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace brep;
@@ -73,6 +91,7 @@ int main(int argc, char** argv) {
   PrintHeader({"fsync_mode", "window_ms", "acked_w/s", "wal_MB", "fsyncs",
                "replay_ms/10k", "replayed"});
 
+  json::Array modes;
   for (const Config& config : configs) {
     std::remove(home.c_str());
     std::remove(wal.c_str());
@@ -140,6 +159,14 @@ int main(int argc, char** argv) {
     for (auto& r : readers) r.join();
 
     const WalWriter::Stats ws = index->wal_stats();
+    // WAL latency percentiles for this mode's write stream (the writer is
+    // per-run, so no cross-mode differencing is needed).
+    const obs::MetricsSnapshot metrics = index->Metrics();
+    const obs::HistogramSnapshot* append_lat =
+        metrics.FindHistogram(obs::kWalAppendLatencyMs);
+    const obs::HistogramSnapshot* fsync_lat =
+        metrics.FindHistogram(obs::kWalFsyncLatencyMs);
+    BREP_CHECK(append_lat != nullptr && fsync_lat != nullptr);
     index.reset();  // close WITHOUT a checkpoint: recovery must replay
 
     Timer open_timer;
@@ -158,10 +185,41 @@ int main(int argc, char** argv) {
               FmtF(double(num_ops) / write_s, 0),
               FmtF(double(ws.appended_bytes) / (1024.0 * 1024.0), 2),
               FmtU(ws.fsyncs), FmtF(per_10k, 1), FmtU(replayed)});
+
+    json::Object mode_result;
+    mode_result.emplace_back(
+        "fsync_mode", json::Value(std::string(FsyncModeName(config.mode))));
+    mode_result.emplace_back(
+        "group_window_ms",
+        json::Value(config.mode == FsyncMode::kGroup ? config.window_ms
+                                                     : 0.0));
+    mode_result.emplace_back("acked_writes_per_s",
+                             json::Value(double(num_ops) / write_s));
+    mode_result.emplace_back("wal_bytes",
+                             json::Value(double(ws.appended_bytes)));
+    mode_result.emplace_back("wal_fsyncs", json::Value(double(ws.fsyncs)));
+    mode_result.emplace_back("replay_ms_per_10k", json::Value(per_10k));
+    mode_result.emplace_back("replayed_ops", json::Value(double(replayed)));
+    mode_result.emplace_back("wal_append_latency_ms", HistJson(*append_lat));
+    mode_result.emplace_back("wal_fsync_latency_ms", HistJson(*fsync_lat));
+    modes.emplace_back(std::move(mode_result));
   }
 
   std::remove(home.c_str());
   std::remove(wal.c_str());
+  if (const std::string json_path = JsonPathArg(argc, argv);
+      !json_path.empty()) {
+    json::Object section;
+    json::Object workload;
+    workload.emplace_back("n", json::Value(double(n)));
+    workload.emplace_back("d", json::Value(double(d)));
+    workload.emplace_back("ops_per_mode", json::Value(double(num_ops)));
+    workload.emplace_back("reader_threads",
+                          json::Value(threads > 1 ? double(threads - 1) : 0.0));
+    section.emplace_back("workload", json::Value(std::move(workload)));
+    section.emplace_back("modes", json::Value(std::move(modes)));
+    EmitJson(json_path, "update_durability", json::Value(std::move(section)));
+  }
   std::printf(
       "\nacked_w/s counts acknowledged operations; 'always' acks are "
       "durable at return,\n'group' within one window, 'none' at the next "

@@ -1,0 +1,192 @@
+/// Observable serving: the end-to-end tour of the metrics subsystem. Build
+/// an index, persist it, serve kNN/range queries file-backed (real I/O
+/// latencies) and through a parallel handle, stream durable writes through
+/// the WAL -- then export everything three ways: Prometheus text, JSON,
+/// and the per-query trace walkthrough from the slow-query log.
+///
+///   $ ./observable_serving [metrics-json-path]
+///
+/// With a path argument the final JSON metrics dump is also written there
+/// (feed it to `brep_stats print`). The program re-parses its own JSON
+/// exposition with the bundled parser and checks the exported series
+/// against the work it just did, exiting non-zero on any mismatch -- CI
+/// runs it as a smoke test.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/index.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+#include "obs/exposition.h"
+#include "obs/index_metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+bool Fail(const char* what) {
+  std::fprintf(stderr, "FAIL: %s\n", what);
+  return false;
+}
+
+/// The JSON exposition must round-trip through the bundled parser and
+/// agree with the live snapshot on the families this run exercised.
+bool ValidateJson(const std::string& rendered, const brep::Index& index,
+                  uint64_t expected_knn) {
+  using brep::json::Value;
+  auto parsed = Value::Parse(rendered);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "FAIL: JSON exposition does not parse: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const Value* counters = parsed->Find("counters");
+  const Value* gauges = parsed->Find("gauges");
+  const Value* histograms = parsed->Find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    return Fail("JSON exposition is missing a family section");
+  }
+  const Value* knn = counters->Find(brep::obs::kKnnQueriesTotal);
+  if (knn == nullptr || knn->number() != double(expected_knn)) {
+    return Fail("brep_knn_queries_total disagrees with the queries served");
+  }
+  const Value* points = gauges->Find(brep::obs::kPointsGauge);
+  if (points == nullptr || points->number() != double(index.num_points())) {
+    return Fail("brep_points disagrees with num_points()");
+  }
+  const Value* knn_hist = histograms->Find(brep::obs::kKnnLatencyMs);
+  if (knn_hist == nullptr ||
+      knn_hist->Find("count")->number() != double(expected_knn)) {
+    return Fail("brep_knn_latency_ms count disagrees with queries served");
+  }
+  const Value* io_hist = histograms->Find(brep::obs::kIoReadLatencyMs);
+  if (io_hist == nullptr || io_hist->Find("count")->number() <= 0.0) {
+    return Fail("file-backed serving exported no I/O read latencies");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace brep;
+  const std::string json_out = argc > 1 ? argv[1] : "";
+  const std::string path = "/tmp/brep_observable_serving.idx";
+  const std::string wal_path = path + ".wal";
+  std::remove(path.c_str());
+  std::remove(wal_path.c_str());
+
+  Rng rng(2024);
+  const Matrix data = MakeFontsLike(rng, 2000, 48);
+  Rng qrng(7);
+  const Matrix queries = MakeQueries(qrng, data, 12, 0.1, true);
+  const size_t k = 5;
+
+  // ---- build, persist, reopen file-backed (real read latencies) --------
+  {
+    auto built = IndexBuilder("itakura_saito")
+                     .Partitions(4)
+                     .PageSize(32 * 1024)
+                     .SlowQueryThreshold(0.0)  // trace everything
+                     .TraceCapacity(16)
+                     .Build(data);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    if (!built->Save(path).ok()) return 1;
+  }
+  auto opened = Index::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Index index = *std::move(opened);
+  // Tracing knobs are runtime-settable too (an opened index starts with
+  // the defaults: 100 ms threshold, 128 entries).
+  index.SetSlowQueryThreshold(0.0);
+  index.SetTraceCapacity(16);
+  std::printf("%s\n\n", index.Describe().c_str());
+
+  // ---- serve: sequential facade, then a parallel handle ----------------
+  uint64_t knn_served = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    if (!index.Knn(queries.Row(q), k).ok()) return 1;
+    ++knn_served;
+  }
+  const auto probe = index.Knn(queries.Row(0), k).value();
+  ++knn_served;
+  const double radius = probe.back().distance * 1.02;
+  if (!index.Range(queries.Row(0), radius).ok()) return 1;
+
+  auto parallel = index.Parallel(2);
+  if (!parallel.ok()) return 1;
+  if (!parallel->KnnBatch(queries, k).ok()) return 1;
+  knn_served += queries.rows();  // the handle records into the same registry
+
+  // ---- durable writes: the WAL series join the export ------------------
+  DurabilityOptions durability;
+  durability.wal_path = wal_path;
+  durability.fsync_mode = FsyncMode::kGroup;
+  durability.group_window_ms = 2.0;
+  {
+    auto durable = Index::Open(path, durability);
+    if (!durable.ok()) return 1;
+    for (size_t i = 0; i < 8; ++i) {
+      if (!durable->Insert(data.Row(i)).ok()) return 1;
+    }
+    if (!durable->Delete(0).ok()) return 1;
+    const obs::MetricsSnapshot snap = durable->Metrics();
+    const uint64_t* appends = snap.FindCounter(obs::kWalAppendsTotal);
+    const auto* append_lat = snap.FindHistogram(obs::kWalAppendLatencyMs);
+    if (appends == nullptr || *appends != 9 || append_lat == nullptr ||
+        append_lat->count != 9) {
+      Fail("WAL series disagree with the writes acknowledged");
+      return 1;
+    }
+    std::printf(
+        "durable writes: %llu WAL appends, append p99 %.4f ms "
+        "(insert p99 %.3f ms)\n\n",
+        static_cast<unsigned long long>(*appends), append_lat->Percentile(99),
+        snap.FindHistogram(obs::kInsertLatencyMs)->Percentile(99));
+  }
+
+  // ---- exposition ------------------------------------------------------
+  const obs::MetricsSnapshot snapshot = index.Metrics();
+  std::printf("---- Prometheus text exposition ----\n%s\n",
+              obs::RenderPrometheus(snapshot).c_str());
+
+  const std::string rendered = obs::RenderJson(snapshot);
+  if (!ValidateJson(rendered, index, knn_served)) return 1;
+  std::printf("---- JSON exposition: parses, %llu kNN queries accounted "
+              "for ----\n\n",
+              static_cast<unsigned long long>(knn_served));
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    out << rendered;
+    if (!out.good()) return 1;
+    std::printf("wrote metrics JSON to %s\n\n", json_out.c_str());
+  }
+
+  // ---- the slow-query log: where did the slowest call spend its time? --
+  const std::vector<obs::QueryTraceEntry> traces = index.SlowQueries();
+  if (traces.empty()) {
+    Fail("a zero threshold must trace every call");
+    return 1;
+  }
+  size_t slowest = 0;
+  for (size_t i = 1; i < traces.size(); ++i) {
+    if (traces[i].total_ms > traces[slowest].total_ms) slowest = i;
+  }
+  std::printf("---- slowest of the last %zu traced calls ----\n%s",
+              traces.size(), obs::FormatQueryTrace(traces[slowest]).c_str());
+
+  std::remove(path.c_str());
+  std::remove(wal_path.c_str());
+  return 0;
+}

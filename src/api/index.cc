@@ -1,14 +1,17 @@
 #include "api/index.h"
 
+#include <cmath>
 #include <filesystem>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/brepartition.h"
 #include "core/stats.h"
 #include "divergence/factory.h"
 #include "engine/query_engine.h"
+#include "obs/index_metrics.h"
 #include "storage/file_pager.h"
 #include "storage/pager.h"
 
@@ -27,6 +30,35 @@ std::string CanonicalPath(const std::string& path) {
   const std::filesystem::path canon =
       std::filesystem::weakly_canonical(path, ec);
   return ec ? path : canon.string();
+}
+
+Status ValidateTraceOptions(const IndexOptions& options) {
+  if (!std::isfinite(options.slow_query_threshold_ms) ||
+      options.slow_query_threshold_ms < 0.0) {
+    return Status::InvalidArgument(
+        "slow_query_threshold_ms must be finite and >= 0");
+  }
+  return Status::Ok();
+}
+
+/// Record one applied facade mutation: its latency histogram, and a trace
+/// entry when it crosses the slow-call threshold (the WAL spans tell slow
+/// writes apart from slow index maintenance).
+void RecordUpdate(const BrePartition& bp, char op, double total_ms,
+                  const WalWriter::AppendTiming& wal) {
+  const obs::IndexMetrics& im = bp.index_metrics();
+  obs::LatencyHistogram* latency =
+      op == 'i' ? im.insert_latency : im.delete_latency;
+  latency->RecordStripe(obs::CurrentThreadStripe(), total_ms);
+  obs::TraceLog& trace = bp.trace_log();
+  if (total_ms < trace.threshold_ms()) return;
+  obs::QueryTraceEntry entry;
+  entry.op = op;
+  entry.results = 1;
+  entry.wal_append_ms = wal.append_ms;
+  entry.wal_fsync_ms = wal.fsync_ms;
+  entry.total_ms = total_ms;
+  trace.Record(std::move(entry));
 }
 
 }  // namespace
@@ -74,6 +106,7 @@ StatusOr<Index> Index::Build(const Matrix& data,
       return Status::InvalidArgument("group_window_ms must be > 0");
     }
   }
+  BREP_RETURN_IF_ERROR(ValidateTraceOptions(options));
   auto pager = std::make_unique<MemPager>(options.page_size);
   BREP_RETURN_IF_ERROR(ValidateBrePartitionConfig(options.config, data,
                                                   divergence, pager.get()));
@@ -81,6 +114,8 @@ StatusOr<Index> Index::Build(const Matrix& data,
                                            options.config);
   Index index(std::move(pager), std::move(bp));
   index.durability_ = options.durability;
+  index.bp_->trace_log().set_threshold_ms(options.slow_query_threshold_ms);
+  index.bp_->trace_log().set_capacity(options.trace_capacity);
   return index;
 }
 
@@ -287,6 +322,46 @@ uint64_t Index::wal_durable_lsn() const {
   return wal_ != nullptr ? wal_->durable_lsn() : 0;
 }
 
+obs::MetricsSnapshot Index::Metrics() const {
+  // One shared acquisition covers both the index collection pass and the
+  // wal_ pointer read (published by the first checkpoint under the
+  // exclusive side); the WAL's own stats are behind its internal mutex.
+  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  obs::MetricsSnapshot out = bp_->CollectMetricsLocked();
+  if (wal_ != nullptr) {
+    const WalWriter::Stats ws = wal_->stats();
+    out.AddCounter(obs::kWalAppendsTotal, ws.appends);
+    out.AddCounter(obs::kWalFsyncsTotal, ws.fsyncs);
+    out.AddCounter(obs::kWalAppendedBytesTotal, ws.appended_bytes);
+    out.AddGauge(obs::kWalLastLsnGauge, double(wal_->last_lsn()));
+    out.AddGauge(obs::kWalDurableLsnGauge, double(wal_->durable_lsn()));
+    out.AddHistogram(obs::kWalAppendLatencyMs, wal_->append_latency());
+    out.AddHistogram(obs::kWalFsyncLatencyMs, wal_->fsync_latency());
+  }
+  if (durability_.enabled()) {
+    out.AddCounter(obs::kRecoveryReplayedInserts, recovery_.replayed_inserts);
+    out.AddCounter(obs::kRecoveryReplayedDeletes, recovery_.replayed_deletes);
+    out.AddCounter(obs::kRecoverySkippedRecords, recovery_.skipped_records);
+    out.AddCounter(obs::kRecoveryDroppedTailBytes,
+                   recovery_.dropped_tail_bytes);
+    out.AddGauge(obs::kRecoveryReplayMsGauge, recovery_.replay_ms);
+  }
+  out.Sort();
+  return out;
+}
+
+std::vector<obs::QueryTraceEntry> Index::SlowQueries() const {
+  return bp_->trace_log().Snapshot();
+}
+
+void Index::SetSlowQueryThreshold(double ms) {
+  bp_->trace_log().set_threshold_ms(ms);
+}
+
+void Index::SetTraceCapacity(size_t entries) {
+  bp_->trace_log().set_capacity(entries);
+}
+
 namespace {
 
 Status FrozenByViewError() {
@@ -315,9 +390,12 @@ StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
         "point is outside the domain of divergence " +
         bp_->divergence().Name());
   }
+  Timer op_timer;
+  WalWriter::AppendTiming wal_timing;
   if (!durability_.enabled()) {
     const auto id = bp_->Insert(point);
     if (!id.has_value()) return FrozenByViewError();
+    RecordUpdate(*bp_, 'i', op_timer.ElapsedMillis(), wal_timing);
     return *id;
   }
   // Log, sync (per mode), THEN apply -- all under one exclusive section,
@@ -328,7 +406,8 @@ StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
   if (wal_ == nullptr) return NoCheckpointYetError();
   if (bp_->UpdatesFrozenLocked()) return FrozenByViewError();
   const uint32_t id = bp_->NextInsertIdLocked();
-  BREP_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->AppendInsert(id, point));
+  BREP_ASSIGN_OR_RETURN(const uint64_t lsn,
+                        wal_->AppendInsert(id, point, &wal_timing));
   (void)lsn;
   stats->wal_appends += 1;
   // kAlways issues exactly one barrier per append; group/none syncs run in
@@ -336,13 +415,17 @@ StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
   stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
   const auto applied = bp_->InsertLocked(point);
   BREP_CHECK(applied.has_value() && *applied == id);
+  RecordUpdate(*bp_, 'i', op_timer.ElapsedMillis(), wal_timing);
   return id;
 }
 
 Status Index::DeleteImpl(uint32_t id, Stats* stats) {
+  Timer op_timer;
+  WalWriter::AppendTiming wal_timing;
   if (!durability_.enabled()) {
     switch (bp_->Delete(id)) {
       case BrePartition::UpdateOutcome::kApplied:
+        RecordUpdate(*bp_, 'd', op_timer.ElapsedMillis(), wal_timing);
         return Status::Ok();
       case BrePartition::UpdateOutcome::kNotFound:
         return Status::NotFound("no live point with id " +
@@ -360,12 +443,13 @@ Status Index::DeleteImpl(uint32_t id, Stats* stats) {
   if (!bp_->ContainsLocked(id)) {
     return Status::NotFound("no live point with id " + std::to_string(id));
   }
-  BREP_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->AppendDelete(id));
+  BREP_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->AppendDelete(id, &wal_timing));
   (void)lsn;
   stats->wal_appends += 1;
   stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
   const auto outcome = bp_->DeleteLocked(id);
   BREP_CHECK(outcome == BrePartition::UpdateOutcome::kApplied);
+  RecordUpdate(*bp_, 'd', op_timer.ElapsedMillis(), wal_timing);
   return Status::Ok();
 }
 
@@ -480,6 +564,20 @@ IndexBuilder& IndexBuilder::Durability(DurabilityOptions durability) {
   return *this;
 }
 
+IndexBuilder& IndexBuilder::SlowQueryThreshold(double ms) {
+  if (!std::isfinite(ms) || ms < 0.0) {
+    return Fail(Status::InvalidArgument(
+        "slow_query_threshold_ms must be finite and >= 0"));
+  }
+  options_.slow_query_threshold_ms = ms;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::TraceCapacity(size_t entries) {
+  options_.trace_capacity = entries;
+  return *this;
+}
+
 StatusOr<Index> IndexBuilder::Build(const Matrix& data) const {
   BREP_RETURN_IF_ERROR(status_);
   return Index::Build(data, divergence_, options_);
@@ -512,6 +610,17 @@ size_t ParallelIndex::num_points() const {
   return engine_->index().num_points();
 }
 size_t ParallelIndex::threads() const { return engine_->num_threads(); }
+
+obs::MetricsSnapshot ParallelIndex::Metrics() const {
+  // The registry lives on the BrePartition, so this is the same series the
+  // owning Index exports (minus its WAL/recovery section, which only the
+  // facade can attribute).
+  return engine_->index().CollectMetrics();
+}
+
+std::vector<obs::QueryTraceEntry> ParallelIndex::SlowQueries() const {
+  return engine_->index().trace_log().Snapshot();
+}
 
 StatusOr<std::vector<Neighbor>> ParallelIndex::KnnImpl(
     std::span<const double> y, size_t k, Stats* stats) const {

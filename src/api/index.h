@@ -41,6 +41,13 @@ struct IndexOptions {
   /// freshly built index must checkpoint once before accepting writes --
   /// the log can only be replayed against a durable base state.
   DurabilityOptions durability;
+  /// Slow-call tracing (see obs::TraceLog): calls whose total latency is
+  /// >= this many milliseconds land in the in-memory slow-query ring with
+  /// their full span breakdown. 0 traces every call (walkthroughs, tests).
+  double slow_query_threshold_ms = 100.0;
+  /// Entries the slow-query ring retains (newest evicts oldest); 0
+  /// disables retention while still counting slow calls.
+  size_t trace_capacity = 128;
 };
 
 /// An exact BrePartition index that owns its storage. Build from data,
@@ -115,6 +122,22 @@ class Index final : public SearchIndex {
   WalWriter::Stats wal_stats() const;
   /// Highest log LSN known durable (0 when durability is off).
   uint64_t wal_durable_lsn() const;
+
+  /// Everything this index exports: the shared per-index registry (query
+  /// counters + latency histograms), storage series (pager I/O, buffer
+  /// pools, real-file read/write/sync latencies), and -- when durability
+  /// is on -- the WAL and recovery series. One consistent collection pass
+  /// under the shared update lock; safe concurrently with serving.
+  obs::MetricsSnapshot Metrics() const override;
+
+  /// Recent traced calls, oldest first (calls slower than the slow-query
+  /// threshold; see IndexOptions::slow_query_threshold_ms).
+  std::vector<obs::QueryTraceEntry> SlowQueries() const override;
+
+  /// Re-arm tracing at runtime (applies to every engine and Parallel()
+  /// handle over this index, which share the trace log).
+  void SetSlowQueryThreshold(double ms);
+  void SetTraceCapacity(size_t entries);
 
   // SearchIndex surface ---------------------------------------------------
   std::string Describe() const override;
@@ -202,6 +225,11 @@ class IndexBuilder {
   /// Crash safety: log every write to `durability.wal_path` (see
   /// IndexOptions::durability). Validated at Build().
   IndexBuilder& Durability(DurabilityOptions durability);
+  /// Slow-call tracing threshold in milliseconds (0 traces everything;
+  /// must be finite and >= 0).
+  IndexBuilder& SlowQueryThreshold(double ms);
+  /// Slow-query ring capacity (0 counts without retaining).
+  IndexBuilder& TraceCapacity(size_t entries);
 
   /// First setter error, or OK.
   const Status& status() const { return status_; }
@@ -228,6 +256,12 @@ class ParallelIndex final : public SearchIndex {
 
   /// Threads serving a call, including the caller.
   size_t threads() const;
+
+  /// The underlying index's snapshot (the registry is shared: queries
+  /// through this handle and through the owning Index land in the same
+  /// series). WAL/recovery series are the owning Index's to export.
+  obs::MetricsSnapshot Metrics() const override;
+  std::vector<obs::QueryTraceEntry> SlowQueries() const override;
 
   ParallelIndex(ParallelIndex&&) noexcept;
   ParallelIndex& operator=(ParallelIndex&&) noexcept;

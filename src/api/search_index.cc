@@ -429,6 +429,10 @@ void SearchIndex::Stats::Add(const QueryStats& qs) {
   io_reads += qs.io_reads;
   candidates += qs.candidates;
   nodes_visited += qs.nodes_visited;
+  leaves_visited += qs.leaves_visited;
+  points_evaluated += qs.points_evaluated;
+  pool_hits += qs.pool_hits;
+  pool_misses += qs.pool_misses;
   radius_total += qs.radius_total;
   approx_coefficient = qs.approx_coefficient;
 }
@@ -442,6 +446,10 @@ void SearchIndex::Stats::Add(const EngineStats& es) {
   io_reads += es.io_reads;
   candidates += es.candidates;
   nodes_visited += es.nodes_visited;
+  leaves_visited += es.leaves_visited;
+  points_evaluated += es.points_evaluated;
+  pool_hits += es.pool_hits;
+  pool_misses += es.pool_misses;
 }
 
 StatusOr<uint32_t> SearchIndex::Insert(std::span<const double> point,

@@ -15,6 +15,8 @@
 #include "core/config.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/pager.h"
 #include "vafile/vafile.h"
 
@@ -60,6 +62,16 @@ class SearchIndex {
     uint64_t candidates = 0;
     /// Index nodes visited (0 for backends without a tree).
     uint64_t nodes_visited = 0;
+    /// Tree leaves scanned during the filter phase.
+    uint64_t leaves_visited = 0;
+    /// Divergence evaluations performed inside the index structures
+    /// (filter-phase pruning; the refine phase's exact evaluations are
+    /// `candidates`).
+    uint64_t points_evaluated = 0;
+    /// Buffer-pool traffic during this call (node-cache hits/misses;
+    /// approximate when calls overlap -- the pools are shared).
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
     /// Total searching bound (BrePartition family; diagnostic).
     double radius_total = 0.0;
     /// Tightening coefficient applied by approximate backends (1 = exact).
@@ -87,6 +99,17 @@ class SearchIndex {
   virtual size_t num_points() const = 0;
   /// Whether results carry an exactness guarantee (false for "var"/"abp").
   virtual bool exact() const = 0;
+
+  /// Full observability snapshot: every counter, gauge and latency
+  /// histogram the backend exports (render with obs::RenderPrometheus /
+  /// obs::RenderJson). Backends without instrumentation return an empty
+  /// snapshot; brep::Index and ParallelIndex return the shared per-index
+  /// registry plus storage/WAL/recovery series.
+  virtual obs::MetricsSnapshot Metrics() const { return {}; }
+
+  /// Recent slow-call traces, oldest first (see obs::TraceLog). Empty for
+  /// backends without tracing.
+  virtual std::vector<obs::QueryTraceEntry> SlowQueries() const { return {}; }
 
   /// The k nearest neighbors of `query` (minimizing D(x, query)), sorted
   /// ascending by (distance, id). Errors: wrong dimensionality, k == 0,

@@ -112,6 +112,28 @@ std::vector<PageId> BBForest::LivePages() const {
   return pages;
 }
 
+BBForest::PoolTraffic BBForest::pool_traffic() const {
+  PoolTraffic out;
+  for (const auto& tree : trees_) {
+    out.hits += tree->pool().hits();
+    out.misses += tree->pool().misses();
+  }
+  return out;
+}
+
+BBForest::PoolCounters BBForest::pool_counters() const {
+  PoolCounters out;
+  for (const auto& tree : trees_) {
+    const BufferPool& pool = tree->pool();
+    out.hits += pool.hits();
+    out.misses += pool.misses();
+    out.evictions += pool.evictions();
+    out.resident_pages += pool.size();
+    out.capacity_pages += pool.capacity();
+  }
+  return out;
+}
+
 std::vector<uint32_t> BBForest::RangeCandidatesUnion(
     std::span<const std::vector<double>> y_subs, std::span<const double> radii,
     SearchStats* stats) const {

@@ -107,6 +107,26 @@ class BBForest {
   /// caching behaviour).
   size_t pool_pages() const { return pool_pages_; }
 
+  /// Buffer-pool traffic summed over every tree's node cache. Relaxed
+  /// atomic reads: safe concurrently with serving, and two counters read
+  /// while queries run may disagree by the in-flight operations.
+  struct PoolCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t resident_pages = 0;
+    size_t capacity_pages = 0;
+  };
+  PoolCounters pool_counters() const;
+
+  /// Just the hit/miss counters (the per-query delta the instrumentation
+  /// takes twice per query): purely relaxed atomic loads, no pool mutex.
+  struct PoolTraffic {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  PoolTraffic pool_traffic() const;
+
  private:
   FilterMode filter_mode_;
   size_t pool_pages_ = 128;

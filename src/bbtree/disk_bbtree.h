@@ -110,6 +110,9 @@ class DiskBBTree {
   uint64_t full_node_reads() const {
     return full_node_reads_.load(std::memory_order_relaxed);
   }
+  /// This tree's node cache (hit/miss/eviction counters for metrics; the
+  /// pool itself is thread-safe).
+  const BufferPool& pool() const { return pool_; }
 
   /// Insert point `id` with subspace vector `x` (this tree's
   /// dimensionality). Must not race with searches.

@@ -1,0 +1,423 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace brep::json {
+
+bool Value::bool_value() const {
+  BREP_CHECK(is_bool());
+  return bool_;
+}
+
+double Value::number() const {
+  BREP_CHECK(is_number());
+  return number_;
+}
+
+const std::string& Value::string() const {
+  BREP_CHECK(is_string());
+  return string_;
+}
+
+const Array& Value::array() const {
+  BREP_CHECK(is_array());
+  return array_;
+}
+
+Array& Value::array() {
+  BREP_CHECK(is_array());
+  return array_;
+}
+
+const Object& Value::object() const {
+  BREP_CHECK(is_object());
+  return object_;
+}
+
+Object& Value::object() {
+  BREP_CHECK(is_object());
+  return object_;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Value::Find(std::string_view key) {
+  if (!is_object()) return nullptr;
+  for (auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Set(std::string_view key, Value value) {
+  BREP_CHECK(is_object());
+  if (Value* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> ParseDocument() {
+    Value v;
+    BREP_RETURN_IF_ERROR(ParseValue(&v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::InvalidArgument("json: " + what + " at " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(col));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        std::string s;
+        BREP_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return Error("invalid literal");
+        pos_ += 4;
+        *out = Value(true);
+        return Status::Ok();
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") return Error("invalid literal");
+        pos_ += 5;
+        *out = Value(false);
+        return Status::Ok();
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return Error("invalid literal");
+        pos_ += 4;
+        *out = Value();
+        return Status::Ok();
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out) {
+    ++pos_;  // '{'
+    Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = Value(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      BREP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      Value v;
+      BREP_RETURN_IF_ERROR(ParseValue(&v));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}'");
+    }
+    *out = Value(std::move(members));
+    return Status::Ok();
+  }
+
+  Status ParseArray(Value* out) {
+    ++pos_;  // '['
+    Array items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = Value(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      Value v;
+      BREP_RETURN_IF_ERROR(ParseValue(&v));
+      items.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']'");
+    }
+    *out = Value(std::move(items));
+    return Status::Ok();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= uint32_t(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= uint32_t(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= uint32_t(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(std::string* s, uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(char(cp));
+    } else if (cp < 0x800) {
+      s->push_back(char(0xC0 | (cp >> 6)));
+      s->push_back(char(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(char(0xE0 | (cp >> 12)));
+      s->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(char(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(char(0xF0 | (cp >> 18)));
+      s->push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(char(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (uint8_t(c) < 0x20) return Error("control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          BREP_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t lo = 0;
+              BREP_RETURN_IF_ERROR(ParseHex4(&lo));
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("invalid surrogate pair");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Error("unpaired surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default: return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = Value(std::strtod(token.c_str(), nullptr));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double v, std::string* out) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (std::isfinite(v)) {
+    // Shortest representation that round-trips.
+    for (const int prec : {15, 16, 17}) {
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
+  } else {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out->append(buf);
+}
+
+void DumpValue(const Value& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(size_t(d) * size_t(indent), ' ');
+  };
+  switch (v.type()) {
+    case Value::Type::kNull: out->append("null"); break;
+    case Value::Type::kBool: out->append(v.bool_value() ? "true" : "false");
+      break;
+    case Value::Type::kNumber: DumpNumber(v.number(), out); break;
+    case Value::Type::kString: DumpString(v.string(), out); break;
+    case Value::Type::kArray: {
+      const Array& a = v.array();
+      out->push_back('[');
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        DumpValue(a[i], indent, depth + 1, out);
+      }
+      if (!a.empty()) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& o = v.object();
+      out->push_back('{');
+      for (size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        DumpString(o[i].first, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        DumpValue(o[i].second, indent, depth + 1, out);
+      }
+      if (!o.empty()) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Value> Value::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpValue(*this, indent, 0, &out);
+  return out;
+}
+
+}  // namespace brep::json

@@ -1,0 +1,83 @@
+#ifndef BREP_COMMON_JSON_H_
+#define BREP_COMMON_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+/// \file
+/// A minimal JSON document model: parse, navigate, dump. Built for the
+/// observability tooling (tools/brep_stats reads metric dumps and diffs
+/// BENCH_*.json files; the bench emitters merge results into an existing
+/// file; tests validate that the JSON exposition actually parses) -- not a
+/// general-purpose library. Objects preserve insertion order, numbers are
+/// doubles, \uXXXX escapes decode to UTF-8 (surrogate pairs supported).
+
+namespace brep::json {
+
+class Value;
+
+/// Object members in insertion order (duplicate keys keep the last).
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  explicit Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  /// Strict parse of a complete document (trailing garbage is an error).
+  /// kInvalidArgument with a line:column message on malformed input.
+  static StatusOr<Value> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; aborting on a type mismatch is fine for tooling, so
+  /// these BREP_CHECK the type.
+  bool bool_value() const;
+  double number() const;
+  const std::string& string() const;
+  const Array& array() const;
+  Array& array();
+  const Object& object() const;
+  Object& object();
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  Value* Find(std::string_view key);
+  /// Insert-or-overwrite an object member (appends when absent).
+  void Set(std::string_view key, Value value);
+
+  /// Serialize; `indent` > 0 pretty-prints with that many spaces per
+  /// level. Numbers print integrally when integral (see
+  /// obs::FormatMetricNumber's contract), else shortest round-trip.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace brep::json
+
+#endif  // BREP_COMMON_JSON_H_

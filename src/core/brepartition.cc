@@ -12,6 +12,7 @@
 #include "core/pccp.h"
 #include "divergence/factory.h"
 #include "divergence/generators.h"
+#include "storage/file_pager.h"
 #include "storage/serial.h"
 
 namespace brep {
@@ -674,6 +675,8 @@ std::vector<Neighbor> BrePartition::FilterAndRefine(
       forest_->RangeCandidatesUnion(y_subs, radii, &tree_stats);
   st.filter_ms += filter_timer.ElapsedMillis();
   st.nodes_visited += tree_stats.nodes_visited;
+  st.leaves_visited += tree_stats.leaves_visited;
+  st.points_evaluated += tree_stats.points_evaluated;
   st.candidates += candidates.size();
 
   // Refine: fetch candidates (page-batched) and evaluate exactly.
@@ -705,6 +708,7 @@ std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
 
   Timer total_timer;
   const IoStats io_before = pager_->stats();
+  const BBForest::PoolTraffic pool_before = forest_->pool_traffic();
 
   // Bound phase: Algorithms 3 + 4.
   Timer bound_timer;
@@ -717,8 +721,65 @@ std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
   auto result = FilterAndRefine(y, y_subs, qb.radii, k, &st);
 
   st.io_reads = (pager_->stats() - io_before).reads;
+  const BBForest::PoolTraffic pool_after = forest_->pool_traffic();
+  st.pool_hits = pool_after.hits - pool_before.hits;
+  st.pool_misses = pool_after.misses - pool_before.misses;
   st.total_ms = total_timer.ElapsedMillis();
+
+  obs::QueryRecordContext ctx;
+  ctx.op = 'k';
+  ctx.k = k;
+  ctx.results = result.size();
+  obs::RecordQuery(im_, trace_, st, ctx, obs::CurrentThreadStripe());
   return result;
+}
+
+obs::MetricsSnapshot BrePartition::CollectMetricsLocked() const {
+  obs::MetricsSnapshot out = registry_.Snapshot();
+
+  // Index shape.
+  out.AddGauge(obs::kPointsGauge, double(num_points()));
+  out.AddGauge(obs::kIdSpaceGauge, double(id_space()));
+  out.AddGauge(obs::kPartitionsGauge, double(num_partitions()));
+  out.AddCounter(obs::kInsertsTotal, inserts_);
+  out.AddCounter(obs::kDeletesTotal, deletes_);
+
+  // Storage: page-level I/O counters plus real-file latencies when the
+  // backing disk is a FilePager (a MemPager does no real I/O, so it
+  // honestly exports no latency series).
+  const IoStats io = pager_->stats();
+  out.AddCounter(obs::kPagerReadsTotal, io.reads);
+  out.AddCounter(obs::kPagerWritesTotal, io.writes);
+  out.AddGauge(obs::kPagesGauge, double(pager_->num_pages()));
+  out.AddGauge(obs::kFreePagesGauge, double(pager_->num_free_pages()));
+  if (const auto* fp = dynamic_cast<const FilePager*>(pager_)) {
+    out.AddHistogram(obs::kIoReadLatencyMs, fp->read_latency());
+    out.AddHistogram(obs::kIoWriteLatencyMs, fp->write_latency());
+    out.AddHistogram(obs::kIoSyncLatencyMs, fp->sync_latency());
+    const FilePager::SyncCounts sync = fp->sync_counts();
+    out.AddCounter(obs::kFsyncsTotal, sync.fsyncs);
+    out.AddCounter(obs::kFdatasyncsTotal, sync.fdatasyncs);
+  }
+
+  // Buffer pools (summed over the subspace trees' node caches).
+  const BBForest::PoolCounters pool = forest_->pool_counters();
+  out.AddCounter(obs::kPoolHitsTotal, pool.hits);
+  out.AddCounter(obs::kPoolMissesTotal, pool.misses);
+  out.AddCounter(obs::kPoolEvictionsTotal, pool.evictions);
+  out.AddGauge(obs::kPoolResidentGauge, double(pool.resident_pages));
+  out.AddGauge(obs::kPoolCapacityGauge, double(pool.capacity_pages));
+
+  // Slow-query log.
+  out.AddCounter(obs::kSlowQueriesTotal, trace_.recorded_total());
+  out.AddGauge(obs::kSlowThresholdGauge, trace_.threshold_ms());
+
+  out.Sort();
+  return out;
+}
+
+obs::MetricsSnapshot BrePartition::CollectMetrics() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return CollectMetricsLocked();
 }
 
 }  // namespace brep

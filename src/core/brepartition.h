@@ -20,6 +20,9 @@
 #include "core/stats.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
+#include "obs/index_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/pager.h"
 
 namespace brep {
@@ -168,6 +171,25 @@ class BrePartition {
   /// with a whole batch (every query of a batch then observes one state).
   std::shared_mutex& update_mutex() const { return update_mu_; }
 
+  /// Observability (src/obs/): ONE registry and trace log per index, shared
+  /// by every engine and facade handle serving it -- so counters aggregate
+  /// across all serving paths automatically. The hot paths record through
+  /// index_metrics() (pre-resolved handles); the registry itself is only
+  /// touched at registration and snapshot time.
+  obs::MetricRegistry& metric_registry() const { return registry_; }
+  const obs::IndexMetrics& index_metrics() const { return im_; }
+  obs::TraceLog& trace_log() const { return trace_; }
+
+  /// Full metrics snapshot: the registry plus gauges and component-owned
+  /// metrics (update totals, pager I/O + free-list, file latencies when the
+  /// backing pager is a FilePager, buffer-pool traffic, slow-query log
+  /// counters). Takes the shared side of update_mutex(), so the plain
+  /// members it reads (page counts, free-list length, update totals) can
+  /// never tear against a live writer. The *Locked variant is for callers
+  /// already holding either side.
+  obs::MetricsSnapshot CollectMetrics() const;
+  obs::MetricsSnapshot CollectMetricsLocked() const;
+
   /// Whole-index structural self-check: forest invariants (ball
   /// containment, occupancy, counts, chunk tables), id-space consistency
   /// (every id is live exactly-or tombstoned exactly-once), and pager page
@@ -242,6 +264,11 @@ class BrePartition {
   mutable bool updates_frozen_ = false;
   /// Readers shared, writers exclusive (see update_mutex()).
   mutable std::shared_mutex update_mu_;
+  /// Observability state (default member init covers both the build and
+  /// the Open() constructor). registry_ must precede im_.
+  mutable obs::MetricRegistry registry_;
+  obs::IndexMetrics im_ = obs::RegisterIndexMetrics(registry_);
+  mutable obs::TraceLog trace_;
 };
 
 }  // namespace brep

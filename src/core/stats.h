@@ -16,6 +16,13 @@ struct QueryStats {
   size_t candidates = 0;
   /// Index nodes visited across all subspace trees.
   size_t nodes_visited = 0;
+  /// Leaves visited / leaf points bound-checked across all subspace trees.
+  size_t leaves_visited = 0;
+  size_t points_evaluated = 0;
+  /// Buffer-pool traffic during the query (delta over the per-tree pools;
+  /// approximate when queries run concurrently, like io_reads).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
   /// Total searching bound (sum of per-subspace radii; diagnostic).
   double radius_total = 0.0;
   /// Tightening coefficient c applied by the approximate extension

@@ -33,6 +33,11 @@ struct EngineStats {
   uint64_t nodes_visited = 0;
   uint64_t leaves_visited = 0;
   uint64_t points_evaluated = 0;
+  /// Buffer-pool traffic over the batch (node-cache hits/misses). Like
+  /// io_reads, a delta over shared counters: batch-level, not
+  /// schedule-independent.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
   double wall_ms = 0.0;
 
   double Qps() const { return wall_ms > 0.0 ? queries * 1e3 / wall_ms : 0.0; }

@@ -62,15 +62,22 @@ std::vector<std::vector<uint32_t>> QueryEngine::FilterAllTrees(
 std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
                                           size_t lane, bool parallel_filter,
                                           QueryStats* qstats) const {
+  // Every query gets full per-query stats -- either the caller's sink or a
+  // local one -- so batched queries feed the latency histograms and the
+  // slow-query log exactly like single calls.
+  QueryStats local;
+  QueryStats& q = qstats != nullptr ? *qstats : local;
+  Timer total_timer;
+  const IoStats io_before = index_->pager()->stats();
+  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+
   // Bound phase (Algorithms 3 + 4).
   Timer bound_timer;
   const auto y_subs = index_->GatherQuery(y);
   const auto triples = index_->TransformQueryAll(y_subs);
   const QueryBounds qb = QBDetermine(index_->transformed(), triples, k);
-  if (qstats != nullptr) {
-    qstats->bound_ms += bound_timer.ElapsedMillis();
-    qstats->radius_total = qb.total;
-  }
+  q.bound_ms += bound_timer.ElapsedMillis();
+  q.radius_total = qb.total;
 
   // Filter: per-subspace range queries, union of candidates (Theorem 3:
   // a true neighbor's subspace divergences cannot all exceed the radii).
@@ -90,11 +97,11 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
   }
-  if (qstats != nullptr) {
-    qstats->filter_ms += filter_timer.ElapsedMillis();
-    qstats->nodes_visited += fstats.nodes_visited;
-    qstats->candidates += candidates.size();
-  }
+  q.filter_ms += filter_timer.ElapsedMillis();
+  q.nodes_visited += fstats.nodes_visited;
+  q.leaves_visited += fstats.leaves_visited;
+  q.points_evaluated += fstats.points_evaluated;
+  q.candidates += candidates.size();
 
   // Refine: fetch candidates page-batched and evaluate exactly.
   Timer refine_timer;
@@ -104,19 +111,39 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
       candidates, [&](uint32_t id, std::span<const double> x) {
         topk.Push(div.Divergence(x, y), id);
       });
-  if (qstats != nullptr) qstats->refine_ms += refine_timer.ElapsedMillis();
+  q.refine_ms += refine_timer.ElapsedMillis();
 
   EngineLaneStats& slot = agg_.slot(lane);
   ++slot.queries;
   slot.candidates += candidates.size();
   slot.AddSearch(fstats);
-  return topk.SortedResults();
+
+  auto result = topk.SortedResults();
+  // I/O and pool deltas are approximate when queries overlap (shared
+  // counters, see the class comment); the logical counters above are not.
+  q.io_reads = (index_->pager()->stats() - io_before).reads;
+  const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+  q.pool_hits = pool_after.hits - pool_before.hits;
+  q.pool_misses = pool_after.misses - pool_before.misses;
+  q.total_ms = total_timer.ElapsedMillis();
+  obs::QueryRecordContext ctx;
+  ctx.op = 'k';
+  ctx.k = k;
+  ctx.results = result.size();
+  obs::RecordQuery(index_->index_metrics(), index_->trace_log(), q, ctx, lane);
+  return result;
 }
 
 std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
                                             double radius, size_t lane,
                                             bool parallel_filter,
                                             QueryStats* qstats) const {
+  QueryStats local;
+  QueryStats& q = qstats != nullptr ? *qstats : local;
+  Timer total_timer;
+  const IoStats io_before = index_->pager()->stats();
+  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+
   const size_t m_trees = index_->forest().num_partitions();
   const auto y_subs = index_->GatherQuery(y);
   const std::vector<double> radii(m_trees, radius);
@@ -136,12 +163,12 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
                           std::back_inserter(next));
     candidates.swap(next);
   }
-  if (qstats != nullptr) {
-    qstats->filter_ms += filter_timer.ElapsedMillis();
-    qstats->nodes_visited += fstats.nodes_visited;
-    qstats->candidates += candidates.size();
-    qstats->radius_total = radius;
-  }
+  q.filter_ms += filter_timer.ElapsedMillis();
+  q.nodes_visited += fstats.nodes_visited;
+  q.leaves_visited += fstats.leaves_visited;
+  q.points_evaluated += fstats.points_evaluated;
+  q.candidates += candidates.size();
+  q.radius_total = radius;
 
   Timer refine_timer;
   std::vector<uint32_t> result;
@@ -151,12 +178,23 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
         if (div.Divergence(x, y) <= radius) result.push_back(id);
       });
   std::sort(result.begin(), result.end());
-  if (qstats != nullptr) qstats->refine_ms += refine_timer.ElapsedMillis();
+  q.refine_ms += refine_timer.ElapsedMillis();
 
   EngineLaneStats& slot = agg_.slot(lane);
   ++slot.queries;
   slot.candidates += candidates.size();
   slot.AddSearch(fstats);
+
+  q.io_reads = (index_->pager()->stats() - io_before).reads;
+  const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+  q.pool_hits = pool_after.hits - pool_before.hits;
+  q.pool_misses = pool_after.misses - pool_before.misses;
+  q.total_ms = total_timer.ElapsedMillis();
+  obs::QueryRecordContext ctx;
+  ctx.op = 'r';
+  ctx.radius = radius;
+  ctx.results = result.size();
+  obs::RecordQuery(index_->index_metrics(), index_->trace_log(), q, ctx, lane);
   return result;
 }
 
@@ -223,6 +261,7 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
 
   agg_.Reset();
   const IoStats io_before = index_->pager()->stats();
+  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
   Timer wall;
   if (n == 1) {
     // A lone query still benefits from per-subspace fan-out.
@@ -237,6 +276,9 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
   if (stats != nullptr) {
     *stats = agg_.Merge();
     stats->io_reads = (index_->pager()->stats() - io_before).reads;
+    const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+    stats->pool_hits = pool_after.hits - pool_before.hits;
+    stats->pool_misses = pool_after.misses - pool_before.misses;
     stats->wall_ms = wall.ElapsedMillis();
   }
   return results;
@@ -254,6 +296,7 @@ std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
 
   agg_.Reset();
   const IoStats io_before = index_->pager()->stats();
+  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
   Timer wall;
   if (n == 1) {
     results[0] = RangeOne(queries.Row(0), radius, pool_.num_workers(),
@@ -267,6 +310,9 @@ std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
   if (stats != nullptr) {
     *stats = agg_.Merge();
     stats->io_reads = (index_->pager()->stats() - io_before).reads;
+    const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+    stats->pool_hits = pool_after.hits - pool_before.hits;
+    stats->pool_misses = pool_after.misses - pool_before.misses;
     stats->wall_ms = wall.ElapsedMillis();
   }
   return results;

@@ -1,0 +1,199 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace brep::obs {
+
+std::string FormatMetricNumber(double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+namespace {
+
+void AppendSample(std::string* out, const std::string& name, double value) {
+  out->append(name);
+  out->push_back(' ');
+  out->append(FormatMetricNumber(value));
+  out->push_back('\n');
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  MetricsSnapshot s = snapshot;
+  s.Sort();
+  std::string out;
+  for (const auto& [name, value] : s.counters) {
+    out.append("# TYPE ").append(name).append(" counter\n");
+    AppendSample(&out, name, double(value));
+  }
+  for (const auto& [name, value] : s.gauges) {
+    out.append("# TYPE ").append(name).append(" gauge\n");
+    AppendSample(&out, name, value);
+  }
+  for (const auto& [name, h] : s.histograms) {
+    out.append("# TYPE ").append(name).append(" summary\n");
+    for (const double q : kQuantiles) {
+      char qbuf[32];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+      out.append(name).append("{quantile=\"").append(qbuf).append("\"} ");
+      out.append(FormatMetricNumber(h.Percentile(q * 100.0)));
+      out.push_back('\n');
+    }
+    AppendSample(&out, name + "_sum", h.sum_ms);
+    AppendSample(&out, name + "_count", double(h.count));
+    AppendSample(&out, name + "_max", h.max_ms);
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal JSON writer with optional pretty-printing. Metric names are
+/// snake_case identifiers, so escaping only needs the standard minimum.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  std::string Take() { return std::move(out_); }
+
+  void BeginObject() {
+    Prefix();
+    out_.push_back('{');
+    ++depth_;
+    first_ = true;
+  }
+  void EndObject() {
+    --depth_;
+    if (!first_) NewlineIndent();
+    out_.push_back('}');
+    first_ = false;
+  }
+  void Key(const std::string& k) {
+    Prefix();
+    NewlineIndent();
+    AppendString(k);
+    out_.push_back(':');
+    if (indent_ > 0) out_.push_back(' ');
+    value_pending_ = true;
+  }
+  void Number(double v) {
+    Prefix();
+    out_.append(FormatMetricNumber(v));
+    first_ = false;
+  }
+  void BeginArray() {
+    Prefix();
+    out_.push_back('[');
+    ++depth_;
+    first_ = true;
+  }
+  void EndArray() {
+    --depth_;
+    out_.push_back(']');
+    first_ = false;
+  }
+ private:
+  void Prefix() {
+    if (value_pending_) {
+      value_pending_ = false;
+      return;
+    }
+    if (!first_) out_.push_back(',');
+    first_ = false;
+  }
+  void NewlineIndent() {
+    if (indent_ <= 0) return;
+    out_.push_back('\n');
+    out_.append(size_t(depth_) * size_t(indent_), ' ');
+  }
+  void AppendString(const std::string& s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_.push_back('\\');
+      out_.push_back(c);
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool value_pending_ = false;
+};
+
+}  // namespace
+
+std::string RenderJson(const MetricsSnapshot& snapshot, int indent) {
+  MetricsSnapshot s = snapshot;
+  s.Sort();
+  JsonWriter w(indent);
+  w.BeginObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : s.counters) {
+    w.Key(name);
+    w.Number(double(value));
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : s.gauges) {
+    w.Key(name);
+    w.Number(value);
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : s.histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Number(double(h.count));
+    w.Key("sum_ms");
+    w.Number(h.sum_ms);
+    w.Key("max_ms");
+    w.Number(h.max_ms);
+    w.Key("mean_ms");
+    w.Number(h.MeanMs());
+    w.Key("p50");
+    w.Number(h.Percentile(50));
+    w.Key("p90");
+    w.Number(h.Percentile(90));
+    w.Key("p99");
+    w.Number(h.Percentile(99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.BeginArray();
+      w.Number(HistogramSnapshot::BucketUpperMs(i));
+      w.Number(double(h.buckets[i]));
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  std::string out = w.Take();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace brep::obs

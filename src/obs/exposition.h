@@ -1,0 +1,42 @@
+#ifndef BREP_OBS_EXPOSITION_H_
+#define BREP_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file
+/// Rendering a MetricsSnapshot for the outside world, two ways:
+///
+///  * RenderPrometheus: the text exposition format scrapers speak --
+///    counters and gauges as plain samples, histograms as summaries
+///    (quantile series + _sum/_count/_max). Deterministic: families are
+///    emitted in sorted name order with fixed number formatting, so a
+///    snapshot renders to byte-identical text (the golden test pins it).
+///
+///  * RenderJson: the same content as a JSON document (counters/gauges as
+///    name->number maps, histograms with count/sum/max/percentiles and the
+///    non-empty buckets), for tools/brep_stats and bench emitters.
+
+namespace brep::obs {
+
+/// Prometheus text exposition. Metric names are used as-is (the collector
+/// emits valid snake_case names); no labels other than `quantile`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count": n, "sum_ms": s, "max_ms": m,
+///                            "p50": ..., "p90": ..., "p99": ...,
+///                            "buckets": [[upper_ms, count], ...]}, ...}}
+/// `indent` > 0 pretty-prints with that many spaces per level.
+std::string RenderJson(const MetricsSnapshot& snapshot, int indent = 2);
+
+/// Deterministic number formatting shared by both renderers (and the bench
+/// JSON emitter): integral values print with no decimal point or exponent;
+/// everything else prints shortest-of-%.6g.
+std::string FormatMetricNumber(double value);
+
+}  // namespace brep::obs
+
+#endif  // BREP_OBS_EXPOSITION_H_

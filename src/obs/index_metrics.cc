@@ -1,0 +1,63 @@
+#include "obs/index_metrics.h"
+
+#include "core/stats.h"
+
+namespace brep::obs {
+
+IndexMetrics RegisterIndexMetrics(MetricRegistry& registry) {
+  IndexMetrics im;
+  im.knn_queries = &registry.GetCounter(kKnnQueriesTotal);
+  im.range_queries = &registry.GetCounter(kRangeQueriesTotal);
+  im.candidates = &registry.GetCounter(kCandidatesTotal);
+  im.nodes_visited = &registry.GetCounter(kNodesVisitedTotal);
+  im.leaves_visited = &registry.GetCounter(kLeavesVisitedTotal);
+  im.points_evaluated = &registry.GetCounter(kPointsEvaluatedTotal);
+  im.knn_latency = &registry.GetHistogram(kKnnLatencyMs);
+  im.range_latency = &registry.GetHistogram(kRangeLatencyMs);
+  im.bound_latency = &registry.GetHistogram(kBoundLatencyMs);
+  im.filter_latency = &registry.GetHistogram(kFilterLatencyMs);
+  im.refine_latency = &registry.GetHistogram(kRefineLatencyMs);
+  im.insert_latency = &registry.GetHistogram(kInsertLatencyMs);
+  im.delete_latency = &registry.GetHistogram(kDeleteLatencyMs);
+  return im;
+}
+
+void RecordQuery(const IndexMetrics& im, TraceLog& trace,
+                 const QueryStats& qs, const QueryRecordContext& ctx,
+                 size_t stripe) {
+  Counter* const op_counter =
+      ctx.op == 'k' ? im.knn_queries : im.range_queries;
+  op_counter->AddStripe(stripe, 1);
+  im.candidates->AddStripe(stripe, qs.candidates);
+  im.nodes_visited->AddStripe(stripe, qs.nodes_visited);
+  im.leaves_visited->AddStripe(stripe, qs.leaves_visited);
+  im.points_evaluated->AddStripe(stripe, qs.points_evaluated);
+
+  LatencyHistogram* const op_latency =
+      ctx.op == 'k' ? im.knn_latency : im.range_latency;
+  op_latency->RecordStripe(stripe, qs.total_ms);
+  if (ctx.op == 'k') im.bound_latency->RecordStripe(stripe, qs.bound_ms);
+  im.filter_latency->RecordStripe(stripe, qs.filter_ms);
+  im.refine_latency->RecordStripe(stripe, qs.refine_ms);
+
+  if (qs.total_ms < trace.threshold_ms()) return;  // cheap early out
+  QueryTraceEntry entry;
+  entry.op = ctx.op;
+  entry.k = ctx.k;
+  entry.radius = ctx.radius;
+  entry.results = ctx.results;
+  entry.bound_ms = qs.bound_ms;
+  entry.filter_ms = qs.filter_ms;
+  entry.refine_ms = qs.refine_ms;
+  entry.total_ms = qs.total_ms;
+  entry.io_reads = qs.io_reads;
+  entry.candidates = qs.candidates;
+  entry.nodes_visited = qs.nodes_visited;
+  entry.leaves_visited = qs.leaves_visited;
+  entry.points_evaluated = qs.points_evaluated;
+  entry.pool_hits = qs.pool_hits;
+  entry.pool_misses = qs.pool_misses;
+  trace.Record(entry);
+}
+
+}  // namespace brep::obs

@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace brep::obs {
+
+namespace {
+
+/// Stable small integer per thread, used to spread contributors across
+/// stripes. A simple global ticket: threads get 0, 1, 2, ... in creation
+/// order, so the common pools (engine lanes, flusher, pollers) land on
+/// distinct stripes.
+size_t ThreadStripeId() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t MsToNs(double ms) {
+  if (!(ms > 0.0)) return 0;  // negative/NaN clamp to the first bucket
+  const double ns = ms * 1e6;
+  if (ns >= 9e18) return UINT64_C(9000000000000000000);
+  return uint64_t(ns);
+}
+
+size_t BucketIndex(uint64_t ns) {
+  // Bucket 0: < 1us. Bucket i >= 1: [2^(i-1), 2^i) us, overflow clamped
+  // into the last bucket.
+  const uint64_t us = ns / 1000;
+  if (us == 0) return 0;
+  const size_t bit = size_t(64 - __builtin_clzll(us));  // floor(log2(us)) + 1
+  return std::min(bit, kHistogramBuckets - 1);
+}
+
+}  // namespace
+
+size_t CurrentThreadStripe() { return ThreadStripeId(); }
+
+double HistogramSnapshot::BucketUpperMs(size_t i) {
+  // Bucket i's exclusive upper bound is 2^i microseconds (bucket 0: 1us).
+  return std::ldexp(1.0, int(i)) * 1e-3;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * double(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (double(cum) + double(in_bucket) >= rank) {
+      const double lo = i == 0 ? 0.0 : BucketUpperMs(i - 1);
+      const double hi = BucketUpperMs(i);
+      const double frac =
+          std::clamp((rank - double(cum)) / double(in_bucket), 0.0, 1.0);
+      // Linear interpolation within the covering log bucket; the observed
+      // maximum caps the estimate (the last bucket holds overflow, and a
+      // thin top bucket should not report its full width).
+      return std::min(lo + (hi - lo) * frac, max_ms);
+    }
+    cum += in_bucket;
+  }
+  return max_ms;
+}
+
+HistogramSnapshot HistogramSnapshot::Since(
+    const HistogramSnapshot& before) const {
+  HistogramSnapshot out;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    out.buckets[i] =
+        buckets[i] >= before.buckets[i] ? buckets[i] - before.buckets[i] : 0;
+    out.count += out.buckets[i];
+  }
+  out.sum_ms = std::max(0.0, sum_ms - before.sum_ms);
+  out.max_ms = max_ms;
+  return out;
+}
+
+void LatencyHistogram::RecordStripe(size_t stripe, double ms) {
+  Stripe& s = stripes_[stripe % kStripes];
+  const uint64_t ns = MsToNs(ms);
+  s.buckets[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = s.max_ns.load(std::memory_order_relaxed);
+  while (prev < ns && !s.max_ns.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot out;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+  for (const Stripe& s : stripes_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      const uint64_t c = s.buckets[i].load(std::memory_order_relaxed);
+      out.buckets[i] += c;
+      out.count += c;
+    }
+    sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    max_ns = std::max(max_ns, s.max_ns.load(std::memory_order_relaxed));
+  }
+  out.sum_ms = double(sum_ns) * 1e-6;
+  out.max_ms = double(max_ns) * 1e-6;
+  return out;
+}
+
+size_t LatencyHistogram::ThisThreadStripe() { return CurrentThreadStripe(); }
+size_t Counter::ThisThreadStripe() { return CurrentThreadStripe(); }
+
+const uint64_t* MetricsSnapshot::FindCounter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const double* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::Sort() {
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(), by_name);
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;  // maps iterate sorted, so no Sort() needed here
+  for (const auto& [name, c] : counters_) out.AddCounter(name, c->Value());
+  for (const auto& [name, g] : gauges_) out.AddGauge(name, g->Value());
+  for (const auto& [name, h] : histograms_) {
+    out.AddHistogram(name, h->Snapshot());
+  }
+  return out;
+}
+
+}  // namespace brep::obs

@@ -40,6 +40,7 @@ PagePin BufferPool::ReadPinned(PageId id) {
     // Evict the least recently used page; outstanding pins keep its bytes.
     entries_.erase(lru_.back().id);
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   lru_.push_front(Entry{id, page});
   entries_[id] = lru_.begin();

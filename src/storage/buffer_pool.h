@@ -59,9 +59,15 @@ class BufferPool {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Pages pushed out by capacity pressure (a high rate against a low miss
+  /// rate means the working set thrashes just above capacity).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   void ResetStats() {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
   size_t capacity() const { return capacity_; }
   size_t size() const {
@@ -82,6 +88,7 @@ class BufferPool {
   std::unordered_map<PageId, std::list<Entry>::iterator> entries_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   // Keeps the most recent Read() result alive so the legacy reference
   // contract ("valid until the next call") holds even if that page is
   // evicted by the very next miss.

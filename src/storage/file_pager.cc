@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "storage/serial.h"
 
 namespace brep {
@@ -80,9 +81,11 @@ FilePager::~FilePager() {
         ::ftruncate(fd_, static_cast<off_t>(kSuperblockBytes +
                                             num_pages() * page_size()));
       }
-      if (::fdatasync(fd_) == 0) ++sync_counts_.fdatasyncs;
+      if (::fdatasync(fd_) == 0) {
+        fdatasyncs_.fetch_add(1, std::memory_order_relaxed);
+      }
       WriteSuperblock();
-      if (::fsync(fd_) == 0) ++sync_counts_.fsyncs;
+      if (::fsync(fd_) == 0) fsyncs_.fetch_add(1, std::memory_order_relaxed);
     }
     ::close(fd_);
   }
@@ -133,7 +136,7 @@ std::unique_ptr<FilePager> FilePager::Create(const std::string& path,
     ::unlink(path.c_str());  // no stub left to misdiagnose as corruption
     return nullptr;
   }
-  ++pager->sync_counts_.fsyncs;
+  pager->fsyncs_.fetch_add(1, std::memory_order_relaxed);
   return pager;
 }
 
@@ -294,11 +297,13 @@ void FilePager::Sync() {
   // within the file's first sector (the used prefix is ~64 bytes), which
   // sector-atomic media update in one piece, and the closing fsync makes
   // the commit point durable.
+  Timer sync_timer;
   BREP_CHECK_MSG(::fdatasync(fd_) == 0, "fdatasync failed");
-  ++sync_counts_.fdatasyncs;
+  fdatasyncs_.fetch_add(1, std::memory_order_relaxed);
   BREP_CHECK_MSG(WriteSuperblock(), "superblock write failed");
   BREP_CHECK_MSG(::fsync(fd_) == 0, "fsync failed");
-  ++sync_counts_.fsyncs;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  sync_ms_.Record(sync_timer.ElapsedMillis());
   dirty_ = false;
 }
 
@@ -319,9 +324,11 @@ void FilePager::DoGrow(size_t new_num_pages) {
 void FilePager::DoWrite(PageId id, std::span<const uint8_t> data) {
   BREP_CHECK_MSG(writable_, "pager opened read-only");
   dirty_ = true;
+  Timer write_timer;
   if (data.size() == page_size()) {  // full page: no assembly copy needed
     BREP_CHECK_MSG(PwriteAll(fd_, data.data(), page_size(), PageOffset(id)),
                    "page write failed");
+    write_ms_.Record(write_timer.ElapsedMillis());
     return;
   }
   if (!data.empty()) std::memcpy(scratch_.data(), data.data(), data.size());
@@ -329,11 +336,14 @@ void FilePager::DoWrite(PageId id, std::span<const uint8_t> data) {
   BREP_CHECK_MSG(
       PwriteAll(fd_, scratch_.data(), page_size(), PageOffset(id)),
       "page write failed");
+  write_ms_.Record(write_timer.ElapsedMillis());
 }
 
 void FilePager::DoRead(PageId id, uint8_t* out) const {
+  Timer read_timer;
   BREP_CHECK_MSG(PreadAll(fd_, out, page_size(), PageOffset(id)),
                  "page read failed");
+  read_ms_.Record(read_timer.ElapsedMillis());
 }
 
 bool FilePager::SyncDirectory(const std::string& file_path) {

@@ -1,10 +1,12 @@
 #ifndef BREP_STORAGE_FILE_PAGER_H_
 #define BREP_STORAGE_FILE_PAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/pager.h"
 
 namespace brep {
@@ -83,7 +85,17 @@ class FilePager final : public Pager {
   /// the superblock rewrite.
   void Sync();
 
-  SyncCounts sync_counts() const { return sync_counts_; }
+  SyncCounts sync_counts() const {
+    return SyncCounts{fsyncs_.load(std::memory_order_relaxed),
+                      fdatasyncs_.load(std::memory_order_relaxed)};
+  }
+
+  /// Real-I/O latency distributions (pread / pwrite / Sync barriers).
+  /// Snapshot-safe concurrently with serving; only the FilePager has these
+  /// (MemPager does no real I/O, so it honestly reports nothing).
+  obs::HistogramSnapshot read_latency() const { return read_ms_.Snapshot(); }
+  obs::HistogramSnapshot write_latency() const { return write_ms_.Snapshot(); }
+  obs::HistogramSnapshot sync_latency() const { return sync_ms_.Snapshot(); }
 
   /// fsync the directory containing `file_path`, making a just-renamed
   /// file durable under its new name (rename itself only mutates the
@@ -106,7 +118,15 @@ class FilePager final : public Pager {
   bool writable_;
   bool dirty_ = false;        // un-synced allocations/writes/catalog
   uint64_t grown_pages_ = 0;  // pages the file has capacity for (>= num_pages)
-  SyncCounts sync_counts_;
+  /// Atomic so a metrics snapshot may read them while Save()/the flusher
+  /// is mid-Sync (torn-read audit: plain counters here would race).
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> fdatasyncs_{0};
+  /// mutable: DoRead is const (concurrent query reads), and histograms are
+  /// internally synchronized.
+  mutable obs::LatencyHistogram read_ms_;
+  obs::LatencyHistogram write_ms_;
+  obs::LatencyHistogram sync_ms_;
   std::vector<uint8_t> scratch_;  // build-path short-write assembly buffer
 };
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "storage/serial.h"
 
 namespace brep {
@@ -470,7 +471,9 @@ Status WalWriter::FlushHoldingSyncMu() {
   // The actual barrier runs with mu_ released: an Append (under the
   // index's exclusive update lock) must never queue behind a
   // milliseconds-long fdatasync, or every reader queues with it.
+  Timer fsync_timer;
   const bool ok = ::fdatasync(fd) == 0;
+  fsync_ms_.Record(fsync_timer.ElapsedMillis());
   std::lock_guard<std::mutex> lock(mu_);
   if (!ok) {
     failed_ = Status::Internal(Errno("WAL fdatasync failed on \"" + path_ +
@@ -485,8 +488,10 @@ Status WalWriter::FlushHoldingSyncMu() {
 }
 
 StatusOr<uint64_t> WalWriter::Append(WalRecordType type,
-                                     std::span<const uint8_t> payload) {
+                                     std::span<const uint8_t> payload,
+                                     AppendTiming* timing) {
   uint64_t lsn = 0;
+  Timer append_timer;
   {
     std::lock_guard<std::mutex> lock(mu_);
     BREP_RETURN_IF_ERROR(failed_);
@@ -506,25 +511,31 @@ StatusOr<uint64_t> WalWriter::Append(WalRecordType type,
     ++stats_.appends;
     stats_.appended_bytes += record.size();
   }
+  const double append_elapsed = append_timer.ElapsedMillis();
+  append_ms_.Record(append_elapsed);
+  if (timing != nullptr) timing->append_ms = append_elapsed;
   if (mode_ == FsyncMode::kAlways) {
+    Timer fsync_timer;
     BREP_RETURN_IF_ERROR(Flush());
+    if (timing != nullptr) timing->fsync_ms = fsync_timer.ElapsedMillis();
   }
   return lsn;
 }
 
 StatusOr<uint64_t> WalWriter::AppendInsert(uint32_t id,
-                                           std::span<const double> x) {
+                                           std::span<const double> x,
+                                           AppendTiming* timing) {
   ByteWriter payload;
   payload.Value<uint32_t>(id);
   payload.Value<uint32_t>(static_cast<uint32_t>(x.size()));
   payload.Raw(x.data(), x.size() * sizeof(double));
-  return Append(WalRecordType::kInsert, payload.bytes());
+  return Append(WalRecordType::kInsert, payload.bytes(), timing);
 }
 
-StatusOr<uint64_t> WalWriter::AppendDelete(uint32_t id) {
+StatusOr<uint64_t> WalWriter::AppendDelete(uint32_t id, AppendTiming* timing) {
   ByteWriter payload;
   payload.Value<uint32_t>(id);
-  return Append(WalRecordType::kDelete, payload.bytes());
+  return Append(WalRecordType::kDelete, payload.bytes(), timing);
 }
 
 Status WalWriter::Flush() {

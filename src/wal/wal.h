@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "obs/metrics.h"
 
 /// \file
 /// Write-ahead logging for the dynamic index: an append-only log of
@@ -133,10 +134,21 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
+  /// Span breakdown of one append, for callers assembling a trace entry:
+  /// encode + pwrite, and -- kAlways mode only -- the synchronous fsync
+  /// wait before the ack (zero in kGroup/kNone, where syncing is
+  /// asynchronous).
+  struct AppendTiming {
+    double append_ms = 0.0;
+    double fsync_ms = 0.0;
+  };
+
   /// Append a redo record; returns its LSN. Durable on return only in
   /// kAlways mode (kGroup: within a group window; kNone: eventually).
-  StatusOr<uint64_t> AppendInsert(uint32_t id, std::span<const double> x);
-  StatusOr<uint64_t> AppendDelete(uint32_t id);
+  StatusOr<uint64_t> AppendInsert(uint32_t id, std::span<const double> x,
+                                  AppendTiming* timing = nullptr);
+  StatusOr<uint64_t> AppendDelete(uint32_t id,
+                                  AppendTiming* timing = nullptr);
 
   /// Force everything appended so far to disk now (any mode).
   Status Flush();
@@ -155,12 +167,21 @@ class WalWriter {
   uint64_t durable_lsn() const;
   Stats stats() const;
 
+  /// Latency distributions: Append (encode + pwrite, excluding any fsync
+  /// wait) and the fsync barrier itself (each group-commit window's sync in
+  /// kGroup mode; every acknowledged write's wait in kAlways). Snapshots
+  /// are safe concurrently with appends and the flusher.
+  obs::HistogramSnapshot append_latency() const {
+    return append_ms_.Snapshot();
+  }
+  obs::HistogramSnapshot fsync_latency() const { return fsync_ms_.Snapshot(); }
+
  private:
   WalWriter(std::string path, int fd, FsyncMode mode, double group_window_ms,
             uint64_t offset, uint64_t next_lsn);
 
-  StatusOr<uint64_t> Append(WalRecordType type,
-                            std::span<const uint8_t> payload);
+  StatusOr<uint64_t> Append(WalRecordType type, std::span<const uint8_t> payload,
+                            AppendTiming* timing);
   /// The sync path; caller holds sync_mu_ (NOT mu_): the fdatasync runs
   /// with mu_ released, so appends -- which happen under the index's
   /// exclusive update lock -- never stall behind an in-flight group sync
@@ -184,6 +205,8 @@ class WalWriter {
   Status failed_;  // sticky first I/O failure
   Stats stats_;
   bool pending_ = false;  // appended bytes not yet synced
+  obs::LatencyHistogram append_ms_;  // internally synchronized
+  obs::LatencyHistogram fsync_ms_;
 
   // Group-commit flusher (kGroup only).
   std::condition_variable cv_;

@@ -1,0 +1,116 @@
+#include "common/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace brep::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Value::Parse("null")->is_null());
+  EXPECT_TRUE(Value::Parse("true")->bool_value());
+  EXPECT_FALSE(Value::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(Value::Parse("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::Parse("-0.5")->number(), -0.5);
+  EXPECT_DOUBLE_EQ(Value::Parse("1.25e2")->number(), 125.0);
+  EXPECT_EQ(Value::Parse("\"hi\"")->string(), "hi");
+}
+
+TEST(JsonParseTest, NestedContainersAndWhitespace) {
+  auto v = Value::Parse(" { \"a\" : [ 1 , 2.5 , \"x\" ] ,\n"
+                        "   \"b\" : { \"c\" : true } } ");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+  EXPECT_EQ(a->array()[2].string(), "x");
+  EXPECT_TRUE(v->Find("b")->Find("c")->bool_value());
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Value::Parse(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  // U+00E9 (two UTF-8 bytes) and a surrogate pair for U+1F600 (four).
+  auto v = Value::Parse(R"("\u00e9 \ud83d\ude00")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string(), "\xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, ObjectsPreserveInsertionOrder) {
+  auto v = Value::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->object().size(), 3u);
+  EXPECT_EQ(v->object()[0].first, "z");
+  EXPECT_EQ(v->object()[1].first, "a");
+  EXPECT_EQ(v->object()[2].first, "m");
+}
+
+TEST(JsonParseTest, MalformedInputIsInvalidArgument) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\": 1} trailing", "[1 2]", "nan", "+1", "\"bad \\q escape\"",
+        "\"\\ud800 unpaired\""}) {
+    const auto v = Value::Parse(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  const auto v = Value::Parse("{\n  \"a\": ?\n}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().ToString().find("2:"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonDumpTest, CompactRoundTripsThroughParse) {
+  const std::string text =
+      R"({"a": [1, 2.5, "x\n"], "b": {"c": true, "d": null}})";
+  auto v = Value::Parse(text);
+  ASSERT_TRUE(v.ok());
+  auto again = Value::Parse(v->Dump());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->Dump(), v->Dump());
+  EXPECT_DOUBLE_EQ(again->Find("a")->array()[1].number(), 2.5);
+  EXPECT_EQ(again->Find("a")->array()[2].string(), "x\n");
+  EXPECT_TRUE(again->Find("b")->Find("d")->is_null());
+}
+
+TEST(JsonDumpTest, IndentedOutputParsesToo) {
+  auto v = Value::Parse(R"({"a": [1, 2], "b": "s"})");
+  ASSERT_TRUE(v.ok());
+  const std::string pretty = v->Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto again = Value::Parse(pretty);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->Dump(), v->Dump());
+}
+
+TEST(JsonDumpTest, IntegralNumbersPrintWithoutDecimals) {
+  auto v = Value::Parse("[3, 2.5, 1e2]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Dump(), "[3,2.5,100]");
+}
+
+TEST(JsonValueTest, SetInsertsAndOverwrites) {
+  Value v{Object{}};
+  v.Set("a", Value(1.0));
+  v.Set("b", Value(std::string("x")));
+  v.Set("a", Value(2.0));  // overwrite keeps position
+  ASSERT_EQ(v.object().size(), 2u);
+  EXPECT_EQ(v.object()[0].first, "a");
+  EXPECT_DOUBLE_EQ(v.Find("a")->number(), 2.0);
+  EXPECT_EQ(v.Find("b")->string(), "x");
+}
+
+}  // namespace
+}  // namespace brep::json

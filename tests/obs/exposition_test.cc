@@ -1,0 +1,113 @@
+#include "obs/exposition.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace brep::obs {
+namespace {
+
+/// A small fully-determined snapshot: one counter, one gauge, and a
+/// histogram holding a 0.5us sample (bucket 0) and a 2ms sample (the
+/// [1.024, 2.048)ms bucket).
+MetricsSnapshot DemoSnapshot() {
+  LatencyHistogram h;
+  h.Record(0.0005);
+  h.Record(2.0);
+  MetricsSnapshot s;
+  s.AddCounter("brep_demo_total", 3);
+  s.AddGauge("brep_demo", 2.5);
+  s.AddHistogram("brep_demo_ms", h.Snapshot());
+  return s;
+}
+
+TEST(FormatMetricNumberTest, IntegralValuesPrintWithoutDecimals) {
+  EXPECT_EQ(FormatMetricNumber(0.0), "0");
+  EXPECT_EQ(FormatMetricNumber(3.0), "3");
+  EXPECT_EQ(FormatMetricNumber(-17.0), "-17");
+  EXPECT_EQ(FormatMetricNumber(1e12), "1000000000000");
+}
+
+TEST(FormatMetricNumberTest, FractionsPrintShortestOfSixSignificant) {
+  EXPECT_EQ(FormatMetricNumber(2.5), "2.5");
+  EXPECT_EQ(FormatMetricNumber(0.001), "0.001");
+  EXPECT_EQ(FormatMetricNumber(1.8432), "1.8432");
+  EXPECT_EQ(FormatMetricNumber(0.123456789), "0.123457");
+}
+
+TEST(RenderPrometheusTest, GoldenText) {
+  // The exposition is deterministic: sorted families, fixed formatting.
+  // Percentiles interpolate within the covering log bucket -- p50 is the
+  // top of bucket 0, p90 is 80% into the 2ms sample's bucket, and p99
+  // clamps to the observed 2ms maximum.
+  const std::string expected =
+      "# TYPE brep_demo_total counter\n"
+      "brep_demo_total 3\n"
+      "# TYPE brep_demo gauge\n"
+      "brep_demo 2.5\n"
+      "# TYPE brep_demo_ms summary\n"
+      "brep_demo_ms{quantile=\"0.5\"} 0.001\n"
+      "brep_demo_ms{quantile=\"0.9\"} 1.8432\n"
+      "brep_demo_ms{quantile=\"0.99\"} 2\n"
+      "brep_demo_ms_sum 2.0005\n"
+      "brep_demo_ms_count 2\n"
+      "brep_demo_ms_max 2\n";
+  EXPECT_EQ(RenderPrometheus(DemoSnapshot()), expected);
+}
+
+TEST(RenderPrometheusTest, FamiliesRenderInSortedNameOrder) {
+  MetricsSnapshot s;
+  s.AddCounter("zz_total", 1);
+  s.AddCounter("aa_total", 2);
+  const std::string text = RenderPrometheus(s);
+  EXPECT_LT(text.find("aa_total"), text.find("zz_total"));
+}
+
+TEST(RenderJsonTest, ParsesWithTheBundledParserAndRoundTripsContent) {
+  const std::string rendered = RenderJson(DemoSnapshot());
+  auto parsed = json::Value::Parse(rendered);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("brep_demo_total")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("gauges")->Find("brep_demo")->number(), 2.5);
+  const json::Value* h = parsed->Find("histograms")->Find("brep_demo_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Find("count")->number(), 2.0);
+  EXPECT_NEAR(h->Find("sum_ms")->number(), 2.0005, 1e-9);
+  EXPECT_NEAR(h->Find("max_ms")->number(), 2.0, 1e-12);
+  EXPECT_NEAR(h->Find("mean_ms")->number(), 1.00025, 1e-9);
+  EXPECT_NEAR(h->Find("p50")->number(), 0.001, 1e-12);
+  EXPECT_NEAR(h->Find("p99")->number(), 2.0, 1e-12);
+  // Only the two non-empty buckets are emitted, as [upper_ms, count].
+  const json::Value* buckets = h->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->array()[0].array()[0].number(), 0.001);
+  EXPECT_DOUBLE_EQ(buckets->array()[0].array()[1].number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets->array()[1].array()[0].number(), 2.048);
+  EXPECT_DOUBLE_EQ(buckets->array()[1].array()[1].number(), 1.0);
+}
+
+TEST(RenderJsonTest, CompactModeAlsoParses) {
+  const std::string rendered = RenderJson(DemoSnapshot(), /*indent=*/0);
+  EXPECT_EQ(rendered.find('\n'), rendered.size() - 1);  // one trailing \n
+  auto parsed = json::Value::Parse(rendered);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("counters")->Find("brep_demo_total")->number(), 3.0);
+}
+
+TEST(RenderJsonTest, EmptySnapshotIsAValidDocument) {
+  auto parsed = json::Value::Parse(RenderJson(MetricsSnapshot{}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_NE(parsed->Find("counters"), nullptr);
+  EXPECT_TRUE(parsed->Find("counters")->object().empty());
+  EXPECT_TRUE(parsed->Find("histograms")->object().empty());
+}
+
+}  // namespace
+}  // namespace brep::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brep::obs {
+namespace {
+
+QueryTraceEntry Entry(double total_ms) {
+  QueryTraceEntry e;
+  e.total_ms = total_ms;
+  return e;
+}
+
+TEST(TraceLogTest, ThresholdGatesAdmission) {
+  TraceLog log(/*capacity=*/8, /*threshold_ms=*/10.0);
+  log.Record(Entry(9.9));   // below: dropped
+  log.Record(Entry(10.0));  // at the threshold: admitted (>=)
+  log.Record(Entry(50.0));
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(entries[0].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(entries[1].total_ms, 50.0);
+  EXPECT_EQ(log.recorded_total(), 2u);
+}
+
+TEST(TraceLogTest, ZeroThresholdTracesEverything) {
+  TraceLog log(8, 0.0);
+  log.Record(Entry(0.0));
+  log.Record(Entry(0.001));
+  EXPECT_EQ(log.Snapshot().size(), 2u);
+}
+
+TEST(TraceLogTest, SequenceNumbersAreOneBasedAdmissionOrder) {
+  TraceLog log(8, 0.0);
+  log.Record(Entry(1.0));
+  log.Record(Entry(2.0));
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].seq, 1u);
+  EXPECT_EQ(entries[1].seq, 2u);
+}
+
+TEST(TraceLogTest, RingEvictsOldestAndKeepsCounting) {
+  TraceLog log(3, 0.0);
+  for (int i = 1; i <= 5; ++i) log.Record(Entry(double(i)));
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);  // newest three, oldest first
+  EXPECT_DOUBLE_EQ(entries[0].total_ms, 3.0);
+  EXPECT_DOUBLE_EQ(entries[2].total_ms, 5.0);
+  EXPECT_EQ(log.recorded_total(), 5u);  // evicted entries still counted
+}
+
+TEST(TraceLogTest, ShrinkingCapacityDropsOldest) {
+  TraceLog log(8, 0.0);
+  for (int i = 1; i <= 4; ++i) log.Record(Entry(double(i)));
+  log.set_capacity(2);
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(entries[0].total_ms, 3.0);
+  EXPECT_DOUBLE_EQ(entries[1].total_ms, 4.0);
+  EXPECT_EQ(log.capacity(), 2u);
+}
+
+TEST(TraceLogTest, ZeroCapacityCountsWithoutRetaining) {
+  TraceLog log(0, 0.0);
+  log.Record(Entry(1.0));
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(TraceLogTest, ThresholdIsRuntimeAdjustable) {
+  TraceLog log(8, 100.0);
+  log.Record(Entry(1.0));  // dropped at the default threshold
+  log.set_threshold_ms(0.5);
+  EXPECT_DOUBLE_EQ(log.threshold_ms(), 0.5);
+  log.Record(Entry(1.0));  // now admitted
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(FormatQueryTraceTest, KnnWalkthroughNamesSpansAndShares) {
+  QueryTraceEntry e;
+  e.seq = 7;
+  e.op = 'k';
+  e.k = 10;
+  e.results = 10;
+  e.bound_ms = 1.0;
+  e.filter_ms = 6.0;
+  e.refine_ms = 2.0;
+  e.total_ms = 10.0;
+  e.io_reads = 12;
+  e.candidates = 99;
+  const std::string text = FormatQueryTrace(e);
+  EXPECT_NE(text.find("trace #7: knn(k=10) -> 10 results in 10.000 ms"),
+            std::string::npos);
+  EXPECT_NE(text.find("filter"), std::string::npos);
+  EXPECT_NE(text.find("( 60.0%)"), std::string::npos);  // 6ms of 10ms
+  EXPECT_NE(text.find("other"), std::string::npos);     // 1ms unaccounted
+  EXPECT_NE(text.find("io_reads=12"), std::string::npos);
+  EXPECT_NE(text.find("candidates=99"), std::string::npos);
+}
+
+TEST(FormatQueryTraceTest, UpdateTraceShowsWalSpans) {
+  QueryTraceEntry e;
+  e.seq = 1;
+  e.op = 'i';
+  e.results = 1;
+  e.wal_append_ms = 0.5;
+  e.wal_fsync_ms = 1.5;
+  e.total_ms = 2.5;
+  const std::string text = FormatQueryTrace(e);
+  EXPECT_NE(text.find("insert in 2.500 ms"), std::string::npos);
+  EXPECT_NE(text.find("wal-append"), std::string::npos);
+  EXPECT_NE(text.find("wal-fsync"), std::string::npos);
+  // Zero spans are omitted entirely.
+  EXPECT_EQ(text.find("bound"), std::string::npos);
+  EXPECT_EQ(text.find("refine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brep::obs
