@@ -1,6 +1,9 @@
 /// Concurrent serving throughput: QPS of the facade's parallel batched kNN
 /// as the thread count grows, against the single-threaded handle as
-/// baseline.
+/// baseline. Plus the MVCC serving arm: reader latency percentiles with an
+/// idle writer vs a continuously churning writer -- reads pin snapshots
+/// instead of taking any lock, so the two distributions should be flat
+/// against each other.
 ///
 ///   $ ./bench_engine_throughput [--threads N] [--json <path>]
 ///
@@ -15,6 +18,7 @@
 /// never trades correctness.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <utility>
@@ -23,6 +27,7 @@
 #include "api/index.h"
 #include "bench_common.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "dataset/synthetic.h"
 #include "obs/index_metrics.h"
 
@@ -151,6 +156,73 @@ int main(int argc, char** argv) {
   std::printf("(hardware threads available: %u)\n",
               std::thread::hardware_concurrency());
 
+  // ---------------------------------------------------------------- churn
+  // Reader p99 under writer churn: kChurnReaders threads stream
+  // single-query kNN while one writer alternates insert/delete, each op
+  // publishing a fresh MVCC version. Readers pin a snapshot per query and
+  // never touch the writer's mutex, so their latency distribution should
+  // sit on top of the idle-writer baseline.
+  constexpr size_t kChurnReaders = 4;
+  const size_t queries_per_reader = std::max<size_t>(32, size_t(64 * scale));
+  struct ChurnArm {
+    obs::HistogramSnapshot latency;
+    double wall_ms = 0.0;
+    uint64_t writer_ops = 0;
+  };
+  auto run_arm = [&](bool churn) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> writer_ops{0};
+    std::thread writer;
+    if (churn) {
+      writer = std::thread([&] {
+        size_t cursor = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          // Insert-then-delete keeps the live set (and so per-query work)
+          // comparable with the baseline arm.
+          const auto id = index->Insert(data.Row(cursor++ % data.rows()));
+          BREP_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+          const Status st = index->Delete(*id);
+          BREP_CHECK_MSG(st.ok(), st.ToString().c_str());
+          writer_ops.fetch_add(2, std::memory_order_relaxed);
+        }
+      });
+    }
+    const obs::HistogramSnapshot before = knn_hist();
+    Timer timer;
+    std::vector<std::thread> churn_readers;
+    for (size_t r = 0; r < kChurnReaders; ++r) {
+      churn_readers.emplace_back([&, r] {
+        for (size_t q = 0; q < queries_per_reader; ++q) {
+          const auto res =
+              index->Knn(queries.Row((q + r) % queries.rows()), k);
+          BREP_CHECK_MSG(res.ok(), res.status().ToString().c_str());
+        }
+      });
+    }
+    for (auto& t : churn_readers) t.join();
+    ChurnArm arm;
+    arm.wall_ms = timer.ElapsedMillis();
+    stop.store(true, std::memory_order_release);
+    if (writer.joinable()) writer.join();
+    arm.latency = knn_hist().Since(before);
+    arm.writer_ops = writer_ops.load(std::memory_order_relaxed);
+    return arm;
+  };
+  std::printf("\nreader latency under writer churn (%zu readers x %zu "
+              "queries):\n", kChurnReaders, queries_per_reader);
+  const ChurnArm idle = run_arm(/*churn=*/false);
+  const ChurnArm churned = run_arm(/*churn=*/true);
+  PrintHeader({"writer", "p50 ms", "p90 ms", "p99 ms", "writer ops/s"});
+  PrintRow({"idle", FmtF(idle.latency.Percentile(50), 2),
+            FmtF(idle.latency.Percentile(90), 2),
+            FmtF(idle.latency.Percentile(99), 2), FmtU(0)});
+  PrintRow({"churning", FmtF(churned.latency.Percentile(50), 2),
+            FmtF(churned.latency.Percentile(90), 2),
+            FmtF(churned.latency.Percentile(99), 2),
+            FmtF(churned.wall_ms > 0
+                     ? 1000.0 * double(churned.writer_ops) / churned.wall_ms
+                     : 0.0, 1)});
+
   if (const std::string json_path = JsonPathArg(argc, argv);
       !json_path.empty()) {
     json::Object section;
@@ -165,6 +237,34 @@ int main(int argc, char** argv) {
     section.emplace_back("exact_vs_index", json::Value(exact_vs_index));
     section.emplace_back("runs", json::Value(std::move(runs)));
     EmitJson(json_path, "engine_throughput", json::Value(std::move(section)));
+
+    auto arm_json = [&](const ChurnArm& arm, bool churn) {
+      json::Object o;
+      o.emplace_back("writer", json::Value(std::string(churn ? "churning"
+                                                             : "idle")));
+      o.emplace_back("wall_ms", json::Value(arm.wall_ms));
+      o.emplace_back(
+          "writer_ops_per_s",
+          json::Value(arm.wall_ms > 0
+                          ? 1000.0 * double(arm.writer_ops) / arm.wall_ms
+                          : 0.0));
+      o.emplace_back("knn_latency_ms", HistJson(arm.latency));
+      return json::Value(std::move(o));
+    };
+    json::Object churn_section;
+    churn_section.emplace_back("readers", json::Value(double(kChurnReaders)));
+    churn_section.emplace_back("queries_per_reader",
+                               json::Value(double(queries_per_reader)));
+    json::Array arms;
+    arms.emplace_back(arm_json(idle, false));
+    arms.emplace_back(arm_json(churned, true));
+    churn_section.emplace_back("arms", json::Value(std::move(arms)));
+    const double idle_p99 = idle.latency.Percentile(99);
+    churn_section.emplace_back(
+        "p99_ratio_churn_over_idle",
+        json::Value(idle_p99 > 0 ? churned.latency.Percentile(99) / idle_p99
+                                 : 0.0));
+    EmitJson(json_path, "reader_churn", json::Value(std::move(churn_section)));
   }
   return 0;
 }

@@ -3,14 +3,15 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
-#include <shared_mutex>
 
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/brepartition.h"
 #include "storage/file_pager.h"
 #include "storage/pager.h"
+#include "storage/snapshot.h"
 
 namespace brep {
 namespace durable {
@@ -36,7 +37,7 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
                  WalRecoveryStats* stats) {
   BREP_CHECK(bp != nullptr && stats != nullptr);
   Timer timer;
-  std::unique_lock<std::shared_mutex> lock(bp->update_mutex());
+  std::lock_guard<std::mutex> lock(bp->writer_mutex());
   uint64_t applied = durable_lsn;
   for (const WalRecord& rec : scan.records) {
     if (rec.type == WalRecordType::kCheckpoint) {
@@ -108,16 +109,80 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
   stats->last_lsn = applied;
   stats->dropped_tail_bytes = scan.dropped_bytes;
   stats->replay_ms = timer.ElapsedMillis();
+  // The locked entry points do not publish; expose the fully replayed
+  // state to readers in one shot (replay is Open-time, single-threaded,
+  // so per-record publication would only burn snapshot churn).
+  bp->PublishVersionLocked();
   return Status::Ok();
 }
 
 Status SaveDurable(const BrePartition& bp, WalWriter* wal,
                    const std::string& path, bool truncate_wal) {
-  // One exclusive acquisition across flush + snapshot + log reset: no
-  // concurrent write can land between "what the snapshot holds" and "what
-  // the log still carries".
-  std::unique_lock<std::shared_mutex> lock(bp.update_mutex());
-  return SaveDurableLocked(bp, wal, path, truncate_wal);
+  // Phase 1, under the writer mutex (cheap, in-memory): flush the log,
+  // commit the catalog on the serving pager, and pin the published
+  // snapshot. What the snapshot holds and what the log carries agree at
+  // LSN `lsn` because no write can land inside this section.
+  uint64_t lsn = 0;
+  std::unique_ptr<BrePartition::ReadView> view;
+  {
+    std::lock_guard<std::mutex> lock(bp.writer_mutex());
+    if (wal != nullptr) {
+      BREP_RETURN_IF_ERROR(wal->Flush());
+      lsn = wal->last_lsn();
+    }
+    view = bp.CheckpointViewLocked(lsn);
+  }
+
+  // Phase 2, with NO lock held: copy the pinned snapshot into `path.tmp`
+  // and atomically rename it over `path`. Readers keep querying and
+  // writers keep publishing the whole time; the view's epoch pin keeps
+  // the snapshot's backend pages from being flushed over. Early returns
+  // drop the view, which is a single atomic unpin.
+  const PageSnapshot& snap = view->pages();
+  const std::string tmp = path + ".tmp";
+  std::string error;
+  auto out = FilePager::Create(tmp, snap.page_size(), &error);
+  if (out == nullptr) {
+    return Status::Internal("cannot create index file \"" + tmp +
+                            "\": " + error);
+  }
+  PageBuffer buf;
+  for (PageId id = 0; id < snap.num_pages(); ++id) {
+    snap.FetchPage(id, &buf);
+    const PageId copied = out->Allocate();
+    BREP_CHECK(copied == id);  // fresh pager: ids stay aligned
+    out->Write(copied, buf);
+    if ((id + 1) % 1024 == 0) out->FlushToBase();  // bound copy memory
+  }
+  // The free-page records travelled inside the raw pages; adopt the chain
+  // head so the copy allocates exactly like the original would have.
+  out->RestoreFreeList(snap.free_list_head(), snap.num_free_pages());
+  out->CommitCatalog(snap.catalog());
+  out.reset();  // CommitCatalog already fsynced the finished snapshot
+  view.reset();  // unpin: the writer may flush over these pages again
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Internal(
+        "cannot move \"" + tmp + "\" over \"" + path +
+        "\": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // The rename only mutated the directory; make it durable too, or a crash
+  // could resurrect the old file under this name.
+  if (!FilePager::SyncDirectory(path)) {
+    return Status::Internal("cannot fsync the directory holding \"" + path +
+                            "\"");
+  }
+
+  // Phase 3: reset the log -- but only if nothing was appended since the
+  // snapshot, because truncating past concurrent appends would lose them.
+  // When writes did land, the log simply keeps growing until the next
+  // checkpoint; replay skips records at or below the file's watermark.
+  if (wal != nullptr && truncate_wal) {
+    std::lock_guard<std::mutex> lock(bp.writer_mutex());
+    if (wal->last_lsn() == lsn) return wal->Checkpoint(lsn);
+  }
+  return Status::Ok();
 }
 
 Status SaveDurableLocked(const BrePartition& bp, WalWriter* wal,

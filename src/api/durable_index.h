@@ -13,21 +13,26 @@
 ///
 /// The protocol, end to end:
 ///
-///  * Writes. Under ONE exclusive update_mutex() acquisition the facade
-///    appends the redo record (fsynced per FsyncMode) and only then applies
-///    it to the index pages -- log order and apply order can never diverge,
-///    and Parallel readers keep seeing operation-boundary states.
+///  * Writes. Under ONE writer_mutex() acquisition the facade appends the
+///    redo record (fsynced per FsyncMode), applies it to shadow pages, and
+///    publishes a new MVCC version -- log order and apply order can never
+///    diverge. Readers never take the mutex: they pin the last published
+///    version and keep seeing operation-boundary states even while the
+///    fsync runs.
 ///
 ///  * Serving state. A durable index serves from a MemPager snapshot of
 ///    its file; between checkpoints the index FILE is never written. Every
 ///    crash point therefore leaves the previous checkpoint intact on disk,
 ///    which is what makes logical (operation-level) replay sound.
 ///
-///  * Checkpoint = Index::Save. Snapshot the index into `path.tmp`
-///    (stamped with the WAL watermark), fsync, atomically rename over
-///    `path`, fsync the directory, then reset the log. A crash between any
-///    two steps recovers to either the old checkpoint plus the full log or
-///    the new checkpoint (whose watermark makes stale log records no-ops).
+///  * Checkpoint = Index::Save. Pin a published page snapshot under a
+///    brief writer-mutex acquisition, then -- with no lock held -- copy it
+///    into `path.tmp` (stamped with the WAL watermark), fsync, atomically
+///    rename over `path`, fsync the directory, and reset the log if no
+///    write landed meanwhile. A crash between any two steps recovers to
+///    either the old checkpoint plus the full log or the new checkpoint
+///    (whose watermark makes stale log records no-ops). Readers and
+///    writers proceed throughout the copy.
 ///
 ///  * Recovery = Index::Open with DurabilityOptions. Load the checkpoint,
 ///    then replay every log record past the superblock's durable_lsn
@@ -78,8 +83,9 @@ namespace durable {
 std::unique_ptr<MemPager> LoadIntoMemory(const Pager& from);
 
 /// Replay `scan` against `bp` (which must be freshly opened from the
-/// checkpoint with watermark `durable_lsn`) under one exclusive lock
-/// acquisition. Applies exactly the records with LSN > durable_lsn, in
+/// checkpoint with watermark `durable_lsn`) under one writer-mutex
+/// acquisition, publishing the replayed state once at the end. Applies
+/// exactly the records with LSN > durable_lsn, in
 /// order, through the locked insert/delete entry points; validates record
 /// payloads, the dense-LSN sequence and the deterministic id assignment
 /// before touching anything, so a log that does not match the checkpoint
@@ -90,18 +96,20 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
 /// Atomically replace `path` with a snapshot of `bp`: write to `path.tmp`
 /// (superblock stamped with `wal`'s flushed last LSN; 0 when wal is null),
 /// rename over `path`, fsync the directory. With `truncate_wal` this is
-/// the full checkpoint: the log is reset afterwards, so replay work since
-/// the previous checkpoint drops to zero. Holds the update lock across
-/// flush + snapshot + reset -- a concurrent writer can never slip an
-/// operation between the snapshot and the log reset.
+/// the full checkpoint: the log is reset afterwards (if no write landed
+/// during the copy), so replay work since the previous checkpoint drops
+/// to zero. NON-BLOCKING: the writer mutex is held only to pin the page
+/// snapshot and (maybe) reset the log; the disk copy itself runs with no
+/// lock, so concurrent readers and writers proceed throughout.
 Status SaveDurable(const BrePartition& bp, WalWriter* wal,
                    const std::string& path, bool truncate_wal);
 
-/// SaveDurable's body for callers that already hold update_mutex()
-/// exclusively (the facade's first checkpoint, which must publish the log
-/// writer under the same acquisition that wrote the snapshot -- otherwise
-/// two racing first checkpoints could each attach a fresh writer and
-/// truncate the other's live log).
+/// Fully-locked variant for callers that already hold writer_mutex() (the
+/// facade's first checkpoint, which must publish the log writer under the
+/// same acquisition that wrote the snapshot -- otherwise two racing first
+/// checkpoints could each attach a fresh writer and truncate the other's
+/// live log). Blocks writers for the duration; a durable index refuses
+/// writes until the first checkpoint anyway, so nothing queues behind it.
 Status SaveDurableLocked(const BrePartition& bp, WalWriter* wal,
                          const std::string& path, bool truncate_wal);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <mutex>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -212,34 +213,28 @@ StatusOr<Index> Index::Open(const std::string& path,
 
 Status Index::Save(const std::string& path) const {
   if (durability_.enabled()) {
-    // wal_ and home_path_ are guarded by the update mutex (their only
+    // wal_ and home_path_ are guarded by the writer mutex (their only
     // transition is the first checkpoint below; InsertImpl/DeleteImpl
     // check them under the same lock).
-    {
-      std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
-      if (wal_ != nullptr) {
-        // Checkpoint to the home path resets the log; a Save elsewhere is
-        // a consistent snapshot (stamped with the current watermark so
-        // the home log is a no-op against it) that leaves the log alone.
-        WalWriter* wal = wal_.get();
-        const bool home = CanonicalPath(path) == home_path_;
-        lock.unlock();  // SaveDurable takes the exclusive side itself
-        return durable::SaveDurable(*bp_, wal, path, /*truncate_wal=*/home);
-      }
+    std::unique_lock<std::mutex> lock(bp_->writer_mutex());
+    if (wal_ != nullptr) {
+      // Checkpoint to the home path resets the log; a Save elsewhere is
+      // a consistent snapshot (stamped with the current watermark so
+      // the home log is a no-op against it) that leaves the log alone.
+      WalWriter* wal = wal_.get();
+      const bool home = CanonicalPath(path) == home_path_;
+      // SaveDurable pins a published snapshot under a brief writer-mutex
+      // acquisition of its own and copies it to disk with NO lock held:
+      // concurrent readers and writers proceed throughout.
+      lock.unlock();
+      return durable::SaveDurable(*bp_, wal, path, /*truncate_wal=*/home);
     }
     // First checkpoint: persist the base state, then start the log fresh.
     // Only from here on can logged writes be replayed, so this is also
     // what unlocks Insert/Delete (see InsertImpl). Snapshot, log creation
-    // and publication all happen under ONE exclusive acquisition: a
-    // racing first Save blocks here, re-checks, and takes the
-    // established-writer branch instead of truncating a live log.
-    std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
-    if (wal_ != nullptr) {
-      WalWriter* wal = wal_.get();
-      const bool home = CanonicalPath(path) == home_path_;
-      lock.unlock();
-      return durable::SaveDurable(*bp_, wal, path, /*truncate_wal=*/home);
-    }
+    // and publication all happen under ONE writer-mutex acquisition: a
+    // racing first Save blocks above and takes the established-writer
+    // branch instead of truncating a live log.
     BREP_RETURN_IF_ERROR(durable::SaveDurableLocked(*bp_, nullptr, path,
                                                     /*truncate_wal=*/false));
     BREP_ASSIGN_OR_RETURN(
@@ -311,22 +306,22 @@ EngineStats Index::UpdateStats() const {
 }
 
 WalWriter::Stats Index::wal_stats() const {
-  // Shared lock for the pointer read: the first checkpoint publishes wal_
-  // under the exclusive side.
-  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  // Writer mutex for the pointer read: the first checkpoint publishes wal_
+  // under it.
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
   return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
 }
 
 uint64_t Index::wal_durable_lsn() const {
-  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
   return wal_ != nullptr ? wal_->durable_lsn() : 0;
 }
 
 obs::MetricsSnapshot Index::Metrics() const {
-  // One shared acquisition covers both the index collection pass and the
-  // wal_ pointer read (published by the first checkpoint under the
-  // exclusive side); the WAL's own stats are behind its internal mutex.
-  std::shared_lock<std::shared_mutex> lock(bp_->update_mutex());
+  // One writer-mutex acquisition covers both the index collection pass and
+  // the wal_ pointer read (published by the first checkpoint under the
+  // same mutex); the WAL's own stats are behind its internal mutex.
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
   obs::MetricsSnapshot out = bp_->CollectMetricsLocked();
   if (wal_ != nullptr) {
     const WalWriter::Stats ws = wal_->stats();
@@ -398,11 +393,13 @@ StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
     RecordUpdate(*bp_, 'i', op_timer.ElapsedMillis(), wal_timing);
     return *id;
   }
-  // Log, sync (per mode), THEN apply -- all under one exclusive section,
-  // so the log order is the apply order and a crash after the ack can
-  // always redo this operation from the record. The wal_ null-check sits
-  // under the same lock: a concurrent first Save publishes it there.
-  std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
+  // Log, sync (per mode), THEN apply -- all under one writer-mutex
+  // section, so the log order is the apply order and a crash after the ack
+  // can always redo this operation from the record. The wal_ null-check
+  // sits under the same lock: a concurrent first Save publishes it there.
+  // Readers never touch this mutex: they keep serving their pinned
+  // snapshots while the fsync runs.
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
   if (wal_ == nullptr) return NoCheckpointYetError();
   if (bp_->UpdatesFrozenLocked()) return FrozenByViewError();
   const uint32_t id = bp_->NextInsertIdLocked();
@@ -415,6 +412,9 @@ StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
   stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
   const auto applied = bp_->InsertLocked(point);
   BREP_CHECK(applied.has_value() && *applied == id);
+  // The locked entry points do not publish; expose the new state to
+  // readers now that log and index agree.
+  bp_->PublishVersionLocked();
   RecordUpdate(*bp_, 'i', op_timer.ElapsedMillis(), wal_timing);
   return id;
 }
@@ -435,7 +435,7 @@ Status Index::DeleteImpl(uint32_t id, Stats* stats) {
     }
     return Status::Internal("unreachable");
   }
-  std::unique_lock<std::shared_mutex> lock(bp_->update_mutex());
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
   if (wal_ == nullptr) return NoCheckpointYetError();
   if (bp_->UpdatesFrozenLocked()) return FrozenByViewError();
   // Refuse BEFORE logging: a logged-then-refused delete would replay as a
@@ -449,6 +449,7 @@ Status Index::DeleteImpl(uint32_t id, Stats* stats) {
   stats->wal_fsyncs += durability_.fsync_mode == FsyncMode::kAlways ? 1 : 0;
   const auto outcome = bp_->DeleteLocked(id);
   BREP_CHECK(outcome == BrePartition::UpdateOutcome::kApplied);
+  bp_->PublishVersionLocked();
   RecordUpdate(*bp_, 'd', op_timer.ElapsedMillis(), wal_timing);
   return Status::Ok();
 }

@@ -184,9 +184,9 @@ class Index final : public SearchIndex {
   /// the log a base to replay against; mutable because Save() const is
   /// the checkpoint). home_path_ is the canonicalized checkpoint target
   /// whose Save resets the log; Saves to other paths just stamp a
-  /// snapshot. Both are guarded by bp_->update_mutex(): the first
-  /// checkpoint publishes them under the exclusive side, every other
-  /// reader takes the shared side.
+  /// snapshot. Both are guarded by bp_->writer_mutex(): the first
+  /// checkpoint publishes them under it, and every facade path that reads
+  /// them takes the same mutex (query paths never touch either).
   DurabilityOptions durability_;
   mutable std::unique_ptr<WalWriter> wal_;
   mutable std::string home_path_;

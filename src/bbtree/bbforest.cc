@@ -64,6 +64,22 @@ BBForest::BBForest(Pager* pager, const BregmanDivergence& div,
   }
 }
 
+BBForest::BBForest(const BBForest& writer, const PageSource* src)
+    : filter_mode_(writer.filter_mode_),
+      pool_pages_(writer.pool_pages_),
+      partitions_(writer.partitions_) {
+  store_ = writer.store_->SnapshotClone(src);
+  trees_.reserve(writer.trees_.size());
+  for (const auto& tree : writer.trees_) {
+    trees_.push_back(tree->SnapshotClone(src));
+  }
+}
+
+std::unique_ptr<BBForest> BBForest::SnapshotClone(const PageSource* src) const {
+  BREP_CHECK(src != nullptr);
+  return std::unique_ptr<BBForest>(new BBForest(*this, src));
+}
+
 void BBForest::Insert(uint32_t id, std::span<const double> x) {
   BREP_CHECK(x.size() == store_->dim());
   store_->Append(id, x);

@@ -62,6 +62,13 @@ class BBForest {
   BBForest(const BBForest&) = delete;
   BBForest& operator=(const BBForest&) = delete;
 
+  /// Read-only clone bound to an MVCC snapshot: the store and every tree are
+  /// snapshot-cloned to read through `src` (which must outlive the clone),
+  /// sharing the writer's buffer pools and COW tables. Cheap -- no pager
+  /// I/O. Clones serve the whole search path (RangeCandidatesUnion, tree
+  /// searches, point fetches); mutating calls on a clone abort.
+  std::unique_ptr<BBForest> SnapshotClone(const PageSource* src) const;
+
   size_t num_partitions() const { return partitions_.size(); }
   size_t num_points() const { return store_->num_points(); }
 
@@ -128,6 +135,9 @@ class BBForest {
   PoolTraffic pool_traffic() const;
 
  private:
+  /// Snapshot-clone constructor (see SnapshotClone).
+  BBForest(const BBForest& writer, const PageSource* src);
+
   FilterMode filter_mode_;
   size_t pool_pages_ = 128;
   std::vector<std::vector<size_t>> partitions_;

@@ -42,6 +42,8 @@ constexpr uint64_t kOffRadius = 5;  // f64 ball radius
 DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
                        bool header_child_bounds)
     : pager_(pager),
+      src_(pager),
+      page_size_(pager == nullptr ? 0 : pager->page_size()),
       div_(tree.divergence()),
       bound_iters_(tree.config().bound_iters),
       header_child_bounds_(header_child_bounds),
@@ -49,7 +51,8 @@ DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
       kmeans_iters_(tree.config().kmeans_iters),
       insert_seed_(tree.config().seed ^ 0xD15CF00DULL),
       num_points_(tree.size()),
-      pool_(pager, pool_pages) {
+      full_node_reads_(std::make_shared<std::atomic<uint64_t>>(0)),
+      pool_(std::make_shared<BufferPool>(pager, pool_pages)) {
   BREP_CHECK(pager_ != nullptr);
   const auto& nodes = tree.nodes();
   num_nodes_ = nodes.size();
@@ -124,26 +127,29 @@ DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
 DiskBBTree::DiskBBTree(Pager* pager, BregmanDivergence div,
                        const DiskBBTreeLayout& layout, size_t pool_pages)
     : pager_(pager),
+      src_(pager),
+      page_size_(pager == nullptr ? 0 : pager->page_size()),
       div_(std::move(div)),
       bound_iters_(layout.bound_iters),
       max_leaf_size_(layout.max_leaf_size),
       kmeans_iters_(layout.kmeans_iters),
       insert_seed_(layout.insert_seed),
       num_points_(layout.num_points),
+      full_node_reads_(std::make_shared<std::atomic<uint64_t>>(0)),
       pages_(layout.pages),
       blob_size_(layout.blob_size),
       num_nodes_(layout.num_nodes),
       root_offset_(layout.root_offset),
-      pool_(pager, pool_pages) {
+      pool_(std::make_shared<BufferPool>(pager, pool_pages)) {
   BREP_CHECK(pager_ != nullptr);
   BREP_CHECK(!pages_.empty());
   BREP_CHECK(max_leaf_size_ > 0);
-  BREP_CHECK(blob_size_ <= pages_.size() * pager_->page_size());
+  BREP_CHECK(blob_size_ <= pages_.size() * page_size_);
   BREP_CHECK(layout.chunk_offsets.size() == layout.chunk_slots.size());
   for (PageId id : pages_) {
     BREP_CHECK(id == kInvalidPageId || id < pager_->num_pages());
   }
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   for (size_t c = 0; c < layout.chunk_offsets.size(); ++c) {
     const uint64_t off = layout.chunk_offsets[c];
     const uint32_t slots = layout.chunk_slots[c];
@@ -162,6 +168,32 @@ DiskBBTree::DiskBBTree(Pager* pager, BregmanDivergence div,
       run_len = 0;
     }
   }
+}
+
+DiskBBTree::DiskBBTree(const DiskBBTree& writer, const PageSource* src)
+    : pager_(nullptr),
+      src_(src),
+      page_size_(writer.page_size_),
+      div_(writer.div_),
+      bound_iters_(writer.bound_iters_),
+      header_child_bounds_(writer.header_child_bounds_),
+      max_leaf_size_(writer.max_leaf_size_),
+      kmeans_iters_(writer.kmeans_iters_),
+      insert_seed_(writer.insert_seed_),
+      num_points_(writer.num_points_),
+      full_node_reads_(writer.full_node_reads_),
+      pages_(writer.pages_),
+      blob_size_(writer.blob_size_),
+      num_nodes_(writer.num_nodes_),
+      root_offset_(writer.root_offset_),
+      // chunk_map_/free_runs_ stay empty: writer-only allocator state that
+      // no const search path touches.
+      pool_(writer.pool_) {}
+
+std::unique_ptr<DiskBBTree> DiskBBTree::SnapshotClone(
+    const PageSource* src) const {
+  BREP_CHECK(src != nullptr);
+  return std::unique_ptr<DiskBBTree>(new DiskBBTree(*this, src));
 }
 
 DiskBBTreeLayout DiskBBTree::layout() const {
@@ -187,7 +219,7 @@ DiskBBTreeLayout DiskBBTree::layout() const {
 size_t DiskBBTree::index_bytes() const {
   size_t chunk_pages = 0;
   for (const auto& [off, slots] : chunk_map_) chunk_pages += slots;
-  return blob_size_ + chunk_pages * pager_->page_size();
+  return blob_size_ + chunk_pages * page_size_;
 }
 
 std::vector<PageId> DiskBBTree::LivePages() const {
@@ -205,10 +237,10 @@ void DiskBBTree::ReadBytes(uint64_t start, size_t len, uint8_t* out) const {
   // from them are bounds-checked before they can index past the page list
   // or drive a huge allocation: a corrupted page aborts with a message
   // instead of undefined behaviour.
-  const uint64_t extent = uint64_t{pages_.size()} * pager_->page_size();
+  const uint64_t extent = uint64_t{pages_.size()} * page_size_;
   BREP_CHECK_MSG(uint64_t{len} <= extent && start <= extent - len,
                  "corrupted tree page (node range out of bounds)");
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   size_t done = 0;
   while (done < len) {
     const uint64_t pos = start + done;
@@ -217,16 +249,16 @@ void DiskBBTree::ReadBytes(uint64_t start, size_t len, uint8_t* out) const {
     const size_t chunk = std::min(len - done, page_size - in_page);
     BREP_CHECK_MSG(pages_[page_idx] != kInvalidPageId,
                    "corrupted tree page (node range on a released page)");
-    const PagePin buf = pool_.ReadPinned(pages_[page_idx]);
+    const PagePin buf = pool_->ReadPinned(pages_[page_idx], *src_);
     std::memcpy(out + done, buf->data() + in_page, chunk);
     done += chunk;
   }
 }
 
 void DiskBBTree::WriteBytes(uint64_t start, std::span<const uint8_t> bytes) {
-  const uint64_t extent = uint64_t{pages_.size()} * pager_->page_size();
+  const uint64_t extent = uint64_t{pages_.size()} * page_size_;
   BREP_CHECK(bytes.size() <= extent && start <= extent - bytes.size());
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   PageBuffer buf;
   size_t done = 0;
   while (done < bytes.size()) {
@@ -243,7 +275,6 @@ void DiskBBTree::WriteBytes(uint64_t start, std::span<const uint8_t> bytes) {
       std::memcpy(buf.data() + in_page, bytes.data() + done, chunk);
       pager_->Write(page, buf);
     }
-    pool_.Invalidate(page);
     done += chunk;
   }
 }
@@ -281,8 +312,8 @@ DiskBBTree::DiskNode DiskBBTree::ReadNodeHeader(uint64_t off) const {
 void DiskBBTree::ReadNodeTail(uint64_t off, DiskNode* node) const {
   const size_t dim = div_.dim();
   const size_t fixed = NodeFixedBytes();
-  const uint64_t extent = uint64_t{pages_.size()} * pager_->page_size();
-  full_node_reads_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t extent = uint64_t{pages_.size()} * page_size_;
+  full_node_reads_->fetch_add(1, std::memory_order_relaxed);
   if (node->is_leaf) {
     const uint64_t tail_bytes =
         uint64_t{node->count} * (4 + dim * sizeof(double));
@@ -343,7 +374,7 @@ std::vector<uint8_t> DiskBBTree::EncodeInterior(const DiskNode& node) const {
 }
 
 uint64_t DiskBBTree::AllocChunk(size_t bytes) {
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   const size_t slots = (bytes + page_size - 1) / page_size;
   BREP_CHECK(slots > 0);
   size_t start = pages_.size();
@@ -371,11 +402,10 @@ uint64_t DiskBBTree::AllocChunk(size_t bytes) {
 void DiskBBTree::FreeChunkAt(uint64_t off) {
   const auto it = chunk_map_.find(off);
   BREP_CHECK(it != chunk_map_.end());
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   const size_t start = off / page_size;
   const size_t slots = it->second;
   for (size_t s = start; s < start + slots; ++s) {
-    pool_.Invalidate(pages_[s]);
     pager_->Free(pages_[s]);
     pages_[s] = kInvalidPageId;
   }
@@ -402,7 +432,7 @@ void DiskBBTree::FreeChunkAt(uint64_t off) {
 size_t DiskBBTree::AllocCapacity(uint64_t off) const {
   const auto it = chunk_map_.find(off);
   if (it == chunk_map_.end()) return 0;
-  return size_t{it->second} * pager_->page_size();
+  return size_t{it->second} * page_size_;
 }
 
 uint64_t DiskBBTree::ReplaceNode(uint64_t off, uint64_t parent_off,
@@ -747,7 +777,7 @@ uint32_t DiskBBTree::CheckSubtree(
   const auto chunk = chunk_map_.find(off);
   if (chunk != chunk_map_.end()) {
     BREP_CHECK_MSG(record_bytes <=
-                       size_t{chunk->second} * pager_->page_size(),
+                       size_t{chunk->second} * page_size_,
                    "node record overflows its chunk");
   } else {
     BREP_CHECK_MSG(off + record_bytes <= blob_size_,
@@ -787,7 +817,7 @@ uint32_t DiskBBTree::CheckSubtree(
 }
 
 void DiskBBTree::DebugCheckInvariants() const {
-  const size_t page_size = pager_->page_size();
+  const size_t page_size = page_size_;
   const size_t packed_slots = (blob_size_ + page_size - 1) / page_size;
   BREP_CHECK(packed_slots <= pages_.size());
 

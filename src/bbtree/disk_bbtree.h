@@ -68,8 +68,11 @@ struct DiskBBTreeLayout {
 ///    to the pager's free-list. Deleting the last point leaves a valid
 ///    empty tree (root_offset() == kNoNode) that accepts new inserts.
 ///
-/// Mutations are single-writer: they must not run concurrently with
-/// searches (the serving layer holds an exclusive lock across them).
+/// Mutations are single-writer and run on the writer's tree instance under
+/// the serving layer's writer mutex; searches run against read-only
+/// SnapshotClone()s bound to a pinned MVCC PageSnapshot (or against the
+/// writer instance on single-threaded paths), so they never observe a
+/// mutation in progress.
 class DiskBBTree {
  public:
   /// root_offset() value of a tree holding no points.
@@ -108,11 +111,17 @@ class DiskBBTree {
   /// search algorithms -- so the descent I/O regression test measures what
   /// actually happened, whatever the traversal code claims.
   uint64_t full_node_reads() const {
-    return full_node_reads_.load(std::memory_order_relaxed);
+    return full_node_reads_->load(std::memory_order_relaxed);
   }
   /// This tree's node cache (hit/miss/eviction counters for metrics; the
-  /// pool itself is thread-safe).
-  const BufferPool& pool() const { return pool_; }
+  /// pool itself is thread-safe and shared with every snapshot clone).
+  const BufferPool& pool() const { return *pool_; }
+
+  /// Read-only clone bound to an MVCC snapshot: copies the page table and
+  /// tree geometry, shares the buffer pool and the full-node-read counter,
+  /// and reads pages through `src` (which must outlive the clone). Serves
+  /// every const search method; mutating calls on a clone abort.
+  std::unique_ptr<DiskBBTree> SnapshotClone(const PageSource* src) const;
 
   /// Insert point `id` with subspace vector `x` (this tree's
   /// dimensionality). Must not race with searches.
@@ -292,7 +301,12 @@ class DiskBBTree {
                                 const PointStore& store, SearchStats* stats,
                                 const Gate& gate) const;
 
-  Pager* pager_;
+  /// Snapshot-clone constructor (see SnapshotClone).
+  DiskBBTree(const DiskBBTree& writer, const PageSource* src);
+
+  Pager* pager_;           // null in snapshot clones (read-only)
+  const PageSource* src_;  // where node reads fetch pages from
+  size_t page_size_;
   BregmanDivergence div_;
   int bound_iters_;
   bool header_child_bounds_ = true;
@@ -300,16 +314,22 @@ class DiskBBTree {
   int kmeans_iters_ = 10;
   uint64_t insert_seed_ = 0;
   uint64_t num_points_ = 0;
-  mutable std::atomic<uint64_t> full_node_reads_{0};
+  /// Shared with snapshot clones, so the descent-I/O metric aggregates
+  /// across every reader of this tree.
+  std::shared_ptr<std::atomic<uint64_t>> full_node_reads_;
   std::vector<PageId> pages_;
   size_t blob_size_ = 0;
   size_t num_nodes_ = 0;
   uint64_t root_offset_ = 0;
-  /// Page-aligned mutation allocations: offset -> slots.
+  /// Page-aligned mutation allocations: offset -> slots. Writer-only
+  /// (empty in clones).
   std::map<uint64_t, uint32_t> chunk_map_;
   /// Reusable slot runs (pages already returned to the pager): start -> len.
+  /// Writer-only (empty in clones).
   std::map<size_t, size_t> free_runs_;
-  mutable BufferPool pool_;
+  /// Shared with snapshot clones: generation-keyed entries keep versions
+  /// from aliasing (see BufferPool).
+  std::shared_ptr<BufferPool> pool_;
 };
 
 }  // namespace brep

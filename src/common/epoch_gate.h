@@ -1,0 +1,104 @@
+#ifndef BREP_COMMON_EPOCH_GATE_H_
+#define BREP_COMMON_EPOCH_GATE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.h"
+
+namespace brep {
+
+/// Epoch-based reclamation gate: the mechanism that lets MVCC readers pin a
+/// version with two atomic operations (no mutex of any kind) while the
+/// writer decides when a retired version is safe to free.
+///
+/// Protocol:
+///  * Reader: claim a slot by CAS-ing the current epoch into it (the
+///    announce), then load the published version pointer. Unpin = one
+///    release store of the idle sentinel.
+///  * Writer (externally serialized): publish the new version pointer,
+///    THEN AdvanceEpoch() and stamp the retired version with the returned
+///    epoch e_w. A retired version may be freed once MinActiveEpoch() >=
+///    its stamp.
+///
+/// Safety: both the announce (CAS) and the version load are seq_cst, as are
+/// the writer's publish store and the epoch fetch_add. If a reader's load
+/// observed the OLD version, that load -- and therefore the announce before
+/// it -- precedes the publish store in the seq_cst total order, so the
+/// announced epoch e_r was read before the advance: e_r < e_w. The writer's
+/// reclamation scan runs after the advance and must observe that announce
+/// (or a later value in the slot), so MinActiveEpoch() <= e_r < e_w keeps
+/// the old version alive. Conversely a reader announcing e_r >= e_w loaded
+/// the pointer after the publish and holds the new version.
+class EpochGate {
+ public:
+  static constexpr size_t kSlots = 64;
+  /// Slot value for "no pin here". Epochs start at 1 and only grow.
+  static constexpr uint64_t kIdle = 0;
+
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  /// Announce a pin at the current epoch; returns the claimed slot index.
+  /// Lock-free: a CAS claims a free slot starting from a per-thread hash;
+  /// with more than kSlots concurrent pins the reader yields and retries.
+  size_t Pin() const {
+    const size_t start = std::hash<std::thread::id>{}(
+                             std::this_thread::get_id()) %
+                         kSlots;
+    for (;;) {
+      const uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+      for (size_t i = 0; i < kSlots; ++i) {
+        const size_t slot = (start + i) % kSlots;
+        uint64_t expected = kIdle;
+        if (slots_[slot].value.compare_exchange_strong(
+                expected, epoch, std::memory_order_seq_cst)) {
+          return slot;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void Unpin(size_t slot) const {
+    BREP_CHECK(slot < kSlots);
+    slots_[slot].value.store(kIdle, std::memory_order_release);
+  }
+
+  /// Writer-side: bump the global epoch and return the new value (the
+  /// retirement stamp for the version just superseded).
+  uint64_t AdvanceEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  uint64_t CurrentEpoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Smallest epoch announced by any active pin; UINT64_MAX when no reader
+  /// is pinned. A retired version stamped e_w is reclaimable once
+  /// MinActiveEpoch() >= e_w.
+  uint64_t MinActiveEpoch() const {
+    uint64_t min = UINT64_MAX;
+    for (size_t i = 0; i < kSlots; ++i) {
+      const uint64_t e = slots_[i].value.load(std::memory_order_seq_cst);
+      if (e != kIdle && e < min) min = e;
+    }
+    return min;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{kIdle};
+  };
+
+  std::atomic<uint64_t> epoch_{1};
+  mutable Slot slots_[kSlots];
+};
+
+}  // namespace brep
+
+#endif  // BREP_COMMON_EPOCH_GATE_H_

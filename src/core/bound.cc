@@ -48,7 +48,7 @@ TransformedDataset::TransformedDataset(
   BREP_CHECK(sub_divs.size() == m_);
   internal::GetBuildCounters().dataset_transform.fetch_add(
       1, std::memory_order_relaxed);
-  tuples_.resize(n_ * m_);
+  std::vector<PointTuple> flat(n_ * m_);
   std::vector<double> sub;
   for (size_t m = 0; m < m_; ++m) {
     const auto& cols = partitions[m];
@@ -57,26 +57,27 @@ TransformedDataset::TransformedDataset(
     for (size_t i = 0; i < n_; ++i) {
       const auto row = data.Row(i);
       for (size_t c = 0; c < cols.size(); ++c) sub[c] = row[cols[c]];
-      tuples_[i * m_ + m] = TransformPoint(sub_divs[m], sub);
+      flat[i * m_ + m] = TransformPoint(sub_divs[m], sub);
     }
   }
+  tuples_.Assign(std::span<const PointTuple>(flat));
 }
 
 TransformedDataset::TransformedDataset(size_t n, size_t m,
                                        std::vector<PointTuple> tuples)
-    : n_(n), m_(m), tuples_(std::move(tuples)) {
-  BREP_CHECK(tuples_.size() == n_ * m_);
+    : n_(n), m_(m) {
+  BREP_CHECK(tuples.size() == n * m);
+  tuples_.Assign(std::span<const PointTuple>(tuples));
 }
 
 void TransformedDataset::SetRow(size_t i, std::span<const PointTuple> row) {
   BREP_CHECK(i < n_ && row.size() == m_);
-  std::copy(row.begin(), row.end(),
-            tuples_.begin() + static_cast<ptrdiff_t>(i * m_));
+  for (size_t j = 0; j < m_; ++j) tuples_.Set(i * m_ + j, row[j]);
 }
 
 size_t TransformedDataset::AppendRow(std::span<const PointTuple> row) {
   BREP_CHECK(row.size() == m_);
-  tuples_.insert(tuples_.end(), row.begin(), row.end());
+  for (const PointTuple& t : row) tuples_.PushBack(t);
   return n_++;
 }
 

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cow_vec.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
 
@@ -62,6 +63,12 @@ double BetaXY(const BregmanDivergence& sub_div, std::span<const double> x_sub,
               std::span<const double> y_sub);
 
 /// All point tuples for a partitioned dataset: n x M tuples, row-major.
+///
+/// Storage is a CowVec so an MVCC snapshot copies the chunk spine (cheap)
+/// and the writer's subsequent SetRow/AppendRow clone only the touched
+/// chunks: published read views keep serving the old tuples without a full
+/// n x M copy per version. Copying a TransformedDataset is therefore O(n /
+/// chunk) and safe to do on every publish.
 class TransformedDataset {
  public:
   TransformedDataset() = default;
@@ -94,13 +101,20 @@ class TransformedDataset {
 
   const PointTuple& At(size_t i, size_t m) const { return tuples_[i * m_ + m]; }
 
-  /// Raw tuple array (row-major), for serialization.
-  const std::vector<PointTuple>& tuples() const { return tuples_; }
+  /// Total tuple count (n * M), for serialization and size checks.
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// Visit the row-major tuple array as contiguous spans, in order -- the
+  /// serialization path (byte-identical to dumping one flat vector).
+  template <typename Fn>
+  void ForEachTupleSpan(Fn&& fn) const {
+    tuples_.ForEachSpan(std::forward<Fn>(fn));
+  }
 
  private:
   size_t n_ = 0;
   size_t m_ = 0;
-  std::vector<PointTuple> tuples_;
+  CowVec<PointTuple> tuples_;
 };
 
 /// Output of Algorithm 4 (QBDetermine): per-subspace searching bounds, i.e.

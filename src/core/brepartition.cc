@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -80,11 +81,14 @@ BrePartition::BrePartition(Pager* pager, const Matrix& data,
   forest_ = std::make_unique<BBForest>(pager_, data, div_, partitions_,
                                        config_.forest);
   live_points_ = data.rows();
+  PublishVersionLocked();  // version 1: construction is single-threaded
 }
 
 std::optional<uint32_t> BrePartition::Insert(std::span<const double> x) {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
-  return InsertLocked(x);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::optional<uint32_t> id = InsertLocked(x);
+  if (id.has_value()) PublishVersionLocked();
+  return id;
 }
 
 uint32_t BrePartition::NextInsertIdLocked() const {
@@ -120,8 +124,10 @@ std::optional<uint32_t> BrePartition::InsertLocked(std::span<const double> x) {
 }
 
 BrePartition::UpdateOutcome BrePartition::Delete(uint32_t id) {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
-  return DeleteLocked(id);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const UpdateOutcome out = DeleteLocked(id);
+  if (out == UpdateOutcome::kApplied) PublishVersionLocked();
+  return out;
 }
 
 BrePartition::UpdateOutcome BrePartition::DeleteLocked(uint32_t id) {
@@ -140,7 +146,7 @@ BrePartition::UpdateOutcome BrePartition::DeleteLocked(uint32_t id) {
 }
 
 BrePartition::FreezeOutcome BrePartition::FreezeUpdates() const {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (inserts_ + deletes_ > 0) return FreezeOutcome::kMutated;
   if (updates_frozen_) return FreezeOutcome::kAlreadyFrozen;
   updates_frozen_ = true;
@@ -148,32 +154,32 @@ BrePartition::FreezeOutcome BrePartition::FreezeUpdates() const {
 }
 
 void BrePartition::UnfreezeUpdates() const {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   updates_frozen_ = false;
 }
 
 bool BrePartition::Contains(uint32_t id) const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
-  return forest_->Contains(id);
+  const ReadView view = OpenReadView();
+  return view.forest().Contains(id);
 }
 
 uint64_t BrePartition::total_inserts() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return inserts_;
 }
 
 uint64_t BrePartition::total_deletes() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return deletes_;
 }
 
 std::pair<uint64_t, uint64_t> BrePartition::update_totals() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return {inserts_, deletes_};
 }
 
 void BrePartition::DebugCheckInvariants() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   forest_->DebugCheckInvariants();
   BREP_CHECK_MSG(forest_->num_points() == live_points_,
                  "forest and index disagree on the live point count");
@@ -219,16 +225,16 @@ const Matrix& BrePartition::data() const {
 }
 
 void BrePartition::Save(uint64_t durable_lsn) const {
-  // Exclusive: Save writes catalog pages and (when replacing a previous
-  // run) mutates the free-list, which concurrent readers must not observe.
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  // Save writes catalog pages and (when replacing a previous run) mutates
+  // the free-list; readers keep serving from their pinned snapshots.
+  std::lock_guard<std::mutex> lock(writer_mu_);
   SaveLocked(durable_lsn);
 }
 
 void BrePartition::SaveTo(Pager* out, uint64_t durable_lsn) const {
-  // One exclusive acquisition across commit AND copy: a concurrent writer
-  // can never interleave and tear the snapshot.
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  // One writer-mutex acquisition across commit AND copy: a concurrent
+  // writer can never interleave and tear the snapshot.
+  std::lock_guard<std::mutex> lock(writer_mu_);
   SaveToLocked(out, durable_lsn);
 }
 
@@ -249,6 +255,15 @@ void BrePartition::SaveToLocked(Pager* out, uint64_t durable_lsn) const {
   // head so the copy reuses freed pages exactly like the original.
   out->RestoreFreeList(pager_->free_list_head(), pager_->num_free_pages());
   out->CommitCatalog(pager_->catalog());
+}
+
+std::unique_ptr<BrePartition::ReadView> BrePartition::CheckpointViewLocked(
+    uint64_t durable_lsn) const {
+  SaveLocked(durable_lsn);
+  // SaveLocked's internal publish predates the catalog commit; publish once
+  // more so the pinned view carries the committed catalog and free-list.
+  PublishVersionLocked();
+  return OpenReadViewHandle();
 }
 
 void BrePartition::SaveLocked(uint64_t durable_lsn) const {
@@ -292,7 +307,10 @@ void BrePartition::SaveLocked(uint64_t durable_lsn) const {
   // the transform). Tombstoned rows carry DeadTuple()s.
   w.Value<uint64_t>(transformed_.num_points());
   w.Value<uint64_t>(transformed_.num_partitions());
-  w.Vec(transformed_.tuples());
+  w.Value<uint64_t>(transformed_.num_tuples());
+  transformed_.ForEachTupleSpan([&w](std::span<const PointTuple> chunk) {
+    w.Raw(chunk.data(), chunk.size() * sizeof(PointTuple));
+  });
 
   // Tombstoned ids, in reuse order (back first).
   w.Vec(free_ids_);
@@ -336,6 +354,14 @@ void BrePartition::SaveLocked(uint64_t durable_lsn) const {
   ref.num_pages = static_cast<uint32_t>(ids.size());
   ref.num_bytes = blob.size();
   ref.durable_lsn = durable_lsn;
+  // Flushing shadow pages overwrites backend bytes that snapshots OLDER
+  // than the state being committed may still read through their backend
+  // references. Publish the current state (so new readers immediately move
+  // to buffers the flush cannot touch), wait out the stale pins, then
+  // flush and commit.
+  PublishVersionLocked();
+  DrainRetiredLocked();
+  pager_->FlushToBase();
   pager_->CommitCatalog(ref);
   // Reclaim the previous catalog run only after the new one is committed:
   // a crash in between leaks at most one run, never corrupts the committed
@@ -638,6 +664,7 @@ std::unique_ptr<BrePartition> BrePartition::Open(Pager* pager,
       store_layout, tree_layouts);
   index->free_ids_ = std::move(free_ids);
   index->live_points_ = live;
+  index->PublishVersionLocked();  // version 1: Open is single-threaded
   return index;
 }
 
@@ -665,6 +692,14 @@ std::vector<QueryTriple> BrePartition::TransformQueryAll(
 std::vector<Neighbor> BrePartition::FilterAndRefine(
     std::span<const double> y, std::span<const std::vector<double>> y_subs,
     std::span<const double> radii, size_t k, QueryStats* stats) const {
+  const ReadView view = OpenReadView();
+  return FilterAndRefineOn(view.forest(), y, y_subs, radii, k, stats);
+}
+
+std::vector<Neighbor> BrePartition::FilterAndRefineOn(
+    const BBForest& forest, std::span<const double> y,
+    std::span<const std::vector<double>> y_subs, std::span<const double> radii,
+    size_t k, QueryStats* stats) const {
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
 
@@ -672,7 +707,7 @@ std::vector<Neighbor> BrePartition::FilterAndRefine(
   Timer filter_timer;
   SearchStats tree_stats;
   const std::vector<uint32_t> candidates =
-      forest_->RangeCandidatesUnion(y_subs, radii, &tree_stats);
+      forest.RangeCandidatesUnion(y_subs, radii, &tree_stats);
   st.filter_ms += filter_timer.ElapsedMillis();
   st.nodes_visited += tree_stats.nodes_visited;
   st.leaves_visited += tree_stats.leaves_visited;
@@ -682,7 +717,7 @@ std::vector<Neighbor> BrePartition::FilterAndRefine(
   // Refine: fetch candidates (page-batched) and evaluate exactly.
   Timer refine_timer;
   TopK topk(k);
-  forest_->point_store().FetchMany(
+  forest.point_store().FetchMany(
       candidates, [&](uint32_t id, std::span<const double> x) {
         topk.Push(div_.Divergence(x, y), id);
       });
@@ -690,38 +725,81 @@ std::vector<Neighbor> BrePartition::FilterAndRefine(
   return topk.SortedResults();
 }
 
+void BrePartition::PublishVersionLocked() const {
+  Timer publish_timer;
+  auto v = std::make_shared<IndexVersion>();
+  v->seq = ++version_seq_;
+  v->pages = std::make_shared<const PageSnapshot>(*pager_);
+  v->forest = std::shared_ptr<const BBForest>(
+      forest_->SnapshotClone(v->pages.get()));
+  v->transformed = transformed_;  // COW: copies the chunk spine only
+  v->live_points = live_points_.load(std::memory_order_relaxed);
+
+  // Publication point: from here every new pin observes this version.
+  current_.store(v.get(), std::memory_order_seq_cst);
+  const uint64_t retire_stamp = gate_.AdvanceEpoch();
+  if (live_version_ != nullptr) {
+    live_version_->retire_epoch = retire_stamp;
+    retired_.push_back(std::move(live_version_));
+  }
+  live_version_ = std::move(v);
+  ReclaimRetiredLocked();
+
+  im_.snapshot_publishes->Add(1);
+  im_.snapshot_publish_latency->Record(publish_timer.ElapsedMillis());
+}
+
+void BrePartition::ReclaimRetiredLocked() const {
+  const uint64_t min_active = gate_.MinActiveEpoch();
+  // Dropping version shared_ptrs only ever happens here, under the writer
+  // mutex: the COW use_count checks on the write path stay exact.
+  std::erase_if(retired_, [min_active](
+                              const std::shared_ptr<IndexVersion>& v) {
+    return min_active >= v->retire_epoch;
+  });
+}
+
+void BrePartition::DrainRetiredLocked() const {
+  while (true) {
+    ReclaimRetiredLocked();
+    if (retired_.empty()) return;
+    std::this_thread::yield();
+  }
+}
+
 std::vector<Neighbor> BrePartition::KnnSearch(std::span<const double> y,
                                               size_t k,
                                               QueryStats* stats) const {
-  // Shared against Insert/Delete/Save; any number of queries may overlap.
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  // Lock-free against Insert/Delete/Save: the whole query reads one
+  // pinned version; any number of queries and one writer may overlap.
+  const ReadView view = OpenReadView();
   BREP_CHECK(y.size() == div_.dim());
   BREP_CHECK(k >= 1);
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};
-  // The facade validates k against num_points() before acquiring the
-  // lock; a racing writer may have shrunk the index since. Clamp under
-  // the lock instead of aborting the process over a benign race.
-  k = std::min(k, num_points());
+  // The facade validates k against num_points() before the pin; a racing
+  // writer may have shrunk the index since. Clamp against the pinned
+  // version instead of aborting the process over a benign race.
+  k = std::min(k, view.num_points());
   if (k == 0) return {};
 
   Timer total_timer;
   const IoStats io_before = pager_->stats();
-  const BBForest::PoolTraffic pool_before = forest_->pool_traffic();
+  const BBForest::PoolTraffic pool_before = view.forest().pool_traffic();
 
   // Bound phase: Algorithms 3 + 4.
   Timer bound_timer;
   const auto y_subs = GatherQuery(y);
   const auto triples = TransformQueryAll(y_subs);
-  const QueryBounds qb = QBDetermine(transformed_, triples, k);
+  const QueryBounds qb = QBDetermine(view.transformed(), triples, k);
   st.bound_ms = bound_timer.ElapsedMillis();
   st.radius_total = qb.total;
 
-  auto result = FilterAndRefine(y, y_subs, qb.radii, k, &st);
+  auto result = FilterAndRefineOn(view.forest(), y, y_subs, qb.radii, k, &st);
 
   st.io_reads = (pager_->stats() - io_before).reads;
-  const BBForest::PoolTraffic pool_after = forest_->pool_traffic();
+  const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
   st.pool_hits = pool_after.hits - pool_before.hits;
   st.pool_misses = pool_after.misses - pool_before.misses;
   st.total_ms = total_timer.ElapsedMillis();
@@ -769,6 +847,23 @@ obs::MetricsSnapshot BrePartition::CollectMetricsLocked() const {
   out.AddGauge(obs::kPoolResidentGauge, double(pool.resident_pages));
   out.AddGauge(obs::kPoolCapacityGauge, double(pool.capacity_pages));
 
+  // MVCC version lifecycle: how many versions are alive, how far the
+  // slowest pinned reader lags the writer, and how many page buffers the
+  // COW machinery is holding for published snapshots.
+  out.AddGauge(obs::kSnapshotLiveVersionsGauge,
+               double(retired_.size() + (live_version_ != nullptr ? 1 : 0)));
+  const uint64_t min_active = gate_.MinActiveEpoch();
+  out.AddGauge(obs::kSnapshotOldestPinAgeGauge,
+               min_active == UINT64_MAX
+                   ? 0.0
+                   : double(gate_.CurrentEpoch() - min_active));
+  size_t cow_pages = 0;
+  for (const auto& v : retired_) cow_pages += v->pages->shadow_pages();
+  if (live_version_ != nullptr) {
+    cow_pages += live_version_->pages->shadow_pages();
+  }
+  out.AddGauge(obs::kSnapshotCowRetainedPagesGauge, double(cow_pages));
+
   // Slow-query log.
   out.AddCounter(obs::kSlowQueriesTotal, trace_.recorded_total());
   out.AddGauge(obs::kSlowThresholdGauge, trace_.threshold_ms());
@@ -778,7 +873,7 @@ obs::MetricsSnapshot BrePartition::CollectMetricsLocked() const {
 }
 
 obs::MetricsSnapshot BrePartition::CollectMetrics() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return CollectMetricsLocked();
 }
 

@@ -4,14 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bbtree/bbforest.h"
+#include "common/epoch_gate.h"
 #include "common/top_k.h"
 #include "core/bound.h"
 #include "core/config.h"
@@ -24,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/pager.h"
+#include "storage/snapshot.h"
 
 namespace brep {
 
@@ -47,9 +49,76 @@ namespace brep {
 /// `data` must outlive the index (it is referenced by the approximate
 /// extension's distribution sampling, not by the exact search path).
 class BrePartition {
+ private:
+  /// One published MVCC version: everything a query reads, immutable.
+  /// `pages` is declared before `forest` so the forest clone (which reads
+  /// through the snapshot) is destroyed first.
+  struct IndexVersion {
+    uint64_t seq = 0;
+    std::shared_ptr<const PageSnapshot> pages;
+    std::shared_ptr<const BBForest> forest;
+    TransformedDataset transformed;
+    size_t live_points = 0;
+    /// Epoch stamped when this version was superseded (see EpochGate);
+    /// meaningful only once the version sits on the retired list.
+    uint64_t retire_epoch = 0;
+  };
+
  public:
   BrePartition(Pager* pager, const Matrix& data, const BregmanDivergence& div,
                const BrePartitionConfig& config);
+
+  /// A pinned, immutable view of the index -- the read side of MVCC.
+  ///
+  /// Opening a view costs two atomic operations (EpochGate::Pin + one
+  /// seq_cst pointer load) and NEVER takes a mutex: the read fleet is
+  /// completely off the writer's lock. Everything reachable through the
+  /// view (forest clone, tuple table, page snapshot) is immutable; a
+  /// concurrent writer publishes new versions without disturbing it, and
+  /// epoch reclamation keeps the pinned version alive until the view is
+  /// destroyed. Views are cheap but should be scoped to one query or one
+  /// batch: a long-lived pin delays page reclamation (the writer retains
+  /// every superseded version published since).
+  class ReadView {
+   public:
+    ~ReadView() { owner_->gate_.Unpin(slot_); }
+    ReadView(const ReadView&) = delete;
+    ReadView& operator=(const ReadView&) = delete;
+
+    /// The snapshot forest clone: the whole filter + refine path.
+    const BBForest& forest() const { return *v_->forest; }
+    /// The tuple table as of this version (the bound phase's input).
+    const TransformedDataset& transformed() const { return v_->transformed; }
+    /// The page snapshot the forest clone reads through.
+    const PageSnapshot& pages() const { return *v_->pages; }
+    /// Live points as of this version (the consistent k clamp).
+    size_t num_points() const { return v_->live_points; }
+    /// Monotonic publish sequence number (for prefix-consistency checks).
+    uint64_t seq() const { return v_->seq; }
+
+   private:
+    friend class BrePartition;
+    explicit ReadView(const BrePartition* owner)
+        : owner_(owner),
+          slot_(owner->gate_.Pin()),
+          v_(owner->current_.load(std::memory_order_seq_cst)) {}
+
+    const BrePartition* owner_;
+    size_t slot_;
+    const IndexVersion* v_;
+  };
+
+  /// Pin the most recently published version. Lock-free; the view must not
+  /// outlive the index.
+  ReadView OpenReadView() const { return ReadView(this); }
+
+  /// OpenReadView, heap-allocated: for callers that need to pick the unpin
+  /// point explicitly rather than scope it (the non-blocking checkpoint
+  /// holds one across its off-lock copy; tests hold one across writer
+  /// churn). ReadView itself is deliberately non-movable.
+  std::unique_ptr<ReadView> OpenReadViewHandle() const {
+    return std::unique_ptr<ReadView>(new ReadView(this));
+  }
 
   BrePartition(const BrePartition&) = delete;
   BrePartition& operator=(const BrePartition&) = delete;
@@ -63,9 +132,11 @@ class BrePartition {
   ///
   /// Save writes a fresh catalog run, repoints the superblock at it and
   /// then frees the previous run (so repeated saves recycle pages instead
-  /// of growing the disk). Takes the update lock exclusively: the
-  /// committed catalog is always a consistent snapshot even while readers
-  /// and a writer are active.
+  /// of growing the disk). Takes the writer mutex: the committed catalog
+  /// is always a consistent snapshot even while readers and a writer are
+  /// active. Readers are never blocked -- they keep serving from their
+  /// pinned versions; Save only waits for pins of versions OLDER than the
+  /// one it publishes before flushing shadow pages to the backend.
   ///
   /// `durable_lsn` stamps the committed catalog with the WAL watermark
   /// this snapshot includes (see CatalogRef::durable_lsn); 0 for indexes
@@ -75,8 +146,8 @@ class BrePartition {
   /// Save, then page-copy this index (all pages, the committed catalog
   /// reference and the free-list head) onto `out`, which must be a fresh
   /// empty pager of the same page size. The whole sequence holds the
-  /// update lock exclusively, so the copy can never interleave with a
-  /// concurrent Insert/Delete and tear the written file.
+  /// writer mutex, so the copy can never interleave with a concurrent
+  /// Insert/Delete and tear the written file.
   void SaveTo(Pager* out, uint64_t durable_lsn = 0) const;
 
   /// Re-attach to an index previously Save()d on `pager` with ZERO rebuild
@@ -102,10 +173,11 @@ class BrePartition {
   /// (Algorithm 2) into the tuple table, the point store and every
   /// subspace tree; Delete tombstones it everywhere and poisons its tuple
   /// row so the bound phase never selects it. Ids of deleted points are
-  /// reused by later inserts, keeping the tuple table dense. Both take the
-  /// exclusive side of update_mutex(), so they serialize against
-  /// QueryEngine readers (shared side); works on a reopened index too (no
-  /// data matrix required).
+  /// reused by later inserts, keeping the tuple table dense. Both
+  /// serialize on writer_mutex() and publish a fresh version before
+  /// returning, so every subsequently opened ReadView observes the update;
+  /// in-flight readers keep their pinned version (snapshot isolation).
+  /// Works on a reopened index too (no data matrix required).
 
   /// Outcome of a Delete (updates can be refused without aborting).
   enum class UpdateOutcome : uint8_t { kApplied, kNotFound, kFrozen };
@@ -121,13 +193,16 @@ class BrePartition {
   /// Locked update API -------------------------------------------------
   ///
   /// The write-ahead-log layer (api/durable_index) must order "append the
-  /// redo record" and "apply to the index" inside ONE exclusive
-  /// update_mutex() section -- two facade writers interleaving between the
-  /// two steps would make the log order diverge from the apply order, and
-  /// recovery replays hundreds of records without paying a lock
-  /// round-trip per record. The caller of every *Locked member holds
-  /// update_mutex() exclusively; the unlocked wrappers above are
-  /// lock-then-call shims over these.
+  /// redo record" and "apply to the index" inside ONE writer_mutex()
+  /// section -- two facade writers interleaving between the two steps
+  /// would make the log order diverge from the apply order, and recovery
+  /// replays hundreds of records without paying a lock round-trip per
+  /// record. The caller of every *Locked member holds writer_mutex(); the
+  /// unlocked wrappers above are lock-then-call shims over these.
+  ///
+  /// InsertLocked/DeleteLocked do NOT publish: a caller applying a batch
+  /// under one lock acquisition publishes once at the end via
+  /// PublishVersionLocked() (the unlocked wrappers publish per call).
 
   /// The id the next InsertLocked will assign (tombstone reuse first, else
   /// the id space grows). Deterministic, which is what makes logical WAL
@@ -140,6 +215,14 @@ class BrePartition {
   /// SaveTo's body; exposed so a WAL checkpoint can snapshot the index and
   /// reset the log under one lock acquisition.
   void SaveToLocked(Pager* out, uint64_t durable_lsn) const;
+
+  /// Phase 1 of a NON-BLOCKING checkpoint: commit the catalog on the
+  /// serving pager (SaveLocked, stamped `durable_lsn`) and pin the
+  /// resulting published version. The caller releases writer_mutex() and
+  /// copies ReadView::pages() into the target file with no lock held --
+  /// writers keep publishing, readers never notice. Destroying the
+  /// returned view is a single atomic unpin, safe from any thread.
+  std::unique_ptr<ReadView> CheckpointViewLocked(uint64_t durable_lsn) const;
 
   /// Result of FreezeUpdates: whether THIS call performed the transition
   /// (so only that caller may undo it on failure -- unfreezing on behalf
@@ -166,10 +249,17 @@ class BrePartition {
   /// while a writer is streaming updates.
   std::pair<uint64_t, uint64_t> update_totals() const;
 
-  /// Readers (QueryEngine, KnnSearch) hold this shared; Insert/Delete/Save
-  /// hold it exclusively. Exposed so the engine can align its read scope
-  /// with a whole batch (every query of a batch then observes one state).
-  std::shared_mutex& update_mutex() const { return update_mu_; }
+  /// The narrow writer mutex: Insert/Delete/Save/the WAL facade serialize
+  /// on it. Readers never acquire it -- queries pin a ReadView instead
+  /// (see OpenReadView), which is what keeps the read fleet off the
+  /// writer's lock entirely.
+  std::mutex& writer_mutex() const { return writer_mu_; }
+
+  /// Publish the current writer state as a new immutable version and
+  /// retire the previous one; caller holds writer_mutex(). Cheap (COW
+  /// spine copies, no page I/O). Exposed so a facade applying a WAL batch
+  /// publishes once per batch instead of once per record.
+  void PublishVersionLocked() const;
 
   /// Observability (src/obs/): ONE registry and trace log per index, shared
   /// by every engine and facade handle serving it -- so counters aggregate
@@ -182,11 +272,11 @@ class BrePartition {
 
   /// Full metrics snapshot: the registry plus gauges and component-owned
   /// metrics (update totals, pager I/O + free-list, file latencies when the
-  /// backing pager is a FilePager, buffer-pool traffic, slow-query log
-  /// counters). Takes the shared side of update_mutex(), so the plain
-  /// members it reads (page counts, free-list length, update totals) can
-  /// never tear against a live writer. The *Locked variant is for callers
-  /// already holding either side.
+  /// backing pager is a FilePager, buffer-pool traffic, snapshot/version
+  /// lifecycle, slow-query log counters). Takes writer_mutex(), so the
+  /// plain members it reads (page counts, free-list length, update totals,
+  /// the retired-version list) can never tear against a live writer. The
+  /// *Locked variant is for callers already holding it.
   obs::MetricsSnapshot CollectMetrics() const;
   obs::MetricsSnapshot CollectMetricsLocked() const;
 
@@ -218,6 +308,9 @@ class BrePartition {
   /// Whether the raw data matrix is attached (false after Open()).
   bool has_data() const { return data_ != nullptr; }
   const Matrix& data() const;
+  /// The WRITER's tuple table. Safe from the writer side (under
+  /// writer_mutex()) or on a frozen index (the approximate extension);
+  /// concurrent readers must use ReadView::transformed() instead.
   const TransformedDataset& transformed() const { return transformed_; }
   Pager* pager() const { return pager_; }
 
@@ -241,8 +334,24 @@ class BrePartition {
   /// Open() path: remaining members are filled from the decoded catalog.
   explicit BrePartition(BregmanDivergence div) : div_(std::move(div)) {}
 
-  /// Catalog serialization + commit; caller holds the update lock.
+  /// Catalog serialization + commit; caller holds the writer mutex.
   void SaveLocked(uint64_t durable_lsn) const;
+
+  /// Drop retired versions no active pin can still reference; caller
+  /// holds the writer mutex (all version shared_ptr drops happen under it,
+  /// which is what makes the COW use_count checks exact).
+  void ReclaimRetiredLocked() const;
+
+  /// Spin until every retired version is reclaimable, then drop them all.
+  /// Called before FlushToBase: a version older than the flush could read
+  /// post-flush backend bytes through its table's backend references.
+  void DrainRetiredLocked() const;
+
+  /// FilterAndRefine body against an explicit version's forest.
+  std::vector<Neighbor> FilterAndRefineOn(
+      const BBForest& forest, std::span<const double> y,
+      std::span<const std::vector<double>> y_subs,
+      std::span<const double> radii, size_t k, QueryStats* stats) const;
 
   Pager* pager_ = nullptr;
   const Matrix* data_ = nullptr;
@@ -260,10 +369,18 @@ class BrePartition {
   std::atomic<size_t> live_points_{0};
   uint64_t inserts_ = 0;
   uint64_t deletes_ = 0;
-  /// Set by FreezeUpdates (approximate views); guarded by update_mu_.
+  /// Set by FreezeUpdates (approximate views); guarded by writer_mu_.
   mutable bool updates_frozen_ = false;
-  /// Readers shared, writers exclusive (see update_mutex()).
-  mutable std::shared_mutex update_mu_;
+  /// Writers only (see writer_mutex()); readers pin ReadViews.
+  mutable std::mutex writer_mu_;
+
+  /// MVCC version chain, all guarded by writer_mu_ except current_ (the
+  /// lock-free publication point readers load through).
+  mutable EpochGate gate_;
+  mutable std::atomic<const IndexVersion*> current_{nullptr};
+  mutable std::shared_ptr<IndexVersion> live_version_;
+  mutable std::vector<std::shared_ptr<IndexVersion>> retired_;
+  mutable uint64_t version_seq_ = 0;
   /// Observability state (default member init covers both the build and
   /// the Open() constructor). registry_ must precede im_.
   mutable obs::MetricRegistry registry_;

@@ -1,7 +1,6 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
-#include <shared_mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -28,9 +27,9 @@ QueryEngine::QueryEngine(const BrePartition& index,
       agg_(pool_.num_lanes()) {}
 
 std::vector<std::vector<uint32_t>> QueryEngine::FilterAllTrees(
-    std::span<const std::vector<double>> y_subs, std::span<const double> radii,
-    bool parallel, bool sorted, SearchStats* agg) const {
-  const BBForest& forest = index_->forest();
+    const BBForest& forest, std::span<const std::vector<double>> y_subs,
+    std::span<const double> radii, bool parallel, bool sorted,
+    SearchStats* agg) const {
   const size_t m_trees = forest.num_partitions();
   std::vector<std::vector<uint32_t>> per_tree(m_trees);
   std::vector<SearchStats> per_stats(m_trees);
@@ -59,7 +58,8 @@ std::vector<std::vector<uint32_t>> QueryEngine::FilterAllTrees(
   return per_tree;
 }
 
-std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
+std::vector<Neighbor> QueryEngine::KnnOne(const BrePartition::ReadView& view,
+                                          std::span<const double> y, size_t k,
                                           size_t lane, bool parallel_filter,
                                           QueryStats* qstats) const {
   // Every query gets full per-query stats -- either the caller's sink or a
@@ -69,13 +69,13 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
   QueryStats& q = qstats != nullptr ? *qstats : local;
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
-  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_before = view.forest().pool_traffic();
 
   // Bound phase (Algorithms 3 + 4).
   Timer bound_timer;
   const auto y_subs = index_->GatherQuery(y);
   const auto triples = index_->TransformQueryAll(y_subs);
-  const QueryBounds qb = QBDetermine(index_->transformed(), triples, k);
+  const QueryBounds qb = QBDetermine(view.transformed(), triples, k);
   q.bound_ms += bound_timer.ElapsedMillis();
   q.radius_total = qb.total;
 
@@ -83,7 +83,8 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
   // a true neighbor's subspace divergences cannot all exceed the radii).
   Timer filter_timer;
   SearchStats fstats;
-  const auto per_tree = FilterAllTrees(y_subs, qb.radii, parallel_filter,
+  const auto per_tree = FilterAllTrees(view.forest(), y_subs, qb.radii,
+                                       parallel_filter,
                                        /*sorted=*/false, &fstats);
   std::vector<uint32_t> candidates;
   {
@@ -107,7 +108,7 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
   Timer refine_timer;
   TopK topk(k);
   const BregmanDivergence& div = index_->divergence();
-  index_->forest().point_store().FetchMany(
+  view.forest().point_store().FetchMany(
       candidates, [&](uint32_t id, std::span<const double> x) {
         topk.Push(div.Divergence(x, y), id);
       });
@@ -122,7 +123,7 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
   // I/O and pool deltas are approximate when queries overlap (shared
   // counters, see the class comment); the logical counters above are not.
   q.io_reads = (index_->pager()->stats() - io_before).reads;
-  const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
   q.pool_hits = pool_after.hits - pool_before.hits;
   q.pool_misses = pool_after.misses - pool_before.misses;
   q.total_ms = total_timer.ElapsedMillis();
@@ -134,7 +135,8 @@ std::vector<Neighbor> QueryEngine::KnnOne(std::span<const double> y, size_t k,
   return result;
 }
 
-std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
+std::vector<uint32_t> QueryEngine::RangeOne(const BrePartition::ReadView& view,
+                                            std::span<const double> y,
                                             double radius, size_t lane,
                                             bool parallel_filter,
                                             QueryStats* qstats) const {
@@ -142,15 +144,16 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
   QueryStats& q = qstats != nullptr ? *qstats : local;
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
-  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_before = view.forest().pool_traffic();
 
-  const size_t m_trees = index_->forest().num_partitions();
+  const size_t m_trees = view.forest().num_partitions();
   const auto y_subs = index_->GatherQuery(y);
   const std::vector<double> radii(m_trees, radius);
 
   Timer filter_timer;
   SearchStats fstats;
-  const auto per_tree = FilterAllTrees(y_subs, radii, parallel_filter,
+  const auto per_tree = FilterAllTrees(view.forest(), y_subs, radii,
+                                       parallel_filter,
                                        /*sorted=*/true, &fstats);
   // Intersection across subspaces: D decomposes into non-negative terms,
   // so D(x, y) <= radius forces D_m(x_m, y_m) <= radius for every m.
@@ -173,7 +176,7 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
   Timer refine_timer;
   std::vector<uint32_t> result;
   const BregmanDivergence& div = index_->divergence();
-  index_->forest().point_store().FetchMany(
+  view.forest().point_store().FetchMany(
       candidates, [&](uint32_t id, std::span<const double> x) {
         if (div.Divergence(x, y) <= radius) result.push_back(id);
       });
@@ -186,7 +189,7 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
   slot.AddSearch(fstats);
 
   q.io_reads = (index_->pager()->stats() - io_before).reads;
-  const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
   q.pool_hits = pool_after.hits - pool_before.hits;
   q.pool_misses = pool_after.misses - pool_before.misses;
   q.total_ms = total_timer.ElapsedMillis();
@@ -201,14 +204,15 @@ std::vector<uint32_t> QueryEngine::RangeOne(std::span<const double> y,
 std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
                                              size_t k,
                                              QueryStats* stats) const {
-  // Shared against Index::Insert/Delete (exclusive side): the whole call
-  // -- batches included -- observes one consistent index state.
-  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
+  // One pinned version for the whole call; no lock taken (a churning
+  // writer keeps publishing without stalling this query).
+  const BrePartition::ReadView view = index_->OpenReadView();
   BREP_CHECK(y.size() == index_->divergence().dim());
   BREP_CHECK(k >= 1);
-  // Clamp under the lock: a writer may have shrunk the index between the
-  // caller's validation and this acquisition (benign race, not an abort).
-  k = std::min(k, index_->num_points());
+  // Clamp against the pinned version: a writer may have shrunk the index
+  // between the caller's validation and the pin (benign race, not an
+  // abort).
+  k = std::min(k, view.num_points());
   QueryStats local;
   QueryStats& st = stats != nullptr ? *stats : local;
   st = QueryStats{};
@@ -216,8 +220,8 @@ std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
 
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
-  auto result = KnnOne(y, k, pool_.num_workers(), options_.parallel_filter,
-                       &st);
+  auto result = KnnOne(view, y, k, pool_.num_workers(),
+                       options_.parallel_filter, &st);
   st.io_reads = (index_->pager()->stats() - io_before).reads;
   st.total_ms = total_timer.ElapsedMillis();
   return result;
@@ -226,9 +230,8 @@ std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
 std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
                                                double radius,
                                                QueryStats* stats) const {
-  // Shared against Index::Insert/Delete (exclusive side): the whole call
-  // -- batches included -- observes one consistent index state.
-  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
+  // One pinned version for the whole call; no lock taken.
+  const BrePartition::ReadView view = index_->OpenReadView();
   BREP_CHECK(y.size() == index_->divergence().dim());
   BREP_CHECK(radius >= 0.0);
   QueryStats local;
@@ -237,7 +240,7 @@ std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
 
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
-  auto result = RangeOne(y, radius, pool_.num_workers(),
+  auto result = RangeOne(view, y, radius, pool_.num_workers(),
                          options_.parallel_filter, &st);
   st.io_reads = (index_->pager()->stats() - io_before).reads;
   st.total_ms = total_timer.ElapsedMillis();
@@ -246,12 +249,12 @@ std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
 
 std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
     const Matrix& queries, size_t k, EngineStats* stats) const {
-  // Shared against Index::Insert/Delete (exclusive side): the whole call
-  // -- batches included -- observes one consistent index state.
-  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
+  // One pinned version for the WHOLE batch: every query observes the same
+  // published state (prefix consistency against a concurrent writer).
+  const BrePartition::ReadView view = index_->OpenReadView();
   BREP_CHECK(queries.cols() == index_->divergence().dim());
   BREP_CHECK(k >= 1);
-  k = std::min(k, index_->num_points());  // benign-race clamp, as above
+  k = std::min(k, view.num_points());  // benign-race clamp, as above
   const size_t n = queries.rows();
   std::vector<std::vector<Neighbor>> results(n);
   if (k == 0) {
@@ -261,22 +264,22 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
 
   agg_.Reset();
   const IoStats io_before = index_->pager()->stats();
-  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_before = view.forest().pool_traffic();
   Timer wall;
   if (n == 1) {
     // A lone query still benefits from per-subspace fan-out.
-    results[0] = KnnOne(queries.Row(0), k, pool_.num_workers(),
+    results[0] = KnnOne(view, queries.Row(0), k, pool_.num_workers(),
                         options_.parallel_filter, nullptr);
   } else {
     pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
-      results[qi] = KnnOne(queries.Row(qi), k, lane,
+      results[qi] = KnnOne(view, queries.Row(qi), k, lane,
                            /*parallel_filter=*/false, nullptr);
     });
   }
   if (stats != nullptr) {
     *stats = agg_.Merge();
     stats->io_reads = (index_->pager()->stats() - io_before).reads;
-    const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+    const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
     stats->pool_hits = pool_after.hits - pool_before.hits;
     stats->pool_misses = pool_after.misses - pool_before.misses;
     stats->wall_ms = wall.ElapsedMillis();
@@ -286,9 +289,8 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
 
 std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
     const Matrix& queries, double radius, EngineStats* stats) const {
-  // Shared against Index::Insert/Delete (exclusive side): the whole call
-  // -- batches included -- observes one consistent index state.
-  std::shared_lock<std::shared_mutex> lock(index_->update_mutex());
+  // One pinned version for the WHOLE batch (prefix consistency).
+  const BrePartition::ReadView view = index_->OpenReadView();
   BREP_CHECK(queries.cols() == index_->divergence().dim());
   BREP_CHECK(radius >= 0.0);
   const size_t n = queries.rows();
@@ -296,21 +298,21 @@ std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
 
   agg_.Reset();
   const IoStats io_before = index_->pager()->stats();
-  const BBForest::PoolTraffic pool_before = index_->forest().pool_traffic();
+  const BBForest::PoolTraffic pool_before = view.forest().pool_traffic();
   Timer wall;
   if (n == 1) {
-    results[0] = RangeOne(queries.Row(0), radius, pool_.num_workers(),
+    results[0] = RangeOne(view, queries.Row(0), radius, pool_.num_workers(),
                           options_.parallel_filter, nullptr);
   } else {
     pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
-      results[qi] = RangeOne(queries.Row(qi), radius, lane,
+      results[qi] = RangeOne(view, queries.Row(qi), radius, lane,
                              /*parallel_filter=*/false, nullptr);
     });
   }
   if (stats != nullptr) {
     *stats = agg_.Merge();
     stats->io_reads = (index_->pager()->stats() - io_before).reads;
-    const BBForest::PoolTraffic pool_after = index_->forest().pool_traffic();
+    const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
     stats->pool_hits = pool_after.hits - pool_before.hits;
     stats->pool_misses = pool_after.misses - pool_before.misses;
     stats->wall_ms = wall.ElapsedMillis();

@@ -45,6 +45,12 @@ struct QueryEngineOptions {
 /// union is sorted and deduplicated before refinement, and TopK breaks
 /// distance ties by id.
 ///
+/// Consistency: every entry point pins ONE BrePartition::ReadView for the
+/// whole call -- batches included -- so all queries of a batch observe one
+/// published index version, without any query path ever acquiring the
+/// writer's mutex (reads are lock-free; a churning writer cannot stall
+/// them).
+///
 /// Thread-safety: concurrent calls into one QueryEngine are not supported
 /// (the engine parallelizes internally and reuses per-lane stats slots);
 /// the underlying index IS safe to share between several engines because
@@ -96,14 +102,16 @@ class QueryEngine {
   /// set_intersection needs that; the kNN union re-sorts anyway). Search
   /// counters are summed into `agg`.
   std::vector<std::vector<uint32_t>> FilterAllTrees(
-      std::span<const std::vector<double>> y_subs,
+      const BBForest& forest, std::span<const std::vector<double>> y_subs,
       std::span<const double> radii, bool parallel, bool sorted,
       SearchStats* agg) const;
 
-  std::vector<Neighbor> KnnOne(std::span<const double> y, size_t k,
+  std::vector<Neighbor> KnnOne(const BrePartition::ReadView& view,
+                               std::span<const double> y, size_t k,
                                size_t lane, bool parallel_filter,
                                QueryStats* qstats) const;
-  std::vector<uint32_t> RangeOne(std::span<const double> y, double radius,
+  std::vector<uint32_t> RangeOne(const BrePartition::ReadView& view,
+                                 std::span<const double> y, double radius,
                                  size_t lane, bool parallel_filter,
                                  QueryStats* qstats) const;
 

@@ -19,6 +19,9 @@ IndexMetrics RegisterIndexMetrics(MetricRegistry& registry) {
   im.refine_latency = &registry.GetHistogram(kRefineLatencyMs);
   im.insert_latency = &registry.GetHistogram(kInsertLatencyMs);
   im.delete_latency = &registry.GetHistogram(kDeleteLatencyMs);
+  im.snapshot_publishes = &registry.GetCounter(kSnapshotPublishesTotal);
+  im.snapshot_publish_latency =
+      &registry.GetHistogram(kSnapshotPublishLatencyMs);
   return im;
 }
 

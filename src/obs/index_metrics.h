@@ -35,6 +35,10 @@ inline constexpr char kFilterLatencyMs[] = "brep_filter_latency_ms";
 inline constexpr char kRefineLatencyMs[] = "brep_refine_latency_ms";
 inline constexpr char kInsertLatencyMs[] = "brep_insert_latency_ms";
 inline constexpr char kDeleteLatencyMs[] = "brep_delete_latency_ms";
+inline constexpr char kSnapshotPublishesTotal[] =
+    "brep_snapshot_publishes_total";
+inline constexpr char kSnapshotPublishLatencyMs[] =
+    "brep_snapshot_publish_latency_ms";
 
 // Assembled at snapshot time from component-owned state (index gauges,
 // update totals, pager/pool/WAL/recovery counters and histograms).
@@ -75,6 +79,13 @@ inline constexpr char kRecoveryDroppedTailBytes[] =
 inline constexpr char kRecoveryReplayMsGauge[] = "brep_recovery_replay_ms";
 inline constexpr char kSlowQueriesTotal[] = "brep_slow_queries_total";
 inline constexpr char kSlowThresholdGauge[] = "brep_slow_query_threshold_ms";
+// MVCC snapshot lifecycle (assembled from the writer's version chain).
+inline constexpr char kSnapshotLiveVersionsGauge[] =
+    "brep_snapshot_live_versions";
+inline constexpr char kSnapshotOldestPinAgeGauge[] =
+    "brep_snapshot_oldest_pin_age_epochs";
+inline constexpr char kSnapshotCowRetainedPagesGauge[] =
+    "brep_snapshot_cow_retained_pages";
 
 /// Handles into one index's registry, resolved once at construction so the
 /// hot paths never pay the registry's name lookup.
@@ -92,6 +103,8 @@ struct IndexMetrics {
   LatencyHistogram* refine_latency = nullptr;
   LatencyHistogram* insert_latency = nullptr;
   LatencyHistogram* delete_latency = nullptr;
+  Counter* snapshot_publishes = nullptr;
+  LatencyHistogram* snapshot_publish_latency = nullptr;
 };
 
 IndexMetrics RegisterIndexMetrics(MetricRegistry& registry);

@@ -30,6 +30,12 @@ using PagePin = std::shared_ptr<const PageBuffer>;
 /// tree, and batched queries share each tree's pool). Cached pages are held
 /// by shared_ptr, so eviction by one thread never invalidates bytes another
 /// thread is still reading through its pin.
+///
+/// MVCC: entries are keyed by page GENERATION as well as id. A cached page
+/// is a hit only when its generation matches what the caller's PageSource
+/// (live pager or pinned snapshot) reports, so the writer mutating a page
+/// -- or readers on different snapshots sharing one pool -- can never
+/// observe each other's version of the bytes through the cache.
 class BufferPool {
  public:
   /// `capacity_pages` is the number of resident pages; must be > 0.
@@ -41,6 +47,11 @@ class BufferPool {
   /// Read through the cache and pin the result. A miss costs one pager
   /// read; a hit costs none. Safe to call concurrently.
   PagePin ReadPinned(PageId id);
+
+  /// Same, but fetch through `src` (a pinned PageSnapshot or the live
+  /// pager) and hit only on a matching generation. A stale-generation entry
+  /// is replaced in place (a version refresh, not an eviction).
+  PagePin ReadPinned(PageId id, const PageSource& src);
 
   /// Single-threaded convenience: read through the cache and return a
   /// reference that is only guaranteed valid until the next call on this
@@ -78,6 +89,7 @@ class BufferPool {
  private:
   struct Entry {
     PageId id;
+    uint64_t gen;
     PagePin buffer;
   };
 

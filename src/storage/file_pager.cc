@@ -69,6 +69,10 @@ FilePager::FilePager(std::string path, int fd, size_t page_size_bytes,
 
 FilePager::~FilePager() {
   if (fd_ >= 0) {
+    // Push any shadow pages down to the file before the durability checks
+    // below (writes land in the COW table first; a clean close must not
+    // lose them).
+    if (writable_ && ShadowPages() > 0) FlushToBase();
     // Persist un-synced state on clean close; pure readers leave the file
     // untouched (a reader killed mid-write must not be able to tear the
     // superblock of an index it only served). Best-effort fsync so a clean
@@ -274,6 +278,11 @@ std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
 }
 
 void FilePager::CommitCatalog(const CatalogRef& ref) {
+  // Writes live in the COW shadow table until flushed; a durable commit
+  // point must first put every page the catalog references into the file.
+  // (The in-place save path flushes explicitly before committing -- after
+  // draining reader pins -- making this a no-op scan there.)
+  FlushToBase();
   Pager::CommitCatalog(ref);
   Sync();
 }

@@ -42,10 +42,16 @@ Pager::Pager(size_t page_size_bytes) : page_size_(page_size_bytes) {
   BREP_CHECK(page_size_ >= 64);
 }
 
+void Pager::set_num_pages(size_t n) {
+  num_pages_ = n;
+  table_.Resize(n);
+}
+
 PageId Pager::GrowRun(size_t n) {
   DoGrow(num_pages_ + n);
   const PageId first = static_cast<PageId>(num_pages_);
   num_pages_ += n;
+  table_.Resize(num_pages_);
   return first;
 }
 
@@ -53,7 +59,7 @@ PageId Pager::Allocate() {
   if (free_head_ == kInvalidPageId) return GrowRun(1);
   const PageId id = free_head_;
   PageBuffer buf(page_size_);
-  DoRead(id, buf.data());
+  ReadNoCount(id, buf.data());
   reads_.fetch_add(1, std::memory_order_relaxed);
   PageId next = kInvalidPageId;
   BREP_CHECK_MSG(ParseFreePageRecord(buf, &next),
@@ -106,15 +112,55 @@ void Pager::RestoreFreeList(PageId head, uint64_t count) {
 void Pager::Write(PageId id, std::span<const uint8_t> data) {
   BREP_CHECK(id < num_pages_);
   BREP_CHECK(data.size() <= page_size_);
-  DoWrite(id, data);
+  const VersionedPage& cur = table_[id];
+  std::shared_ptr<PageBuffer> buf;
+  if (cur.data != nullptr && cur.gen > last_snapshot_gen_) {
+    // The shadow buffer was created after the last snapshot capture, so no
+    // snapshot can reference it: overwrite in place instead of allocating.
+    buf = cur.data;
+  } else {
+    buf = std::make_shared<PageBuffer>(page_size_, 0);
+    if (cur.data == nullptr) ++shadow_pages_;
+  }
+  if (!data.empty()) std::memcpy(buf->data(), data.data(), data.size());
+  if (data.size() < page_size_) {
+    std::memset(buf->data() + data.size(), 0, page_size_ - data.size());
+  }
+  table_.Set(id, VersionedPage{std::move(buf), ++next_gen_});
   writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Pager::ReadNoCount(PageId id, uint8_t* out) const {
+  const VersionedPage& entry = table_[id];
+  if (entry.data != nullptr) {
+    std::memcpy(out, entry.data->data(), page_size_);
+    return;
+  }
+  DoRead(id, out);
 }
 
 void Pager::Read(PageId id, PageBuffer* out) const {
   BREP_CHECK(id < num_pages_);
   out->resize(page_size_);
-  DoRead(id, out->data());
+  ReadNoCount(id, out->data());
   reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Pager::PageGen(PageId id) const {
+  BREP_CHECK(id < num_pages_);
+  return table_[id].gen;
+}
+
+void Pager::FlushToBase() {
+  for (size_t id = 0; id < num_pages_; ++id) {
+    const VersionedPage& entry = table_[id];
+    if (entry.data == nullptr) continue;
+    DoWrite(static_cast<PageId>(id), *entry.data);
+    // Keep the generation: the backend now holds exactly these bytes, so
+    // pooled copies stamped with it stay valid (generations never recycle).
+    table_.Set(id, VersionedPage{nullptr, entry.gen});
+  }
+  shadow_pages_ = 0;
 }
 
 PageId Pager::AllocateRun(size_t n) {
@@ -202,11 +248,20 @@ std::vector<uint8_t> Pager::ReadBlob(std::span<const PageId> ids,
 }
 
 void MemPager::DoGrow(size_t new_num_pages) {
-  while (pages_.size() < new_num_pages) pages_.emplace_back(page_size(), 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (pages_.size() < new_num_pages) pages_.emplace_back(nullptr);
 }
 
 void MemPager::DoWrite(PageId id, std::span<const uint8_t> data) {
-  PageBuffer& page = pages_[id];
+  std::unique_ptr<PageBuffer>* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot = &pages_[id];
+  }
+  // Mutating the page outside the lock is safe: DoWrite is writer-side and
+  // the save path drains reader pins before flushing over base pages.
+  if (*slot == nullptr) *slot = std::make_unique<PageBuffer>(page_size(), 0);
+  PageBuffer& page = **slot;
   if (!data.empty()) std::memcpy(page.data(), data.data(), data.size());
   if (data.size() < page_size()) {
     std::memset(page.data() + data.size(), 0, page_size() - data.size());
@@ -214,7 +269,16 @@ void MemPager::DoWrite(PageId id, std::span<const uint8_t> data) {
 }
 
 void MemPager::DoRead(PageId id, uint8_t* out) const {
-  std::memcpy(out, pages_[id].data(), page_size());
+  const PageBuffer* page = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    page = pages_[id].get();
+  }
+  if (page == nullptr) {  // never flushed: a grown page reads as zeroes
+    std::memset(out, 0, page_size());
+    return;
+  }
+  std::memcpy(out, page->data(), page_size());
 }
 
 }  // namespace brep

@@ -3,12 +3,18 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/cow_vec.h"
 #include "storage/page.h"
 
 namespace brep {
+
+class PageSnapshot;
 
 /// Reference to the index catalog: the run of pages holding the serialized
 /// index superstructure (written by BrePartition::Save, consumed by
@@ -27,6 +33,24 @@ struct CatalogRef {
   bool valid() const { return first_page != kInvalidPageId; }
 };
 
+/// Where page bytes come from on a read path: either the live Pager (the
+/// writer's working view) or an immutable PageSnapshot a reader pinned.
+/// `PageGen` keys the BufferPool: a cached page is a hit only when its
+/// generation matches the source's, so a writer publishing a new page
+/// version invalidates stale cache entries without any cross-thread
+/// bookkeeping.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Read a page into `out` (resized to the page size). Counts one read on
+  /// the underlying disk's I/O statistics.
+  virtual void FetchPage(PageId id, PageBuffer* out) const = 0;
+
+  /// Monotonic version stamp of the page's current contents in this view.
+  virtual uint64_t PageGen(PageId id) const = 0;
+};
+
 /// A page-granular disk: the storage backend behind every disk-resident
 /// structure (point store, BB-forest nodes, VA-file approximation array,
 /// index catalog).
@@ -35,21 +59,31 @@ struct CatalogRef {
 /// paper's I/O-cost metric regardless of backend. Page size is configurable
 /// per dataset (Table 4 uses 32-128 KB). Two backends exist:
 ///
-///  * MemPager  -- pages in a process-local vector (the original simulated
-///    disk; fast, gone at process exit).
+///  * MemPager  -- pages in process memory (the original simulated disk;
+///    fast, gone at process exit).
 ///  * FilePager -- pages in a real file behind a versioned, checksummed
 ///    superblock (see storage/file_pager.h); an index built on it can be
 ///    reopened by a later process with zero rebuild work.
 ///
-/// Thread-safety: concurrent Read()s are safe (the I/O counters are atomic
-/// and page contents are immutable while queries run); Allocate()/Write()
-/// mutate the page table and must not race with readers. That split matches
-/// the engine's life cycle -- build single-threaded, then serve reads from
-/// many threads.
-class Pager {
+/// MVCC shadow table: Write() never touches the backend in place. It lands
+/// in a copy-on-write page table as an immutable heap buffer stamped with a
+/// monotonically increasing generation; Read() consults that table before
+/// the backend. A PageSnapshot captures the table (an O(table/1024) spine
+/// copy) plus the free-list/catalog metadata, giving readers a frozen view
+/// that later writes can never perturb. FlushToBase() pushes the shadow
+/// pages down into the backend (the save/commit path); the generations
+/// survive the flush so cached pages never alias across versions.
+///
+/// Thread-safety: Allocate()/Write()/Free()/FlushToBase()/CommitCatalog()
+/// are writer-side and must be externally serialized (BrePartition's writer
+/// mutex). Read()/FetchPage() on the live Pager are writer-side too; readers
+/// go through a PageSnapshot, whose FetchPage is safe against any concurrent
+/// writer activity except FlushToBase (the in-place save path drains reader
+/// pins first -- see BrePartition::SaveLocked).
+class Pager : public PageSource {
  public:
   explicit Pager(size_t page_size_bytes);
-  virtual ~Pager() = default;
+  ~Pager() override = default;
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -93,11 +127,30 @@ class Pager {
                                   PageId* next);
 
   /// Overwrite a page. `data.size()` must not exceed the page size; shorter
-  /// writes zero-fill the remainder. Counts one write.
+  /// writes zero-fill the remainder. Counts one write. The write lands in
+  /// the COW shadow table, not the backend (see FlushToBase).
   void Write(PageId id, std::span<const uint8_t> data);
 
-  /// Read a page into `out` (resized to page size). Counts one read.
+  /// Read a page into `out` (resized to page size), consulting the shadow
+  /// table before the backend. Counts one read.
   void Read(PageId id, PageBuffer* out) const;
+
+  // PageSource: the writer's working view of the disk.
+  void FetchPage(PageId id, PageBuffer* out) const override {
+    Read(id, out);
+  }
+  uint64_t PageGen(PageId id) const override;
+
+  /// Push every shadow page down into the backend and drop the in-memory
+  /// copies (generations are preserved, so pooled pages stay valid). Called
+  /// on the save path after draining reader pins: a reader snapshot taken
+  /// BEFORE the pages being flushed were written may read them from the
+  /// backend, which this overwrites.
+  void FlushToBase();
+
+  /// Pages currently held as in-memory shadow copies (feeds the
+  /// brep_snapshot_cow_retained_pages gauge).
+  size_t ShadowPages() const { return shadow_pages_; }
 
   /// Store an arbitrary-length blob across a contiguous run of pages;
   /// returns the page ids in order. Counts one write per page. The run is
@@ -114,8 +167,9 @@ class Pager {
                                 size_t size) const;
 
   /// Durably record `ref` as this disk's index catalog. MemPager keeps it
-  /// in memory (same-process reopen, used by tests); FilePager persists it
-  /// in the superblock and syncs, making the index survive the process.
+  /// in memory (same-process reopen, used by tests); FilePager flushes the
+  /// shadow table, persists the superblock and syncs, making the index
+  /// survive the process.
   virtual void CommitCatalog(const CatalogRef& ref) { catalog_ = ref; }
 
   /// The committed catalog, if any (check valid()).
@@ -135,16 +189,31 @@ class Pager {
   /// Backend hooks. `DoWrite` receives at most page_size() bytes and must
   /// zero-fill the rest of the page; `DoRead` fills exactly page_size()
   /// bytes; `DoGrow` extends the backing store to `new_num_pages` zeroed
-  /// pages.
+  /// pages. `DoRead` must tolerate concurrent DoRead/DoGrow calls (snapshot
+  /// readers fetch base pages while the writer allocates).
   virtual void DoGrow(size_t new_num_pages) = 0;
   virtual void DoWrite(PageId id, std::span<const uint8_t> data) = 0;
   virtual void DoRead(PageId id, uint8_t* out) const = 0;
 
   /// For backends that restore an existing disk (FilePager::Open).
-  void set_num_pages(size_t n) { num_pages_ = n; }
+  void set_num_pages(size_t n);
   void set_catalog(const CatalogRef& ref) { catalog_ = ref; }
 
  private:
+  friend class PageSnapshot;
+
+  /// One shadow-table entry. `data == nullptr` means the page's current
+  /// contents live in the backend (as-opened, or flushed there at
+  /// generation `gen`); otherwise `data` is the immutable current contents.
+  struct VersionedPage {
+    std::shared_ptr<PageBuffer> data;
+    uint64_t gen = 0;
+  };
+
+  /// Table-aware page fetch without touching the read counter (Allocate
+  /// counts its free-record read itself).
+  void ReadNoCount(PageId id, uint8_t* out) const;
+
   /// Allocate `n` brand-new consecutive page ids (never from the
   /// free-list); the contiguity is what WriteBlob's callers rely on.
   PageId GrowRun(size_t n);
@@ -161,12 +230,28 @@ class Pager {
   uint64_t free_count_ = 0;
   mutable std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+
+  /// COW shadow table, one entry per page. Snapshots copy the spine; the
+  /// writer clones any chunk a snapshot still shares before mutating it.
+  CowVec<VersionedPage> table_;
+  uint64_t next_gen_ = 0;
+  /// Highest generation captured by any PageSnapshot: a shadow buffer with
+  /// a newer generation is private to the working view, so Write may reuse
+  /// it in place instead of allocating a fresh page buffer.
+  uint64_t last_snapshot_gen_ = 0;
+  size_t shadow_pages_ = 0;
 };
 
-/// The in-memory backend: a vector of pages, i.e. the original simulated
-/// disk. Benchmarks use it to measure pure I/O counts without filesystem
-/// noise; tests use it for fast round trips (and subclass it as a
-/// write-count spy to pin down commit-point ordering).
+/// The in-memory backend: pages in a process-local deque, i.e. the original
+/// simulated disk. Benchmarks use it to measure pure I/O counts without
+/// filesystem noise; tests use it for fast round trips (and subclass it as
+/// a write-count spy to pin down commit-point ordering).
+///
+/// A deque (of lazily materialized pages) rather than a vector: growth must
+/// not move existing pages, because snapshot readers fetch base pages
+/// concurrently with the writer allocating. The mutex guards only the
+/// container structure -- the per-page buffer is addressed under the lock
+/// and copied outside it (element references are growth-stable).
 class MemPager : public Pager {
  public:
   explicit MemPager(size_t page_size_bytes) : Pager(page_size_bytes) {}
@@ -177,7 +262,10 @@ class MemPager : public Pager {
   void DoRead(PageId id, uint8_t* out) const override;
 
  private:
-  std::vector<PageBuffer> pages_;
+  mutable std::mutex mu_;
+  /// nullptr = never flushed, reads as all zeroes (keeps grow O(1) and
+  /// avoids doubling memory under the shadow table).
+  std::deque<std::unique_ptr<PageBuffer>> pages_;
 };
 
 }  // namespace brep

@@ -9,7 +9,7 @@ namespace brep {
 
 PointStore::PointStore(Pager* pager, const Matrix& data,
                        std::span<const uint32_t> order)
-    : pager_(pager), dim_(data.cols()) {
+    : pager_(pager), src_(pager), dim_(data.cols()) {
   BREP_CHECK(pager_ != nullptr);
   BREP_CHECK(!data.empty());
   const size_t point_bytes = dim_ * sizeof(double);
@@ -27,7 +27,7 @@ PointStore::PointStore(Pager* pager, const Matrix& data,
     layout.assign(order.begin(), order.end());
   }
 
-  address_of_.resize(n);
+  address_of_.Resize(n);
   std::vector<uint8_t> page_bytes(pager_->page_size(), 0);
   size_t slot = 0;
   PageId current = kInvalidPageId;
@@ -49,7 +49,7 @@ PointStore::PointStore(Pager* pager, const Matrix& data,
     const auto row = data.Row(id);
     std::memcpy(page_bytes.data() + slot * point_bytes, row.data(),
                 point_bytes);
-    address_of_[id] = PointAddress{current, static_cast<uint16_t>(slot)};
+    address_of_.Set(id, PointAddress{current, static_cast<uint16_t>(slot)});
     page_slots_.back()[slot] = id;
     ++page_live_.back();
     if (++slot == points_per_page_) {
@@ -70,7 +70,7 @@ PointStore::PointStore(Pager* pager, const Matrix& data,
 }
 
 PointStore::PointStore(Pager* pager, const PointStoreLayout& layout)
-    : pager_(pager), dim_(layout.dim) {
+    : pager_(pager), src_(pager), dim_(layout.dim) {
   BREP_CHECK(pager_ != nullptr);
   BREP_CHECK(dim_ > 0);
   const size_t point_bytes = dim_ * sizeof(double);
@@ -84,7 +84,7 @@ PointStore::PointStore(Pager* pager, const PointStoreLayout& layout)
   BREP_CHECK(layout.id_space > 0);
 
   data_pages_ = layout.data_pages;
-  address_of_.assign(layout.id_space, PointAddress{});
+  address_of_.Resize(layout.id_space);  // default PointAddress = not stored
   page_slots_.resize(pages);
   page_live_.assign(pages, 0);
   for (size_t pi = 0; pi < pages; ++pi) {
@@ -107,11 +107,28 @@ PointStore::PointStore(Pager* pager, const PointStoreLayout& layout)
       BREP_CHECK(id < layout.id_space);
       BREP_CHECK(address_of_[id].page == kInvalidPageId);  // no duplicates
       slots[s] = id;
-      address_of_[id] = PointAddress{page_id, static_cast<uint16_t>(s)};
+      address_of_.Set(id, PointAddress{page_id, static_cast<uint16_t>(s)});
       ++page_live_[pi];
       ++live_;
     }
   }
+}
+
+PointStore::PointStore(const PageSource* src, size_t dim,
+                       size_t points_per_page, size_t live,
+                       CowVec<PointAddress> address_of)
+    : pager_(nullptr),
+      src_(src),
+      dim_(dim),
+      points_per_page_(points_per_page),
+      live_(live),
+      address_of_(std::move(address_of)) {}
+
+std::unique_ptr<PointStore> PointStore::SnapshotClone(
+    const PageSource* src) const {
+  BREP_CHECK(src != nullptr);
+  return std::unique_ptr<PointStore>(
+      new PointStore(src, dim_, points_per_page_, live_, address_of_));
 }
 
 PointStoreLayout PointStore::layout() const {
@@ -158,7 +175,7 @@ void PointStore::WriteSlot(uint32_t page_index, uint16_t slot,
 void PointStore::Append(uint32_t id, std::span<const double> x) {
   BREP_CHECK(x.size() == dim_);
   if (id == address_of_.size()) {
-    address_of_.push_back(PointAddress{});
+    address_of_.PushBack(PointAddress{});
   } else {
     BREP_CHECK_MSG(id < address_of_.size() &&
                        address_of_[id].page == kInvalidPageId,
@@ -170,7 +187,7 @@ void PointStore::Append(uint32_t id, std::span<const double> x) {
   WriteSlot(ref.page_index, ref.slot, x);
   page_slots_[ref.page_index][ref.slot] = id;
   ++page_live_[ref.page_index];
-  address_of_[id] = PointAddress{data_pages_[ref.page_index], ref.slot};
+  address_of_.Set(id, PointAddress{data_pages_[ref.page_index], ref.slot});
   ++live_;
 }
 
@@ -178,7 +195,7 @@ void PointStore::Remove(uint32_t id) {
   BREP_CHECK_MSG(Contains(id), "Remove of an id that is not stored");
   const PointAddress addr = address_of_[id];
   const uint32_t pi = page_index_of_.at(addr.page);
-  address_of_[id] = PointAddress{};
+  address_of_.Set(id, PointAddress{});
   page_slots_[pi][addr.slot] = kNoPoint;
   --page_live_[pi];
   --live_;
@@ -201,7 +218,7 @@ void PointStore::Fetch(uint32_t id, std::span<double> out) const {
   BREP_CHECK(out.size() == dim_);
   const PointAddress addr = address_of_[id];
   PageBuffer buf;
-  pager_->Read(addr.page, &buf);
+  src_->FetchPage(addr.page, &buf);
   std::memcpy(out.data(), buf.data() + addr.slot * dim_ * sizeof(double),
               dim_ * sizeof(double));
 }
@@ -226,7 +243,7 @@ void PointStore::FetchMany(
     BREP_CHECK_MSG(Contains(id), "FetchMany of an id that is not stored");
     const PointAddress addr = address_of_[id];
     if (addr.page != loaded) {
-      pager_->Read(addr.page, &buf);
+      src_->FetchPage(addr.page, &buf);
       loaded = addr.page;
     }
     const auto* doubles = reinterpret_cast<const double*>(

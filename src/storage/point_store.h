@@ -4,10 +4,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cow_vec.h"
 #include "dataset/matrix.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -70,6 +72,13 @@ class PointStore {
   /// store). Performs no pager writes: only the in-memory address tables
   /// are rebuilt.
   PointStore(Pager* pager, const PointStoreLayout& layout);
+
+  /// Read-only clone bound to an MVCC snapshot: shares the (COW) address
+  /// table chunks with this store and fetches pages through `src`, which
+  /// must outlive the clone. Cheap -- O(address table / CowVec chunk).
+  /// Clones serve Fetch/FetchMany/Contains/CountDistinctPages; any mutating
+  /// or writer-side call on a clone aborts.
+  std::unique_ptr<PointStore> SnapshotClone(const PageSource* src) const;
 
   /// The placement description to persist for a later re-attach.
   PointStoreLayout layout() const;
@@ -143,11 +152,16 @@ class PointStore {
   void WriteSlot(uint32_t page_index, uint16_t slot,
                  std::span<const double> x);
 
-  Pager* pager_;
+  /// Snapshot-clone constructor (see SnapshotClone).
+  PointStore(const PageSource* src, size_t dim, size_t points_per_page,
+             size_t live, CowVec<PointAddress> address_of);
+
+  Pager* pager_;              // null in snapshot clones (read-only)
+  const PageSource* src_;     // where reads fetch pages from
   size_t dim_;
   size_t points_per_page_;
   size_t live_ = 0;
-  std::vector<PointAddress> address_of_;         // by point id
+  CowVec<PointAddress> address_of_;              // by point id
   std::vector<PageId> data_pages_;               // slot-table order
   std::vector<std::vector<uint32_t>> page_slots_;  // page idx -> slot -> id
   std::vector<uint32_t> page_live_;              // page idx -> live points

@@ -167,8 +167,8 @@ TEST_F(PersistenceTest, ReopenedIndexReportsSavedModelAndPartitioning) {
   EXPECT_EQ(reopened->cost_model().beta, built.cost_model().beta);
   EXPECT_EQ(reopened->divergence().Name(), built.divergence().Name());
   EXPECT_EQ(reopened->divergence().dim(), built.divergence().dim());
-  EXPECT_EQ(reopened->transformed().tuples().size(),
-            built.transformed().tuples().size());
+  EXPECT_EQ(reopened->transformed().num_tuples(),
+            built.transformed().num_tuples());
 }
 
 TEST_F(PersistenceTest, LpDivergenceParameterRoundTripsExactly) {

@@ -1,10 +1,11 @@
 /// Writer/reader concurrency over the facade: one thread streams
 /// Insert/Delete through brep::Index while Index::Parallel(4) readers run
-/// batched kNN. Updates take the index's exclusive lock and each batch
-/// holds the shared side for its whole duration, so every batch must
-/// observe a CONSISTENT snapshot: its results must equal the oracle's
-/// answer at some prefix of the update sequence (and all queries of one
-/// batch must agree on that prefix). Runs under TSan in CI.
+/// batched kNN. Each update publishes a fresh MVCC version and each batch
+/// pins ONE ReadView for its whole duration (no locks on the read path),
+/// so every batch must observe a CONSISTENT snapshot: its results must
+/// equal the oracle's answer at some prefix of the update sequence (and
+/// all queries of one batch must agree on that prefix). Runs under TSan
+/// in CI.
 
 #include <atomic>
 #include <map>
@@ -110,7 +111,7 @@ TEST(UpdateConcurrencyTest, BatchedReadersObservePrefixConsistentSnapshots) {
     auto batch = parallel->KnnBatch(queries, kK);
     ASSERT_TRUE(batch.ok()) << batch.status().message();
     reads.push_back(*std::move(batch));
-    std::this_thread::yield();  // let the writer take the exclusive lock
+    std::this_thread::yield();  // let the writer publish between batches
   }
   writer.join();
   ASSERT_TRUE(writer_error.empty()) << writer_error;
