@@ -30,6 +30,7 @@
 #include "common/timer.h"
 #include "dataset/synthetic.h"
 #include "obs/index_metrics.h"
+#include "shard/sharded_index.h"
 
 namespace {
 
@@ -223,6 +224,72 @@ int main(int argc, char** argv) {
                      ? 1000.0 * double(churned.writer_ops) / churned.wall_ms
                      : 0.0, 1)});
 
+  // -------------------------------------------------------------- sharded
+  // Scale-out arm: the same query stream served single-query through a
+  // ShardedIndex at 1/2/4 shards, against the plain single-query loop as
+  // baseline. Scatter-gather answers must stay byte-identical to the
+  // unsharded index (the exact refine runs unchanged on every shard); the
+  // scatter/merge histograms price the fan-out -- the global TopK merge is
+  // the facade's only added work per query.
+  struct ShardArm {
+    size_t shards = 0;
+    double wall_ms = 0.0;
+    bool identical = true;
+    brep::obs::HistogramSnapshot scatter;
+    brep::obs::HistogramSnapshot merge;
+  };
+  double unsharded_wall_ms = 0.0;
+  {
+    Timer timer;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      index->Knn(queries.Row(q), k).value();
+    }
+    unsharded_wall_ms = timer.ElapsedMillis();
+  }
+  std::vector<ShardArm> shard_arms;
+  for (const size_t s : {1, 2, 4}) {
+    ShardedIndexOptions sopt;
+    sopt.num_shards = s;
+    auto cluster = ShardedIndex::Build(data, "itakura_saito", sopt);
+    BREP_CHECK_MSG(cluster.ok(), cluster.status().ToString().c_str());
+    auto facade_hist = [&](const char* name) {
+      const auto snap = (*cluster)->Metrics();
+      const auto* h = snap.FindHistogram(name);
+      BREP_CHECK(h != nullptr);
+      return *h;
+    };
+    for (size_t q = 0; q < queries.rows(); ++q) {  // warm per-shard caches
+      (*cluster)->Knn(queries.Row(q), k).value();
+    }
+    ShardArm arm;
+    arm.shards = s;
+    const auto scatter_before = facade_hist(obs::kShardScatterLatencyMs);
+    const auto merge_before = facade_hist(obs::kShardMergeLatencyMs);
+    Timer timer;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      const auto res = (*cluster)->Knn(queries.Row(q), k);
+      BREP_CHECK_MSG(res.ok(), res.status().ToString().c_str());
+      if (!(*res == reference[q])) arm.identical = false;
+    }
+    arm.wall_ms = timer.ElapsedMillis();
+    arm.scatter = facade_hist(obs::kShardScatterLatencyMs).Since(scatter_before);
+    arm.merge = facade_hist(obs::kShardMergeLatencyMs).Since(merge_before);
+    shard_arms.push_back(std::move(arm));
+  }
+  std::printf("\nsharded scatter-gather (single-query kNN, unsharded loop: "
+              "%.1f ms):\n", unsharded_wall_ms);
+  PrintHeader({"shards", "wall ms", "QPS", "scatter p99", "merge p99",
+               "identical"});
+  for (const ShardArm& arm : shard_arms) {
+    PrintRow({FmtU(arm.shards), FmtF(arm.wall_ms, 1),
+              FmtF(arm.wall_ms > 0
+                       ? 1000.0 * double(queries.rows()) / arm.wall_ms
+                       : 0.0, 1),
+              FmtF(arm.scatter.Percentile(99), 3),
+              FmtF(arm.merge.Percentile(99), 3),
+              arm.identical ? "yes" : "NO"});
+  }
+
   if (const std::string json_path = JsonPathArg(argc, argv);
       !json_path.empty()) {
     json::Object section;
@@ -265,6 +332,34 @@ int main(int argc, char** argv) {
         json::Value(idle_p99 > 0 ? churned.latency.Percentile(99) / idle_p99
                                  : 0.0));
     EmitJson(json_path, "reader_churn", json::Value(std::move(churn_section)));
+
+    json::Object sharded_section;
+    sharded_section.emplace_back("queries",
+                                 json::Value(double(queries.rows())));
+    sharded_section.emplace_back("unsharded_wall_ms",
+                                 json::Value(unsharded_wall_ms));
+    json::Array shard_runs;
+    for (const ShardArm& arm : shard_arms) {
+      json::Object o;
+      o.emplace_back("shards", json::Value(double(arm.shards)));
+      o.emplace_back("wall_ms", json::Value(arm.wall_ms));
+      o.emplace_back(
+          "qps",
+          json::Value(arm.wall_ms > 0
+                          ? 1000.0 * double(queries.rows()) / arm.wall_ms
+                          : 0.0));
+      o.emplace_back(
+          "speedup_vs_unsharded",
+          json::Value(arm.wall_ms > 0 ? unsharded_wall_ms / arm.wall_ms
+                                      : 0.0));
+      o.emplace_back("identical", json::Value(arm.identical));
+      o.emplace_back("scatter_latency_ms", HistJson(arm.scatter));
+      o.emplace_back("merge_latency_ms", HistJson(arm.merge));
+      shard_runs.emplace_back(json::Value(std::move(o)));
+    }
+    sharded_section.emplace_back("runs", json::Value(std::move(shard_runs)));
+    EmitJson(json_path, "sharded_serving",
+             json::Value(std::move(sharded_section)));
   }
   return 0;
 }

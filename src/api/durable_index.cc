@@ -33,37 +33,36 @@ std::unique_ptr<MemPager> LoadIntoMemory(const Pager& from) {
   return mem;
 }
 
-Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
-                 WalRecoveryStats* stats) {
-  BREP_CHECK(bp != nullptr && stats != nullptr);
-  Timer timer;
-  std::lock_guard<std::mutex> lock(bp->writer_mutex());
-  uint64_t applied = durable_lsn;
-  for (const WalRecord& rec : scan.records) {
+Status ApplyWalRecordsLocked(BrePartition* bp,
+                             std::span<const WalRecord> records,
+                             uint64_t* applied, WalRecoveryStats* stats) {
+  BREP_CHECK(bp != nullptr && applied != nullptr && stats != nullptr);
+  for (const WalRecord& rec : records) {
     if (rec.type == WalRecordType::kCheckpoint) {
       // A checkpoint marker promises the index file absorbed everything up
-      // to its LSN. One pointing past the file's watermark (e.g. past the
-      // end of a log that never reached that LSN) means the records it
-      // vouches for are gone -- unrecoverable, and worth a clean error.
-      if (rec.checkpoint_lsn > durable_lsn) {
+      // to its LSN. One pointing past what this index has applied (e.g.
+      // past the end of a log that never reached that LSN) means the
+      // records it vouches for are gone -- unrecoverable, and worth a
+      // clean error.
+      if (rec.checkpoint_lsn > *applied) {
         return Status::DataLoss(
             "WAL checkpoint record at lsn " +
             std::to_string(rec.checkpoint_lsn) +
-            " points past the index file's durable state (lsn " +
-            std::to_string(durable_lsn) + "): operations are missing");
+            " points past this index's applied state (lsn " +
+            std::to_string(*applied) + "): operations are missing");
       }
       ++stats->skipped_records;
       continue;
     }
-    if (rec.lsn <= applied) {
+    if (rec.lsn <= *applied) {
       // Already in the checkpoint (or a duplicated record): replay is
       // idempotent, apply-at-most-once.
       ++stats->skipped_records;
       continue;
     }
-    if (rec.lsn != applied + 1) {
+    if (rec.lsn != *applied + 1) {
       return Status::DataLoss("gap in WAL lsn sequence: expected " +
-                              std::to_string(applied + 1) + ", found " +
+                              std::to_string(*applied + 1) + ", found " +
                               std::to_string(rec.lsn));
     }
     switch (rec.type) {
@@ -104,8 +103,19 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
       case WalRecordType::kCheckpoint:
         break;  // handled above
     }
-    applied = rec.lsn;
+    *applied = rec.lsn;
   }
+  return Status::Ok();
+}
+
+Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
+                 WalRecoveryStats* stats) {
+  BREP_CHECK(bp != nullptr && stats != nullptr);
+  Timer timer;
+  std::lock_guard<std::mutex> lock(bp->writer_mutex());
+  uint64_t applied = durable_lsn;
+  BREP_RETURN_IF_ERROR(
+      ApplyWalRecordsLocked(bp, scan.records, &applied, stats));
   stats->last_lsn = applied;
   stats->dropped_tail_bytes = scan.dropped_bytes;
   stats->replay_ms = timer.ElapsedMillis();
@@ -117,7 +127,8 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
 }
 
 Status SaveDurable(const BrePartition& bp, WalWriter* wal,
-                   const std::string& path, bool truncate_wal) {
+                   const std::string& path, bool truncate_wal,
+                   uint64_t* pinned_lsn) {
   // Phase 1, under the writer mutex (cheap, in-memory): flush the log,
   // commit the catalog on the serving pager, and pin the published
   // snapshot. What the snapshot holds and what the log carries agree at
@@ -132,6 +143,7 @@ Status SaveDurable(const BrePartition& bp, WalWriter* wal,
     }
     view = bp.CheckpointViewLocked(lsn);
   }
+  if (pinned_lsn != nullptr) *pinned_lsn = lsn;
 
   // Phase 2, with NO lock held: copy the pinned snapshot into `path.tmp`
   // and atomically rename it over `path`. Readers keep querying and

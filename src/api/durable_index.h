@@ -82,6 +82,20 @@ namespace durable {
 /// index. `from` is left untouched.
 std::unique_ptr<MemPager> LoadIntoMemory(const Pager& from);
 
+/// Apply `records` (in log order) to `bp` through the locked insert/delete
+/// entry points, advancing `*applied` record by record. The caller holds
+/// bp->writer_mutex() and publishes afterwards. This is the one redo-apply
+/// loop in the system: recovery (ReplayWal) and the replica's tailing path
+/// both run it, so both get the same validation -- payload domain and
+/// dimensionality, the dense-LSN sequence, the deterministic id
+/// assignment, and checkpoint markers that may not point past `*applied`.
+/// Records at or below `*applied` are skipped idempotently; any mismatch
+/// with the index state is a clean kDataLoss (`bp` may then hold a
+/// partially applied prefix -- discard it).
+Status ApplyWalRecordsLocked(BrePartition* bp,
+                             std::span<const WalRecord> records,
+                             uint64_t* applied, WalRecoveryStats* stats);
+
 /// Replay `scan` against `bp` (which must be freshly opened from the
 /// checkpoint with watermark `durable_lsn`) under one writer-mutex
 /// acquisition, publishing the replayed state once at the end. Applies
@@ -101,8 +115,14 @@ Status ReplayWal(BrePartition* bp, const WalScan& scan, uint64_t durable_lsn,
 /// to zero. NON-BLOCKING: the writer mutex is held only to pin the page
 /// snapshot and (maybe) reset the log; the disk copy itself runs with no
 /// lock, so concurrent readers and writers proceed throughout.
+///
+/// `pinned_lsn` (optional) receives the WAL watermark the written snapshot
+/// is stamped with -- what a multi-index checkpoint protocol (the sharded
+/// manifest) records per shard and later hands to Index::TruncateWal once
+/// the whole unit is committed.
 Status SaveDurable(const BrePartition& bp, WalWriter* wal,
-                   const std::string& path, bool truncate_wal);
+                   const std::string& path, bool truncate_wal,
+                   uint64_t* pinned_lsn = nullptr);
 
 /// Fully-locked variant for callers that already hold writer_mutex() (the
 /// facade's first checkpoint, which must publish the log writer under the

@@ -261,6 +261,45 @@ Status Index::Save(const std::string& path) const {
   return durable::SaveDurable(*bp_, nullptr, path, /*truncate_wal=*/false);
 }
 
+StatusOr<uint64_t> Index::SaveSnapshot(const std::string& path) const {
+  if (!durability_.enabled()) {
+    BREP_RETURN_IF_ERROR(
+        durable::SaveDurable(*bp_, nullptr, path, /*truncate_wal=*/false));
+    return uint64_t{0};
+  }
+  std::unique_lock<std::mutex> lock(bp_->writer_mutex());
+  if (wal_ != nullptr) {
+    WalWriter* wal = wal_.get();
+    lock.unlock();
+    uint64_t pinned = 0;
+    BREP_RETURN_IF_ERROR(durable::SaveDurable(*bp_, wal, path,
+                                              /*truncate_wal=*/false,
+                                              &pinned));
+    return pinned;
+  }
+  // First checkpoint: same single-acquisition protocol as Save (snapshot,
+  // log creation and publication together), minus the home-path baggage --
+  // callers running an external checkpoint protocol own log truncation.
+  BREP_RETURN_IF_ERROR(durable::SaveDurableLocked(*bp_, nullptr, path,
+                                                  /*truncate_wal=*/false));
+  BREP_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Attach(durability_.wal_path, durability_.fsync_mode,
+                              durability_.group_window_ms,
+                              /*append_offset=*/0, /*next_lsn=*/1,
+                              /*fresh_base_lsn=*/0));
+  home_path_ = CanonicalPath(path);
+  return uint64_t{0};
+}
+
+Status Index::TruncateWal(uint64_t lsn) const {
+  std::lock_guard<std::mutex> lock(bp_->writer_mutex());
+  if (wal_ == nullptr) return Status::Ok();
+  // Writes that landed past the pinned watermark must keep their records;
+  // the next checkpoint covers them.
+  if (wal_->last_lsn() != lsn) return Status::Ok();
+  return wal_->Checkpoint(lsn);
+}
+
 StatusOr<ParallelIndex> Index::Parallel(size_t threads) const {
   if (threads > kMaxThreads) {
     return Status::InvalidArgument(

@@ -93,6 +93,23 @@ class Index final : public SearchIndex {
   /// created paged file. Build-once / save-once / serve-many.
   Status Save(const std::string& path) const;
 
+  /// Persist a consistent snapshot to `path` (atomic tmp + rename, like
+  /// Save) WITHOUT resetting the WAL, and return the log watermark the
+  /// snapshot is stamped with (0 when durability is off). The building
+  /// block of multi-index checkpoint protocols -- the sharded manifest
+  /// saves every shard's snapshot, commits the manifest, and only THEN
+  /// hands each watermark back to TruncateWal -- so every crash window
+  /// still recovers from the previous checkpoint plus the intact logs. On
+  /// a durable index with no checkpoint yet this IS the first checkpoint:
+  /// it attaches the log and unlocks writes, exactly like Save.
+  StatusOr<uint64_t> SaveSnapshot(const std::string& path) const;
+
+  /// Reset the WAL after an external protocol made the snapshot stamped
+  /// `lsn` (from SaveSnapshot) durable as a unit: truncates the log iff no
+  /// write landed past `lsn` (otherwise the log keeps growing until the
+  /// next checkpoint, which is always safe). No-op without a WAL.
+  Status TruncateWal(uint64_t lsn) const;
+
   /// A handle that serves batches through the concurrent QueryEngine with
   /// `threads` total threads (0 = hardware concurrency); its single-query
   /// path fans the per-subspace filter out across the pool. Results are

@@ -1,0 +1,29 @@
+#include "engine/merge.h"
+
+#include <algorithm>
+
+namespace brep {
+
+std::vector<Neighbor> MergeKnn(
+    std::span<const std::vector<Neighbor>> per_shard, size_t k) {
+  TopK topk(k);
+  for (const std::vector<Neighbor>& shard : per_shard) {
+    for (const Neighbor& n : shard) topk.Push(n.distance, n.id);
+  }
+  return topk.SortedResults();
+}
+
+std::vector<uint32_t> MergeRange(
+    std::span<const std::vector<uint32_t>> per_shard) {
+  size_t total = 0;
+  for (const std::vector<uint32_t>& shard : per_shard) total += shard.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const std::vector<uint32_t>& shard : per_shard) {
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace brep

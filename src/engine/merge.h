@@ -1,0 +1,35 @@
+#ifndef BREP_ENGINE_MERGE_H_
+#define BREP_ENGINE_MERGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/top_k.h"
+
+/// \file
+/// Scatter-gather result merging for the sharded serving tier: each shard
+/// answers over its own point set, and these helpers fold the per-shard
+/// answers into the global result EXACTLY as an unsharded index would have
+/// produced it. Both rely on the system-wide (distance, id) total order --
+/// distances are bit-equal across shards because every shard runs the
+/// identical refine code over the identical raw vectors, so the merged
+/// ranking is deterministic, not merely approximately right.
+
+namespace brep {
+
+/// Merge per-shard kNN answers (each sorted ascending by (distance, id),
+/// ids already mapped to the global space) into the global top `k`.
+/// Equivalent to pushing every candidate through one TopK: the heap's
+/// (distance, id) tie-break makes the result independent of shard order.
+std::vector<Neighbor> MergeKnn(
+    std::span<const std::vector<Neighbor>> per_shard, size_t k);
+
+/// Merge per-shard range answers (ascending global ids; the per-shard id
+/// sets are disjoint by construction) into one ascending id list.
+std::vector<uint32_t> MergeRange(
+    std::span<const std::vector<uint32_t>> per_shard);
+
+}  // namespace brep
+
+#endif  // BREP_ENGINE_MERGE_H_

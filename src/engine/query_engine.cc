@@ -60,7 +60,9 @@ std::vector<std::vector<uint32_t>> QueryEngine::FilterAllTrees(
 
 std::vector<Neighbor> QueryEngine::KnnOne(const BrePartition::ReadView& view,
                                           std::span<const double> y, size_t k,
-                                          size_t lane, bool parallel_filter,
+                                          size_t lane,
+                                          EngineLaneStats* lane_slot,
+                                          bool parallel_filter,
                                           QueryStats* qstats) const {
   // Every query gets full per-query stats -- either the caller's sink or a
   // local one -- so batched queries feed the latency histograms and the
@@ -114,10 +116,11 @@ std::vector<Neighbor> QueryEngine::KnnOne(const BrePartition::ReadView& view,
       });
   q.refine_ms += refine_timer.ElapsedMillis();
 
-  EngineLaneStats& slot = agg_.slot(lane);
-  ++slot.queries;
-  slot.candidates += candidates.size();
-  slot.AddSearch(fstats);
+  if (lane_slot != nullptr) {
+    ++lane_slot->queries;
+    lane_slot->candidates += candidates.size();
+    lane_slot->AddSearch(fstats);
+  }
 
   auto result = topk.SortedResults();
   // I/O and pool deltas are approximate when queries overlap (shared
@@ -138,6 +141,7 @@ std::vector<Neighbor> QueryEngine::KnnOne(const BrePartition::ReadView& view,
 std::vector<uint32_t> QueryEngine::RangeOne(const BrePartition::ReadView& view,
                                             std::span<const double> y,
                                             double radius, size_t lane,
+                                            EngineLaneStats* lane_slot,
                                             bool parallel_filter,
                                             QueryStats* qstats) const {
   QueryStats local;
@@ -183,10 +187,11 @@ std::vector<uint32_t> QueryEngine::RangeOne(const BrePartition::ReadView& view,
   std::sort(result.begin(), result.end());
   q.refine_ms += refine_timer.ElapsedMillis();
 
-  EngineLaneStats& slot = agg_.slot(lane);
-  ++slot.queries;
-  slot.candidates += candidates.size();
-  slot.AddSearch(fstats);
+  if (lane_slot != nullptr) {
+    ++lane_slot->queries;
+    lane_slot->candidates += candidates.size();
+    lane_slot->AddSearch(fstats);
+  }
 
   q.io_reads = (index_->pager()->stats() - io_before).reads;
   const BBForest::PoolTraffic pool_after = view.forest().pool_traffic();
@@ -220,7 +225,7 @@ std::vector<Neighbor> QueryEngine::KnnSearch(std::span<const double> y,
 
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
-  auto result = KnnOne(view, y, k, pool_.num_workers(),
+  auto result = KnnOne(view, y, k, pool_.num_workers(), /*lane_slot=*/nullptr,
                        options_.parallel_filter, &st);
   st.io_reads = (index_->pager()->stats() - io_before).reads;
   st.total_ms = total_timer.ElapsedMillis();
@@ -241,7 +246,7 @@ std::vector<uint32_t> QueryEngine::RangeSearch(std::span<const double> y,
   Timer total_timer;
   const IoStats io_before = index_->pager()->stats();
   auto result = RangeOne(view, y, radius, pool_.num_workers(),
-                         options_.parallel_filter, &st);
+                         /*lane_slot=*/nullptr, options_.parallel_filter, &st);
   st.io_reads = (index_->pager()->stats() - io_before).reads;
   st.total_ms = total_timer.ElapsedMillis();
   return result;
@@ -269,10 +274,11 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
   if (n == 1) {
     // A lone query still benefits from per-subspace fan-out.
     results[0] = KnnOne(view, queries.Row(0), k, pool_.num_workers(),
+                        &agg_.slot(pool_.num_workers()),
                         options_.parallel_filter, nullptr);
   } else {
     pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
-      results[qi] = KnnOne(view, queries.Row(qi), k, lane,
+      results[qi] = KnnOne(view, queries.Row(qi), k, lane, &agg_.slot(lane),
                            /*parallel_filter=*/false, nullptr);
     });
   }
@@ -302,10 +308,12 @@ std::vector<std::vector<uint32_t>> QueryEngine::RangeSearchBatch(
   Timer wall;
   if (n == 1) {
     results[0] = RangeOne(view, queries.Row(0), radius, pool_.num_workers(),
+                          &agg_.slot(pool_.num_workers()),
                           options_.parallel_filter, nullptr);
   } else {
     pool_.ParallelFor(n, [&](size_t qi, size_t lane) {
       results[qi] = RangeOne(view, queries.Row(qi), radius, lane,
+                             &agg_.slot(lane),
                              /*parallel_filter=*/false, nullptr);
     });
   }

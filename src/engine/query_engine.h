@@ -106,13 +106,21 @@ class QueryEngine {
       std::span<const double> radii, bool parallel, bool sorted,
       SearchStats* agg) const;
 
+  /// `lane` stripes the atomic metric recorders (always safe to share);
+  /// `lane_slot` is the batch aggregator's plain-counter slot and must be
+  /// non-null ONLY when the caller owns that lane exclusively (batch
+  /// execution). Single-call entry points pass nullptr: their results are
+  /// fully reported through `qstats` + metrics, and concurrent callers
+  /// would otherwise race on the shared slot.
   std::vector<Neighbor> KnnOne(const BrePartition::ReadView& view,
                                std::span<const double> y, size_t k,
-                               size_t lane, bool parallel_filter,
+                               size_t lane, EngineLaneStats* lane_slot,
+                               bool parallel_filter,
                                QueryStats* qstats) const;
   std::vector<uint32_t> RangeOne(const BrePartition::ReadView& view,
                                  std::span<const double> y, double radius,
-                                 size_t lane, bool parallel_filter,
+                                 size_t lane, EngineLaneStats* lane_slot,
+                                 bool parallel_filter,
                                  QueryStats* qstats) const;
 
   const BrePartition* index_;

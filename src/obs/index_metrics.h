@@ -87,6 +87,18 @@ inline constexpr char kSnapshotOldestPinAgeGauge[] =
 inline constexpr char kSnapshotCowRetainedPagesGauge[] =
     "brep_snapshot_cow_retained_pages";
 
+// Scale-out tier (ShardedIndex sums its shards' series by name and adds
+// these; ReplicaIndex tracks its tailing progress with them).
+inline constexpr char kShardsGauge[] = "brep_shards";
+inline constexpr char kShardScatterLatencyMs[] = "brep_shard_scatter_latency_ms";
+inline constexpr char kShardMergeLatencyMs[] = "brep_shard_merge_latency_ms";
+inline constexpr char kReplicationLagLsnsGauge[] = "brep_replication_lag_lsns";
+inline constexpr char kReplicationAppliedTotal[] =
+    "brep_replication_applied_records_total";
+inline constexpr char kReplicationPollsTotal[] = "brep_replication_polls_total";
+inline constexpr char kReplicationResetsTotal[] =
+    "brep_replication_resets_total";
+
 /// Handles into one index's registry, resolved once at construction so the
 /// hot paths never pay the registry's name lookup.
 struct IndexMetrics {

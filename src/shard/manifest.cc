@@ -1,0 +1,186 @@
+#include "shard/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/file_pager.h"
+#include "storage/serial.h"
+
+namespace brep::shard {
+namespace {
+
+constexpr uint64_t kMagic = 0x4452485350455242ull;  // "BREPSHRD"
+constexpr uint32_t kVersion = 1;
+
+std::string Errno() { return std::strerror(errno); }
+
+Status WriteFileDurably(const std::string& path,
+                        std::span<const uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create \"" + path + "\": " + Errno());
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::Internal("cannot write \"" + path + "\": " + Errno());
+      ::close(fd);
+      return status;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        Status::Internal("cannot fsync \"" + path + "\": " + Errno());
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ShardFileName(const std::string& path, uint64_t generation,
+                          size_t shard) {
+  return std::filesystem::path(path).filename().string() + ".g" +
+         std::to_string(generation) + ".shard" + std::to_string(shard);
+}
+
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const std::string& file) {
+  return (std::filesystem::path(manifest_path).parent_path() / file).string();
+}
+
+Status WriteManifest(const std::string& path, const Manifest& m) {
+  ByteWriter w;
+  w.Value<uint64_t>(kMagic);
+  w.Value<uint32_t>(kVersion);
+  w.Value<uint64_t>(m.generation);
+  w.Value<uint32_t>(static_cast<uint32_t>(m.shards.size()));
+  for (const ManifestShard& s : m.shards) {
+    w.Str(s.file);
+    w.Value<uint64_t>(s.durable_lsn);
+  }
+  w.Value<uint64_t>(Fnv1a64(w.bytes()));
+
+  const std::string tmp = path + ".tmp";
+  BREP_RETURN_IF_ERROR(WriteFileDurably(tmp, w.bytes()));
+
+  // Preserve the committed manifest as `.prev` before renaming over it, so
+  // a torn write of the new copy (should the rename itself be interrupted
+  // by a crash mid-journal) still leaves a decodable generation behind.
+  // Only a manifest that actually decodes is worth preserving: after a
+  // fallback open the primary on disk is the torn copy, and replacing a
+  // good `.prev` with it would discard the last readable generation.
+  const std::string prev = path + ".prev";
+  Manifest current;
+  if (ReadManifest(path, &current).ok()) {
+    ::unlink(prev.c_str());
+    if (::link(path.c_str(), prev.c_str()) != 0 && errno != ENOENT) {
+      ::unlink(tmp.c_str());
+      return Status::Internal("cannot preserve \"" + path + "\" as \"" + prev +
+                              "\": " + Errno());
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Internal(
+        "cannot move \"" + tmp + "\" over \"" + path + "\": " + Errno());
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (!FilePager::SyncDirectory(path)) {
+    return Status::Internal("cannot fsync the directory holding \"" + path +
+                            "\"");
+  }
+  return Status::Ok();
+}
+
+Status ReadManifest(const std::string& path, Manifest* out) {
+  std::vector<uint8_t> bytes;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no shard manifest at \"" + path + "\"");
+      }
+      return Status::Internal("cannot open \"" + path + "\": " + Errno());
+    }
+    uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status =
+            Status::Internal("cannot read \"" + path + "\": " + Errno());
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+  }
+  if (bytes.size() < sizeof(uint64_t)) {
+    return Status::DataLoss("shard manifest \"" + path + "\" is truncated");
+  }
+  const std::span<const uint8_t> body(bytes.data(),
+                                      bytes.size() - sizeof(uint64_t));
+  uint64_t want = 0;
+  std::memcpy(&want, bytes.data() + body.size(), sizeof(want));
+  if (Fnv1a64(body) != want) {
+    return Status::DataLoss("shard manifest \"" + path +
+                            "\" fails its checksum (torn or corrupt write)");
+  }
+  ByteReader r(body);
+  if (r.Value<uint64_t>() != kMagic) {
+    return Status::DataLoss("\"" + path + "\" is not a shard manifest");
+  }
+  const uint32_t version = r.Value<uint32_t>();
+  if (version != kVersion) {
+    return Status::DataLoss("shard manifest \"" + path +
+                            "\" has unsupported version " +
+                            std::to_string(version));
+  }
+  Manifest m;
+  m.generation = r.Value<uint64_t>();
+  const uint32_t count = r.Value<uint32_t>();
+  m.shards.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    ManifestShard s;
+    s.file = r.Str();
+    s.durable_lsn = r.Value<uint64_t>();
+    m.shards.push_back(std::move(s));
+  }
+  if (!r.ok() || r.remaining() != 0 || m.shards.size() != count ||
+      m.shards.empty()) {
+    return Status::DataLoss("shard manifest \"" + path +
+                            "\" is malformed despite a valid checksum");
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+Status ReadManifestOrPrev(const std::string& path, Manifest* out,
+                          bool* fell_back) {
+  if (fell_back != nullptr) *fell_back = false;
+  const Status primary = ReadManifest(path, out);
+  if (primary.ok()) return primary;
+  Manifest prev;
+  if (ReadManifest(path + ".prev", &prev).ok()) {
+    if (fell_back != nullptr) *fell_back = true;
+    *out = std::move(prev);
+    return Status::Ok();
+  }
+  return primary;  // the primary's error names the real problem
+}
+
+}  // namespace brep::shard

@@ -1,0 +1,63 @@
+#ifndef BREP_SHARD_MANIFEST_H_
+#define BREP_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+
+/// \file
+/// The shard manifest: one small checksummed file that makes a multi-shard
+/// checkpoint atomic as a unit. Each Save writes every shard's snapshot
+/// under a fresh generation number, then commits the manifest naming all of
+/// them in one rename. A crash between per-shard snapshots leaves the old
+/// manifest (and the old generation's files) fully intact; a torn manifest
+/// fails its checksum and Open falls back to the preserved previous copy at
+/// `<path>.prev`. Per-shard WALs are truncated only AFTER the manifest
+/// commit, so recovery always replays forward from whichever generation the
+/// manifest actually names.
+
+namespace brep::shard {
+
+/// One shard's entry: its checkpoint file (basename, resolved against the
+/// manifest's directory) and the WAL watermark that checkpoint absorbed.
+struct ManifestShard {
+  std::string file;
+  uint64_t durable_lsn = 0;
+};
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<ManifestShard> shards;
+
+  size_t num_shards() const { return shards.size(); }
+};
+
+/// Checkpoint file basename for shard `shard` of generation `generation`
+/// under manifest path `path` (e.g. "idx.shards.g3.shard1").
+std::string ShardFileName(const std::string& path, uint64_t generation,
+                          size_t shard);
+
+/// Resolve a manifest entry's basename against the manifest's directory.
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const std::string& file);
+
+/// Atomically commit `m` at `path`: write `path.tmp`, preserve the current
+/// manifest (if any) as `path.prev` via hardlink, rename the new one into
+/// place, and fsync the directory.
+Status WriteManifest(const std::string& path, const Manifest& m);
+
+/// Strict decode of the manifest at `path` (magic, version, checksum).
+/// kNotFound if the file does not exist; kDataLoss if it is torn/corrupt.
+Status ReadManifest(const std::string& path, Manifest* out);
+
+/// ReadManifest with fallback: a missing-but-recoverable or corrupt manifest
+/// at `path` falls back to `path.prev` (the generation preserved by the last
+/// successful commit). `fell_back`, when non-null, reports which copy won.
+Status ReadManifestOrPrev(const std::string& path, Manifest* out,
+                          bool* fell_back = nullptr);
+
+}  // namespace brep::shard
+
+#endif  // BREP_SHARD_MANIFEST_H_

@@ -20,12 +20,10 @@ namespace {
 // catalog magics so a log handed to the wrong opener fails immediately.
 constexpr uint64_t kWalMagic = 0x314C415750455242ull;
 constexpr uint32_t kWalVersion = 1;
-// magic u64 + version u32 + base lsn u64 + FNV-1a u64.
-constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;
-// u32 payload length + u8 type + u64 lsn, guarded by their own u32
-// checksum (see ParseRecordAt), + u64 trailing body checksum.
-constexpr size_t kRecordHeaderBytes = 4 + 1 + 8 + 4;
-constexpr size_t kRecordOverhead = kRecordHeaderBytes + 8;
+// The framing sizes are public (wal.h): the incremental reader needs them.
+constexpr size_t kHeaderBytes = kWalHeaderBytes;
+constexpr size_t kRecordHeaderBytes = kWalRecordHeaderBytes;
+constexpr size_t kRecordOverhead = kWalRecordOverhead;
 
 std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
@@ -90,22 +88,15 @@ std::vector<uint8_t> EncodeRecord(WalRecordType type, uint64_t lsn,
   return w.Take();
 }
 
-/// What scanning one record position yields.
-enum class Step {
-  kRecord,     // *rec decoded, *extent bytes consumed
-  kEnd,        // clean end of log
-  kTorn,       // incomplete/checksum-failed tail: the cut point of a crash
-  kCorrupt,    // checksum failure with bytes following (not a torn append)
-  kMalformed,  // checksum fine but the contents are not a valid record
-};
+}  // namespace
 
-Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
-                   WalRecord* rec, size_t* extent, std::string* note) {
+WalStep ParseWalRecordAt(std::span<const uint8_t> bytes, size_t offset,
+                         WalRecord* rec, size_t* extent, std::string* note) {
   const size_t remaining = bytes.size() - offset;
-  if (remaining == 0) return Step::kEnd;
+  if (remaining == 0) return WalStep::kEnd;
   if (remaining < kRecordHeaderBytes) {
     *note = "incomplete record header";
-    return Step::kTorn;
+    return WalStep::kIncomplete;
   }
   // The header guard decides whether the length field may be trusted: a
   // torn append leaves a VALID header with a short payload, while a
@@ -125,17 +116,17 @@ Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
         std::all_of(tail.begin(), tail.end(), [](uint8_t b) { return b == 0; });
     if (all_zero) {
       *note = "zero-filled tail (crash during append)";
-      return Step::kTorn;
+      return WalStep::kIncomplete;
     }
     *note = "record header checksum mismatch";
-    return Step::kCorrupt;
+    return WalStep::kCorrupt;
   }
   uint32_t payload_len = 0;
   std::memcpy(&payload_len, bytes.data() + offset, 4);
   if (payload_len > remaining - kRecordOverhead ||
       remaining < kRecordOverhead) {
     *note = "record extent runs past the end of the file";
-    return Step::kTorn;
+    return WalStep::kIncomplete;
   }
   *extent = kRecordOverhead + payload_len;
   ByteWriter body_bytes;  // the body-checksummed region: type, lsn, payload
@@ -147,10 +138,10 @@ Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
   if (stored_sum != Fnv1a64(body)) {
     if (offset + *extent == bytes.size()) {
       *note = "checksum failed on the final record";
-      return Step::kTorn;
+      return WalStep::kIncomplete;
     }
     *note = "record checksum mismatch with records following";
-    return Step::kCorrupt;
+    return WalStep::kCorrupt;
   }
   ByteReader r(body);
   const uint8_t raw_type = r.Value<uint8_t>();
@@ -164,7 +155,7 @@ Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
       if (!r.ok() || rec->lsn == 0 ||
           uint64_t{dim} * sizeof(double) != r.remaining()) {
         *note = "malformed insert record";
-        return Step::kMalformed;
+        return WalStep::kMalformed;
       }
       rec->point.resize(dim);
       r.Raw(rec->point.data(), dim * sizeof(double));
@@ -175,7 +166,7 @@ Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
       rec->id = r.Value<uint32_t>();
       if (!r.ok() || r.remaining() != 0 || rec->lsn == 0) {
         *note = "malformed delete record";
-        return Step::kMalformed;
+        return WalStep::kMalformed;
       }
       break;
     case static_cast<uint8_t>(WalRecordType::kCheckpoint):
@@ -183,15 +174,17 @@ Step ParseRecordAt(std::span<const uint8_t> bytes, size_t offset,
       rec->checkpoint_lsn = r.Value<uint64_t>();
       if (!r.ok() || r.remaining() != 0) {
         *note = "malformed checkpoint record";
-        return Step::kMalformed;
+        return WalStep::kMalformed;
       }
       break;
     default:
       *note = "unknown record type " + std::to_string(raw_type);
-      return Step::kMalformed;
+      return WalStep::kMalformed;
   }
-  return Step::kRecord;
+  return WalStep::kRecord;
 }
+
+namespace {
 
 /// Slurp the file; kNotFound when it does not exist.
 StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
@@ -225,11 +218,10 @@ StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
-/// Header decode shared by the strict scan and the dump: OK with
-/// *base_lsn set, or the error to report. A short file is NOT an error
-/// (crash during creation/checkpoint reset); *torn_header is set instead.
-Status ParseHeader(std::span<const uint8_t> bytes, const std::string& path,
-                   uint64_t* base_lsn, bool* torn_header) {
+}  // namespace
+
+Status ParseWalHeader(std::span<const uint8_t> bytes, const std::string& path,
+                      uint64_t* base_lsn, bool* torn_header) {
   *torn_header = bytes.size() < kHeaderBytes;
   if (*torn_header) return Status::Ok();
   ByteReader r(bytes.first(kHeaderBytes));
@@ -250,8 +242,6 @@ Status ParseHeader(std::span<const uint8_t> bytes, const std::string& path,
   return Status::Ok();
 }
 
-}  // namespace
-
 const char* FsyncModeName(FsyncMode mode) {
   switch (mode) {
     case FsyncMode::kNone: return "none";
@@ -267,7 +257,7 @@ StatusOr<WalScan> ReadWal(const std::string& path) {
   WalScan scan;
   bool torn_header = false;
   BREP_RETURN_IF_ERROR(
-      ParseHeader(bytes, path, &scan.base_lsn, &torn_header));
+      ParseWalHeader(bytes, path, &scan.base_lsn, &torn_header));
   if (torn_header) {
     // Crash during creation or checkpoint reset: an empty (or header-torn)
     // log with nothing to replay. The writer recreates it from scratch.
@@ -281,14 +271,14 @@ StatusOr<WalScan> ReadWal(const std::string& path) {
     WalRecord rec;
     size_t extent = 0;
     std::string note;
-    const Step step = ParseRecordAt(bytes, offset, &rec, &extent, &note);
-    if (step == Step::kEnd) break;
-    if (step == Step::kTorn) {
+    const WalStep step = ParseWalRecordAt(bytes, offset, &rec, &extent, &note);
+    if (step == WalStep::kEnd) break;
+    if (step == WalStep::kIncomplete) {
       scan.torn_tail = true;
       scan.dropped_bytes = bytes.size() - offset;
       break;
     }
-    if (step != Step::kRecord) {
+    if (step != WalStep::kRecord) {
       return Status::DataLoss("\"" + path + "\": " + note + " at offset " +
                               std::to_string(offset));
     }
@@ -304,7 +294,7 @@ Status DumpWal(const std::string& path, std::FILE* out) {
                         ReadFileBytes(path));
   uint64_t base_lsn = 0;
   bool torn_header = false;
-  const Status header = ParseHeader(bytes, path, &base_lsn, &torn_header);
+  const Status header = ParseWalHeader(bytes, path, &base_lsn, &torn_header);
   if (torn_header) {
     std::fprintf(out, "%s: %s (%zu bytes); nothing to replay\n", path.c_str(),
                  bytes.empty() ? "empty WAL" : "torn WAL header",
@@ -323,17 +313,17 @@ Status DumpWal(const std::string& path, std::FILE* out) {
     WalRecord rec;
     size_t extent = 0;
     std::string note;
-    const Step step = ParseRecordAt(bytes, offset, &rec, &extent, &note);
-    if (step == Step::kEnd) {
+    const WalStep step = ParseWalRecordAt(bytes, offset, &rec, &extent, &note);
+    if (step == WalStep::kEnd) {
       std::fprintf(out, "clean end: %zu records, %zu bytes\n", n, offset);
       break;
     }
-    if (step == Step::kTorn) {
+    if (step == WalStep::kIncomplete) {
       std::fprintf(out, "torn tail at offset %zu (%s; %zu bytes dropped)\n",
                    offset, note.c_str(), bytes.size() - offset);
       break;
     }
-    if (step != Step::kRecord) {
+    if (step != WalStep::kRecord) {
       std::fprintf(out, "CORRUPT at offset %zu: %s\n", offset, note.c_str());
       break;
     }

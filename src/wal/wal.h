@@ -97,6 +97,46 @@ struct WalScan {
 /// that is what a crash during creation or checkpoint reset leaves behind.
 StatusOr<WalScan> ReadWal(const std::string& path);
 
+// -------------------------------------------------------------- framing
+// The low-level record framing, shared by the strict scan (ReadWal), the
+// lenient dump (DumpWal), and the incremental tail reader (wal_reader.h).
+// Anything else should go through those higher-level entry points.
+
+/// File header: magic u64 + version u32 + base lsn u64 + FNV-1a u64.
+inline constexpr size_t kWalHeaderBytes = 8 + 4 + 8 + 8;
+/// Record header: u32 payload length + u8 type + u64 lsn + u32 guard
+/// checksum over those 13 bytes.
+inline constexpr size_t kWalRecordHeaderBytes = 4 + 1 + 8 + 4;
+/// Full framing cost of one record: header + trailing u64 body checksum.
+inline constexpr size_t kWalRecordOverhead = kWalRecordHeaderBytes + 8;
+
+/// What scanning one record position yields. The kIncomplete/kCorrupt
+/// split is the load-bearing distinction: at recovery an incomplete final
+/// record is the cut point of a crash (drop it), while a live tail reader
+/// treats the same shape as an append still in flight (retry later).
+/// kCorrupt can be neither -- acknowledged records are damaged.
+enum class WalStep {
+  kRecord,      // *rec decoded, *extent bytes consumed
+  kEnd,         // clean end of log
+  kIncomplete,  // truncated/zero-filled tail: a crash cut OR an append in
+                // flight -- the caller's context decides which
+  kCorrupt,     // checksum failure with bytes following (not a torn append)
+  kMalformed,   // checksum fine but the contents are not a valid record
+};
+
+/// Decode the record starting at `offset` (absolute file offset; the first
+/// record sits at kWalHeaderBytes). On kRecord, `*rec` and `*extent` are
+/// set; on any other step `*note` says why.
+WalStep ParseWalRecordAt(std::span<const uint8_t> bytes, size_t offset,
+                         WalRecord* rec, size_t* extent, std::string* note);
+
+/// Header decode: OK with *base_lsn set, or the kDataLoss to report. A
+/// file shorter than the header is NOT an error (a crash during creation
+/// or checkpoint reset, or a reset caught mid-write by a tail reader);
+/// *torn_header is set instead.
+Status ParseWalHeader(std::span<const uint8_t> bytes, const std::string& path,
+                      uint64_t* base_lsn, bool* torn_header);
+
 /// Print a human-readable listing of `path` -- header fields, then one
 /// line per record (offset, LSN, type, payload summary, checksum status),
 /// then the tail diagnosis -- without rejecting corrupted logs (this is

@@ -1,0 +1,207 @@
+#include "wal/wal_reader.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace brep {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// pread-per-call file transport. Descriptors are not cached across calls:
+/// the primary's checkpoint reset replaces the file content in place
+/// (truncate + rewrite), and a stale descriptor would keep a coherent view
+/// of it anyway -- re-opening just keeps the failure modes simple.
+class FileTailTransport final : public WalTransport {
+ public:
+  explicit FileTailTransport(std::string path) : path_(std::move(path)) {}
+
+  StatusOr<uint64_t> Size() override {
+    struct stat sb{};
+    if (::stat(path_.c_str(), &sb) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no WAL file at \"" + path_ + "\"");
+      }
+      return Status::Internal(Errno("cannot stat WAL \"" + path_ + "\""));
+    }
+    return static_cast<uint64_t>(sb.st_size);
+  }
+
+  Status ReadAt(uint64_t offset, size_t max_bytes,
+                std::vector<uint8_t>* out) override {
+    out->clear();
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no WAL file at \"" + path_ + "\"");
+      }
+      return Status::Internal(Errno("cannot open WAL \"" + path_ + "\""));
+    }
+    out->resize(max_bytes);
+    size_t done = 0;
+    while (done < max_bytes) {
+      const ssize_t n = ::pread(fd, out->data() + done, max_bytes - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) {
+        const Status s =
+            Status::Internal(Errno("cannot read WAL \"" + path_ + "\""));
+        ::close(fd);
+        out->clear();
+        return s;
+      }
+      if (n == 0) break;  // current end of file
+      done += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    out->resize(done);
+    return Status::Ok();
+  }
+
+  std::string Describe() const override { return path_; }
+
+ private:
+  const std::string path_;
+};
+
+}  // namespace
+
+std::unique_ptr<WalTransport> MakeFileTailTransport(std::string path) {
+  return std::make_unique<FileTailTransport>(std::move(path));
+}
+
+WalReader::WalReader(std::unique_ptr<WalTransport> transport)
+    : transport_(std::move(transport)) {
+  BREP_CHECK(transport_ != nullptr);
+}
+
+WalReader WalReader::ForFile(std::string path) {
+  return WalReader(MakeFileTailTransport(std::move(path)));
+}
+
+StatusOr<bool> WalReader::SyncHeader(WalTailChunk* chunk) {
+  auto size = transport_->Size();
+  if (!size.ok()) {
+    if (size.status().code() == StatusCode::kNotFound) {
+      // The primary has not created the log yet (or a reset unlinked it
+      // for a moment): nothing to read, nothing wrong.
+      chunk->base_lsn = base_lsn_;
+      chunk->tail_pending = true;
+      return true;
+    }
+    return size.status();
+  }
+  std::vector<uint8_t> header;
+  BREP_RETURN_IF_ERROR(transport_->ReadAt(0, kWalHeaderBytes, &header));
+  uint64_t new_base = 0;
+  bool torn_header = false;
+  BREP_RETURN_IF_ERROR(ParseWalHeader(header, transport_->Describe(),
+                                      &new_base, &torn_header));
+  if (torn_header) {
+    // A checkpoint reset caught between truncate and the header pwrite:
+    // the header will be whole on the next poll.
+    chunk->base_lsn = base_lsn_;
+    chunk->tail_pending = true;
+    return true;
+  }
+  if (!header_seen_) {
+    header_seen_ = true;
+    base_lsn_ = new_base;
+    offset_ = kWalHeaderBytes;
+  } else if (new_base != base_lsn_ || *size < offset_) {
+    // The log was reset by a checkpoint: everything the new header's base
+    // covers is durable in the primary's index file, so re-synchronizing
+    // the cursor to the fresh log loses nothing the caller still needs --
+    // unless the base ran PAST the caller, which ReadFrom rejects below.
+    chunk->reset = true;
+    base_lsn_ = new_base;
+    offset_ = kWalHeaderBytes;
+  }
+  chunk->base_lsn = base_lsn_;
+  return false;
+}
+
+StatusOr<WalTailChunk> WalReader::ReadFrom(uint64_t from_lsn) {
+  WalTailChunk chunk;
+  BREP_ASSIGN_OR_RETURN(const bool early, SyncHeader(&chunk));
+  if (early) return chunk;
+  if (base_lsn_ > from_lsn) {
+    return Status::DataLoss(
+        "WAL \"" + transport_->Describe() + "\" starts at lsn " +
+        std::to_string(base_lsn_) + " but the reader has only consumed up "
+        "to lsn " + std::to_string(from_lsn) +
+        ": the log was truncated past this reader (re-seed from the "
+        "current checkpoint)");
+  }
+
+  BREP_ASSIGN_OR_RETURN(const uint64_t size, transport_->Size());
+  if (size <= offset_) return chunk;  // nothing new
+  std::vector<uint8_t> bytes;
+  BREP_RETURN_IF_ERROR(
+      transport_->ReadAt(offset_, static_cast<size_t>(size - offset_),
+                         &bytes));
+  size_t local = 0;  // cursor into `bytes`; file offset is offset_ + local
+  for (;;) {
+    WalRecord rec;
+    size_t extent = 0;
+    std::string note;
+    const WalStep step = ParseWalRecordAt(bytes, local, &rec, &extent, &note);
+    if (step == WalStep::kEnd) break;
+    if (step == WalStep::kIncomplete) {
+      // The live-tail distinction: these bytes are an append (or reset)
+      // still in flight, not a crash scar -- they will complete. Leave the
+      // cursor before them and tell the caller to poll again.
+      chunk.tail_pending = true;
+      break;
+    }
+    if (step != WalStep::kRecord) {
+      // Before declaring a crash scar, rule out a checkpoint reset racing
+      // this read: truncate-and-rewrite under a live ReadAt can hand back a
+      // stale mix of old and new log bytes that fails its checksum. If the
+      // header changed (or the file shrank under the bytes just parsed),
+      // drop the suspect read, re-sync the cursor, and report a reset --
+      // the next poll reads the fresh log cleanly.
+      auto resize = transport_->Size();
+      std::vector<uint8_t> header;
+      uint64_t new_base = 0;
+      bool torn_header = false;
+      if (resize.ok() &&
+          transport_->ReadAt(0, kWalHeaderBytes, &header).ok() &&
+          ParseWalHeader(header, transport_->Describe(), &new_base,
+                         &torn_header)
+              .ok() &&
+          !torn_header &&
+          (new_base != base_lsn_ || *resize < offset_ + local + extent)) {
+        chunk.records.clear();
+        chunk.reset = true;
+        base_lsn_ = new_base;
+        chunk.base_lsn = new_base;
+        offset_ = kWalHeaderBytes;
+        return chunk;
+      }
+      return Status::DataLoss("WAL \"" + transport_->Describe() + "\": " +
+                              note + " at offset " +
+                              std::to_string(offset_ + local));
+    }
+    // Checkpoint markers carry the base watermark the header already
+    // reports (and their lsn <= from_lsn here), so callers never see them:
+    // ReadFrom yields exactly the redo records past the watermark.
+    if (rec.type != WalRecordType::kCheckpoint && rec.lsn > from_lsn) {
+      chunk.records.push_back(std::move(rec));
+    }
+    local += extent;
+  }
+  offset_ += local;
+  return chunk;
+}
+
+}  // namespace brep

@@ -1,0 +1,110 @@
+#ifndef BREP_WAL_WAL_READER_H_
+#define BREP_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "wal/wal.h"
+
+/// \file
+/// Incremental WAL tailing: the read side of log shipping. A WalReader
+/// keeps a byte cursor into a log that another process (or thread) is
+/// actively appending to, and each ReadFrom(lsn) call yields every NEW
+/// complete record -- distinguishing "the final record is still being
+/// written, poll again" from "acknowledged records are damaged, kDataLoss".
+/// ReadWal cannot make that distinction: at recovery an incomplete tail is
+/// the cut point of a crash and is silently dropped, which is exactly
+/// wrong for a live tail (the bytes will complete milliseconds later).
+///
+/// The byte source is abstracted behind WalTransport so the polling
+/// file-tail reader used by ReplicaIndex and `wal_dump --follow` can later
+/// be swapped for a socket-shipped stream without touching the cursor
+/// logic.
+
+namespace brep {
+
+/// Byte source over a (possibly growing, occasionally reset) log.
+/// Implementations must tolerate concurrent appends: a Read that races an
+/// in-flight append may observe a partially written suffix, which the
+/// reader handles as an incomplete tail.
+class WalTransport {
+ public:
+  virtual ~WalTransport() = default;
+
+  /// Current byte size of the log; kNotFound while the log does not exist
+  /// yet (the primary has not created it).
+  virtual StatusOr<uint64_t> Size() = 0;
+
+  /// Read up to `max_bytes` starting at `offset` into `*out` (replacing
+  /// its contents). Fewer bytes than requested -- including zero -- means
+  /// the log currently ends there.
+  virtual Status ReadAt(uint64_t offset, size_t max_bytes,
+                        std::vector<uint8_t>* out) = 0;
+
+  /// Where the bytes come from, for error messages.
+  virtual std::string Describe() const = 0;
+};
+
+/// Polling transport over a local WAL file (pread; never holds the file
+/// open across calls, so the primary's checkpoint reset -- truncate +
+/// rewrite -- is always observed through a fresh descriptor).
+std::unique_ptr<WalTransport> MakeFileTailTransport(std::string path);
+
+/// One ReadFrom batch.
+struct WalTailChunk {
+  /// Complete, validated records with lsn > the requested watermark, in
+  /// log order.
+  std::vector<WalRecord> records;
+  /// The log's current base LSN (its header's checkpoint watermark).
+  uint64_t base_lsn = 0;
+  /// An incomplete record (or partial header) sits at the tail: an append
+  /// or a reset is in flight. Poll again; this is NOT corruption.
+  bool tail_pending = false;
+  /// The log was reset (checkpoint truncation) since the previous call;
+  /// the cursor re-synchronized from the new header.
+  bool reset = false;
+};
+
+/// Cursor over a live log. Not internally synchronized: one tailing loop
+/// per reader. Any kDataLoss return is sticky in effect -- the log is
+/// damaged or the reader fell irrecoverably behind -- so callers should
+/// stop tailing and re-seed from a fresh checkpoint.
+class WalReader {
+ public:
+  explicit WalReader(std::unique_ptr<WalTransport> transport);
+
+  /// Convenience: a reader polling the WAL file at `path`.
+  static WalReader ForFile(std::string path);
+
+  /// Return every complete record currently in the log with lsn >
+  /// `from_lsn` that the cursor has not yet yielded. An empty `records`
+  /// with tail_pending false simply means nothing new landed.
+  ///
+  /// Errors: kDataLoss when the log is corrupted mid-stream (checksum
+  /// failure with bytes following, malformed contents) or when the log was
+  /// reset past `from_lsn` (the primary checkpointed and truncated records
+  /// this reader never consumed -- re-open from the new checkpoint);
+  /// kNotFound/kInternal from the transport.
+  StatusOr<WalTailChunk> ReadFrom(uint64_t from_lsn);
+
+  /// Byte offset of the end of the last fully validated prefix.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  /// Re-read and validate the header, detecting resets. Returns true when
+  /// the chunk should be returned to the caller as-is (log missing or
+  /// header still being written).
+  StatusOr<bool> SyncHeader(WalTailChunk* chunk);
+
+  std::unique_ptr<WalTransport> transport_;
+  bool header_seen_ = false;
+  uint64_t base_lsn_ = 0;
+  uint64_t offset_ = 0;  // end of the validated prefix
+};
+
+}  // namespace brep
+
+#endif  // BREP_WAL_WAL_READER_H_

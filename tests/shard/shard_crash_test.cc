@@ -1,0 +1,323 @@
+/// Cross-shard crash consistency: a child process streams a seeded
+/// insert/delete workload into a 4-shard durable ShardedIndex and is
+/// SIGKILLed mid-stream; the parent reopens through the manifest and
+/// proves every shard recovered exactly its surviving prefix -- the whole
+/// cluster byte-identical (ids AND bit-equal distances) to an oracle fed
+/// the completed operations. A separate test tears the manifest commit
+/// itself: Open must fall back to the preserved previous generation and
+/// still recover every durable write from the intact per-shard logs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/build_counters.h"
+#include "shard/shard_test_util.h"
+#include "update/update_test_util.h"
+
+namespace brep {
+namespace testing {
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/cluster.manifest";
+}
+std::string WalPrefix(const std::string& dir) { return dir + "/cluster.wal"; }
+
+ShardedIndexOptions DurableShardedOptions(const ShardPlan& plan,
+                                          const std::string& dir) {
+  ShardedIndexOptions options = SmallShardedOptions(plan.num_shards);
+  options.shard.durability.wal_path = WalPrefix(dir);
+  options.shard.durability.fsync_mode = FsyncMode::kAlways;
+  return options;
+}
+
+Matrix InitialMatrix(const ShardPlan& plan, const Matrix& pool) {
+  return Matrix(plan.initial, plan.dim,
+                std::vector<double>(
+                    pool.data().begin(),
+                    pool.data().begin() + plan.initial * plan.dim));
+}
+
+}  // namespace
+
+int RunShardCrashChild() {
+  const char* dir = std::getenv("BREP_SHARD_DIR");
+  const char* gen = std::getenv("BREP_SHARD_GEN");
+  if (dir == nullptr || gen == nullptr) return 10;
+  ShardPlan plan;
+  plan.generator = gen;
+  plan.seed = EnvOr("BREP_SHARD_SEED", 1);
+  plan.ops = EnvOr("BREP_SHARD_OPS", 300);
+  plan.num_shards = EnvOr("BREP_SHARD_SHARDS", 4);
+  const uint64_t kill_after = EnvOr("BREP_SHARD_KILL_AFTER", 0);
+  const uint64_t ckpt_every = EnvOr("BREP_SHARD_CKPT_EVERY", 0);
+
+  const Matrix pool = ShardPlanPool(plan);
+  const std::vector<ShardPlanOp> ops = GenerateShardPlan(plan, pool);
+  auto built = ShardedIndex::Build(InitialMatrix(plan, pool), plan.generator,
+                                   DurableShardedOptions(plan, dir));
+  if (!built.ok()) {
+    std::fprintf(stderr, "child build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 11;
+  }
+  if (!(*built)->Save(ManifestPath(dir)).ok()) return 12;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ShardPlanOp& op = ops[i];
+    if (op.is_insert) {
+      const auto id = (*built)->Insert(op.point);
+      if (!id.ok() || *id != op.global_id) {
+        std::fprintf(stderr, "child op %zu diverged\n", i);
+        return 13;
+      }
+    } else if (!(*built)->Delete(op.global_id).ok()) {
+      std::fprintf(stderr, "child op %zu delete failed\n", i);
+      return 13;
+    }
+    if (ckpt_every != 0 && (i + 1) % ckpt_every == 0) {
+      if (!(*built)->Save(ManifestPath(dir)).ok()) return 14;
+    }
+    if (kill_after == i + 1) {
+      ::raise(SIGKILL);  // the crash: no destructors, no flushes
+    }
+  }
+  return 0;  // clean run
+}
+
+namespace {
+
+int SpawnChild(const std::vector<std::pair<std::string, std::string>>& env) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    for (const auto& [k, v] : env) ::setenv(k.c_str(), v.c_str(), 1);
+    ::setenv("BREP_SHARD_CHILD", "1", 1);
+    ::execl("/proc/self/exe", "shard_crash_child",
+            static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+uint64_t BuildWork() {
+  const auto& c = internal::GetBuildCounters();
+  return c.fit_cost_model.load() + c.pccp.load() + c.dataset_transform.load() +
+         c.forest_builds.load();
+}
+
+class ShardCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "brep_shardcrash";
+    ::mkdir(dir_.c_str(), 0755);
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    const std::string manifest = ManifestPath(dir_);
+    std::remove(manifest.c_str());
+    std::remove((manifest + ".prev").c_str());
+    std::remove((manifest + ".tmp").c_str());
+    for (uint64_t g = 1; g <= 12; ++g) {
+      for (size_t k = 0; k < 4; ++k) {
+        std::remove(shard::ResolveShardPath(
+                        manifest, shard::ShardFileName(manifest, g, k))
+                        .c_str());
+        std::remove(shard::ResolveShardPath(
+                        manifest,
+                        shard::ShardFileName(manifest, g, k) + ".tmp")
+                        .c_str());
+      }
+    }
+    for (size_t k = 0; k < 4; ++k) {
+      std::remove((WalPrefix(dir_) + ".shard" + std::to_string(k)).c_str());
+    }
+  }
+
+  int RunChild(const ShardPlan& plan, uint64_t kill_after,
+               uint64_t ckpt_every) {
+    return SpawnChild(
+        {{"BREP_SHARD_DIR", dir_},
+         {"BREP_SHARD_GEN", plan.generator},
+         {"BREP_SHARD_SEED", std::to_string(plan.seed)},
+         {"BREP_SHARD_OPS", std::to_string(plan.ops)},
+         {"BREP_SHARD_SHARDS", std::to_string(plan.num_shards)},
+         {"BREP_SHARD_KILL_AFTER", std::to_string(kill_after)},
+         {"BREP_SHARD_CKPT_EVERY", std::to_string(ckpt_every)}});
+  }
+
+  /// The global oracle fed ops [0, prefix).
+  LinearScanOracle OracleForPrefix(const ShardPlan& plan, const Matrix& pool,
+                                   const std::vector<ShardPlanOp>& ops,
+                                   size_t prefix) {
+    LinearScanOracle oracle(
+        BregmanDivergence(MakeGenerator(plan.generator), plan.dim));
+    for (uint32_t g = 0; g < plan.initial; ++g) {
+      oracle.Insert(g, pool.Row(g));
+    }
+    for (size_t i = 0; i < prefix; ++i) {
+      const ShardPlanOp& op = ops[i];
+      if (op.is_insert) {
+        oracle.Insert(op.global_id, op.point);
+      } else {
+        oracle.Delete(op.global_id);
+      }
+    }
+    return oracle;
+  }
+
+  void ExpectMatchesOracle(const ShardedIndex& index,
+                           const LinearScanOracle& oracle, const Matrix& pool,
+                           uint64_t query_seed) {
+    ASSERT_EQ(index.num_points(), oracle.size());
+    Rng rng(query_seed);
+    for (size_t q = 0; q < 4; ++q) {
+      const auto y = pool.Row(rng.NextBelow(pool.rows()));
+      const size_t k = std::min<size_t>(10, oracle.size());
+      const auto got = index.Knn(y, k);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      ExpectIdenticalNeighbors(*got, oracle.Knn(y, k));
+    }
+    const auto y = pool.Row(1);
+    const auto got = index.Knn(y, oracle.size());
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectIdenticalNeighbors(*got, oracle.Knn(y, oracle.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardCrashTest, SigkilledClusterRecoversEveryShardsSurvivingPrefix) {
+  const uint64_t kOps = EnvOr("BREP_SHARD_CRASH_OPS", 300);
+  ShardPlan plan;
+  plan.ops = kOps;
+  Rng rng(0xD1CE);
+  // Three rounds: pure log replay, and two with mid-stream full-cluster
+  // checkpoints (so recovery spans manifest generations).
+  const uint64_t ckpt_rounds[] = {0, 89, 53};
+  for (size_t r = 0; r < 3; ++r) {
+    plan.seed = 0xACE5 + 29 * r;
+    const uint64_t kill_after = 1 + rng.NextBelow(plan.ops);
+    SCOPED_TRACE("replay: BREP_SHARD_SEED=" + std::to_string(plan.seed) +
+                 " kill_after=" + std::to_string(kill_after) +
+                 " ckpt_every=" + std::to_string(ckpt_rounds[r]));
+    Cleanup();
+    const int status = RunChild(plan, kill_after, ckpt_rounds[r]);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child did not die by SIGKILL (status " << status << ")";
+
+    const Matrix pool = ShardPlanPool(plan);
+    const auto ops = GenerateShardPlan(plan, pool);
+    const uint64_t work_before = BuildWork();
+    auto reopened = ShardedIndex::Open(ManifestPath(dir_),
+                                       DurableShardedOptions(plan, dir_));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+    EXPECT_EQ(BuildWork(), work_before) << "recovery rebuilt a shard";
+
+    // fsync=always and a kill at an operation boundary: every completed
+    // op's record is durable, so each shard recovers exactly the ops the
+    // plan routed to it within [0, kill_after) -- its last per-shard LSN
+    // is the count of those ops (LSNs run on across checkpoints).
+    std::vector<uint64_t> routed(plan.num_shards, 0);
+    for (size_t i = 0; i < kill_after; ++i) ++routed[ops[i].shard];
+    for (size_t k = 0; k < plan.num_shards; ++k) {
+      EXPECT_EQ((*reopened)->shard(k).recovery().last_lsn, routed[k])
+          << "shard " << k;
+      (*reopened)->shard(k).impl().DebugCheckInvariants();
+    }
+    ExpectMatchesOracle(**reopened,
+                        OracleForPrefix(plan, pool, ops, kill_after), pool,
+                        plan.seed ^ 0x99);
+  }
+}
+
+TEST_F(ShardCrashTest, TornManifestCommitFallsBackToThePreviousGeneration) {
+  ShardPlan plan;
+  plan.seed = 0x70A2;
+  plan.ops = 120;
+  const Matrix pool = ShardPlanPool(plan);
+  const auto ops = GenerateShardPlan(plan, pool);
+  const std::string manifest = ManifestPath(dir_);
+
+  // In-process primary: checkpoint gen 1, run half the ops, checkpoint
+  // gen 2, run the rest (they stay in the per-shard logs).
+  {
+    auto built = ShardedIndex::Build(InitialMatrix(plan, pool),
+                                     plan.generator,
+                                     DurableShardedOptions(plan, dir_));
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    ASSERT_TRUE((*built)->Save(manifest).ok());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (i == ops.size() / 2) {
+        ASSERT_TRUE((*built)->Save(manifest).ok());
+      }
+      const ShardPlanOp& op = ops[i];
+      if (op.is_insert) {
+        const auto id = (*built)->Insert(op.point);
+        ASSERT_TRUE(id.ok()) << id.status().message();
+        ASSERT_EQ(*id, op.global_id);
+      } else {
+        ASSERT_TRUE((*built)->Delete(op.global_id).ok());
+      }
+    }
+  }
+
+  // Simulate the exact crash window of a gen-3 Save: the previous manifest
+  // was preserved as .prev (a hard link to the gen-2 inode) and the commit
+  // then landed a torn primary -- a NEW inode, as rename() installs, so
+  // corrupting it must not touch .prev. The logs are untouched (truncation
+  // is strictly post-commit).
+  ASSERT_EQ(::unlink((manifest + ".prev").c_str()), 0);
+  ASSERT_EQ(::link(manifest.c_str(), (manifest + ".prev").c_str()), 0);
+  {
+    const std::string tmp = manifest + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    const char torn[] = "BREPSHRD torn mid-commit";
+    ASSERT_EQ(::write(fd, torn, sizeof(torn)), ssize_t(sizeof(torn)));
+    ::close(fd);
+    ASSERT_EQ(::rename(tmp.c_str(), manifest.c_str()), 0);
+  }
+
+  // Open falls back to the preserved generation and the per-shard logs
+  // replay every write after it: nothing durable is lost.
+  auto reopened =
+      ShardedIndex::Open(manifest, DurableShardedOptions(plan, dir_));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_TRUE((*reopened)->recovered_from_prev_manifest());
+  EXPECT_EQ((*reopened)->generation(), 2u);
+  ExpectMatchesOracle(**reopened,
+                      OracleForPrefix(plan, pool, ops, ops.size()), pool,
+                      plan.seed ^ 0x7E);
+
+  // With no fallback either, Open must refuse cleanly -- never serve a
+  // half-committed generation.
+  ASSERT_EQ(::unlink((manifest + ".prev").c_str()), 0);
+  const auto refused =
+      ShardedIndex::Open(manifest, DurableShardedOptions(plan, dir_));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace brep

@@ -1,0 +1,18 @@
+/// Custom test main: the sharded crash-injection suite re-executes this
+/// binary as a subprocess (BREP_SHARD_CHILD set) that streams a seeded
+/// workload into a 4-shard durable index and SIGKILLs itself mid-stream;
+/// everything else is a normal GoogleTest run.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "shard/shard_test_util.h"
+
+int main(int argc, char** argv) {
+  if (std::getenv("BREP_SHARD_CHILD") != nullptr) {
+    return brep::testing::RunShardCrashChild();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

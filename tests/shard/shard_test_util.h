@@ -1,0 +1,126 @@
+#ifndef BREP_TESTS_SHARD_SHARD_TEST_UTIL_H_
+#define BREP_TESTS_SHARD_SHARD_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/top_k.h"
+#include "dataset/matrix.h"
+#include "shard/sharded_index.h"
+#include "test_util.h"
+
+namespace brep::testing {
+
+/// Small, deterministic per-shard construction knobs shared by every shard
+/// suite (mirrors the WAL crash tests: 3 partitions, tiny pages, shallow
+/// leaves keep tree structure in play at test sizes).
+inline ShardedIndexOptions SmallShardedOptions(size_t num_shards,
+                                               size_t threads = 0) {
+  ShardedIndexOptions options;
+  options.num_shards = num_shards;
+  options.threads = threads;
+  options.shard.config.num_partitions = 3;
+  options.shard.config.forest.tree.max_leaf_size = 16;
+  options.shard.page_size = 1024;
+  return options;
+}
+
+/// Byte-identical: same ids in the same order, bit-equal distances.
+inline void ExpectIdenticalNeighbors(const std::vector<Neighbor>& got,
+                                     const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+}
+
+/// Deterministic update workload against a ShardedIndex, mirroring its
+/// routing exactly: inserts round-robin over shards through one cursor
+/// (starting at initial % N, advanced only by inserts), each shard assigns
+/// local ids with LIFO tombstone reuse, and the global id is
+/// local * N + shard. Both the crash child and the verifying parent derive
+/// the identical op sequence -- including every id the facade will assign
+/// -- from the seed alone.
+struct ShardPlan {
+  std::string generator = "squared_l2";
+  uint64_t seed = 1;
+  size_t dim = 5;
+  size_t num_shards = 4;
+  size_t initial = 96;  // points in the checkpointed base (>= num_shards)
+  size_t ops = 400;     // mixed insert/delete operations after it
+};
+
+struct ShardPlanOp {
+  bool is_insert = false;
+  uint32_t global_id = 0;      // the id inserted-as or deleted
+  size_t shard = 0;            // the shard this op routes to
+  std::vector<double> point;   // insert only
+};
+
+/// Rows 0..initial-1 build the base index (global id == row id); later
+/// rows feed inserts.
+inline Matrix ShardPlanPool(const ShardPlan& plan) {
+  return MakeDataFor(plan.generator, plan.initial + plan.ops + 8, plan.dim,
+                     plan.seed ^ 0x5A4D);
+}
+
+inline std::vector<ShardPlanOp> GenerateShardPlan(const ShardPlan& plan,
+                                                  const Matrix& pool) {
+  const size_t n = plan.num_shards;
+  Rng rng(plan.seed);
+  std::vector<ShardPlanOp> ops;
+  ops.reserve(plan.ops);
+  std::vector<uint32_t> live;
+  std::vector<std::vector<uint32_t>> free_local(n);  // per-shard LIFO
+  std::vector<uint32_t> next_local(n, 0);
+  for (uint32_t g = 0; g < plan.initial; ++g) {
+    live.push_back(g);
+    next_local[g % n] = g / static_cast<uint32_t>(n) + 1;
+  }
+  uint64_t cursor = plan.initial % n;  // the facade's round-robin cursor
+  size_t pool_row = plan.initial;
+  for (size_t i = 0; i < plan.ops; ++i) {
+    const bool insert = live.empty() || rng.NextBelow(100) < 60;
+    ShardPlanOp op;
+    op.is_insert = insert;
+    if (insert) {
+      op.shard = cursor++ % n;
+      uint32_t local;
+      if (free_local[op.shard].empty()) {
+        local = next_local[op.shard]++;
+      } else {
+        local = free_local[op.shard].back();
+        free_local[op.shard].pop_back();
+      }
+      op.global_id = ShardedIndex::GlobalId(local, op.shard, n);
+      const auto row = pool.Row(pool_row++ % pool.rows());
+      op.point.assign(row.begin(), row.end());
+      live.push_back(op.global_id);
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      op.global_id = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      op.shard = ShardedIndex::ShardOf(op.global_id, n);
+      free_local[op.shard].push_back(
+          ShardedIndex::LocalId(op.global_id, n));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Entry point of the sharded crash-injection CHILD process (see
+/// shard_crash_test.cc and the custom main in shard_test_main.cc): builds
+/// the plan's 4-shard durable index, checkpoints the manifest, streams the
+/// plan ops, and SIGKILLs itself at the requested operation.
+int RunShardCrashChild();
+
+}  // namespace brep::testing
+
+#endif  // BREP_TESTS_SHARD_SHARD_TEST_UTIL_H_

@@ -1,0 +1,316 @@
+/// ShardedIndex correctness: scatter-gather answers byte-identical (ids
+/// AND bit-equal distances) to one unsharded index over the same data at
+/// 1/2/4 shards and 1/4 threads, batch paths matching single-query paths,
+/// deterministic write routing (round-robin inserts, id-modulo deletes,
+/// LIFO id reuse), the manifest Save/Open lifecycle, and the cluster-wide
+/// metrics view.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "obs/index_metrics.h"
+#include "shard/shard_test_util.h"
+#include "update/update_test_util.h"
+
+namespace brep {
+namespace testing {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "brep_shard_" + name;
+}
+
+void RemoveManifestFamily(const std::string& path, size_t shards,
+                          uint64_t max_gen) {
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  std::remove((path + ".tmp").c_str());
+  for (uint64_t g = 1; g <= max_gen; ++g) {
+    for (size_t k = 0; k < shards; ++k) {
+      std::remove(
+          shard::ResolveShardPath(path, shard::ShardFileName(path, g, k))
+              .c_str());
+    }
+  }
+}
+
+class ShardedEquivalenceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ShardedEquivalenceTest, MatchesUnshardedByteForByte) {
+  const std::string generator = GetParam();
+  const Matrix data = MakeDataFor(generator, 240, 6);
+  const Matrix queries = MakeQueriesFor(generator, data, 10);
+
+  auto reference =
+      Index::Build(data, generator, SmallShardedOptions(1).shard);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+  for (const size_t shards : {1u, 2u, 4u}) {
+    for (const size_t threads : {1u, 4u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      auto sharded = ShardedIndex::Build(
+          data, generator, SmallShardedOptions(shards, threads));
+      ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+      ASSERT_EQ((*sharded)->num_points(), data.rows());
+      ASSERT_EQ((*sharded)->dim(), data.cols());
+      EXPECT_TRUE((*sharded)->exact());
+
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        const auto y = queries.Row(q);
+        for (const size_t k : {1u, 10u, 64u}) {
+          const auto want = reference->Knn(y, k);
+          ASSERT_TRUE(want.ok()) << want.status().message();
+          const auto got = (*sharded)->Knn(y, k);
+          ASSERT_TRUE(got.ok()) << got.status().message();
+          ExpectIdenticalNeighbors(*got, *want);
+          // A radius at the k-th neighbor makes the range sets nontrivial
+          // and exercises the <= boundary with bit-equal distances.
+          if (!want->empty()) {
+            const double radius = want->back().distance;
+            const auto want_range = reference->Range(y, radius);
+            ASSERT_TRUE(want_range.ok()) << want_range.status().message();
+            const auto got_range = (*sharded)->Range(y, radius);
+            ASSERT_TRUE(got_range.ok()) << got_range.status().message();
+            EXPECT_EQ(*got_range, *want_range);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardedEquivalenceTest, BatchPathsMatchSingleQueryPaths) {
+  const std::string generator = GetParam();
+  const Matrix data = MakeDataFor(generator, 200, 5);
+  const Matrix queries = MakeQueriesFor(generator, data, 12);
+  auto sharded =
+      ShardedIndex::Build(data, generator, SmallShardedOptions(4, 4));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+
+  const auto batch = (*sharded)->KnnBatch(queries, 8);
+  ASSERT_TRUE(batch.ok()) << batch.status().message();
+  ASSERT_EQ(batch->size(), queries.rows());
+  double radius = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto single = (*sharded)->Knn(queries.Row(q), 8);
+    ASSERT_TRUE(single.ok()) << single.status().message();
+    ExpectIdenticalNeighbors((*batch)[q], *single);
+    radius = std::max(radius, single->back().distance);
+  }
+
+  const auto range_batch = (*sharded)->RangeBatch(queries, radius);
+  ASSERT_TRUE(range_batch.ok()) << range_batch.status().message();
+  ASSERT_EQ(range_batch->size(), queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto single = (*sharded)->Range(queries.Row(q), radius);
+    ASSERT_TRUE(single.ok()) << single.status().message();
+    EXPECT_EQ((*range_batch)[q], *single);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, ShardedEquivalenceTest,
+                         ::testing::ValuesIn(PartitionSafeGenerators()),
+                         [](const auto& info) {
+                           return GeneratorTestName(info.param);
+                         });
+
+TEST(ShardedIndexTest, WritesRoutePredictablyAndMatchTheOracle) {
+  ShardPlan plan;
+  plan.seed = 0x51A2;
+  plan.initial = 60;
+  plan.ops = 240;
+  const Matrix pool = ShardPlanPool(plan);
+  const auto ops = GenerateShardPlan(plan, pool);
+  const Matrix initial(
+      plan.initial, plan.dim,
+      std::vector<double>(pool.data().begin(),
+                          pool.data().begin() + plan.initial * plan.dim));
+
+  auto sharded = ShardedIndex::Build(initial, plan.generator,
+                                     SmallShardedOptions(plan.num_shards));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  LinearScanOracle oracle(
+      BregmanDivergence(MakeGenerator(plan.generator), plan.dim));
+  for (uint32_t g = 0; g < plan.initial; ++g) oracle.Insert(g, pool.Row(g));
+
+  // The plan predicts every id the facade will assign: round-robin shard
+  // choice, per-shard LIFO reuse, global = local * N + shard.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ShardPlanOp& op = ops[i];
+    SCOPED_TRACE("op " + std::to_string(i));
+    if (op.is_insert) {
+      const auto id = (*sharded)->Insert(op.point);
+      ASSERT_TRUE(id.ok()) << id.status().message();
+      ASSERT_EQ(*id, op.global_id);
+      ASSERT_EQ(ShardedIndex::ShardOf(*id, plan.num_shards), op.shard);
+      oracle.Insert(op.global_id, op.point);
+    } else {
+      ASSERT_TRUE((*sharded)->Delete(op.global_id).ok());
+      oracle.Delete(op.global_id);
+    }
+  }
+  ASSERT_EQ((*sharded)->num_points(), oracle.size());
+
+  Rng rng(plan.seed ^ 0xBEEF);
+  for (size_t q = 0; q < 6; ++q) {
+    const auto y = pool.Row(rng.NextBelow(pool.rows()));
+    const auto got = (*sharded)->Knn(y, 10);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectIdenticalNeighbors(*got, oracle.Knn(y, 10));
+  }
+  // Deleting a dead id reports the GLOBAL id, not the shard-local one.
+  const Status missing = (*sharded)->Delete(ops.front().is_insert
+                                                ? 4'000'000u
+                                                : ops.front().global_id);
+  if (!missing.ok()) {
+    EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(ShardedIndexTest, SaveOpenRoundTripsThroughTheManifest) {
+  const std::string generator = "squared_l2";
+  const std::string path = TempPath("roundtrip.manifest");
+  RemoveManifestFamily(path, 3, 4);
+  const Matrix data = MakeDataFor(generator, 150, 5);
+  const Matrix queries = MakeQueriesFor(generator, data, 6);
+
+  auto built =
+      ShardedIndex::Build(data, generator, SmallShardedOptions(3));
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  EXPECT_EQ((*built)->generation(), 0u);
+  ASSERT_TRUE((*built)->Save(path).ok());
+  EXPECT_EQ((*built)->generation(), 1u);
+  ASSERT_TRUE((*built)->Save(path).ok());
+  EXPECT_EQ((*built)->generation(), 2u);
+
+  auto reopened = ShardedIndex::Open(path, SmallShardedOptions(3));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->num_shards(), 3u);
+  EXPECT_EQ((*reopened)->generation(), 2u);
+  EXPECT_FALSE((*reopened)->recovered_from_prev_manifest());
+  ASSERT_EQ((*reopened)->num_points(), data.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto want = (*built)->Knn(queries.Row(q), 12);
+    const auto got = (*reopened)->Knn(queries.Row(q), 12);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectIdenticalNeighbors(*got, *want);
+  }
+
+  // Generation hygiene: after gen 3 commits, gen 1's shard files (two
+  // behind, unreachable by any recovery path) are gone.
+  ASSERT_TRUE((*built)->Save(path).ok());
+  for (size_t k = 0; k < 3; ++k) {
+    std::FILE* f = std::fopen(
+        shard::ResolveShardPath(path, shard::ShardFileName(path, 1, k))
+            .c_str(),
+        "rb");
+    EXPECT_EQ(f, nullptr) << "generation-1 shard file " << k << " survived";
+    if (f != nullptr) std::fclose(f);
+  }
+  RemoveManifestFamily(path, 3, 4);
+}
+
+TEST(ShardedIndexTest, MetricsExposeTheClusterView) {
+  const std::string generator = "squared_l2";
+  const Matrix data = MakeDataFor(generator, 120, 5);
+  const Matrix queries = MakeQueriesFor(generator, data, 4);
+  auto sharded =
+      ShardedIndex::Build(data, generator, SmallShardedOptions(4));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_TRUE((*sharded)->Knn(queries.Row(q), 5).ok());
+  }
+
+  const obs::MetricsSnapshot snap = (*sharded)->Metrics();
+  const double* shards = snap.FindGauge(obs::kShardsGauge);
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(*shards, 4.0);
+  // Points: the summed gauge is the whole dataset; the per-shard gauges
+  // partition it.
+  const double* points = snap.FindGauge(obs::kPointsGauge);
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(*points, double(data.rows()));
+  double per_shard_sum = 0.0;
+  for (size_t k = 0; k < 4; ++k) {
+    const double* g = snap.FindGauge(std::string(obs::kPointsGauge) +
+                                     "_shard" + std::to_string(k));
+    ASSERT_NE(g, nullptr) << "shard " << k;
+    per_shard_sum += *g;
+  }
+  EXPECT_EQ(per_shard_sum, double(data.rows()));
+  // Every scatter and merge landed in the facade's histograms.
+  const obs::HistogramSnapshot* scatter =
+      snap.FindHistogram(obs::kShardScatterLatencyMs);
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_EQ(scatter->count, queries.rows());
+  const obs::HistogramSnapshot* merge =
+      snap.FindHistogram(obs::kShardMergeLatencyMs);
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->count, queries.rows());
+  // Shard counters sum by name: 4 shards each served every query.
+  const uint64_t* knn = snap.FindCounter(obs::kKnnQueriesTotal);
+  ASSERT_NE(knn, nullptr);
+  EXPECT_EQ(*knn, queries.rows() * 4);
+}
+
+TEST(ShardedIndexTest, RejectsInvalidConfigurations) {
+  const Matrix data = MakeDataFor("squared_l2", 20, 4);
+  EXPECT_EQ(
+      ShardedIndex::Build(data, "squared_l2", SmallShardedOptions(0))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ShardedIndex::Build(data, "squared_l2", SmallShardedOptions(21))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument)
+      << "more shards than points must be refused";
+  EXPECT_EQ(ShardedIndex::Open(TempPath("never_written.manifest"),
+                               SmallShardedOptions(2))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardedIndexTest, DurableBuildGatesWritesUntilTheFirstCheckpoint) {
+  const std::string path = TempPath("durable_gate.manifest");
+  RemoveManifestFamily(path, 2, 2);
+  const std::string wal_prefix = TempPath("durable_gate.wal");
+  for (size_t k = 0; k < 2; ++k) {
+    std::remove((wal_prefix + ".shard" + std::to_string(k)).c_str());
+  }
+  ShardedIndexOptions options = SmallShardedOptions(2);
+  options.shard.durability.wal_path = wal_prefix;
+
+  const Matrix data = MakeDataFor("squared_l2", 64, 4);
+  auto sharded = ShardedIndex::Build(data, "squared_l2", options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  // Same contract as brep::Index: a WAL can only redo against a durable
+  // base, so writes unlock at the first full-cluster checkpoint.
+  EXPECT_EQ((*sharded)->Insert(data.Row(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE((*sharded)->Save(path).ok());
+  const auto id = (*sharded)->Insert(data.Row(0));
+  ASSERT_TRUE(id.ok()) << id.status().message();
+  EXPECT_EQ(*id, 64u);  // row ids 0..63 -> next global id is 64
+
+  // The logged insert survives a reopen through the manifest.
+  auto reopened = ShardedIndex::Open(path, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->num_points(), 65u);
+  RemoveManifestFamily(path, 2, 2);
+  for (size_t k = 0; k < 2; ++k) {
+    std::remove((wal_prefix + ".shard" + std::to_string(k)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace brep

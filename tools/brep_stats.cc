@@ -116,12 +116,24 @@ std::string Brief(const Value& v) {
   return "?";
 }
 
+/// Tally of a diff: `changed` covers values present in both documents,
+/// `added`/`removed` cover keys or array slots present in only one -- an
+/// expected state when a bench gains or loses an arm, so it is reported,
+/// never an error.
+struct DiffCounts {
+  size_t changed = 0;
+  size_t added = 0;
+  size_t removed = 0;
+
+  size_t Total() const { return changed + added + removed; }
+};
+
 void DiffValues(const std::string& path, const Value& a, const Value& b,
-                size_t* changes) {
+                DiffCounts* changes) {
   if (a.type() != b.type()) {
     std::printf("~ %-44s %s -> %s\n", path.c_str(), Brief(a).c_str(),
                 Brief(b).c_str());
-    ++*changes;
+    ++changes->changed;
     return;
   }
   switch (a.type()) {
@@ -129,7 +141,7 @@ void DiffValues(const std::string& path, const Value& a, const Value& b,
       const double oldv = a.number();
       const double newv = b.number();
       if (oldv == newv) return;
-      ++*changes;
+      ++changes->changed;
       if (oldv != 0.0 && std::isfinite(oldv) && std::isfinite(newv)) {
         std::printf("~ %-44s %s -> %s  (%+.1f%%)\n", path.c_str(),
                     Num(a).c_str(), Num(b).c_str(),
@@ -146,7 +158,7 @@ void DiffValues(const std::string& path, const Value& a, const Value& b,
         if (bv == nullptr) {
           std::printf("- %-44s %s\n", Join(path, key).c_str(),
                       Brief(av).c_str());
-          ++*changes;
+          ++changes->removed;
         } else {
           DiffValues(Join(path, key), av, *bv, changes);
         }
@@ -155,7 +167,7 @@ void DiffValues(const std::string& path, const Value& a, const Value& b,
         if (a.Find(key) == nullptr) {
           std::printf("+ %-44s %s\n", Join(path, key).c_str(),
                       Brief(bv).c_str());
-          ++*changes;
+          ++changes->added;
         }
       }
       return;
@@ -172,13 +184,13 @@ void DiffValues(const std::string& path, const Value& a, const Value& b,
         std::printf("- %-44s %s\n",
                     (path + "[" + std::to_string(i) + "]").c_str(),
                     Brief(av[i]).c_str());
-        ++*changes;
+        ++changes->removed;
       }
       for (size_t i = common; i < bv.size(); ++i) {
         std::printf("+ %-44s %s\n",
                     (path + "[" + std::to_string(i) + "]").c_str(),
                     Brief(bv[i]).c_str());
-        ++*changes;
+        ++changes->added;
       }
       return;
     }
@@ -188,7 +200,7 @@ void DiffValues(const std::string& path, const Value& a, const Value& b,
       if (oldv != newv) {
         std::printf("~ %-44s %s -> %s\n", path.c_str(), oldv.c_str(),
                     newv.c_str());
-        ++*changes;
+        ++changes->changed;
       }
       return;
     }
@@ -225,12 +237,13 @@ int main(int argc, char** argv) {
     Value a;
     Value b;
     if (!LoadJson(argv[2], &a) || !LoadJson(argv[3], &b)) return 2;
-    size_t changes = 0;
+    DiffCounts changes;
     DiffValues("", a, b, &changes);
-    if (changes == 0) {
+    if (changes.Total() == 0) {
       std::printf("no differences\n");
     } else {
-      std::printf("\n%zu change%s\n", changes, changes == 1 ? "" : "s");
+      std::printf("\n%zu changed, %zu added, %zu removed\n",
+                  changes.changed, changes.added, changes.removed);
     }
     return 0;
   }
