@@ -1,13 +1,23 @@
 /// Microbenchmarks of the divergence kernel: per-pair cost of D_f(x, y),
-/// gradients, and the extended-space affine evaluation, across generators
-/// and dimensionalities. Not a paper figure; supports the cost model's
-/// assumption that refinement cost is O(d) per candidate.
+/// gradients, the extended-space affine evaluation, and the batched
+/// leaf-scan kernels per SIMD backend. Not a paper figure; supports the
+/// cost model's assumption that refinement cost is O(d) per candidate and
+/// records the AVX2-vs-scalar speedup trajectory (`--json
+/// BENCH_kernels.json`, section "kernels").
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "dataset/synthetic.h"
 #include "divergence/factory.h"
+#include "divergence/kernels.h"
 #include "vafile/extended_space.h"
 
 namespace {
@@ -25,6 +35,17 @@ Matrix DataFor(const std::string& gen, size_t n, size_t d) {
   return MakeIidNormal(rng, n, d, -1.0, 0.5);
 }
 
+/// Column-major (SoA) copy of `data`, the DiskBBTree v4 leaf layout.
+std::vector<double> ToSoA(const Matrix& data) {
+  std::vector<double> soa(data.rows() * data.cols());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < data.cols(); ++j) {
+      soa[j * data.rows() + i] = data.Row(i)[j];
+    }
+  }
+  return soa;
+}
+
 void BM_Divergence(benchmark::State& state, const std::string& gen) {
   const size_t d = size_t(state.range(0));
   const Matrix data = DataFor(gen, 64, d);
@@ -37,6 +58,26 @@ void BM_Divergence(benchmark::State& state, const std::string& gen) {
     ++i;
   }
   state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+/// The leaf-scan hot path: one query against a SoA block, per backend.
+void BM_LeafScanSoA(benchmark::State& state, const std::string& gen,
+                    simd::KernelBackend backend) {
+  const size_t d = size_t(state.range(0));
+  const size_t n = 1024;
+  const Matrix data = DataFor(gen, n, d);
+  const std::vector<double> soa = ToSoA(data);
+  const BregmanDivergence div = MakeDivergence(gen, d);
+  const Matrix q = DataFor(gen, 1, d);
+  std::vector<double> out(n);
+  simd::ForceBackendForTest(backend);
+  const simd::DivergenceScan scan(div, q.Row(0));
+  for (auto _ : state) {
+    scan.BatchSoA(soa.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::ClearBackendOverrideForTest();
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
 }
 
 void BM_Gradient(benchmark::State& state, const std::string& gen) {
@@ -68,6 +109,66 @@ void BM_ExtendedSpaceAffine(benchmark::State& state) {
   }
 }
 
+/// Best-of-reps ns/point for a full SoA leaf scan on `backend`.
+double MeasureLeafScanNs(const std::string& gen, size_t n, size_t d,
+                         simd::KernelBackend backend) {
+  const Matrix data = DataFor(gen, n, d);
+  const std::vector<double> soa = ToSoA(data);
+  const BregmanDivergence div = MakeDivergence(gen, d);
+  const Matrix q = DataFor(gen, 1, d);
+  std::vector<double> out(n);
+  simd::ForceBackendForTest(backend);
+  const simd::DivergenceScan scan(div, q.Row(0));
+  scan.BatchSoA(soa.data(), n, out.data());  // warm up
+  double best_s = 1e300;
+  constexpr int kReps = 7, kScansPerRep = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    for (int s = 0; s < kScansPerRep; ++s) {
+      scan.BatchSoA(soa.data(), n, out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+    best_s = std::min(best_s, timer.ElapsedSeconds());
+  }
+  simd::ClearBackendOverrideForTest();
+  return best_s * 1e9 / double(kScansPerRep) / double(n);
+}
+
+/// Section "kernels": scalar vs active-backend leaf-scan cost per
+/// generator, the trajectory the CI diff watches (an AVX2 regression shows
+/// up as the squared_l2 speedup collapsing towards 1).
+void EmitKernelsJson(const std::string& path) {
+  constexpr size_t kN = 4096, kD = 64;
+  const simd::KernelBackend active = simd::ActiveBackend();
+  json::Object section;
+  section.emplace_back(
+      "active_backend",
+      json::Value(std::string(simd::BackendName(active))));
+  json::Object shape;
+  shape.emplace_back("points", json::Value(double(kN)));
+  shape.emplace_back("dim", json::Value(double(kD)));
+  section.emplace_back("batch_shape", json::Value(std::move(shape)));
+  json::Array rows;
+  bench::PrintHeader({"generator", "scalar ns/pt", "simd ns/pt", "speedup"});
+  for (const std::string gen :
+       {"squared_l2", "itakura_saito", "exponential", "lp:3"}) {
+    const double scalar_ns =
+        MeasureLeafScanNs(gen, kN, kD, simd::KernelBackend::kScalar);
+    const double simd_ns = MeasureLeafScanNs(gen, kN, kD, active);
+    json::Object row;
+    row.emplace_back("generator", json::Value(gen));
+    row.emplace_back("scalar_ns_per_point", json::Value(scalar_ns));
+    row.emplace_back("simd_ns_per_point", json::Value(simd_ns));
+    row.emplace_back("speedup",
+                     json::Value(simd_ns > 0 ? scalar_ns / simd_ns : 0.0));
+    rows.emplace_back(json::Value(std::move(row)));
+    bench::PrintRow({gen, bench::FmtF(scalar_ns, 2), bench::FmtF(simd_ns, 2),
+                     bench::FmtF(simd_ns > 0 ? scalar_ns / simd_ns : 0.0, 2)});
+  }
+  section.emplace_back("leaf_scan", json::Value(std::move(rows)));
+  bench::EmitJson(path, "kernels", json::Value(std::move(section)));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Divergence, squared_l2, "squared_l2")
@@ -79,7 +180,39 @@ BENCHMARK_CAPTURE(BM_Divergence, itakura_saito, "itakura_saito")
 BENCHMARK_CAPTURE(BM_Divergence, exponential, "exponential")
     ->Arg(64)
     ->Arg(256);
+BENCHMARK_CAPTURE(BM_LeafScanSoA, squared_l2_scalar, "squared_l2",
+                  brep::simd::KernelBackend::kScalar)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_LeafScanSoA, squared_l2_avx2, "squared_l2",
+                  brep::simd::KernelBackend::kAvx2)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_LeafScanSoA, itakura_saito_scalar, "itakura_saito",
+                  brep::simd::KernelBackend::kScalar)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_LeafScanSoA, itakura_saito_avx2, "itakura_saito",
+                  brep::simd::KernelBackend::kAvx2)
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_Gradient, itakura_saito, "itakura_saito")->Arg(256);
 BENCHMARK(BM_ExtendedSpaceAffine)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull --json <path> out before Google Benchmark sees (and rejects) it.
+  const std::string json_path = brep::bench::JsonPathArg(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) EmitKernelsJson(json_path);
+  return 0;
+}

@@ -71,7 +71,7 @@ Status ApplyWalRecordsLocked(BrePartition* bp,
         // programmer error, and checksum-colliding file input must never
         // reach them.
         if (rec.point.size() != bp->divergence().dim() ||
-            !bp->divergence().InDomain(rec.point)) {
+            !bp->divergence().EvalFinite(rec.point)) {
           return Status::DataLoss(
               "WAL insert record at lsn " + std::to_string(rec.lsn) +
               " carries a point outside the index's domain/dimensionality");

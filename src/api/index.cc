@@ -419,10 +419,14 @@ Status NoCheckpointYetError() {
 
 StatusOr<uint32_t> Index::InsertImpl(std::span<const double> point,
                                      Stats* stats) {
-  if (!bp_->divergence().InDomain(point)) {
+  // EvalFinite, not just InDomain: an in-domain point whose phi overflows
+  // (exponential at t >= ~710) would poison every later divergence with
+  // NaN. The public wrapper already rejects it; this guards the internal
+  // entry points (WAL replay routes elsewhere and re-validates).
+  if (!bp_->divergence().EvalFinite(point)) {
     return Status::InvalidArgument(
-        "point is outside the domain of divergence " +
-        bp_->divergence().Name());
+        "point cannot be evaluated under divergence " +
+        bp_->divergence().Name() + " (outside the domain or phi overflows)");
   }
   Timer op_timer;
   WalWriter::AppendTiming wal_timing;
@@ -645,6 +649,9 @@ std::string ParallelIndex::Describe() const {
 
 size_t ParallelIndex::dim() const {
   return engine_->index().divergence().dim();
+}
+const BregmanDivergence* ParallelIndex::QueryDivergence() const {
+  return &engine_->index().divergence();
 }
 size_t ParallelIndex::num_points() const {
   return engine_->index().num_points();

@@ -174,6 +174,9 @@ class Index final : public SearchIndex {
   ~Index() override;
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override {
+    return &divergence();
+  }
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* stats) const override;
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
@@ -285,6 +288,7 @@ class ParallelIndex final : public SearchIndex {
   ~ParallelIndex() override;
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override;
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* stats) const override;
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,

@@ -87,6 +87,10 @@ class BrePartitionBackend final : public SearchIndex {
   const BrePartition& impl() const { return *bp_; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override {
+    return &bp_->divergence();
+  }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     QueryStats qs;
@@ -125,6 +129,10 @@ class BBTreeBackend final : public SearchIndex {
   bool exact() const override { return true; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override {
+    return &bbt_->tree().divergence();
+  }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     IoDelta io(pager_);
@@ -162,7 +170,7 @@ class VAFileBackend final : public SearchIndex {
  public:
   VAFileBackend(Pager* pager, const Matrix& data, const BregmanDivergence& div,
                 const VAFileConfig& config)
-      : pager_(pager), dim_(div.dim()), name_(div.Name()),
+      : pager_(pager), dim_(div.dim()), name_(div.Name()), div_(div),
         vaf_(std::make_unique<VAFile>(pager, data, div, config)) {}
 
   std::string Describe() const override {
@@ -174,6 +182,8 @@ class VAFileBackend final : public SearchIndex {
   bool exact() const override { return true; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override { return &div_; }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     IoDelta io(pager_);
@@ -188,13 +198,16 @@ class VAFileBackend final : public SearchIndex {
   Pager* pager_;
   size_t dim_;
   std::string name_;
+  /// Owned copy (cheap: a shared generator + the weight vector) -- the
+  /// caller's divergence is not required to outlive this adapter.
+  BregmanDivergence div_;
   std::unique_ptr<VAFile> vaf_;
 };
 
 class LinearScanBackend final : public SearchIndex {
  public:
   LinearScanBackend(const Matrix& data, const BregmanDivergence& div)
-      : n_(data.rows()), dim_(div.dim()), name_(div.Name()),
+      : n_(data.rows()), dim_(div.dim()), name_(div.Name()), div_(div),
         scan_(std::make_unique<LinearScan>(data, div)) {}
 
   std::string Describe() const override {
@@ -205,6 +218,8 @@ class LinearScanBackend final : public SearchIndex {
   bool exact() const override { return true; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override { return &div_; }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     st->candidates += n_;
@@ -222,6 +237,7 @@ class LinearScanBackend final : public SearchIndex {
   size_t n_;
   size_t dim_;
   std::string name_;
+  BregmanDivergence div_;  // owned copy; see VAFileBackend
   std::unique_ptr<LinearScan> scan_;
 };
 
@@ -230,7 +246,7 @@ class VarBackend final : public SearchIndex {
   VarBackend(Pager* pager, const Matrix& data, const BregmanDivergence& div,
              const VarBaselineConfig& config)
       : pager_(pager), n_(data.rows()), dim_(div.dim()), name_(div.Name()),
-        min_expected_hits_(config.min_expected_hits),
+        div_(div), min_expected_hits_(config.min_expected_hits),
         var_(std::make_unique<VarBaseline>(pager, data, div, config)) {}
 
   std::string Describe() const override {
@@ -243,6 +259,8 @@ class VarBackend final : public SearchIndex {
   bool exact() const override { return false; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override { return &div_; }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     IoDelta io(pager_);
@@ -259,6 +277,7 @@ class VarBackend final : public SearchIndex {
   size_t n_;
   size_t dim_;
   std::string name_;
+  BregmanDivergence div_;  // owned copy; see VAFileBackend
   double min_expected_hits_;
   std::unique_ptr<VarBaseline> var_;
 };
@@ -285,6 +304,10 @@ class ApproximateBackend final : public SearchIndex {
   bool exact() const override { return false; }
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override {
+    return &bp_->divergence();
+  }
+
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* st) const override {
     QueryStats qs;
@@ -425,6 +448,16 @@ constexpr BackendEntry kRegistry[] = {
 // ------------------------------------------------------------------------
 // SearchIndex: validated public wrappers over the backend hooks.
 
+Status SearchIndex::CheckEvaluable(std::span<const double> v,
+                                   const std::string& what) const {
+  const BregmanDivergence* div = QueryDivergence();
+  if (div == nullptr || div->EvalFinite(v)) return Status::Ok();
+  return Status::InvalidArgument(
+      what + " cannot be evaluated under divergence " + div->Name() +
+      ": phi is outside the generator domain or overflows on at least one "
+      "coordinate, which would turn divergences into NaN");
+}
+
 void SearchIndex::Stats::Add(const QueryStats& qs) {
   io_reads += qs.io_reads;
   candidates += qs.candidates;
@@ -462,6 +495,7 @@ StatusOr<uint32_t> SearchIndex::Insert(std::span<const double> point,
         "point has " + std::to_string(point.size()) +
         " dimensions, index expects " + std::to_string(dim()));
   }
+  BREP_RETURN_IF_ERROR(CheckEvaluable(point, "insert point"));
   Timer timer;
   auto result = InsertImpl(point, &st);
   if (result.ok()) st.inserts = 1;
@@ -507,6 +541,7 @@ StatusOr<std::vector<Neighbor>> SearchIndex::Knn(std::span<const double> query,
         "k = " + std::to_string(k) + " exceeds the number of indexed points (" +
         std::to_string(num_points()) + ")");
   }
+  BREP_RETURN_IF_ERROR(CheckEvaluable(query, "query"));
   st.queries = 1;
   Timer timer;
   auto result = KnnImpl(query, k, &st);
@@ -528,6 +563,7 @@ StatusOr<std::vector<uint32_t>> SearchIndex::Range(
     return Status::InvalidArgument("range radius must be >= 0, got " +
                                    std::to_string(radius));
   }
+  BREP_RETURN_IF_ERROR(CheckEvaluable(query, "query"));
   st.queries = 1;
   Timer timer;
   auto result = RangeImpl(query, radius, &st);
@@ -552,6 +588,10 @@ StatusOr<std::vector<std::vector<Neighbor>>> SearchIndex::KnnBatch(
         std::to_string(num_points()) + ")");
   }
   if (queries.empty()) return std::vector<std::vector<Neighbor>>{};
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    BREP_RETURN_IF_ERROR(
+        CheckEvaluable(queries.Row(q), "batch query " + std::to_string(q)));
+  }
   st.queries = queries.rows();
   Timer timer;
   auto result = KnnBatchImpl(queries, k, &st);
@@ -574,6 +614,10 @@ StatusOr<std::vector<std::vector<uint32_t>>> SearchIndex::RangeBatch(
                                    std::to_string(radius));
   }
   if (queries.empty()) return std::vector<std::vector<uint32_t>>{};
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    BREP_RETURN_IF_ERROR(
+        CheckEvaluable(queries.Row(q), "batch query " + std::to_string(q)));
+  }
   st.queries = queries.rows();
   Timer timer;
   auto result = RangeBatchImpl(queries, radius, &st);

@@ -113,7 +113,10 @@ class SearchIndex {
 
   /// The k nearest neighbors of `query` (minimizing D(x, query)), sorted
   /// ascending by (distance, id). Errors: wrong dimensionality, k == 0,
-  /// k > num_points().
+  /// k > num_points(), or a query the divergence cannot evaluate finitely
+  /// (outside the generator domain, or overflowing phi -- e.g. exponential
+  /// at y >= ~710, where e^y = inf turns divergences into inf - inf = NaN
+  /// and silently poisons the top-k ordering).
   StatusOr<std::vector<Neighbor>> Knn(std::span<const double> query, size_t k,
                                       Stats* stats = nullptr) const;
 
@@ -134,9 +137,10 @@ class SearchIndex {
       const Matrix& queries, double radius, Stats* stats = nullptr) const;
 
   /// Insert `point` and return its assigned id. Errors: wrong
-  /// dimensionality, a point outside the divergence domain, or
-  /// kFailedPrecondition for read-only backends (every baseline adapter;
-  /// only brep::Index supports updates).
+  /// dimensionality, a point the divergence cannot evaluate finitely
+  /// (outside the domain or overflowing phi), or kFailedPrecondition for
+  /// read-only backends (every baseline adapter; only brep::Index supports
+  /// updates).
   StatusOr<uint32_t> Insert(std::span<const double> point,
                             Stats* stats = nullptr);
 
@@ -163,6 +167,20 @@ class SearchIndex {
       const Matrix& queries, size_t k, Stats* stats) const;
   virtual StatusOr<std::vector<std::vector<uint32_t>>> RangeBatchImpl(
       const Matrix& queries, double radius, Stats* stats) const;
+
+  /// The divergence this backend evaluates queries under, or nullptr when
+  /// it cannot expose one. When non-null, every public entry point rejects
+  /// (kInvalidArgument) query/insert vectors on which the generator's phi
+  /// would not evaluate finite -- outside the domain, non-finite input, or
+  /// overflow (exponential phi(t) = e^t at t >= ~710). Without this gate a
+  /// +inf phi turns D(x, y) into inf - inf = NaN, which every comparison
+  /// in the search paths silently mis-orders instead of failing loudly.
+  virtual const BregmanDivergence* QueryDivergence() const { return nullptr; }
+
+ private:
+  /// kInvalidArgument iff QueryDivergence() is set and rejects `v`.
+  Status CheckEvaluable(std::span<const double> v, const std::string& what)
+      const;
 };
 
 /// Per-backend construction knobs for the registry. Only the member

@@ -8,6 +8,7 @@
 #include "bbtree/kmeans.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "divergence/kernels.h"
 
 namespace brep {
 
@@ -163,6 +164,12 @@ std::vector<Neighbor> BBTree::KnnSearch(std::span<const double> y, size_t k,
   std::vector<double> grad_y(div_.dim());
   div_.Gradient(y, std::span<double>(grad_y));
 
+  // Query-side scan context: phi(y)/phi'(y) cached once, leaves evaluated
+  // through the batched kernel (byte-identical to per-point Divergence).
+  const simd::DivergenceScan scan(div_, y);
+  std::vector<double> leaf_d;
+  leaf_d.reserve(config_.max_leaf_size);
+
   TopK topk(k);
   // Best-first branch and bound on (lower bound, node).
   using Entry = std::pair<double, int32_t>;
@@ -178,8 +185,11 @@ std::vector<Neighbor> BBTree::KnnSearch(std::span<const double> y, size_t k,
     ++st.nodes_visited;
     if (node.is_leaf()) {
       ++st.leaves_visited;
-      for (uint32_t id : node.ids) {
-        topk.Push(div_.Divergence(data_->Row(id), y), id);
+      leaf_d.resize(node.ids.size());
+      scan.BatchRows(data_->data().data(), data_->cols(), node.ids.data(),
+                     node.ids.size(), leaf_d.data());
+      for (size_t i = 0; i < node.ids.size(); ++i) {
+        topk.Push(leaf_d[i], node.ids[i]);
         ++st.points_evaluated;
       }
     } else {
@@ -203,6 +213,10 @@ std::vector<uint32_t> BBTree::RangeSearch(std::span<const double> y,
   std::vector<double> grad_y(div_.dim());
   div_.Gradient(y, std::span<double>(grad_y));
 
+  const simd::DivergenceScan scan(div_, y);
+  std::vector<double> leaf_d;
+  leaf_d.reserve(config_.max_leaf_size);
+
   std::vector<uint32_t> result;
   std::vector<int32_t> stack{root_};
   while (!stack.empty()) {
@@ -213,11 +227,12 @@ std::vector<uint32_t> BBTree::RangeSearch(std::span<const double> y,
     if (NodeLowerBound(node, y, grad_y) > radius) continue;
     if (node.is_leaf()) {
       ++st.leaves_visited;
-      for (uint32_t id : node.ids) {
+      leaf_d.resize(node.ids.size());
+      scan.BatchRows(data_->data().data(), data_->cols(), node.ids.data(),
+                     node.ids.size(), leaf_d.data());
+      for (size_t i = 0; i < node.ids.size(); ++i) {
         ++st.points_evaluated;
-        if (div_.Divergence(data_->Row(id), y) <= radius) {
-          result.push_back(id);
-        }
+        if (leaf_d[i] <= radius) result.push_back(node.ids[i]);
       }
     } else {
       stack.push_back(node.left);

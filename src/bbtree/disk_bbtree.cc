@@ -12,6 +12,7 @@
 #include "bbtree/kmeans.h"
 #include "common/check.h"
 #include "common/math_utils.h"
+#include "divergence/kernels.h"
 
 namespace brep {
 namespace {
@@ -36,6 +37,62 @@ T ReadValue(const uint8_t* p) {
 // Byte offsets of the in-place-updatable header fields.
 constexpr uint64_t kOffCount = 1;   // u32 subtree point count
 constexpr uint64_t kOffRadius = 5;  // f64 ball radius
+
+// Leaf payload vectors are stored column-major (SoA), in memory and on
+// disk: coordinate j of point i lives at points[j * count + i], so the
+// batched divergence kernel streams each dimension with unit stride. The
+// helpers below keep the layout through the mutating paths.
+
+// Grow a count-row SoA block to count+1 rows in place, appending x as the
+// new last row (shift columns back-to-front, then slot in x's coordinate).
+void AppendPointSoA(std::vector<double>* pts, size_t count, size_t dim,
+                    std::span<const double> x) {
+  pts->resize((count + 1) * dim);
+  double* p = pts->data();
+  for (size_t j = dim; j-- > 0;) {
+    std::memmove(p + j * (count + 1), p + j * count, count * sizeof(double));
+    p[j * (count + 1) + count] = x[j];
+  }
+}
+
+// Remove row `pos` from a count-row SoA block in place (compact
+// front-to-back; writes never overtake reads).
+void ErasePointSoA(std::vector<double>* pts, size_t count, size_t dim,
+                   size_t pos) {
+  double* p = pts->data();
+  for (size_t j = 0; j < dim; ++j) {
+    const size_t src = j * count;
+    const size_t dst = j * (count - 1);
+    for (size_t i = 0, o = 0; i < count; ++i) {
+      if (i == pos) continue;
+      p[dst + o++] = p[src + i];
+    }
+  }
+  pts->resize((count - 1) * dim);
+}
+
+// Materialize a row-major copy (for Matrix-based machinery: k-means splits,
+// ball/stat recomputation).
+std::vector<double> SoAToRows(const std::vector<double>& pts, size_t count,
+                              size_t dim) {
+  std::vector<double> rows(count * dim);
+  for (size_t j = 0; j < dim; ++j) {
+    for (size_t i = 0; i < count; ++i) rows[i * dim + j] = pts[j * count + i];
+  }
+  return rows;
+}
+
+// Concatenate two SoA blocks row-wise (a's rows then b's rows per column).
+std::vector<double> ConcatSoA(const std::vector<double>& a, size_t ca,
+                              const std::vector<double>& b, size_t cb,
+                              size_t dim) {
+  std::vector<double> out((ca + cb) * dim);
+  for (size_t j = 0; j < dim; ++j) {
+    std::copy_n(a.data() + j * ca, ca, out.data() + j * (ca + cb));
+    std::copy_n(b.data() + j * cb, cb, out.data() + j * (ca + cb) + ca);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -96,6 +153,7 @@ DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
   // Serialize in the same order.
   std::vector<uint8_t> blob;
   blob.reserve(cursor);
+  std::vector<double> soa;
   stack.assign(1, tree.root());
   while (!stack.empty()) {
     const int32_t idx = stack.back();
@@ -110,9 +168,13 @@ DiskBBTree::DiskBBTree(Pager* pager, const BBTree& tree, size_t pool_pages,
     AppendBytes(&blob, n.ball.center.data(), dim * sizeof(double));
     if (n.is_leaf()) {
       AppendBytes(&blob, n.ids.data(), 4 * n.ids.size());
-      for (uint32_t id : n.ids) {
-        AppendBytes(&blob, tree.data().Row(id).data(), dim * sizeof(double));
+      // Column-major leaf payload (see the SoA helpers above).
+      soa.resize(n.ids.size() * dim);
+      for (size_t i = 0; i < n.ids.size(); ++i) {
+        const auto row = tree.data().Row(n.ids[i]);
+        for (size_t j = 0; j < dim; ++j) soa[j * n.ids.size() + i] = row[j];
       }
+      AppendBytes(&blob, soa.data(), soa.size() * sizeof(double));
     } else {
       AppendValue<uint64_t>(&blob, offset[n.left]);
       AppendValue<uint64_t>(&blob, offset[n.right]);
@@ -522,11 +584,11 @@ uint64_t DiskBBTree::WriteSubtree(const Matrix& pts,
 
   node.is_leaf = true;
   node.ids.reserve(local.size());
-  node.points.reserve(local.size() * dim);
-  for (uint32_t li : local) {
-    node.ids.push_back(global_ids[li]);
-    const auto row = pts.Row(li);
-    node.points.insert(node.points.end(), row.begin(), row.end());
+  for (uint32_t li : local) node.ids.push_back(global_ids[li]);
+  node.points.resize(local.size() * dim);
+  for (size_t i = 0; i < local.size(); ++i) {
+    const auto row = pts.Row(local[i]);
+    for (size_t j = 0; j < dim; ++j) node.points[j * local.size() + i] = row[j];
   }
   const std::vector<uint8_t> bytes = EncodeLeaf(node);
   const uint64_t off = AllocChunk(bytes.size());
@@ -597,8 +659,8 @@ void DiskBBTree::InsertIntoLeaf(uint64_t off, uint64_t parent_off,
                                 std::span<const double> x) {
   ReadNodeTail(off, &leaf);
   const size_t old_bytes = LeafRecordBytes(leaf.ids.size());
+  AppendPointSoA(&leaf.points, leaf.ids.size(), div_.dim(), x);
   leaf.ids.push_back(id);
-  leaf.points.insert(leaf.points.end(), x.begin(), x.end());
   leaf.ball.radius = widened_radius;
   leaf.count = static_cast<uint32_t>(leaf.ids.size());
 
@@ -612,7 +674,8 @@ void DiskBBTree::InsertIntoLeaf(uint64_t off, uint64_t parent_off,
   // ball; the two sides are built from scratch, like BBTree::Insert.
   Rng rng(insert_seed_++);
   std::vector<uint32_t> global_ids = std::move(leaf.ids);
-  const Matrix pts(global_ids.size(), div_.dim(), std::move(leaf.points));
+  const Matrix pts(global_ids.size(), div_.dim(),
+                   SoAToRows(leaf.points, global_ids.size(), div_.dim()));
   std::vector<uint32_t> local(global_ids.size());
   std::iota(local.begin(), local.end(), 0);
   std::vector<uint32_t> left_local, right_local;
@@ -682,12 +745,12 @@ bool DiskBBTree::TryMergeWithSibling(const DiskNode& leaf,
   merged.ids = leaf.ids;
   merged.ids.insert(merged.ids.end(), sibling.ids.begin(),
                     sibling.ids.end());
-  merged.points = leaf.points;
-  merged.points.insert(merged.points.end(), sibling.points.begin(),
-                       sibling.points.end());
+  merged.points = ConcatSoA(leaf.points, leaf.ids.size(), sibling.points,
+                            sibling.ids.size(), div_.dim());
   // Exact fresh geometry (center = mean, radius = max divergence), like a
   // bulk-built leaf: containment stays bit-exact for later deletes.
-  const Matrix pts(merged.ids.size(), div_.dim(), merged.points);
+  const Matrix pts(merged.ids.size(), div_.dim(),
+                   SoAToRows(merged.points, merged.ids.size(), div_.dim()));
   std::vector<uint32_t> local(merged.ids.size());
   std::iota(local.begin(), local.end(), 0);
   ComputeBallAndStats(pts, local, &merged);
@@ -716,10 +779,8 @@ bool DiskBBTree::Delete(uint32_t id, std::span<const double> x) {
   BREP_CHECK(it != leaf.ids.end());
   const size_t dim = div_.dim();
   const size_t pos = static_cast<size_t>(it - leaf.ids.begin());
+  ErasePointSoA(&leaf.points, leaf.ids.size(), dim, pos);
   leaf.ids.erase(it);
-  leaf.points.erase(
-      leaf.points.begin() + static_cast<ptrdiff_t>(pos * dim),
-      leaf.points.begin() + static_cast<ptrdiff_t>((pos + 1) * dim));
   leaf.count = static_cast<uint32_t>(leaf.ids.size());
 
   size_t ancestors = path.size() - 1;
@@ -791,8 +852,11 @@ uint32_t DiskBBTree::CheckSubtree(
                        node.ball.radius <= 0.0,
                    "oversized leaf (missed split)");
     const size_t dim = div_.dim();
+    std::vector<double> p(dim);
     for (size_t i = 0; i < node.ids.size(); ++i) {
-      const std::span<const double> p(&node.points[i * dim], dim);
+      for (size_t j = 0; j < dim; ++j) {
+        p[j] = node.points[j * node.ids.size() + i];
+      }
       BREP_CHECK_MSG(
           div_.Divergence(p, node.ball.center) <= node.ball.radius,
           "leaf ball does not contain its point");
@@ -925,9 +989,15 @@ std::vector<uint32_t> DiskBBTree::RangeSearchExact(std::span<const double> y,
   SearchStats& st = stats != nullptr ? *stats : local;
   if (root_offset_ == kNoNode) return {};
 
-  const size_t dim = div_.dim();
-  std::vector<double> grad_y(dim);
+  std::vector<double> grad_y(div_.dim());
   div_.Gradient(y, std::span<double>(grad_y));
+
+  // Batched leaf evaluation straight off the SoA payload: phi(y)/phi'(y)
+  // are cached once, each leaf's columns stream unit-stride through the
+  // active kernel backend (byte-identical to per-point Divergence).
+  const simd::DivergenceScan scan(div_, y);
+  std::vector<double> leaf_d;
+  leaf_d.reserve(max_leaf_size_);
 
   std::vector<uint32_t> result;
   std::vector<uint64_t> stack{root_offset_};
@@ -943,10 +1013,11 @@ std::vector<uint32_t> DiskBBTree::RangeSearchExact(std::span<const double> y,
     ReadNodeTail(off, &node);
     if (node.is_leaf) {
       ++st.leaves_visited;
+      leaf_d.resize(node.ids.size());
+      scan.BatchSoA(node.points.data(), node.ids.size(), leaf_d.data());
       for (size_t i = 0; i < node.ids.size(); ++i) {
         ++st.points_evaluated;
-        const std::span<const double> x(&node.points[i * dim], dim);
-        if (div_.Divergence(x, y) <= radius) result.push_back(node.ids[i]);
+        if (leaf_d[i] <= radius) result.push_back(node.ids[i]);
       }
     } else {
       stack.push_back(node.left_off);
@@ -970,6 +1041,9 @@ std::vector<Neighbor> DiskBBTree::KnnImpl(std::span<const double> y, size_t k,
 
   std::vector<double> grad_y(div_.dim());
   div_.Gradient(y, std::span<double>(grad_y));
+
+  // phi(y)/phi'(y) cached once for every leaf point fetched below.
+  const simd::DivergenceScan scan(div_, y);
 
   TopK topk(k);
   // In header-child-bounds mode the frontier carries each node's decoded
@@ -1010,7 +1084,7 @@ std::vector<Neighbor> DiskBBTree::KnnImpl(std::span<const double> y, size_t k,
       ++st.leaves_visited;
       store.FetchMany(node.ids,
                       [&](uint32_t id, std::span<const double> x) {
-                        topk.Push(div_.Divergence(x, y), id);
+                        topk.Push(scan.One(x), id);
                         ++st.points_evaluated;
                       });
     } else {

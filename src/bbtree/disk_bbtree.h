@@ -192,7 +192,10 @@ class DiskBBTree {
     uint64_t left_off = 0;
     uint64_t right_off = 0;
     std::vector<uint32_t> ids;
-    /// Leaf only: the subspace vectors of `ids`, row-major (ids.size() x dim).
+    /// Leaf only: the subspace vectors of `ids`, column-major / SoA
+    /// (points[j * ids.size() + i] is coordinate j of point i) in memory
+    /// AND on disk, so leaf scans stream each dimension unit-stride into
+    /// the batched divergence kernel.
     std::vector<double> points;
   };
 

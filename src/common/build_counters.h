@@ -16,6 +16,10 @@ struct BuildCounters {
   std::atomic<uint64_t> pccp{0};
   std::atomic<uint64_t> dataset_transform{0};
   std::atomic<uint64_t> forest_builds{0};
+  /// Heap growths of QBDetermine's per-thread scratch (totals/ids/ub).
+  /// Steady-state serving must not bump this: the allocation-regression
+  /// test asserts repeated queries reuse the buffers.
+  std::atomic<uint64_t> qb_scratch_allocs{0};
 };
 
 inline BuildCounters& GetBuildCounters() {

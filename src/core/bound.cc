@@ -4,6 +4,7 @@
 
 #include "common/build_counters.h"
 #include "common/check.h"
+#include "divergence/kernels.h"
 
 namespace brep {
 
@@ -81,37 +82,91 @@ size_t TransformedDataset::AppendRow(std::span<const PointTuple> row) {
   return n_++;
 }
 
+namespace {
+
+// Grow-only resize; heap growth is what the allocation-regression test
+// watches for in steady-state serving.
+template <typename T>
+void GrowTo(std::vector<T>& v, size_t n) {
+  if (v.capacity() < n) {
+    internal::GetBuildCounters().qb_scratch_allocs.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  v.resize(n);
+}
+
+}  // namespace
+
 QueryBounds QBDetermine(const TransformedDataset& st,
-                        std::span<const QueryTriple> q, size_t k) {
+                        std::span<const QueryTriple> q, size_t k,
+                        QBScratch* scratch) {
   const size_t n = st.num_points();
   const size_t m = st.num_partitions();
   BREP_CHECK(q.size() == m);
   BREP_CHECK(k >= 1 && k <= n);
 
-  // Total upper bound per point (Algorithm 4, lines 2-9).
-  std::vector<double> totals(n);
-  for (size_t i = 0; i < n; ++i) {
-    double total = 0.0;
-    for (size_t j = 0; j < m; ++j) total += UBCompute(st.At(i, j), q[j]);
-    totals[i] = total;
-  }
+  static thread_local QBScratch tls_scratch;
+  QBScratch& s = scratch != nullptr ? *scratch : tls_scratch;
+  GrowTo(s.totals, n);
+  GrowTo(s.ids, n);
+  GrowTo(s.ub, n * m);
+  GrowTo(s.stitch, m);
+
+  // Total upper bound per point (Algorithm 4, lines 2-9), batched through
+  // the UB kernel over maximal runs of contiguous rows within each CowVec
+  // chunk. Every per-partition bound lands column-major in s.ub so the
+  // anchor's radii are read back below instead of recomputed. A row
+  // straddling a chunk boundary is stitched together and evaluated as a
+  // single-row block, keeping totals byte-identical to the flat loop.
+  size_t g = 0;         // global tuple index of the current span's start
+  size_t stitched = 0;  // tuples collected so far for a straddling row
+  st.ForEachTupleSpan([&](std::span<const PointTuple> span) {
+    size_t off = 0;
+    if (stitched > 0) {
+      const size_t take = std::min(m - stitched, span.size());
+      std::copy_n(span.data(), take, s.stitch.data() + stitched);
+      stitched += take;
+      off = take;
+      if (stitched == m) {
+        const size_t row = (g + off) / m - 1;
+        simd::UBTotalsBlock(s.stitch.data(), 1, m, q.data(),
+                            s.totals.data() + row, s.ub.data(), n, row);
+        stitched = 0;
+      }
+    }
+    const size_t rows_here = (span.size() - off) / m;
+    if (rows_here > 0) {
+      const size_t first_row = (g + off) / m;
+      simd::UBTotalsBlock(span.data() + off, rows_here, m, q.data(),
+                          s.totals.data() + first_row, s.ub.data(), n,
+                          first_row);
+      off += rows_here * m;
+    }
+    if (off < span.size()) {
+      std::copy_n(span.data() + off, span.size() - off, s.stitch.data());
+      stitched = span.size() - off;
+    }
+    g += span.size();
+  });
 
   // k-th smallest via selection (line 10).
-  std::vector<uint32_t> ids(n);
-  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
-  std::nth_element(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k - 1),
-                   ids.end(), [&](uint32_t a, uint32_t b) {
-                     if (totals[a] != totals[b]) return totals[a] < totals[b];
+  for (size_t i = 0; i < n; ++i) s.ids[i] = static_cast<uint32_t>(i);
+  std::nth_element(s.ids.begin(), s.ids.begin() + static_cast<ptrdiff_t>(k - 1),
+                   s.ids.begin() + static_cast<ptrdiff_t>(n),
+                   [&](uint32_t a, uint32_t b) {
+                     if (s.totals[a] != s.totals[b]) {
+                       return s.totals[a] < s.totals[b];
+                     }
                      return a < b;
                    });
-  const uint32_t anchor = ids[k - 1];
+  const uint32_t anchor = s.ids[k - 1];
 
   QueryBounds qb;
   qb.anchor_id = anchor;
-  qb.total = totals[anchor];
+  qb.total = s.totals[anchor];
   qb.radii.resize(m);
   for (size_t j = 0; j < m; ++j) {
-    qb.radii[j] = UBCompute(st.At(anchor, j), q[j]);
+    qb.radii[j] = s.ub[j * n + anchor];
   }
   return qb;
 }

@@ -129,10 +129,27 @@ struct QueryBounds {
   uint32_t anchor_id = 0;
 };
 
+/// Reusable scratch for QBDetermine: totals/ids for the selection pass, the
+/// M x n upper-bound cache (column-major, ub[j * n + i]) from which the
+/// anchor's radii are read back instead of recomputed, and the stitch buffer
+/// for rows straddling CowVec chunk boundaries. Buffers grow monotonically
+/// (growth is counted in BuildCounters::qb_scratch_allocs), so steady-state
+/// queries are allocation-free. Not thread-safe: pass one per thread, or
+/// pass nullptr to use an internal thread_local instance (safe under
+/// MVCC/ReadView -- the scratch holds no dataset state across calls).
+struct QBScratch {
+  std::vector<double> totals;
+  std::vector<uint32_t> ids;
+  std::vector<double> ub;
+  std::vector<PointTuple> stitch;
+};
+
 /// Algorithm 4: compute every point's total upper bound, select the k-th
 /// smallest, and return its per-subspace components as the searching bounds.
+/// The totals pass runs through the batched UB kernel (simd::UBTotalsBlock).
 QueryBounds QBDetermine(const TransformedDataset& st,
-                        std::span<const QueryTriple> q, size_t k);
+                        std::span<const QueryTriple> q, size_t k,
+                        QBScratch* scratch = nullptr);
 
 }  // namespace brep
 

@@ -13,6 +13,7 @@
 #include "core/pccp.h"
 #include "divergence/factory.h"
 #include "divergence/generators.h"
+#include "divergence/kernels.h"
 #include "storage/file_pager.h"
 #include "storage/serial.h"
 
@@ -819,6 +820,8 @@ obs::MetricsSnapshot BrePartition::CollectMetricsLocked() const {
   out.AddGauge(obs::kPointsGauge, double(num_points()));
   out.AddGauge(obs::kIdSpaceGauge, double(id_space()));
   out.AddGauge(obs::kPartitionsGauge, double(num_partitions()));
+  out.AddGauge(obs::kSimdKernelGauge,
+               double(static_cast<int>(simd::ActiveBackend())));
   out.AddCounter(obs::kInsertsTotal, inserts_);
   out.AddCounter(obs::kDeletesTotal, deletes_);
 

@@ -11,6 +11,7 @@ BregmanDivergence::BregmanDivergence(
     : generator_(std::move(generator)), dim_(dim) {
   BREP_CHECK(generator_ != nullptr);
   BREP_CHECK(dim_ > 0);
+  kinfo_ = simd::MakeKernelInfo(*generator_);
 }
 
 BregmanDivergence::BregmanDivergence(
@@ -22,54 +23,31 @@ BregmanDivergence::BregmanDivergence(
   BREP_CHECK(generator_ != nullptr);
   BREP_CHECK(dim_ > 0);
   for (double w : weights_) BREP_CHECK_MSG(w > 0.0, "weights must be positive");
+  kinfo_ = simd::MakeKernelInfo(*generator_);
 }
 
 double BregmanDivergence::Divergence(std::span<const double> x,
                                      std::span<const double> y) const {
   BREP_DCHECK(x.size() == dim_ && y.size() == dim_);
-  const ScalarGenerator& g = *generator_;
-  double acc = 0.0;
-  if (weights_.empty()) {
-    for (size_t j = 0; j < dim_; ++j) {
-      acc += g.Phi(x[j]) - g.Phi(y[j]) - g.PhiPrime(y[j]) * (x[j] - y[j]);
-    }
-  } else {
-    for (size_t j = 0; j < dim_; ++j) {
-      acc += weights_[j] *
-             (g.Phi(x[j]) - g.Phi(y[j]) - g.PhiPrime(y[j]) * (x[j] - y[j]));
-    }
-  }
+  const double acc = simd::PairDivergence(kinfo_, *generator_, x, y, weights_);
   return std::max(acc, 0.0);
 }
 
 double BregmanDivergence::F(std::span<const double> x) const {
   BREP_DCHECK(x.size() == dim_);
-  const ScalarGenerator& g = *generator_;
-  double acc = 0.0;
-  if (weights_.empty()) {
-    for (size_t j = 0; j < dim_; ++j) acc += g.Phi(x[j]);
-  } else {
-    for (size_t j = 0; j < dim_; ++j) acc += weights_[j] * g.Phi(x[j]);
-  }
-  return acc;
+  return simd::PhiSum(kinfo_, *generator_, x, weights_);
 }
 
 void BregmanDivergence::Gradient(std::span<const double> x,
                                  std::span<double> out) const {
   BREP_DCHECK(x.size() == dim_ && out.size() == dim_);
-  const ScalarGenerator& g = *generator_;
-  for (size_t j = 0; j < dim_; ++j) {
-    out[j] = weight(j) * g.PhiPrime(x[j]);
-  }
+  simd::GradientInto(kinfo_, *generator_, x, weights_, out);
 }
 
 void BregmanDivergence::GradientInverse(std::span<const double> s,
                                         std::span<double> out) const {
   BREP_DCHECK(s.size() == dim_ && out.size() == dim_);
-  const ScalarGenerator& g = *generator_;
-  for (size_t j = 0; j < dim_; ++j) {
-    out[j] = g.PhiPrimeInverse(s[j] / weight(j));
-  }
+  simd::GradientInverseInto(kinfo_, *generator_, s, weights_, out);
 }
 
 bool BregmanDivergence::InDomain(std::span<const double> x) const {
@@ -77,6 +55,15 @@ bool BregmanDivergence::InDomain(std::span<const double> x) const {
   const ScalarGenerator& g = *generator_;
   for (size_t j = 0; j < dim_; ++j) {
     if (!g.InDomain(x[j])) return false;
+  }
+  return true;
+}
+
+bool BregmanDivergence::EvalFinite(std::span<const double> x) const {
+  BREP_DCHECK(x.size() == dim_);
+  const ScalarGenerator& g = *generator_;
+  for (size_t j = 0; j < dim_; ++j) {
+    if (!g.EvalFinite(x[j])) return false;
   }
   return true;
 }

@@ -8,6 +8,7 @@
 
 #include "dataset/matrix.h"
 #include "divergence/generator.h"
+#include "divergence/kernels.h"
 
 namespace brep {
 
@@ -42,6 +43,13 @@ class BregmanDivergence {
   bool weighted() const { return !weights_.empty(); }
   double weight(size_t j) const { return weights_.empty() ? 1.0 : weights_[j]; }
 
+  /// The weight vector as a span; empty means unweighted (all ones).
+  std::span<const double> weights_span() const { return weights_; }
+
+  /// Kernel dispatch record for this divergence's generator, resolved once
+  /// at construction (see divergence/kernels.h).
+  const simd::KernelInfo& kernel_info() const { return kinfo_; }
+
   /// D_f(x, y). Both spans must have size dim(). Clamped at 0 to absorb
   /// floating-point rounding (mathematically D_f >= 0).
   double Divergence(std::span<const double> x, std::span<const double> y) const;
@@ -57,6 +65,11 @@ class BregmanDivergence {
 
   /// True if every coordinate of x lies in the generator's domain.
   bool InDomain(std::span<const double> x) const;
+
+  /// True if every coordinate is in-domain, finite, and phi evaluates to a
+  /// finite value on it -- the validation predicate that keeps inf - inf
+  /// NaNs out of the search paths (see ScalarGenerator::EvalFinite).
+  bool EvalFinite(std::span<const double> x) const;
 
   /// The right-centroid of a set of points: the minimizer c of
   /// sum_i D_f(x_i, c), which for every Bregman divergence is the plain
@@ -76,6 +89,7 @@ class BregmanDivergence {
   std::shared_ptr<const ScalarGenerator> generator_;
   size_t dim_;
   std::vector<double> weights_;  // empty => all ones
+  simd::KernelInfo kinfo_;
 };
 
 }  // namespace brep

@@ -18,8 +18,9 @@ const std::string& AcceptedGeneratorNames();
 /// "squared_l2" (alias "sq_l2", "euclidean"), "itakura_saito" (alias "isd"),
 /// "exponential" (alias "ed"), "kl" (alias "generalized_i"), and
 /// "lp:<p>" e.g. "lp:3". Every ScalarGenerator::Name() output is also
-/// accepted (e.g. "lp_norm(p=3.000000)"), so a persisted divergence spec
-/// round-trips through the factory. Unknown names and out-of-range lp
+/// accepted (e.g. "lp_norm(p=3)", printed with max_digits10 precision so
+/// any double p survives), so a persisted divergence spec round-trips
+/// through the factory bit-exactly. Unknown names and out-of-range lp
 /// parameters yield an InvalidArgument whose message lists the accepted
 /// names.
 StatusOr<std::shared_ptr<const ScalarGenerator>> ParseGenerator(

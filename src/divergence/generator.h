@@ -1,6 +1,7 @@
 #ifndef BREP_DIVERGENCE_GENERATOR_H_
 #define BREP_DIVERGENCE_GENERATOR_H_
 
+#include <cmath>
 #include <string>
 
 namespace brep {
@@ -29,6 +30,16 @@ class ScalarGenerator {
 
   /// Whether t lies in the (open) domain of phi.
   virtual bool InDomain(double t) const = 0;
+
+  /// True when phi(t) is defined AND evaluates to a finite double -- the
+  /// facade's query/insert validation predicate. InDomain alone is not
+  /// enough: e.g. exp overflows to +inf past t ~ 709.78, and a +inf phi
+  /// value turns Divergence into inf - inf = NaN, which then poisons TopK
+  /// ordering (the max(acc, 0) clamp passes NaN through). The default
+  /// covers every decomposable generator by evaluating phi once.
+  virtual bool EvalFinite(double t) const {
+    return InDomain(t) && std::isfinite(t) && std::isfinite(Phi(t));
+  }
 
   /// True when D_f decomposes into a sum of per-partition divergences that
   /// are individually valid Bregman divergences -- the property Theorems 1-3

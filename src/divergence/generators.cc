@@ -1,6 +1,8 @@
 #include "divergence/generators.h"
 
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "common/check.h"
 
@@ -47,7 +49,13 @@ double LpNormGenerator::PhiPrimeInverse(double s) const {
 }
 
 std::string LpNormGenerator::Name() const {
-  return "lp_norm(p=" + std::to_string(p_) + ")";
+  // max_digits10 (%.17g) so the name survives the catalog round-trip
+  // (Save -> Open reparses p from the name); std::to_string's fixed six
+  // decimals silently snapped p to a nearby value.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "lp_norm(p=%.*g)",
+                std::numeric_limits<double>::max_digits10, p_);
+  return buf;
 }
 
 }  // namespace brep

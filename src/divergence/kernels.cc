@@ -1,0 +1,249 @@
+#include "divergence/kernels.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "divergence/bregman.h"
+#include "divergence/generators.h"
+#include "divergence/kernels_impl.h"
+
+namespace brep {
+namespace simd {
+
+using internal::ScanCtx;
+using internal::WithGenerator;
+
+GeneratorKind ClassifyGenerator(const ScalarGenerator& g) {
+  if (dynamic_cast<const SquaredL2Generator*>(&g)) {
+    return GeneratorKind::kSquaredL2;
+  }
+  if (dynamic_cast<const ItakuraSaitoGenerator*>(&g)) {
+    return GeneratorKind::kItakuraSaito;
+  }
+  if (dynamic_cast<const ExponentialGenerator*>(&g)) {
+    return GeneratorKind::kExponential;
+  }
+  if (dynamic_cast<const KLGenerator*>(&g)) return GeneratorKind::kKL;
+  if (dynamic_cast<const LpNormGenerator*>(&g)) return GeneratorKind::kLpNorm;
+  return GeneratorKind::kGeneric;
+}
+
+KernelInfo MakeKernelInfo(const ScalarGenerator& g) {
+  KernelInfo info;
+  info.kind = ClassifyGenerator(g);
+  if (info.kind == GeneratorKind::kLpNorm) {
+    info.lp_p = static_cast<const LpNormGenerator&>(g).p();
+  }
+  return info;
+}
+
+namespace {
+
+bool Avx2Usable() {
+  if (!internal::Avx2Compiled()) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelBackend ResolveBackend() {
+  if (!Avx2Usable()) return KernelBackend::kScalar;
+  if (const char* env = std::getenv("BREP_SIMD")) {
+    std::string v(env);
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    if (v == "off" || v == "0" || v == "scalar" || v == "false" || v == "no") {
+      return KernelBackend::kScalar;
+    }
+  }
+  return KernelBackend::kAvx2;
+}
+
+// -1 = no override; otherwise the forced KernelBackend value.
+std::atomic<int> g_backend_override{-1};
+
+}  // namespace
+
+KernelBackend ActiveBackend() {
+  const int forced = g_backend_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelBackend>(forced);
+  static const KernelBackend resolved = ResolveBackend();
+  return resolved;
+}
+
+const char* BackendName(KernelBackend b) {
+  return b == KernelBackend::kAvx2 ? "avx2" : "scalar";
+}
+
+void ForceBackendForTest(KernelBackend b) {
+  if (b == KernelBackend::kAvx2 && !Avx2Usable()) return;
+  g_backend_override.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void ClearBackendOverrideForTest() {
+  g_backend_override.store(-1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Single-vector primitives.
+
+double PhiSum(const KernelInfo& info, const ScalarGenerator& g,
+              std::span<const double> x, std::span<const double> w) {
+  return WithGenerator(info, g, [&](auto gen) {
+    double acc = 0.0;
+    if (w.empty()) {
+      for (size_t j = 0; j < x.size(); ++j) acc += gen.Phi(x[j]);
+    } else {
+      for (size_t j = 0; j < x.size(); ++j) acc += w[j] * gen.Phi(x[j]);
+    }
+    return acc;
+  });
+}
+
+double PairDivergence(const KernelInfo& info, const ScalarGenerator& g,
+                      std::span<const double> x, std::span<const double> y,
+                      std::span<const double> w) {
+  return WithGenerator(info, g, [&](auto gen) {
+    double acc = 0.0;
+    if (w.empty()) {
+      for (size_t j = 0; j < x.size(); ++j) {
+        acc += gen.Phi(x[j]) - gen.Phi(y[j]) -
+               gen.PhiPrime(y[j]) * (x[j] - y[j]);
+      }
+    } else {
+      for (size_t j = 0; j < x.size(); ++j) {
+        acc += w[j] * (gen.Phi(x[j]) - gen.Phi(y[j]) -
+                       gen.PhiPrime(y[j]) * (x[j] - y[j]));
+      }
+    }
+    return acc;
+  });
+}
+
+void GradientInto(const KernelInfo& info, const ScalarGenerator& g,
+                  std::span<const double> x, std::span<const double> w,
+                  std::span<double> out) {
+  WithGenerator(info, g, [&](auto gen) {
+    if (w.empty()) {
+      for (size_t j = 0; j < x.size(); ++j) out[j] = gen.PhiPrime(x[j]);
+    } else {
+      for (size_t j = 0; j < x.size(); ++j) out[j] = w[j] * gen.PhiPrime(x[j]);
+    }
+    return 0;
+  });
+}
+
+void GradientInverseInto(const KernelInfo& info, const ScalarGenerator& g,
+                         std::span<const double> s, std::span<const double> w,
+                         std::span<double> out) {
+  WithGenerator(info, g, [&](auto gen) {
+    if (w.empty()) {
+      for (size_t j = 0; j < s.size(); ++j) out[j] = gen.PhiPrimeInverse(s[j]);
+    } else {
+      for (size_t j = 0; j < s.size(); ++j) {
+        out[j] = gen.PhiPrimeInverse(s[j] / w[j]);
+      }
+    }
+    return 0;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// DivergenceScan.
+
+DivergenceScan::DivergenceScan(const BregmanDivergence& div,
+                               std::span<const double> y)
+    : gen_(&div.generator()),
+      info_(div.kernel_info()),
+      y_(y),
+      w_(div.weights_span()),
+      phi_y_(y.size()),
+      dphi_y_(y.size()) {
+  BREP_DCHECK(y.size() == div.dim());
+  WithGenerator(info_, *gen_, [&](auto gen) {
+    for (size_t j = 0; j < y_.size(); ++j) {
+      phi_y_[j] = gen.Phi(y_[j]);
+      dphi_y_[j] = gen.PhiPrime(y_[j]);
+    }
+    return 0;
+  });
+}
+
+namespace {
+
+ScanCtx MakeCtx(const ScalarGenerator* gen, const KernelInfo& info,
+                std::span<const double> y, std::span<const double> w,
+                const std::vector<double>& phi_y,
+                const std::vector<double>& dphi_y) {
+  ScanCtx c;
+  c.gen = gen;
+  c.info = info;
+  c.y = y.data();
+  c.w = w.empty() ? nullptr : w.data();
+  c.phi_y = phi_y.data();
+  c.dphi_y = dphi_y.data();
+  c.dim = y.size();
+  return c;
+}
+
+}  // namespace
+
+double DivergenceScan::One(std::span<const double> x) const {
+  BREP_DCHECK(x.size() == y_.size());
+  const ScanCtx c = MakeCtx(gen_, info_, y_, w_, phi_y_, dphi_y_);
+  return WithGenerator(info_, *gen_, [&](auto gen) {
+    return internal::ScanPointStrided(c, gen, x.data(), 1);
+  });
+}
+
+void DivergenceScan::BatchSoA(const double* xs, size_t count,
+                              double* out) const {
+  if (count == 0) return;
+  const ScanCtx c = MakeCtx(gen_, info_, y_, w_, phi_y_, dphi_y_);
+  if (ActiveBackend() == KernelBackend::kAvx2) {
+    internal::Avx2BatchSoA(c, xs, count, out);
+    return;
+  }
+  WithGenerator(info_, *gen_, [&](auto gen) {
+    internal::ScalarBatchSoA(c, gen, xs, count, out);
+    return 0;
+  });
+}
+
+void DivergenceScan::BatchRows(const double* base, size_t row_stride,
+                               const uint32_t* ids, size_t count,
+                               double* out) const {
+  if (count == 0) return;
+  const ScanCtx c = MakeCtx(gen_, info_, y_, w_, phi_y_, dphi_y_);
+  if (ActiveBackend() == KernelBackend::kAvx2) {
+    internal::Avx2BatchRows(c, base, row_stride, ids, count, out);
+    return;
+  }
+  WithGenerator(info_, *gen_, [&](auto gen) {
+    internal::ScalarBatchRows(c, gen, base, row_stride, ids, count, out);
+    return 0;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Bound kernels.
+
+void UBTotalsBlock(const PointTuple* rows, size_t nrows, size_t m,
+                   const QueryTriple* q, double* totals, double* ub,
+                   size_t ub_stride, size_t first_row) {
+  if (nrows == 0) return;
+  if (ActiveBackend() == KernelBackend::kAvx2) {
+    internal::Avx2UBTotalsBlock(rows, nrows, m, q, totals, ub, ub_stride,
+                                first_row);
+    return;
+  }
+  internal::UBTotalsScalarRef(rows, nrows, m, q, totals, ub, ub_stride,
+                              first_row);
+}
+
+}  // namespace simd
+}  // namespace brep

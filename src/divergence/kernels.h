@@ -1,0 +1,171 @@
+#ifndef BREP_DIVERGENCE_KERNELS_H_
+#define BREP_DIVERGENCE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "divergence/generator.h"
+
+namespace brep {
+
+class BregmanDivergence;
+struct PointTuple;
+struct QueryTriple;
+
+namespace simd {
+
+/// \file
+/// Vectorized divergence and bound kernels: the batched hot-path
+/// replacements for the per-element virtual Phi/PhiPrime calls.
+///
+/// Numerical contract -- the reason every exact-equivalence suite keeps
+/// passing byte-identically with SIMD on and off:
+///
+///  * Single-vector kernels (PhiSum, PairDivergence, GradientInto, ...)
+///    evaluate the exact same floating-point expression sequence as the
+///    legacy virtual loop; they only devirtualize (one kind switch per
+///    call instead of one virtual call per element).
+///  * Batched kernels assign one *point per SIMD lane* and keep each
+///    point's per-dimension accumulation sequential, so every lane
+///    performs the identical elementary-operation sequence the scalar
+///    loop would. Add/sub/mul/div/sqrt are correctly rounded, hence
+///    lane == scalar bit-for-bit.
+///  * Transcendental generators (itakura_saito, exponential, kl, lp_norm)
+///    evaluate phi(x_j) through the exact libm calls of the scalar
+///    reference, never through a vector polynomial -- the AVX2 backend
+///    routes their batches to the shared unrolled scalar loop, which
+///    profiles faster than shuttling lanes out to libm -- so their
+///    results are also byte-identical (a 0-ULP bound; see
+///    tests/divergence/kernels_test.cc, which enforces the bound per
+///    backend).
+///
+/// Dispatch: the backend is resolved once per process from CPUID
+/// (AVX2 support), the BREP_SIMD compile option, and the BREP_SIMD
+/// environment variable ("off"/"scalar"/"0" force the portable unrolled
+/// scalar fallback at runtime).
+
+/// The closed family of scalar generators the kernels specialize for.
+/// kGeneric marks an unknown ScalarGenerator subclass: every kernel then
+/// falls back to the virtual per-element path (correct, just slower).
+enum class GeneratorKind : uint8_t {
+  kGeneric,
+  kSquaredL2,
+  kItakuraSaito,
+  kExponential,
+  kKL,
+  kLpNorm,
+};
+
+/// Classify a generator instance (by concrete type) for kernel dispatch.
+GeneratorKind ClassifyGenerator(const ScalarGenerator& g);
+
+/// Per-divergence dispatch record, resolved once at BregmanDivergence
+/// construction so the hot paths never re-classify.
+struct KernelInfo {
+  GeneratorKind kind = GeneratorKind::kGeneric;
+  double lp_p = 0.0;  // kLpNorm only
+};
+
+KernelInfo MakeKernelInfo(const ScalarGenerator& g);
+
+/// Which instruction-set backend the batched kernels run on.
+enum class KernelBackend : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+/// The process-wide backend: AVX2 when the build enabled it, the CPU
+/// reports it, and the BREP_SIMD environment variable does not force it
+/// off; the portable scalar fallback otherwise. Resolved once, then cached.
+KernelBackend ActiveBackend();
+
+/// Stable display name ("scalar" / "avx2") for logs, gauges and benches.
+const char* BackendName(KernelBackend b);
+
+/// Test/bench hook: force a backend (pass kScalar to measure the fallback
+/// on AVX2 hardware). Forcing kAvx2 on a machine without AVX2 support is
+/// ignored. Not thread-safe; call before spawning query threads.
+void ForceBackendForTest(KernelBackend b);
+void ClearBackendOverrideForTest();
+
+// ---------------------------------------------------------------------------
+// Single-vector primitives (devirtualized, byte-identical to the legacy
+// virtual loops). `w` may be empty (unweighted).
+
+/// sum_j w_j phi(x_j)  (BregmanDivergence::F).
+double PhiSum(const KernelInfo& info, const ScalarGenerator& g,
+              std::span<const double> x, std::span<const double> w);
+
+/// sum_j w_j (phi(x_j) - phi(y_j) - phi'(y_j) (x_j - y_j)), unclamped
+/// (BregmanDivergence::Divergence applies the max(acc, 0) clamp).
+double PairDivergence(const KernelInfo& info, const ScalarGenerator& g,
+                      std::span<const double> x, std::span<const double> y,
+                      std::span<const double> w);
+
+/// out_j = w_j phi'(x_j)  (BregmanDivergence::Gradient).
+void GradientInto(const KernelInfo& info, const ScalarGenerator& g,
+                  std::span<const double> x, std::span<const double> w,
+                  std::span<double> out);
+
+/// out_j = (phi')^{-1}(s_j / w_j)  (BregmanDivergence::GradientInverse).
+void GradientInverseInto(const KernelInfo& info, const ScalarGenerator& g,
+                         std::span<const double> s, std::span<const double> w,
+                         std::span<double> out);
+
+// ---------------------------------------------------------------------------
+// Batched multi-point divergence evaluation (the leaf-scan kernel).
+
+/// Query-side context for scanning many points against one query `y`:
+/// caches phi(y_j) and phi'(y_j) so a leaf scan pays the query's
+/// transcendentals once instead of once per point, then evaluates
+/// candidates through the batched backend. Values are byte-identical to
+/// BregmanDivergence::Divergence(x, y) for every backend (see the file
+/// contract above).
+///
+/// The context borrows `div` and `y`; both must outlive it (one query's
+/// stack scope in practice).
+class DivergenceScan {
+ public:
+  DivergenceScan(const BregmanDivergence& div, std::span<const double> y);
+
+  /// D(x, y) for a single point (clamped at 0 like Divergence).
+  double One(std::span<const double> x) const;
+
+  /// D(x_i, y) for `count` points stored column-major (SoA):
+  /// xs[j * count + i] is coordinate j of point i. out[count].
+  void BatchSoA(const double* xs, size_t count, double* out) const;
+
+  /// D(x_i, y) for rows gathered from a row-major matrix:
+  /// point i is base[ids[i] * row_stride .. +dim). out[count].
+  void BatchRows(const double* base, size_t row_stride, const uint32_t* ids,
+                 size_t count, double* out) const;
+
+  size_t dim() const { return y_.size(); }
+
+ private:
+  const ScalarGenerator* gen_;
+  KernelInfo info_;
+  std::span<const double> y_;
+  std::span<const double> w_;          // empty => unweighted
+  std::vector<double> phi_y_;          // phi(y_j)
+  std::vector<double> dphi_y_;         // phi'(y_j)
+};
+
+// ---------------------------------------------------------------------------
+// Bound kernels (Cauchy-Schwarz upper-bound machinery).
+
+/// QBDetermine's totals pass over one contiguous block of point-tuple
+/// rows: totals[i] = sum_j UBCompute(rows[i*m + j], q[j]) for
+/// i in [0, nrows), evaluated in the exact per-point order of the scalar
+/// loop (vsqrtpd is correctly rounded, so the AVX2 path is
+/// byte-identical). When `ub` is non-null, every per-partition bound is
+/// also recorded column-major -- ub[j * ub_stride + (first_row + i)] --
+/// so the caller reads the anchor's searching radii back without
+/// recomputing them.
+void UBTotalsBlock(const PointTuple* rows, size_t nrows, size_t m,
+                   const QueryTriple* q, double* totals, double* ub,
+                   size_t ub_stride, size_t first_row);
+
+}  // namespace simd
+}  // namespace brep
+
+#endif  // BREP_DIVERGENCE_KERNELS_H_

@@ -45,6 +45,11 @@ inline constexpr char kSnapshotPublishLatencyMs[] =
 inline constexpr char kPointsGauge[] = "brep_points";
 inline constexpr char kIdSpaceGauge[] = "brep_id_space";
 inline constexpr char kPartitionsGauge[] = "brep_partitions";
+/// Kernel backend serving divergence/bound batches: 0 = unrolled scalar,
+/// 1 = AVX2 (see simd::KernelBackend). Lets an operator confirm from the
+/// metrics endpoint alone that a deployment actually dispatches SIMD
+/// (BREP_SIMD=off, a non-AVX2 host, or a BREP_SIMD=OFF build all read 0).
+inline constexpr char kSimdKernelGauge[] = "brep_simd_kernel_backend";
 inline constexpr char kPagesGauge[] = "brep_pages";
 inline constexpr char kFreePagesGauge[] = "brep_free_pages";
 inline constexpr char kInsertsTotal[] = "brep_inserts_total";

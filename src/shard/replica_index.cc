@@ -165,6 +165,10 @@ std::string ReplicaIndex::Describe() const {
 }
 
 size_t ReplicaIndex::dim() const { return bp_->divergence().dim(); }
+
+const BregmanDivergence* ReplicaIndex::QueryDivergence() const {
+  return &bp_->divergence();
+}
 size_t ReplicaIndex::num_points() const { return bp_->num_points(); }
 
 obs::MetricsSnapshot ReplicaIndex::Metrics() const {

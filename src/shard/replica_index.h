@@ -89,6 +89,7 @@ class ReplicaIndex final : public SearchIndex {
   ReplicaIndex& operator=(const ReplicaIndex&) = delete;
 
  protected:
+  const BregmanDivergence* QueryDivergence() const override;
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* stats) const override;
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,

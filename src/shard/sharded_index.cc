@@ -235,6 +235,10 @@ std::string ShardedIndex::Describe() const {
 
 size_t ShardedIndex::dim() const { return shards_[0]->dim(); }
 
+const BregmanDivergence* ShardedIndex::QueryDivergence() const {
+  return &shards_[0]->divergence();
+}
+
 size_t ShardedIndex::num_points() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->num_points();

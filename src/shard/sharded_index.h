@@ -113,6 +113,9 @@ class ShardedIndex final : public SearchIndex {
   ShardedIndex& operator=(const ShardedIndex&) = delete;
 
  protected:
+  /// Every shard is built over the same divergence; validate against
+  /// shard 0's so a rejected vector never scatters.
+  const BregmanDivergence* QueryDivergence() const override;
   StatusOr<std::vector<Neighbor>> KnnImpl(std::span<const double> y, size_t k,
                                           Stats* stats) const override;
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,

@@ -185,16 +185,16 @@ std::unique_ptr<FilePager> FilePager::Open(const std::string& path,
     SetError(error, path + ": not a BrePartition index file (bad magic)");
     return nullptr;
   }
-  // v2 is a field-prefix of v3 (no durability watermark yet): pre-WAL
-  // files keep opening, with nothing to replay.
-  if (version != 2 && version != kFormatVersion) {
+  // v4 changed the tree-leaf payload layout (row-major -> SoA), so older
+  // files cannot be served correctly and are rejected outright.
+  if (version != kFormatVersion) {
     ::close(fd);
     SetError(error, path + ": unsupported index format version " +
                         std::to_string(version) + " (expected " +
                         std::to_string(kFormatVersion) + ")");
     return nullptr;
   }
-  catalog.durable_lsn = version >= 3 ? r.Value<uint64_t>() : 0;
+  catalog.durable_lsn = r.Value<uint64_t>();
   const size_t checked_bytes = kSuperblockBytes - r.remaining();
   const uint64_t stored_sum = r.Value<uint64_t>();
   const uint64_t computed_sum =

@@ -41,10 +41,12 @@ class FilePager final : public Pager {
  public:
   /// On-disk format version; bumped on any incompatible layout change.
   /// v2 added the persistent free-list (head + count in the superblock).
-  /// v3 appended the WAL durability watermark (catalog durable_lsn); v2
-  /// files still open (the watermark reads as 0 -- no log to replay), so
-  /// pre-WAL index files keep working unchanged.
-  static constexpr uint32_t kFormatVersion = 3;
+  /// v3 appended the WAL durability watermark (catalog durable_lsn).
+  /// v4 switched tree-leaf payloads to a column-major (SoA) point layout
+  /// for the batched divergence kernels; older files would decode leaf
+  /// vectors transposed, so v4 readers reject them instead of serving
+  /// silently wrong distances.
+  static constexpr uint32_t kFormatVersion = 4;
 
   /// Count of durability barriers this pager has issued (fsync covers
   /// metadata + data, fdatasync only what reading the data needs). Exposed

@@ -1,0 +1,150 @@
+/// Facade input-validation regressions: vectors the divergence cannot
+/// evaluate finitely (overflowing phi, NaN coordinates) must surface as
+/// clean kInvalidArgument from every public entry point -- never as NaN
+/// distances silently mis-ordering results -- and an lp_norm divergence
+/// spec must round-trip its exponent bit-exactly through Name()/parse.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "api/search_index.h"
+#include "divergence/factory.h"
+#include "divergence/generators.h"
+#include "storage/pager.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+using ::brep::testing::MakeDataFor;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+class EvalFiniteValidationTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 8;
+  Matrix data_ = MakeDataFor("exponential", 120, kDim);
+};
+
+TEST_F(EvalFiniteValidationTest, ExponentialOverflowQueryIsInvalidArgument) {
+  // exp(1000) = +inf: before the facade gate, D(x, y) evaluated to
+  // inf - inf = NaN and the NaN sailed through max(acc, 0.0) straight into
+  // the top-k heap. Now every entry point refuses the query up front.
+  auto built = Index::Build(data_, "exponential");
+  ASSERT_TRUE(built.ok()) << built.status().message();
+
+  std::vector<double> hot(kDim, 1.0);
+  hot[3] = 1000.0;  // phi overflows; InDomain alone would accept it
+
+  const auto knn = built->Knn(hot, 5);
+  ASSERT_FALSE(knn.ok());
+  EXPECT_EQ(knn.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(knn.status().message(), "exponential"))
+      << knn.status().message();
+
+  const auto range = built->Range(hot, 1.0);
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kInvalidArgument);
+
+  const auto inserted = built->Insert(hot);
+  ASSERT_FALSE(inserted.ok());
+  EXPECT_EQ(inserted.status().code(), StatusCode::kInvalidArgument);
+
+  // One poisoned row rejects the whole batch before any work is done.
+  std::vector<double> batch_data;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t j = 0; j < kDim; ++j) {
+      batch_data.push_back(r == 1 ? hot[j] : 0.5);
+    }
+  }
+  const Matrix batch(3, kDim, std::move(batch_data));
+  const auto knn_batch = built->KnnBatch(batch, 5);
+  ASSERT_FALSE(knn_batch.ok());
+  EXPECT_EQ(knn_batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(knn_batch.status().message(), "batch query 1"))
+      << knn_batch.status().message();
+  const auto range_batch = built->RangeBatch(batch, 1.0);
+  ASSERT_FALSE(range_batch.ok());
+  EXPECT_EQ(range_batch.status().code(), StatusCode::kInvalidArgument);
+
+  // A sane query still serves.
+  EXPECT_TRUE(built->Knn(std::vector<double>(kDim, 0.5), 5).ok());
+}
+
+TEST_F(EvalFiniteValidationTest, NanQueryIsInvalidArgumentOnEveryBackend) {
+  const Matrix data = MakeDataFor("squared_l2", 100, kDim);
+  MemPager pager(32 * 1024);
+  const BregmanDivergence div = MakeDivergence("squared_l2", kDim);
+  std::vector<double> bad(kDim, 0.5);
+  bad[0] = std::numeric_limits<double>::quiet_NaN();
+  for (const std::string backend : {"brepartition", "bbtree", "scan"}) {
+    auto index = MakeSearchIndex(backend, &pager, data, div);
+    ASSERT_TRUE(index.ok()) << backend << ": " << index.status().message();
+    const auto knn = (*index)->Knn(bad, 5);
+    ASSERT_FALSE(knn.ok()) << backend;
+    EXPECT_EQ(knn.status().code(), StatusCode::kInvalidArgument) << backend;
+  }
+}
+
+TEST(LpNamePrecisionTest, NameRoundTripsExponentBitExactly) {
+  // std::to_string truncates to 6 decimals, so p = nextafter(2.5) used to
+  // serialize as "lp_norm(p=2.500000)" and reopen as p = 2.5 -- a
+  // different divergence. Name() now prints max_digits10 digits.
+  for (double p : {3.0, 2.5, std::nextafter(2.5, 3.0), 2.0 + 1e-9,
+                   1.0000000001, 17.000000000000004}) {
+    const LpNormGenerator gen(p);
+    const auto parsed = ParseGenerator(gen.Name());
+    ASSERT_TRUE(parsed.ok()) << gen.Name() << ": " << parsed.status().message();
+    const auto* lp = dynamic_cast<const LpNormGenerator*>(parsed->get());
+    ASSERT_NE(lp, nullptr) << gen.Name();
+    EXPECT_EQ(lp->p(), p) << gen.Name() << " lost bits of p";
+  }
+  // The simple spellings keep their friendly form.
+  EXPECT_EQ(LpNormGenerator(3.0).Name(), "lp_norm(p=3)");
+}
+
+TEST(LpNamePrecisionTest, IndexPersistenceRoundTripsNastyExponent) {
+  constexpr size_t kDim = 6;
+  const double p = std::nextafter(2.5, 3.0);
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "lp:%.17g", p);
+
+  const Matrix data = MakeDataFor("squared_l2", 150, kDim);
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, 4);
+  IndexOptions options;
+  options.config.num_partitions = 3;
+  const auto built = Index::Build(data, spec, options);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const auto* gen = dynamic_cast<const LpNormGenerator*>(
+      &built->divergence().generator());
+  ASSERT_NE(gen, nullptr);
+  ASSERT_EQ(gen->p(), p);
+
+  const std::string path = ::testing::TempDir() + "/brep_lp_roundtrip.idx";
+  ASSERT_TRUE(built->Save(path).ok());
+  const auto reopened = Index::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto* regen = dynamic_cast<const LpNormGenerator*>(
+      &reopened->divergence().generator());
+  ASSERT_NE(regen, nullptr);
+  EXPECT_EQ(regen->p(), p) << "persistence lost bits of the lp exponent";
+  EXPECT_EQ(reopened->divergence().Name(), built->divergence().Name());
+
+  // Same divergence -> byte-identical answers after the round trip.
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ(reopened->Knn(queries.Row(q), 8).value(),
+              built->Knn(queries.Row(q), 8).value());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace brep

@@ -1,0 +1,410 @@
+#include "divergence/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "common/build_counters.h"
+#include "common/rng.h"
+#include "core/bound.h"
+#include "core/partition.h"
+#include "divergence/factory.h"
+#include "divergence/generators.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+/// ULP distance between two doubles of the same sign class; the huge
+/// sentinel flags sign/NaN disagreements so they always fail the bound.
+uint64_t UlpDiff(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return a != a && b != b ? 0 : ~uint64_t{0};
+  }
+  if (std::signbit(a) != std::signbit(b)) {
+    return a == b ? 0 : ~uint64_t{0};  // +0 vs -0 counts as equal
+  }
+  const auto ia = std::bit_cast<uint64_t>(std::fabs(a));
+  const auto ib = std::bit_cast<uint64_t>(std::fabs(b));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+/// Backends compiled in AND usable on this machine: kScalar always;
+/// kAvx2 iff forcing it actually takes effect.
+std::vector<simd::KernelBackend> UsableBackends() {
+  std::vector<simd::KernelBackend> out{simd::KernelBackend::kScalar};
+  simd::ForceBackendForTest(simd::KernelBackend::kAvx2);
+  if (simd::ActiveBackend() == simd::KernelBackend::kAvx2) {
+    out.push_back(simd::KernelBackend::kAvx2);
+  }
+  simd::ClearBackendOverrideForTest();
+  return out;
+}
+
+/// The legacy scalar reference: per-element virtual Phi/PhiPrime calls in
+/// the exact expression order BregmanDivergence::Divergence used before
+/// the kernel layer. Every backend must reproduce it within the ULP
+/// budget below (0 today: lane-per-point batching with per-lane libm).
+double ReferenceDivergence(const BregmanDivergence& div,
+                           std::span<const double> x,
+                           std::span<const double> y) {
+  const ScalarGenerator& g = div.generator();
+  const auto w = div.weights_span();
+  double acc = 0.0;
+  for (size_t j = 0; j < div.dim(); ++j) {
+    const double term =
+        g.Phi(x[j]) - g.Phi(y[j]) - g.PhiPrime(y[j]) * (x[j] - y[j]);
+    acc += w.empty() ? term : w[j] * term;
+  }
+  return std::max(acc, 0.0);
+}
+
+/// Generator zoo x adversarial inputs. Points are generated in-domain for
+/// the named generator but stressed: denormals, large magnitudes (still
+/// finite under phi), negative zero, and exactly-representable ties.
+class KernelEquivalenceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr size_t kDim = 9;     // odd: exercises non-multiple widths
+  static constexpr size_t kCount = 37;  // odd: exercises the lane tail
+
+  void TearDown() override { simd::ClearBackendOverrideForTest(); }
+
+  bool PositiveDomain() const {
+    const std::string& g = GetParam();
+    return g == "itakura_saito" || g == "kl";
+  }
+
+  double AdversarialValue(Rng& rng, size_t slot) const {
+    const bool positive = PositiveDomain();
+    switch (slot % 7) {
+      case 0:  // denormal
+        return 4.9406564584124654e-324 * double(1 + slot % 3);
+      case 1:  // tiny normal
+        return 1e-308;
+      case 2:  // large but phi-finite for every zoo member
+        return GetParam() == "exponential" ? 700.0
+               : GetParam() == "squared_l2" ? 1e150
+                                            : 1e10;
+      case 3:
+        return positive ? 1e-12 : -0.0;
+      case 4:
+        return positive ? 2.0 : -2.0;
+      default:
+        return positive ? 0.25 + rng.NextDouble() : rng.NextDouble() * 2.0 - 1.0;
+    }
+  }
+
+  /// Column-major (SoA) batch plus the same points row-major.
+  void MakeBatch(std::vector<double>* soa, std::vector<double>* rows,
+                 std::vector<double>* y) {
+    Rng rng(99);
+    soa->assign(kCount * kDim, 0.0);
+    rows->assign(kCount * kDim, 0.0);
+    for (size_t i = 0; i < kCount; ++i) {
+      for (size_t j = 0; j < kDim; ++j) {
+        const double v = AdversarialValue(rng, i * kDim + j);
+        (*soa)[j * kCount + i] = v;
+        (*rows)[i * kDim + j] = v;
+      }
+    }
+    y->clear();
+    for (size_t j = 0; j < kDim; ++j) {
+      y->push_back(PositiveDomain() ? 0.5 + rng.NextDouble()
+                                    : rng.NextDouble() * 2.0 - 1.0);
+    }
+  }
+};
+
+TEST_P(KernelEquivalenceTest, BatchKernelsMatchScalarReferenceBitwise) {
+  std::vector<BregmanDivergence> divs;
+  divs.push_back(MakeDivergence(GetParam(), kDim));
+  {
+    // Weighted variant: same generator, non-trivial positive weights.
+    std::vector<double> w(kDim);
+    for (size_t j = 0; j < kDim; ++j) w[j] = 0.25 + 0.5 * double(j % 4);
+    divs.emplace_back(MakeGenerator(GetParam()), std::move(w));
+  }
+
+  std::vector<double> soa, rows, y;
+  MakeBatch(&soa, &rows, &y);
+  std::vector<uint32_t> ids(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    ids[i] = static_cast<uint32_t>((i * 7) % kCount);  // shuffled gather
+  }
+
+  for (const BregmanDivergence& div : divs) {
+    std::vector<double> want(kCount);
+    for (size_t i = 0; i < kCount; ++i) {
+      want[i] = ReferenceDivergence(
+          div, std::span<const double>(rows).subspan(i * kDim, kDim), y);
+    }
+    for (simd::KernelBackend backend : UsableBackends()) {
+      simd::ForceBackendForTest(backend);
+      const simd::DivergenceScan scan(div, y);
+      std::vector<double> got(kCount, -1.0);
+      scan.BatchSoA(soa.data(), kCount, got.data());
+      for (size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(UlpDiff(got[i], want[i]), 0u)
+            << GetParam() << " BatchSoA point " << i << " backend "
+            << simd::BackendName(backend) << ": got " << got[i] << " want "
+            << want[i];
+      }
+      std::fill(got.begin(), got.end(), -1.0);
+      scan.BatchRows(rows.data(), kDim, ids.data(), kCount, got.data());
+      for (size_t i = 0; i < kCount; ++i) {
+        const double w =
+            ReferenceDivergence(div,
+                                std::span<const double>(rows).subspan(
+                                    size_t{ids[i]} * kDim, kDim),
+                                y);
+        EXPECT_EQ(UlpDiff(got[i], w), 0u)
+            << GetParam() << " BatchRows point " << i << " backend "
+            << simd::BackendName(backend);
+      }
+      for (size_t i = 0; i < kCount; ++i) {
+        const auto x = std::span<const double>(rows).subspan(i * kDim, kDim);
+        EXPECT_EQ(UlpDiff(scan.One(x), want[i]), 0u)
+            << GetParam() << " One point " << i;
+        EXPECT_EQ(UlpDiff(div.Divergence(x, y), want[i]), 0u)
+            << GetParam() << " Divergence point " << i;
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, SingleVectorPrimitivesMatchVirtualLoops) {
+  const BregmanDivergence div = MakeDivergence(GetParam(), kDim);
+  const ScalarGenerator& g = div.generator();
+  std::vector<double> soa, rows, y;
+  MakeBatch(&soa, &rows, &y);
+
+  for (size_t i = 0; i < kCount; ++i) {
+    const auto x = std::span<const double>(rows).subspan(i * kDim, kDim);
+    double f = 0.0;
+    for (size_t j = 0; j < kDim; ++j) f += g.Phi(x[j]);
+    EXPECT_EQ(UlpDiff(div.F(x), f), 0u) << GetParam() << " F point " << i;
+
+    std::vector<double> grad(kDim), grad_ref(kDim);
+    div.Gradient(x, std::span<double>(grad));
+    for (size_t j = 0; j < kDim; ++j) grad_ref[j] = g.PhiPrime(x[j]);
+    for (size_t j = 0; j < kDim; ++j) {
+      EXPECT_EQ(UlpDiff(grad[j], grad_ref[j]), 0u)
+          << GetParam() << " Gradient[" << j << "]";
+    }
+    // GradientInverse round-trips through the same virtual inverse.
+    std::vector<double> inv(kDim);
+    div.GradientInverse(grad, std::span<double>(inv));
+    for (size_t j = 0; j < kDim; ++j) {
+      EXPECT_EQ(UlpDiff(inv[j], g.PhiPrimeInverse(grad_ref[j])), 0u)
+          << GetParam() << " GradientInverse[" << j << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, KernelEquivalenceTest,
+                         ::testing::Values("squared_l2", "itakura_saito",
+                                           "exponential", "kl", "lp:2",
+                                           "lp:3", "lp:2.5"));
+
+TEST(KernelDispatchTest, EnvironmentAndOverrideControlTheBackend) {
+  // The override hook must take effect (the dispatch gauge and the
+  // BREP_SIMD escape hatch route through the same resolver).
+  simd::ForceBackendForTest(simd::KernelBackend::kScalar);
+  EXPECT_EQ(simd::ActiveBackend(), simd::KernelBackend::kScalar);
+  EXPECT_STREQ(simd::BackendName(simd::ActiveBackend()), "scalar");
+  simd::ClearBackendOverrideForTest();
+  EXPECT_STREQ(simd::BackendName(simd::KernelBackend::kAvx2), "avx2");
+}
+
+TEST(KernelDispatchTest, ClassifierCoversTheZooAndFallsBackOnUnknown) {
+  using simd::GeneratorKind;
+  EXPECT_EQ(simd::ClassifyGenerator(*MakeGenerator("squared_l2")),
+            GeneratorKind::kSquaredL2);
+  EXPECT_EQ(simd::ClassifyGenerator(*MakeGenerator("itakura_saito")),
+            GeneratorKind::kItakuraSaito);
+  EXPECT_EQ(simd::ClassifyGenerator(*MakeGenerator("exponential")),
+            GeneratorKind::kExponential);
+  EXPECT_EQ(simd::ClassifyGenerator(*MakeGenerator("kl")),
+            GeneratorKind::kKL);
+  const auto lp = MakeGenerator("lp:2.5");
+  EXPECT_EQ(simd::ClassifyGenerator(*lp), GeneratorKind::kLpNorm);
+  EXPECT_EQ(simd::MakeKernelInfo(*lp).lp_p, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Bound kernel: UBTotalsBlock across backends, against the naive loop.
+
+class UBKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::ClearBackendOverrideForTest(); }
+};
+
+TEST_F(UBKernelTest, TotalsAndRadiiMatchNaiveLoopBitwise) {
+  constexpr size_t kN = 29, kM = 5;
+  Rng rng(123);
+  std::vector<PointTuple> rows(kN * kM);
+  for (auto& p : rows) {
+    p.alpha = rng.NextDouble() * 10.0 - 5.0;
+    p.gamma = rng.NextDouble() * 4.0;  // g_x >= 0 by construction in the paper
+  }
+  std::vector<QueryTriple> q(kM);
+  for (auto& t : q) {
+    t.alpha = rng.NextDouble() * 2.0 - 1.0;
+    t.beta_yy = rng.NextDouble() * 2.0 - 1.0;
+    t.delta = rng.NextDouble() * 3.0;
+  }
+
+  std::vector<double> want_totals(kN, 0.0), want_ub(kM * kN, 0.0);
+  for (size_t i = 0; i < kN; ++i) {
+    for (size_t j = 0; j < kM; ++j) {
+      const double b = UBCompute(rows[i * kM + j], q[j]);
+      want_ub[j * kN + i] = b;
+      want_totals[i] += b;
+    }
+  }
+
+  for (simd::KernelBackend backend : UsableBackends()) {
+    simd::ForceBackendForTest(backend);
+    std::vector<double> totals(kN, -1.0), ub(kM * kN, -1.0);
+    simd::UBTotalsBlock(rows.data(), kN, kM, q.data(), totals.data(),
+                        ub.data(), kN, 0);
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(UlpDiff(totals[i], want_totals[i]), 0u)
+          << "totals[" << i << "] backend " << simd::BackendName(backend);
+    }
+    for (size_t v = 0; v < ub.size(); ++v) {
+      EXPECT_EQ(UlpDiff(ub[v], want_ub[v]), 0u)
+          << "ub[" << v << "] backend " << simd::BackendName(backend);
+    }
+    // The no-ub variant (pure totals) and split blocks agree too.
+    std::vector<double> totals2(kN, -1.0);
+    simd::UBTotalsBlock(rows.data(), kN, kM, q.data(), totals2.data(),
+                        nullptr, 0, 0);
+    EXPECT_EQ(totals, totals2);
+  }
+}
+
+TEST_F(UBKernelTest, QBDetermineIsBackendInvariantAndReusesScratch) {
+  const std::string gen = "itakura_saito";
+  constexpr size_t kDim = 8, kN = 120, kM = 4;
+  const Matrix data = testing::MakeDataFor(gen, kN, kDim);
+  const BregmanDivergence div = MakeDivergence(gen, kDim);
+  const Partitioning parts = EqualContiguousPartition(kDim, kM);
+  std::vector<BregmanDivergence> sub_divs;
+  for (const auto& cols : parts) sub_divs.push_back(div.Restrict(cols));
+  const TransformedDataset st(data, parts, sub_divs);
+
+  const Matrix queries = testing::MakeQueriesFor(gen, data, 6);
+  auto triples = [&](size_t qi) {
+    std::vector<QueryTriple> q;
+    for (size_t m = 0; m < kM; ++m) {
+      std::vector<double> sub;
+      for (size_t c : parts[m]) sub.push_back(queries.Row(qi)[c]);
+      q.push_back(TransformQuery(sub_divs[m], sub));
+    }
+    return q;
+  };
+
+  // Backend invariance: the searching bounds are byte-identical.
+  std::vector<QueryBounds> per_backend;
+  for (simd::KernelBackend backend : UsableBackends()) {
+    simd::ForceBackendForTest(backend);
+    per_backend.push_back(QBDetermine(st, triples(0), 10));
+  }
+  for (size_t b = 1; b < per_backend.size(); ++b) {
+    EXPECT_EQ(per_backend[b].total, per_backend[0].total);
+    EXPECT_EQ(per_backend[b].anchor_id, per_backend[0].anchor_id);
+    EXPECT_EQ(per_backend[b].radii, per_backend[0].radii);
+  }
+
+  // Allocation regression: after one warmup call, repeated QBDetermine
+  // calls through the same scratch must not grow any buffer.
+  QBScratch scratch;
+  (void)QBDetermine(st, triples(0), 10, &scratch);
+  const uint64_t after_warmup =
+      internal::GetBuildCounters().qb_scratch_allocs.load();
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    for (size_t k : {1, 5, 10, 25}) {
+      (void)QBDetermine(st, triples(qi), k, &scratch);
+    }
+  }
+  EXPECT_EQ(internal::GetBuildCounters().qb_scratch_allocs.load(),
+            after_warmup)
+      << "steady-state QBDetermine grew its scratch buffers";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end byte-identity gate: squared_l2 kNN/range answers through the
+// full index must be bit-equal to the virtual-call oracle at every thread
+// count, with SIMD forced on and off.
+
+TEST(KernelEndToEndTest, SquaredL2OracleFuzzIsByteIdenticalAcrossBackends) {
+  constexpr size_t kDim = 16, kN = 400, kQ = 20, kK = 10;
+  const Matrix data = testing::MakeDataFor("squared_l2", kN, kDim);
+  const Matrix queries = testing::MakeQueriesFor("squared_l2", data, kQ);
+  const BregmanDivergence div = MakeDivergence("squared_l2", kDim);
+
+  // Virtual-call oracle, ordered exactly like the engine (distance, id).
+  auto oracle_knn = [&](std::span<const double> y) {
+    std::vector<Neighbor> all;
+    for (size_t i = 0; i < kN; ++i) {
+      all.push_back({ReferenceDivergence(div, data.Row(i), y),
+                     static_cast<uint32_t>(i)});
+    }
+    std::sort(all.begin(), all.end());  // Neighbor orders by (distance, id)
+    all.resize(kK);
+    return all;
+  };
+
+  auto built = IndexBuilder("squared_l2").Partitions(4).Build(data);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const Index index = *std::move(built);
+
+  for (simd::KernelBackend backend : UsableBackends()) {
+    simd::ForceBackendForTest(backend);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      auto parallel = index.Parallel(threads);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      for (size_t qi = 0; qi < kQ; ++qi) {
+        const auto y = queries.Row(qi);
+        const auto want = oracle_knn(y);
+        const auto got = parallel->Knn(y, kK);
+        ASSERT_TRUE(got.ok()) << got.status().message();
+        ASSERT_EQ(got->size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ((*got)[i].id, want[i].id)
+              << "backend " << simd::BackendName(backend) << " threads "
+              << threads << " query " << qi << " rank " << i;
+          EXPECT_EQ(std::bit_cast<uint64_t>((*got)[i].distance),
+                    std::bit_cast<uint64_t>(want[i].distance))
+              << "backend " << simd::BackendName(backend) << " threads "
+              << threads << " query " << qi << " rank " << i;
+        }
+        // Range at the k-th oracle distance: identical id set.
+        const double radius = want.back().distance;
+        std::vector<uint32_t> want_ids;
+        for (size_t i = 0; i < kN; ++i) {
+          if (ReferenceDivergence(div, data.Row(i), y) <= radius) {
+            want_ids.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        auto range = parallel->Range(y, radius);
+        ASSERT_TRUE(range.ok()) << range.status().message();
+        std::sort(range->begin(), range->end());
+        EXPECT_EQ(*range, want_ids)
+            << "backend " << simd::BackendName(backend) << " threads "
+            << threads << " query " << qi;
+      }
+    }
+  }
+  simd::ClearBackendOverrideForTest();
+}
+
+}  // namespace
+}  // namespace brep

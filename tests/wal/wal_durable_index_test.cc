@@ -474,9 +474,11 @@ TEST_F(CraftedWalTest, OutOfDomainInsertRecordIsDataLoss) {
   EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
 }
 
-TEST_F(DurableIndexTest, V2SuperblockFilesStillOpen) {
-  // A pre-WAL (v2) index file must keep opening -- with and without
-  // durability -- reading as "durable to lsn 0".
+TEST_F(DurableIndexTest, PreV4SuperblockFilesAreCleanlyRejected) {
+  // v4 switched tree-leaf payloads to the column-major (SoA) layout, so a
+  // pre-v4 file's leaf pages would decode transposed -- silently wrong
+  // distances. Open must reject old versions with a clean error (with and
+  // without durability), never serve them.
   CrashPlan plan;
   plan.ops = 0;
   const Matrix pool = PlanPool(plan);
@@ -485,30 +487,33 @@ TEST_F(DurableIndexTest, V2SuperblockFilesStillOpen) {
     ASSERT_TRUE(built.ok());
     ASSERT_TRUE(built->Save(idx_path_).ok());
   }
-  // Demote the superblock to the v2 layout: same field prefix, version 2,
-  // checksum over the first 56 bytes stored at offset 56.
+  // Demote the superblock to the v3 layout: same fields, version 3,
+  // checksum recomputed over everything before the trailing sum (64 bytes).
   {
     std::FILE* f = std::fopen(idx_path_.c_str(), "r+b");
     ASSERT_NE(f, nullptr);
     std::vector<uint8_t> block(4096);
     ASSERT_EQ(std::fread(block.data(), 1, block.size(), f), block.size());
-    const uint32_t v2 = 2;
-    std::memcpy(block.data() + 8, &v2, 4);
+    const uint32_t v3 = 3;
+    std::memcpy(block.data() + 8, &v3, 4);
     const uint64_t sum =
-        Fnv1a64(std::span<const uint8_t>(block.data(), 56));
-    std::memcpy(block.data() + 56, &sum, 8);
+        Fnv1a64(std::span<const uint8_t>(block.data(), 64));
+    std::memcpy(block.data() + 64, &sum, 8);
     ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
     ASSERT_EQ(std::fwrite(block.data(), 1, block.size(), f), block.size());
     std::fclose(f);
   }
   auto plain = Index::Open(idx_path_);
-  ASSERT_TRUE(plain.ok()) << plain.status().message();
-  EXPECT_EQ(plain->num_points(), plan.initial);
-  plain = Status::NotFound("drop");  // release the file before reopening
+  ASSERT_FALSE(plain.ok());
+  EXPECT_NE(plain.status().message().find("unsupported index format version"),
+            std::string::npos)
+      << plain.status().message();
   auto durable_open = Index::Open(idx_path_, Durability());
-  ASSERT_TRUE(durable_open.ok()) << durable_open.status().message();
-  EXPECT_EQ(durable_open->recovery().last_lsn, 0u);
-  EXPECT_EQ(durable_open->num_points(), plan.initial);
+  ASSERT_FALSE(durable_open.ok());
+  EXPECT_NE(
+      durable_open.status().message().find("unsupported index format version"),
+      std::string::npos)
+      << durable_open.status().message();
 }
 
 TEST_F(DurableIndexTest, WalLanesFlowThroughTheStatsSurface) {
