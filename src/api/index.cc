@@ -1,5 +1,6 @@
 #include "api/index.h"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <mutex>
@@ -7,14 +8,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/brepartition.h"
 #include "core/stats.h"
 #include "divergence/factory.h"
 #include "engine/query_engine.h"
+#include "join/dual_tree.h"
 #include "obs/index_metrics.h"
 #include "storage/file_pager.h"
 #include "storage/pager.h"
+#include "storage/point_store.h"
 
 namespace brep {
 namespace {
@@ -60,6 +64,116 @@ void RecordUpdate(const BrePartition& bp, char op, double total_ms,
   entry.wal_fsync_ms = wal.fsync_ms;
   entry.total_ms = total_ms;
   trace.Record(std::move(entry));
+}
+
+/// The shared join body of Index and ParallelIndex: pin a read snapshot,
+/// materialize the live point set S from its point store (ascending id
+/// order, so the (distance, id) tie-break matches single queries), run the
+/// dual-tree descent -- over the sampled subset for the approximate arm --
+/// and fold its counters into the facade stats.
+StatusOr<JoinResult> JoinOnBrePartition(const BrePartition& bp,
+                                        const Matrix& r, size_t k,
+                                        const JoinOptions& options,
+                                        ThreadPool* pool,
+                                        SearchIndex::Stats* stats) {
+  const auto view = bp.OpenReadViewHandle();
+  const PointStore& store = view->forest().point_store();
+  std::vector<uint32_t> live;
+  live.reserve(view->num_points());
+  for (uint32_t id = 0; id < store.id_space(); ++id) {
+    if (store.Contains(id)) live.push_back(id);
+  }
+  // The wrapper validated k against the advisory count; re-check against
+  // the pinned snapshot (a concurrent delete may have shrunk it).
+  if (k > live.size()) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) +
+        " exceeds the number of indexed points (" +
+        std::to_string(live.size()) + ")");
+  }
+  const size_t d = bp.divergence().dim();
+  std::vector<double> s_data(live.size() * d);
+  store.FetchMany(live, [&](uint32_t id, std::span<const double> x) {
+    const size_t row =
+        std::lower_bound(live.begin(), live.end(), id) - live.begin();
+    std::copy(x.begin(), x.end(), s_data.begin() + row * d);
+  });
+  const Matrix s_all(live.size(), d, std::move(s_data));
+
+  JoinResult result;
+  if (options.sample_rate < 1.0) {
+    const size_t m = SampledJoinCount(options.sample_rate, live.size());
+    if (k > m) {
+      return Status::InvalidArgument(
+          "k = " + std::to_string(k) + " exceeds the sampled subset (" +
+          std::to_string(m) + " of " + std::to_string(live.size()) +
+          " points)");
+    }
+    Rng rng(options.sample_seed);
+    const std::vector<size_t> pick =
+        rng.SampleWithoutReplacement(live.size(), m);
+    std::vector<uint32_t> s_ids(m);
+    std::vector<double> data(m * d);
+    for (size_t i = 0; i < m; ++i) {
+      s_ids[i] = live[pick[i]];  // pick is sorted, so s_ids stays ascending
+      const std::span<const double> row = s_all.Row(pick[i]);
+      std::copy(row.begin(), row.end(), data.begin() + i * d);
+    }
+    const Matrix s(m, d, std::move(data));
+    result = DualTreeKnnJoin(r, s, s_ids, bp.divergence(), k, options, pool);
+    if (options.measure_recall) {
+      const JoinResult exact =
+          DualTreeKnnJoin(r, s_all, live, bp.divergence(), k, options, pool);
+      result.stats.sampled_recall =
+          MeanJoinRecall(result.neighbors, exact.neighbors);
+    }
+  } else {
+    result =
+        DualTreeKnnJoin(r, s_all, live, bp.divergence(), k, options, pool);
+    // The full point set IS the ground truth: recall is 1 by definition,
+    // reported so measure_recall always yields a measurement.
+    if (options.measure_recall) result.stats.sampled_recall = 1.0;
+  }
+
+  stats->nodes_visited += result.stats.node_pairs_visited;
+  stats->leaves_visited += result.stats.leaf_blocks;
+  stats->points_evaluated += result.stats.pairs_evaluated;
+  stats->candidates += result.stats.pairs_evaluated;
+  return result;
+}
+
+/// Record one finished join into the shared registry and, when slow
+/// enough, the trace ring (op 'j'; build lands in the bound span, the
+/// descent in refine).
+void RecordJoin(const BrePartition& bp, size_t rows, size_t k,
+                const JoinResult& result, double total_ms) {
+  const obs::IndexMetrics& im = bp.index_metrics();
+  const size_t stripe = obs::CurrentThreadStripe();
+  im.joins->AddStripe(stripe, 1);
+  im.join_rows->AddStripe(stripe, rows);
+  im.join_node_pairs_visited->AddStripe(stripe,
+                                        result.stats.node_pairs_visited);
+  im.join_node_pairs_pruned->AddStripe(stripe,
+                                       result.stats.node_pairs_pruned);
+  im.join_leaf_blocks->AddStripe(stripe, result.stats.leaf_blocks);
+  im.join_latency->RecordStripe(stripe, total_ms);
+  if (result.stats.sampled_recall >= 0.0) {
+    im.join_sample_recall->Set(result.stats.sampled_recall);
+  }
+  obs::TraceLog& trace = bp.trace_log();
+  if (total_ms < trace.threshold_ms()) return;
+  obs::QueryTraceEntry entry;
+  entry.op = 'j';
+  entry.k = k;
+  entry.results = rows;
+  entry.bound_ms = result.stats.build_ms;
+  entry.refine_ms = result.stats.descent_ms;
+  entry.total_ms = total_ms;
+  entry.nodes_visited = result.stats.node_pairs_visited;
+  entry.leaves_visited = result.stats.leaf_blocks;
+  entry.points_evaluated = result.stats.pairs_evaluated;
+  entry.node_pairs_pruned = result.stats.node_pairs_pruned;
+  trace.Record(entry);
 }
 
 }  // namespace
@@ -529,6 +643,17 @@ StatusOr<std::vector<uint32_t>> Index::RangeImpl(std::span<const double> y,
   return result;
 }
 
+StatusOr<JoinResult> Index::KnnJoinImpl(const Matrix& r, size_t k,
+                                        const JoinOptions& options,
+                                        Stats* stats) const {
+  Timer timer;
+  BREP_ASSIGN_OR_RETURN(
+      JoinResult result,
+      JoinOnBrePartition(*bp_, r, k, options, /*pool=*/nullptr, stats));
+  RecordJoin(*bp_, r.rows(), k, result, timer.ElapsedMillis());
+  return result;
+}
+
 // ------------------------------------------------------------------------
 // IndexBuilder
 
@@ -698,6 +823,18 @@ StatusOr<std::vector<std::vector<uint32_t>>> ParallelIndex::RangeBatchImpl(
   EngineStats es;
   auto result = engine_->RangeSearchBatch(queries, radius, &es);
   stats->Add(es);
+  return result;
+}
+
+StatusOr<JoinResult> ParallelIndex::KnnJoinImpl(const Matrix& r, size_t k,
+                                                const JoinOptions& options,
+                                                Stats* stats) const {
+  Timer timer;
+  BREP_ASSIGN_OR_RETURN(
+      JoinResult result,
+      JoinOnBrePartition(engine_->index(), r, k, options,
+                         &engine_->thread_pool(), stats));
+  RecordJoin(engine_->index(), r.rows(), k, result, timer.ElapsedMillis());
   return result;
 }
 

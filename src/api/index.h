@@ -182,6 +182,12 @@ class Index final : public SearchIndex {
   StatusOr<std::vector<uint32_t>> RangeImpl(std::span<const double> y,
                                             double radius,
                                             Stats* stats) const override;
+  /// Native dual-tree join over a pinned read snapshot (exact and sampled
+  /// arms; see join/dual_tree.h). Sequential descent; Parallel() handles
+  /// run the same descent over their pool.
+  StatusOr<JoinResult> KnnJoinImpl(const Matrix& r, size_t k,
+                                   const JoinOptions& options,
+                                   Stats* stats) const override;
   /// Dynamic updates: route through BrePartition under its exclusive
   /// update lock (QueryEngine readers hold the shared side), so Parallel()
   /// handles keep serving consistent snapshots while writes stream in.
@@ -298,6 +304,12 @@ class ParallelIndex final : public SearchIndex {
       const Matrix& queries, size_t k, Stats* stats) const override;
   StatusOr<std::vector<std::vector<uint32_t>>> RangeBatchImpl(
       const Matrix& queries, double radius, Stats* stats) const override;
+  /// The same dual-tree join as Index, with the R-subtree tasks spread
+  /// over the engine's worker pool (byte-identical results at any thread
+  /// count by construction).
+  StatusOr<JoinResult> KnnJoinImpl(const Matrix& r, size_t k,
+                                   const JoinOptions& options,
+                                   Stats* stats) const override;
 
  private:
   friend class Index;

@@ -625,6 +625,50 @@ StatusOr<std::vector<std::vector<uint32_t>>> SearchIndex::RangeBatch(
   return result;
 }
 
+StatusOr<JoinResult> SearchIndex::KnnJoin(const Matrix& r, size_t k,
+                                          const JoinOptions& options,
+                                          Stats* stats) const {
+  Stats local;
+  Stats& st = stats != nullptr ? *stats : local;
+  st = Stats{};
+  if (r.empty()) {
+    return Status::InvalidArgument("join query set R is empty (zero rows)");
+  }
+  if (r.cols() != dim()) {
+    return Status::InvalidArgument(
+        "join query set has " + std::to_string(r.cols()) +
+        " dimensions, index expects " + std::to_string(dim()));
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > num_points()) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) + " exceeds the number of indexed points (" +
+        std::to_string(num_points()) + ")");
+  }
+  if (!std::isfinite(options.sample_rate) || !(options.sample_rate > 0.0) ||
+      options.sample_rate > 1.0) {
+    return Status::InvalidArgument(
+        "join sample_rate must be in (0, 1], got " +
+        std::to_string(options.sample_rate));
+  }
+  const size_t sampled = SampledJoinCount(options.sample_rate, num_points());
+  if (k > sampled) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) + " exceeds the sampled subset (" +
+        std::to_string(sampled) + " of " + std::to_string(num_points()) +
+        " points at sample_rate " + std::to_string(options.sample_rate) + ")");
+  }
+  for (size_t q = 0; q < r.rows(); ++q) {
+    BREP_RETURN_IF_ERROR(
+        CheckEvaluable(r.Row(q), "join query row " + std::to_string(q)));
+  }
+  st.queries = r.rows();
+  Timer timer;
+  auto result = KnnJoinImpl(r, k, options, &st);
+  st.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
 StatusOr<std::vector<uint32_t>> SearchIndex::RangeImpl(
     std::span<const double> /*y*/, double /*radius*/, Stats* /*stats*/) const {
   return Status::Unimplemented("backend " + Describe() +
@@ -639,6 +683,25 @@ StatusOr<std::vector<std::vector<Neighbor>>> SearchIndex::KnnBatchImpl(
     BREP_ASSIGN_OR_RETURN(auto result, KnnImpl(queries.Row(q), k, stats));
     out.push_back(std::move(result));
   }
+  return out;
+}
+
+StatusOr<JoinResult> SearchIndex::KnnJoinImpl(const Matrix& r, size_t k,
+                                              const JoinOptions& options,
+                                              Stats* stats) const {
+  if (options.sample_rate < 1.0) {
+    return Status::Unimplemented(
+        "backend " + Describe() +
+        " has no native join path; only the exact join (sample_rate = 1) is "
+        "served through the per-query fallback");
+  }
+  JoinResult out;
+  out.neighbors.reserve(r.rows());
+  for (size_t q = 0; q < r.rows(); ++q) {
+    BREP_ASSIGN_OR_RETURN(auto result, KnnImpl(r.Row(q), k, stats));
+    out.neighbors.push_back(std::move(result));
+  }
+  out.stats.pairs_evaluated = stats->candidates;
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include "core/config.h"
 #include "dataset/matrix.h"
 #include "divergence/bregman.h"
+#include "join/join_types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/pager.h"
@@ -136,6 +137,21 @@ class SearchIndex {
   StatusOr<std::vector<std::vector<uint32_t>>> RangeBatch(
       const Matrix& queries, double radius, Stats* stats = nullptr) const;
 
+  /// kNN-join: the k nearest indexed points of every row of `r` in one
+  /// call -- neighbors[i] is Knn(r.Row(i), k), byte-identical to issuing
+  /// the N single queries, but served by a dual-tree descent where the
+  /// backend supports one (brep::Index, ParallelIndex, ShardedIndex;
+  /// others fall back to the per-row loop). JoinOptions::sample_rate < 1
+  /// selects the sampled approximate arm (joins against a deterministic
+  /// subset of S; kUnimplemented on fallback backends). Errors: empty `r`,
+  /// wrong dimensionality, k == 0, k > num_points() (or past the sampled
+  /// subset size), a non-finite sample_rate or one outside (0, 1], or any
+  /// R row the divergence cannot evaluate finitely -- the same
+  /// kInvalidArgument contract on every backend.
+  StatusOr<JoinResult> KnnJoin(const Matrix& r, size_t k,
+                               const JoinOptions& options = {},
+                               Stats* stats = nullptr) const;
+
   /// Insert `point` and return its assigned id. Errors: wrong
   /// dimensionality, a point the divergence cannot evaluate finitely
   /// (outside the domain or overflowing phi), or kFailedPrecondition for
@@ -167,6 +183,12 @@ class SearchIndex {
       const Matrix& queries, size_t k, Stats* stats) const;
   virtual StatusOr<std::vector<std::vector<uint32_t>>> RangeBatchImpl(
       const Matrix& queries, double radius, Stats* stats) const;
+  /// Default: the exact join as a per-row KnnImpl loop (every backend gets
+  /// at least this); sampled joins are kUnimplemented without a native
+  /// join path.
+  virtual StatusOr<JoinResult> KnnJoinImpl(const Matrix& r, size_t k,
+                                           const JoinOptions& options,
+                                           Stats* stats) const;
 
   /// The divergence this backend evaluates queries under, or nullptr when
   /// it cannot expose one. When non-null, every public entry point rejects

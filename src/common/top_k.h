@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -70,6 +71,41 @@ class TopK {
   size_t k_;
   std::vector<Neighbor> heap_;  // max-heap on Neighbor ordering
 };
+
+/// Result merging over the (distance, id) total order -- THE ordering for
+/// every exact result in the system. Single-query search, the sharded
+/// scatter-gather, and the kNN-join's per-R-point heaps all fold through
+/// TopK above, so the three orderings can never drift.
+
+/// Merge per-source kNN answers (each sorted ascending by (distance, id),
+/// ids already mapped to one shared id space) into the global top `k`.
+/// Equivalent to pushing every candidate through one TopK: the heap's
+/// (distance, id) tie-break makes the result independent of source order.
+inline std::vector<Neighbor> MergeKnn(
+    std::span<const std::vector<Neighbor>> per_source, size_t k) {
+  TopK topk(k);
+  for (const std::vector<Neighbor>& source : per_source) {
+    for (const Neighbor& n : source) topk.Push(n.distance, n.id);
+  }
+  return topk.SortedResults();
+}
+
+/// Merge per-source range answers (disjoint id sets) into one ascending id
+/// list.
+inline std::vector<uint32_t> MergeRange(
+    std::span<const std::vector<uint32_t>> per_source) {
+  size_t total = 0;
+  for (const std::vector<uint32_t>& source : per_source) {
+    total += source.size();
+  }
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const std::vector<uint32_t>& source : per_source) {
+    out.insert(out.end(), source.begin(), source.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 }  // namespace brep
 

@@ -1,0 +1,78 @@
+#include "core/join_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "divergence/kernels.h"
+
+namespace brep {
+
+CoordBox BoxOfRows(const Matrix& data, std::span<const uint32_t> ids) {
+  BREP_CHECK(!ids.empty());
+  const size_t d = data.cols();
+  CoordBox box;
+  box.lo.assign(data.Row(ids[0]).begin(), data.Row(ids[0]).end());
+  box.hi = box.lo;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    const std::span<const double> row = data.Row(ids[i]);
+    for (size_t j = 0; j < d; ++j) {
+      box.lo[j] = std::min(box.lo[j], row[j]);
+      box.hi[j] = std::max(box.hi[j], row[j]);
+    }
+  }
+  return box;
+}
+
+CoordBox BoxUnion(const CoordBox& a, const CoordBox& b) {
+  BREP_CHECK(a.dim() == b.dim());
+  CoordBox box = a;
+  for (size_t j = 0; j < box.dim(); ++j) {
+    box.lo[j] = std::min(box.lo[j], b.lo[j]);
+    box.hi[j] = std::max(box.hi[j], b.hi[j]);
+  }
+  return box;
+}
+
+double BoxPairLowerBound(const BregmanDivergence& div, const CoordBox& x_box,
+                         const CoordBox& y_box, std::span<double> cx,
+                         std::span<double> cy) {
+  const size_t d = div.dim();
+  BREP_CHECK(x_box.dim() == d && y_box.dim() == d);
+  BREP_CHECK(cx.size() == d && cy.size() == d);
+  for (size_t j = 0; j < d; ++j) {
+    if (x_box.lo[j] > y_box.hi[j]) {
+      // x strictly right of y: nearest endpoints face each other.
+      cx[j] = x_box.lo[j];
+      cy[j] = y_box.hi[j];
+    } else if (x_box.hi[j] < y_box.lo[j]) {
+      // x strictly left of y.
+      cx[j] = x_box.hi[j];
+      cy[j] = y_box.lo[j];
+    } else {
+      // Overlapping intervals: a shared value zeroes the term exactly
+      // (phi(t) - phi(t) - phi'(t)(t - t) == 0 in floating point too).
+      // max(lo_x, lo_y) lies in both intervals and within the data's
+      // coordinate range, so the generator domain is respected.
+      const double t = std::max(x_box.lo[j], y_box.lo[j]);
+      cx[j] = t;
+      cy[j] = t;
+    }
+  }
+  return div.Divergence(cx, cy);
+}
+
+double BallPairLowerBound(const BregmanDivergence& div,
+                          const BregmanBall& x_ball,
+                          const BregmanBall& y_ball) {
+  if (div.kernel_info().kind != simd::GeneratorKind::kSquaredL2) return 0.0;
+  // D is the squared weighted Euclidean metric: centers at weighted
+  // distance dc, every member within sqrt(R) of its center.
+  const double dc = std::sqrt(div.Divergence(x_ball.center, y_ball.center));
+  const double gap =
+      dc - std::sqrt(std::max(0.0, x_ball.radius)) -
+      std::sqrt(std::max(0.0, y_ball.radius));
+  return gap > 0.0 ? gap * gap : 0.0;
+}
+
+}  // namespace brep

@@ -71,6 +71,10 @@ class QueryEngine {
   /// Threads serving a call, including the caller.
   size_t num_threads() const { return pool_.num_lanes(); }
   const BrePartition& index() const { return *index_; }
+  /// The engine's worker pool, for callers that schedule their own
+  /// independent tasks over it (the kNN-join's R-subtree descents). Same
+  /// caveat as the engine itself: one call at a time.
+  ThreadPool& thread_pool() const { return pool_; }
 
   /// Exact kNN, identical to BrePartition::KnnSearch; the filter phase
   /// fans out across the pool when parallel_filter is set.

@@ -22,6 +22,14 @@ IndexMetrics RegisterIndexMetrics(MetricRegistry& registry) {
   im.snapshot_publishes = &registry.GetCounter(kSnapshotPublishesTotal);
   im.snapshot_publish_latency =
       &registry.GetHistogram(kSnapshotPublishLatencyMs);
+  im.joins = &registry.GetCounter(kJoinsTotal);
+  im.join_rows = &registry.GetCounter(kJoinRowsTotal);
+  im.join_node_pairs_visited =
+      &registry.GetCounter(kJoinNodePairsVisitedTotal);
+  im.join_node_pairs_pruned = &registry.GetCounter(kJoinNodePairsPrunedTotal);
+  im.join_leaf_blocks = &registry.GetCounter(kJoinLeafBlocksTotal);
+  im.join_latency = &registry.GetHistogram(kJoinLatencyMs);
+  im.join_sample_recall = &registry.GetGauge(kJoinSampleRecallGauge);
   return im;
 }
 

@@ -39,6 +39,20 @@ inline constexpr char kSnapshotPublishesTotal[] =
     "brep_snapshot_publishes_total";
 inline constexpr char kSnapshotPublishLatencyMs[] =
     "brep_snapshot_publish_latency_ms";
+// kNN-join lane (SearchIndex::KnnJoin over a dual-tree backend). The
+// node-pair counters are the amortization instrument: visited under the
+// dual-tree descent versus the N-single-queries node visits.
+inline constexpr char kJoinsTotal[] = "brep_joins_total";
+inline constexpr char kJoinRowsTotal[] = "brep_join_rows_total";
+inline constexpr char kJoinNodePairsVisitedTotal[] =
+    "brep_join_node_pairs_visited_total";
+inline constexpr char kJoinNodePairsPrunedTotal[] =
+    "brep_join_node_pairs_pruned_total";
+inline constexpr char kJoinLeafBlocksTotal[] = "brep_join_leaf_blocks_total";
+inline constexpr char kJoinLatencyMs[] = "brep_join_latency_ms";
+/// Measured recall of the most recent sampled join (JoinOptions::
+/// measure_recall); stays at its default 0 until one is measured.
+inline constexpr char kJoinSampleRecallGauge[] = "brep_join_sample_recall";
 
 // Assembled at snapshot time from component-owned state (index gauges,
 // update totals, pager/pool/WAL/recovery counters and histograms).
@@ -122,6 +136,13 @@ struct IndexMetrics {
   LatencyHistogram* delete_latency = nullptr;
   Counter* snapshot_publishes = nullptr;
   LatencyHistogram* snapshot_publish_latency = nullptr;
+  Counter* joins = nullptr;
+  Counter* join_rows = nullptr;
+  Counter* join_node_pairs_visited = nullptr;
+  Counter* join_node_pairs_pruned = nullptr;
+  Counter* join_leaf_blocks = nullptr;
+  LatencyHistogram* join_latency = nullptr;
+  Gauge* join_sample_recall = nullptr;
 };
 
 IndexMetrics RegisterIndexMetrics(MetricRegistry& registry);

@@ -37,6 +37,7 @@ const char* OpName(char op) {
     case 'r': return "range";
     case 'i': return "insert";
     case 'd': return "delete";
+    case 'j': return "knn-join";
     default: return "?";
   }
 }
@@ -60,6 +61,12 @@ std::string FormatQueryTrace(const QueryTraceEntry& e) {
     std::snprintf(buf, sizeof(buf),
                   "trace #%llu: knn(k=%zu) -> %zu results in %.3f ms\n",
                   (unsigned long long)e.seq, e.k, e.results, e.total_ms);
+  } else if (e.op == 'j') {
+    std::snprintf(buf, sizeof(buf),
+                  "trace #%llu: knn-join(k=%zu) over %zu rows in %.3f ms "
+                  "(node pairs: %zu visited, %llu pruned)\n",
+                  (unsigned long long)e.seq, e.k, e.results, e.total_ms,
+                  e.nodes_visited, (unsigned long long)e.node_pairs_pruned);
   } else if (e.op == 'r') {
     std::snprintf(buf, sizeof(buf),
                   "trace #%llu: range(radius=%g) -> %zu results in %.3f ms\n",

@@ -28,11 +28,12 @@ namespace brep::obs {
 struct QueryTraceEntry {
   /// Assigned by the TraceLog in admission order (1-based, lifetime).
   uint64_t seq = 0;
-  /// 'k' kNN, 'r' range, 'i' insert, 'd' delete.
+  /// 'k' kNN, 'r' range, 'i' insert, 'd' delete, 'j' kNN-join.
   char op = 'k';
-  size_t k = 0;            // kNN
+  size_t k = 0;            // kNN / join
   double radius = 0.0;     // range
-  size_t results = 0;      // neighbors / matches returned (1 for updates)
+  size_t results = 0;      // neighbors / matches returned (1 for updates;
+                           // R rows for joins)
 
   /// Span breakdown, milliseconds.
   double bound_ms = 0.0;
@@ -42,7 +43,9 @@ struct QueryTraceEntry {
   double wal_fsync_ms = 0.0;   // updates in kAlways mode: fsync wait
   double total_ms = 0.0;
 
-  /// Work counters.
+  /// Work counters. For joins ('j'), nodes_visited / leaves_visited /
+  /// points_evaluated hold the dual-tree node pairs visited, leaf blocks
+  /// scanned and pair distances evaluated.
   uint64_t io_reads = 0;
   size_t candidates = 0;
   size_t nodes_visited = 0;
@@ -50,6 +53,8 @@ struct QueryTraceEntry {
   size_t points_evaluated = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Joins only: node pairs cut by the pair lower bound.
+  uint64_t node_pairs_pruned = 0;
 };
 
 /// Bounded ring of slow-call traces. Record() is concurrent-safe; entries

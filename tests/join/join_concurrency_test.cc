@@ -1,0 +1,126 @@
+/// Concurrency regression for the join path (run under TSan in CI):
+/// concurrent KnnJoin calls on one shared index -- mixed with reads and
+/// point queries -- must all return byte-identical oracle answers and race
+/// nowhere. Joins pin an MVCC read snapshot, so a concurrent writer must
+/// never perturb an in-flight join either.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "join/join_types.h"
+#include "join_test_util.h"
+#include "shard/sharded_index.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+using ::brep::testing::ExpectJoinIdentical;
+using ::brep::testing::MakeDataFor;
+using ::brep::testing::MakeQueriesFor;
+using ::brep::testing::NestedLoopJoin;
+
+constexpr size_t kDim = 5;
+
+TEST(JoinConcurrencyTest, ConcurrentJoinsAreByteIdentical) {
+  const Matrix data = MakeDataFor("squared_l2", 300, kDim);
+  const Matrix r = MakeQueriesFor("squared_l2", data, 20);
+  auto built = Index::Build(data, "squared_l2");
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const auto oracle = NestedLoopJoin(built->divergence(), r, data, 4);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 3;
+  std::vector<std::vector<std::vector<Neighbor>>> answers(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const auto result = built->KnnJoin(r, 4);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        answers[t] = result->neighbors;
+        // Interleave point queries on the same index.
+        const auto knn = built->Knn(r.Row(t % r.rows()), 3);
+        ASSERT_TRUE(knn.ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    ExpectJoinIdentical(answers[t], oracle,
+                        "thread " + std::to_string(t));
+  }
+}
+
+TEST(JoinConcurrencyTest, JoinsUnaffectedByConcurrentWriter) {
+  const Matrix data = MakeDataFor("squared_l2", 240, kDim);
+  const Matrix extra = MakeDataFor("squared_l2", 64, kDim, /*seed=*/99);
+  const Matrix r = MakeQueriesFor("squared_l2", data, 12);
+  auto built = Index::Build(data, "squared_l2");
+  ASSERT_TRUE(built.ok()) << built.status().message();
+
+  // Writer mutates while readers join. Each join serves some consistent
+  // MVCC snapshot, so every per-row answer must be internally coherent:
+  // k results per row, strictly ascending (distance, id).
+  std::thread writer([&] {
+    for (size_t i = 0; i < extra.rows(); ++i) {
+      const auto inserted = built->Insert(extra.Row(i));
+      ASSERT_TRUE(inserted.ok()) << inserted.status().message();
+      if (i % 2 == 0) {
+        ASSERT_TRUE(built->Delete(*inserted).ok());
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (size_t round = 0; round < 4; ++round) {
+        const auto result = built->KnnJoin(r, 4);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        for (const auto& row : result->neighbors) {
+          ASSERT_EQ(row.size(), 4u);
+          for (size_t j = 1; j < row.size(); ++j) {
+            const bool ordered =
+                row[j - 1].distance < row[j].distance ||
+                (row[j - 1].distance == row[j].distance &&
+                 row[j - 1].id < row[j].id);
+            ASSERT_TRUE(ordered) << "rank " << j;
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+}
+
+TEST(JoinConcurrencyTest, ConcurrentShardedJoins) {
+  const Matrix data = MakeDataFor("squared_l2", 300, kDim);
+  const Matrix r = MakeQueriesFor("squared_l2", data, 12);
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  options.shard.config.num_partitions = 3;
+  auto sharded = ShardedIndex::Build(data, "squared_l2", options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  const auto oracle =
+      NestedLoopJoin((*sharded)->shard(0).divergence(), r, data, 5);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (size_t round = 0; round < 3; ++round) {
+        const auto result = (*sharded)->KnnJoin(r, 5);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        ExpectJoinIdentical(result->neighbors, oracle, "sharded concurrent");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace brep

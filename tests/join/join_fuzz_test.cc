@@ -1,0 +1,116 @@
+/// Seeded join fuzz: random workloads across the generator zoo must produce
+/// byte-identical answers (same ids, bit-equal distances) to the
+/// nested-loop oracle on every serving configuration -- in-memory index,
+/// disk-reopened index, sharded 1/2/4 shards, and parallel handles at
+/// 1/2/4 threads.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/index.h"
+#include "api/search_index.h"
+#include "common/rng.h"
+#include "join/join_types.h"
+#include "join_test_util.h"
+#include "shard/sharded_index.h"
+#include "test_util.h"
+
+namespace brep {
+namespace {
+
+using ::brep::testing::ExpectJoinIdentical;
+using ::brep::testing::GeneratorTestName;
+using ::brep::testing::MakeDataFor;
+using ::brep::testing::MakeQueriesFor;
+using ::brep::testing::NestedLoopJoin;
+using ::brep::testing::PartitionSafeGenerators;
+
+struct JoinFuzzCase {
+  std::string generator;
+};
+
+class JoinFuzzTest : public ::testing::TestWithParam<JoinFuzzCase> {};
+
+TEST_P(JoinFuzzTest, AllServingConfigsMatchOracle) {
+  const std::string& generator = GetParam().generator;
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(generator));
+  for (int round = 0; round < 3; ++round) {
+    const size_t n = 60 + rng.NextBelow(240);
+    const size_t d = 3 + rng.NextBelow(5);
+    const size_t r_rows = 5 + rng.NextBelow(20);
+    const size_t k = 1 + rng.NextBelow(std::min<size_t>(n, 9));
+    SCOPED_TRACE(generator + " round " + std::to_string(round) + " n=" +
+                 std::to_string(n) + " d=" + std::to_string(d) + " k=" +
+                 std::to_string(k));
+
+    const Matrix data = MakeDataFor(generator, n, d, /*seed=*/7 + round);
+    const Matrix r = MakeQueriesFor(generator, data, r_rows,
+                                    /*seed=*/11 + round);
+
+    IndexOptions options;
+    options.config.num_partitions = 3;
+    auto built = Index::Build(data, generator, options);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    const auto oracle = NestedLoopJoin(built->divergence(), r, data, k);
+
+    // In-memory.
+    auto memory = built->KnnJoin(r, k);
+    ASSERT_TRUE(memory.ok()) << memory.status().message();
+    ExpectJoinIdentical(memory->neighbors, oracle, "memory");
+
+    // Disk round trip: Save + Open, serving from the reopened pager.
+    const std::string path = ::testing::TempDir() + "/brep_join_fuzz_" +
+                             GeneratorTestName(generator) + ".idx";
+    ASSERT_TRUE(built->Save(path).ok());
+    auto reopened = Index::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto disk = reopened->KnnJoin(r, k);
+    ASSERT_TRUE(disk.ok()) << disk.status().message();
+    ExpectJoinIdentical(disk->neighbors, oracle, "disk");
+    std::remove(path.c_str());
+
+    // Parallel handles: 1/2/4 threads, all byte-identical.
+    for (const size_t threads : {1u, 2u, 4u}) {
+      auto parallel = built->Parallel(threads);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      auto result = parallel->KnnJoin(r, k);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      ExpectJoinIdentical(result->neighbors, oracle,
+                          "parallel t=" + std::to_string(threads));
+    }
+
+    // Sharded: 1/2/4 shards (skip counts exceeding the population).
+    for (const size_t shards : {1u, 2u, 4u}) {
+      if (n < shards) continue;
+      ShardedIndexOptions shard_options;
+      shard_options.num_shards = shards;
+      shard_options.shard.config.num_partitions = 3;
+      auto sharded = ShardedIndex::Build(data, generator, shard_options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+      auto result = (*sharded)->KnnJoin(r, k);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      ExpectJoinIdentical(result->neighbors, oracle,
+                          "sharded n=" + std::to_string(shards));
+    }
+  }
+}
+
+std::vector<JoinFuzzCase> FuzzCases() {
+  std::vector<JoinFuzzCase> cases;
+  for (const std::string& generator : PartitionSafeGenerators()) {
+    cases.push_back({generator});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, JoinFuzzTest, ::testing::ValuesIn(FuzzCases()),
+    [](const ::testing::TestParamInfo<JoinFuzzCase>& info) {
+      return GeneratorTestName(info.param.generator);
+    });
+
+}  // namespace
+}  // namespace brep

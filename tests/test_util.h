@@ -1,6 +1,7 @@
 #ifndef BREP_TESTS_TEST_UTIL_H_
 #define BREP_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,13 @@ inline std::vector<std::string> PartitionSafeGenerators() {
 /// All generators including KL (whole-space engines only).
 inline std::vector<std::string> AllGenerators() {
   return {"squared_l2", "itakura_saito", "exponential", "kl", "lp:3"};
+}
+
+/// Gtest-safe parameterized-test name for a generator spec ("lp:3" ->
+/// "lp_3").
+inline std::string GeneratorTestName(std::string name) {
+  std::replace(name.begin(), name.end(), ':', '_');
+  return name;
 }
 
 }  // namespace brep::testing

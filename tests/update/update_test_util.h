@@ -10,6 +10,7 @@
 
 #include "common/top_k.h"
 #include "divergence/bregman.h"
+#include "test_util.h"
 
 namespace brep::testing {
 
@@ -50,11 +51,8 @@ class LinearScanOracle {
   std::map<uint32_t, std::vector<double>> live_;
 };
 
-/// Test-suite-friendly name for a generator ("lp:3" -> "lp_3").
-inline std::string GeneratorTestName(std::string name) {
-  std::replace(name.begin(), name.end(), ':', '_');
-  return name;
-}
+// GeneratorTestName ("lp:3" -> "lp_3") moved to tests/test_util.h, shared
+// with the join suites.
 
 }  // namespace brep::testing
 
